@@ -1,0 +1,10 @@
+//! Ablation (extension): next-line L1D prefetching on the base machine.
+fn main() {
+    let args = rmt_bench::FigureArgs::parse();
+    let r = rmt_sim::figures::abl_prefetch(args.scale, &args.benches);
+    rmt_bench::print_figure(
+        "Ablation: next-line L1D prefetch",
+        "Extension (the paper's base machine has no prefetcher)",
+        &r,
+    );
+}

@@ -1,0 +1,11 @@
+//! Fault-injection coverage across base / SRT / SRT-noPSR / lockstep.
+fn main() {
+    let args = rmt_bench::FigureArgs::parse();
+    let bench = args.benches.first().copied().unwrap_or(rmt_workloads::Benchmark::Swim);
+    let r = rmt_sim::figures::fault_coverage(args.scale, bench);
+    rmt_bench::print_figure(
+        "Fault-injection coverage",
+        "Sections 4.5 / 7.1.1 (paper: PSR makes permanent faults detectable)",
+        &r,
+    );
+}

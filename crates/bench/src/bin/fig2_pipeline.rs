@@ -1,0 +1,5 @@
+//! Regenerates Figure 2: the base processor's integer pipeline latencies.
+fn main() {
+    let r = rmt_sim::figures::fig2_pipeline();
+    rmt_bench::print_figure("Figure 2: pipeline segments", "Figure 2", &r);
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 6: SMT-efficiency for one logical thread under
+//! Base2 / SRT+nosc / SRT / SRT+ptsq.
+fn main() {
+    let args = rmt_bench::FigureArgs::parse();
+    let r = rmt_sim::figures::fig6_srt_single(args.scale, &args.benches);
+    rmt_bench::print_figure(
+        "Figure 6: SRT SMT-efficiency, one logical thread",
+        "Figure 6 (paper: SRT degrades ~32% vs base; ptsq recovers ~2%)",
+        &r,
+    );
+}

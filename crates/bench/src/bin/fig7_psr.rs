@@ -1,0 +1,11 @@
+//! Regenerates Figure 7: preferential space redundancy's effect on the
+//! fraction of corresponding instructions sharing a functional unit.
+fn main() {
+    let args = rmt_bench::FigureArgs::parse();
+    let r = rmt_sim::figures::fig7_psr(args.scale, &args.benches);
+    rmt_bench::print_figure(
+        "Figure 7: same-functional-unit fraction, PSR off/on",
+        "Figure 7 (paper: ~65% -> ~0.06%)",
+        &r,
+    );
+}

@@ -1,0 +1,11 @@
+//! Regenerates the two-logical-thread SRT result of section 7.1: SRT and
+//! SRT+ptsq efficiency on the six two-program pairs.
+fn main() {
+    let args = rmt_bench::FigureArgs::parse();
+    let r = rmt_sim::figures::fig8_srt_multi(args.scale);
+    rmt_bench::print_figure(
+        "Two-logical-thread SRT",
+        "Section 7.1 prose (paper: SRT ~-40%, ptsq ~-32%)",
+        &r,
+    );
+}

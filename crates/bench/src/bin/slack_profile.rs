@@ -1,0 +1,10 @@
+//! Instrumentation: the slack between redundant threads under SRT.
+fn main() {
+    let args = rmt_bench::FigureArgs::parse();
+    let r = rmt_sim::figures::slack_profile(args.scale, &args.benches);
+    rmt_bench::print_figure(
+        "Redundant-thread slack profile under SRT",
+        "Section 4.4 (LPQ-driven fetch subsumes explicit slack fetch)",
+        &r,
+    );
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 1: base processor parameters.
+fn main() {
+    let r = rmt_sim::figures::table1();
+    rmt_bench::print_figure("Table 1: base processor parameters", "Table 1", &r);
+}

@@ -1,0 +1,117 @@
+//! Shared scaffolding for the figure/table regeneration binaries.
+//!
+//! Every binary accepts the same arguments:
+//!
+//! ```text
+//! --quick | --standard | --full     simulation scale (default: standard)
+//! --benches gcc,go,swim             benchmark subset (default: all 18)
+//! --seed N                          workload seed (default: 1)
+//! ```
+//!
+//! and prints a paper-style table plus its summary values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rmt_sim::figures::FigureResult;
+use rmt_sim::SimScale;
+use rmt_workloads::profile::ALL_BENCHMARKS;
+use rmt_workloads::Benchmark;
+
+/// Parsed command-line options shared by all figure binaries.
+#[derive(Debug, Clone)]
+pub struct FigureArgs {
+    /// Simulation scale.
+    pub scale: SimScale,
+    /// Benchmarks to run (default: all 18).
+    pub benches: Vec<Benchmark>,
+}
+
+impl FigureArgs {
+    /// Parses `std::env::args`; exits with a usage message on error.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit argument list.
+    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
+        let mut scale = SimScale::standard();
+        let mut benches: Vec<Benchmark> = ALL_BENCHMARKS.to_vec();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => scale = SimScale::quick(),
+                "--standard" => scale = SimScale::standard(),
+                "--full" => scale = SimScale::full(),
+                "--seed" => {
+                    scale.seed = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs a number"))
+                }
+                "--benches" => {
+                    let list = it.next().unwrap_or_else(|| usage("--benches needs a list"));
+                    benches = list
+                        .split(',')
+                        .map(|name| {
+                            ALL_BENCHMARKS
+                                .iter()
+                                .copied()
+                                .find(|b| b.name() == name.trim())
+                                .unwrap_or_else(|| usage(&format!("unknown benchmark `{name}`")))
+                        })
+                        .collect();
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown argument `{other}`")),
+            }
+        }
+        FigureArgs { scale, benches }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: <figure-binary> [--quick|--standard|--full] [--seed N] [--benches a,b,c]"
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 })
+}
+
+/// Prints a figure result in the standard format.
+pub fn print_figure(title: &str, paper_reference: &str, r: &FigureResult) {
+    println!("== {title}");
+    println!("   paper: {paper_reference}");
+    println!();
+    print!("{}", r.table);
+    println!();
+    for (k, v) in &r.summary {
+        println!("  {k} = {v:.4}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_args() {
+        let a = FigureArgs::from_iter(Vec::<String>::new());
+        assert_eq!(a.benches.len(), 18);
+        assert_eq!(a.scale, SimScale::standard());
+    }
+
+    #[test]
+    fn parses_scale_and_benches() {
+        let a = FigureArgs::from_iter(
+            ["--quick", "--benches", "gcc,swim", "--seed", "7"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(a.benches, vec![Benchmark::Gcc, Benchmark::Swim]);
+        assert_eq!(a.scale.warmup, SimScale::quick().warmup);
+        assert_eq!(a.scale.seed, 7);
+    }
+}

@@ -1,0 +1,178 @@
+//! The store comparator — output comparison for cacheable stores (§2.2,
+//! §4.2).
+//!
+//! Leading-thread stores wait in the store queue until the corresponding
+//! trailing-thread store's address and data arrive; the comparator matches
+//! them by program-order tag, compares address, data and size, and releases
+//! (or flags) the store. Only the single verified store is forwarded
+//! outside the sphere of replication.
+
+/// The comparator's verdict for one store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOutcome {
+    /// The trailing copy has not arrived (or is not yet visible across the
+    /// core interconnect): keep the store in the queue.
+    NotYet,
+    /// Address, data and size all matched.
+    Match,
+    /// Divergence — a fault has been detected.
+    Mismatch,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TrailingStore {
+    tag: u64,
+    addr: u64,
+    value: u64,
+    bytes: u64,
+    visible_at: u64,
+}
+
+/// A tag-matched store comparator for one redundant pair.
+///
+/// # Examples
+///
+/// ```
+/// use rmt_core::comparator::CompareOutcome;
+/// use rmt_core::StoreComparator;
+///
+/// let mut cmp = StoreComparator::new();
+/// assert_eq!(cmp.check(0, 0x40, 7, 8, 100), CompareOutcome::NotYet);
+/// cmp.record_trailing(0, 0x40, 7, 8, 100);
+/// assert_eq!(cmp.check(0, 0x40, 7, 8, 100), CompareOutcome::Match);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StoreComparator {
+    trailing: Vec<TrailingStore>,
+    matches: u64,
+    mismatches: u64,
+}
+
+impl StoreComparator {
+    /// Creates an empty comparator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a trailing store whose address/data became available,
+    /// visible to the comparator from `visible_at` (cross-core forwarding
+    /// latency in CRT). A re-execution of the same tag (possible only in
+    /// the non-LPQ ablation where trailing threads misspeculate) replaces
+    /// the previous record.
+    pub fn record_trailing(&mut self, tag: u64, addr: u64, value: u64, bytes: u64, visible_at: u64) {
+        if let Some(e) = self.trailing.iter_mut().find(|e| e.tag == tag) {
+            *e = TrailingStore {
+                tag,
+                addr,
+                value,
+                bytes,
+                visible_at,
+            };
+        } else {
+            self.trailing.push(TrailingStore {
+                tag,
+                addr,
+                value,
+                bytes,
+                visible_at,
+            });
+        }
+    }
+
+    /// Compares the leading store `tag` against the recorded trailing copy.
+    /// On `Match` or `Mismatch` the trailing record is consumed.
+    pub fn check(&mut self, tag: u64, addr: u64, value: u64, bytes: u64, now: u64) -> CompareOutcome {
+        let Some(i) = self
+            .trailing
+            .iter()
+            .position(|e| e.tag == tag && e.visible_at <= now)
+        else {
+            return CompareOutcome::NotYet;
+        };
+        let e = self.trailing.swap_remove(i);
+        if e.addr == addr && e.value == value && e.bytes == bytes {
+            self.matches += 1;
+            CompareOutcome::Match
+        } else {
+            self.mismatches += 1;
+            CompareOutcome::Mismatch
+        }
+    }
+
+    /// Trailing records awaiting their leading counterpart.
+    pub fn pending(&self) -> usize {
+        self.trailing.len()
+    }
+
+    /// Stores compared equal so far.
+    pub fn matches(&self) -> u64 {
+        self.matches
+    }
+
+    /// Stores that diverged so far.
+    pub fn mismatches(&self) -> u64 {
+        self.mismatches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn match_consumes_record() {
+        let mut c = StoreComparator::new();
+        c.record_trailing(1, 0x10, 5, 8, 0);
+        assert_eq!(c.check(1, 0x10, 5, 8, 0), CompareOutcome::Match);
+        assert_eq!(c.check(1, 0x10, 5, 8, 0), CompareOutcome::NotYet);
+        assert_eq!(c.matches(), 1);
+        assert_eq!(c.pending(), 0);
+    }
+
+    #[test]
+    fn value_mismatch_detected() {
+        let mut c = StoreComparator::new();
+        c.record_trailing(1, 0x10, 5, 8, 0);
+        assert_eq!(c.check(1, 0x10, 6, 8, 0), CompareOutcome::Mismatch);
+        assert_eq!(c.mismatches(), 1);
+    }
+
+    #[test]
+    fn address_mismatch_detected() {
+        let mut c = StoreComparator::new();
+        c.record_trailing(1, 0x10, 5, 8, 0);
+        assert_eq!(c.check(1, 0x18, 5, 8, 0), CompareOutcome::Mismatch);
+    }
+
+    #[test]
+    fn size_mismatch_detected() {
+        let mut c = StoreComparator::new();
+        c.record_trailing(1, 0x10, 5, 1, 0);
+        assert_eq!(c.check(1, 0x10, 5, 8, 0), CompareOutcome::Mismatch);
+    }
+
+    #[test]
+    fn visibility_delay_defers_comparison() {
+        let mut c = StoreComparator::new();
+        c.record_trailing(1, 0x10, 5, 8, 40);
+        assert_eq!(c.check(1, 0x10, 5, 8, 39), CompareOutcome::NotYet);
+        assert_eq!(c.check(1, 0x10, 5, 8, 40), CompareOutcome::Match);
+    }
+
+    #[test]
+    fn out_of_order_tags_match_independently() {
+        let mut c = StoreComparator::new();
+        c.record_trailing(2, 0x20, 2, 8, 0);
+        c.record_trailing(1, 0x10, 1, 8, 0);
+        assert_eq!(c.check(1, 0x10, 1, 8, 0), CompareOutcome::Match);
+        assert_eq!(c.check(2, 0x20, 2, 8, 0), CompareOutcome::Match);
+    }
+
+    #[test]
+    fn reexecution_replaces_record() {
+        let mut c = StoreComparator::new();
+        c.record_trailing(1, 0x10, 99, 8, 0); // wrong-path value
+        c.record_trailing(1, 0x10, 5, 8, 0); // correct re-execution
+        assert_eq!(c.check(1, 0x10, 5, 8, 0), CompareOutcome::Match);
+    }
+}

@@ -1,0 +1,234 @@
+//! Chip-level redundant threading (CRT, §5) — the paper's new technique.
+//!
+//! CRT generates logically redundant threads exactly as SRT does, but runs
+//! the leading and trailing copies on *different* cores of a two-way CMP.
+//! The trailing thread's load value queue and line prediction queue, and
+//! the store comparator, receive their inputs across a moderately wide
+//! inter-core datapath modelled as a 4-cycle forwarding delay (§6.3).
+//!
+//! On multithreaded workloads the threads are **cross-coupled** (Figure 5):
+//! each core runs the leading thread of one program and the trailing
+//! thread of another, so the resources a trailing thread frees (no
+//! misspeculation, no data-cache/load-queue use) are spent on a different
+//! program's resource-hungry leading thread.
+
+use crate::device::{Device, LogicalThread, SrtOptions};
+use crate::rmt_env::RmtEnv;
+use rmt_isa::mem_image::MemImage;
+use rmt_mem::MemoryHierarchy;
+use rmt_pipeline::core::DetectedFault;
+use rmt_pipeline::{Core, ThreadRole};
+
+/// Placement of one redundant pair on the two cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairPlacement {
+    /// Core index of the leading thread.
+    pub lead_core: usize,
+    /// Hardware thread id of the leading thread.
+    pub lead_tid: usize,
+    /// Core index of the trailing thread.
+    pub trail_core: usize,
+    /// Hardware thread id of the trailing thread.
+    pub trail_tid: usize,
+}
+
+/// A chip-level redundantly threaded processor: two cores over a shared L2.
+pub struct CrtDevice {
+    cores: [Core; 2],
+    hier: MemoryHierarchy,
+    env: RmtEnv,
+    cycle: u64,
+    placement: Vec<PairPlacement>,
+}
+
+impl CrtDevice {
+    /// Builds a CRT machine. `opts.env.cross_core_delay` should be 4 (the
+    /// paper's assumption); [`CrtDevice::default_options`] sets it.
+    ///
+    /// Placement (Figure 5): the leading threads of the first half of the
+    /// programs run on core 0 with the trailing threads of the second
+    /// half, and vice versa. One logical thread puts its leader on core 0
+    /// and its trailer on core 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threads do not fit the two cores' contexts.
+    pub fn new(opts: SrtOptions, threads: Vec<LogicalThread>) -> Self {
+        let n = threads.len();
+        assert!(n >= 1, "need at least one logical thread");
+        assert!(
+            2 * n <= 2 * opts.core.max_threads,
+            "threads do not fit two cores"
+        );
+        let mut env = RmtEnv::new(opts.env, threads.iter().map(|t| t.memory.clone()).collect());
+        let mut cores = [Core::new(opts.core.clone(), 0), Core::new(opts.core, 1)];
+        let mut placement = Vec::new();
+        // Leading threads: first half on core 0, second half on core 1.
+        let split = n.div_ceil(2);
+        for (i, t) in threads.iter().enumerate() {
+            let lead_core = usize::from(i >= split);
+            let trail_core = 1 - lead_core;
+            let lead_tid = cores[lead_core].attach_thread_with_role(
+                t.program.clone(),
+                0,
+                ThreadRole::Leading(i),
+            );
+            let trail_tid = cores[trail_core].attach_thread_with_role(
+                t.program.clone(),
+                0,
+                ThreadRole::Trailing(i),
+            );
+            env.map_thread(lead_core, lead_tid, i);
+            env.map_thread(trail_core, trail_tid, i);
+            placement.push(PairPlacement {
+                lead_core,
+                lead_tid,
+                trail_core,
+                trail_tid,
+            });
+        }
+        cores[0].finalize_partitions();
+        cores[1].finalize_partitions();
+        CrtDevice {
+            cores,
+            hier: MemoryHierarchy::new(opts.hierarchy, 2),
+            env,
+            cycle: 0,
+            placement,
+        }
+    }
+
+    /// The paper's CRT configuration: SRT options plus the 4-cycle
+    /// inter-core forwarding delay and per-thread store queues (§4.2 —
+    /// leading stores wait a cross-core verification latency in the store
+    /// queue, so the shared-CAM partitioning starves fast leading threads).
+    pub fn default_options() -> SrtOptions {
+        let mut opts = SrtOptions::default();
+        opts.env.cross_core_delay = 4;
+        opts.core.per_thread_store_queues = true;
+        opts
+    }
+
+    /// Core `i` of the chip.
+    pub fn core(&self, i: usize) -> &Core {
+        &self.cores[i]
+    }
+
+    /// Mutable access to core `i` (fault injection).
+    pub fn core_mut(&mut self, i: usize) -> &mut Core {
+        &mut self.cores[i]
+    }
+
+    /// The RMT environment.
+    pub fn env(&self) -> &RmtEnv {
+        &self.env
+    }
+
+    /// Placement of logical thread `i`.
+    pub fn placement(&self, i: usize) -> PairPlacement {
+        self.placement[i]
+    }
+
+    /// The memory image of logical thread `i`.
+    pub fn image(&self, i: usize) -> &MemImage {
+        &self.env.pair(i).image
+    }
+}
+
+impl Device for CrtDevice {
+    fn tick(&mut self) {
+        self.cores[0].tick(self.cycle, &mut self.hier, &mut self.env);
+        self.cores[1].tick(self.cycle, &mut self.hier, &mut self.env);
+        self.hier.tick(self.cycle);
+        self.cycle += 1;
+    }
+
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn num_logical(&self) -> usize {
+        self.placement.len()
+    }
+
+    fn committed(&self, logical: usize) -> u64 {
+        let p = self.placement[logical];
+        self.cores[p.lead_core].thread_stats(p.lead_tid).committed
+    }
+
+    fn drain_detected_faults(&mut self) -> Vec<DetectedFault> {
+        let mut out = self.cores[0].drain_detected_faults();
+        out.extend(self.cores[1].drain_detected_faults());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmt_workloads::{Benchmark, Workload};
+
+    #[test]
+    fn single_thread_crt_splits_across_cores() {
+        let w = Workload::generate(Benchmark::M88ksim, 7);
+        let mut d = CrtDevice::new(CrtDevice::default_options(), vec![LogicalThread::from(&w)]);
+        let p = d.placement(0);
+        assert_eq!(p.lead_core, 0);
+        assert_eq!(p.trail_core, 1);
+        assert!(d.run_until_committed(3_000, 3_000_000));
+        assert!(d.drain_detected_faults().is_empty());
+        assert_eq!(d.env().pair(0).comparator.mismatches(), 0);
+        assert!(d.env().pair(0).comparator.matches() > 10);
+    }
+
+    #[test]
+    fn two_thread_crt_is_cross_coupled() {
+        let a = Workload::generate(Benchmark::Gcc, 1);
+        let b = Workload::generate(Benchmark::Swim, 1);
+        let d = CrtDevice::new(
+            CrtDevice::default_options(),
+            vec![LogicalThread::from(&a), LogicalThread::from(&b)],
+        );
+        let p0 = d.placement(0);
+        let p1 = d.placement(1);
+        // Program 0 leads on core 0, program 1 leads on core 1, and each
+        // trails on the other core.
+        assert_eq!(p0.lead_core, 0);
+        assert_eq!(p0.trail_core, 1);
+        assert_eq!(p1.lead_core, 1);
+        assert_eq!(p1.trail_core, 0);
+    }
+
+    #[test]
+    fn two_thread_crt_runs_clean() {
+        let a = Workload::generate(Benchmark::Go, 2);
+        let b = Workload::generate(Benchmark::Fpppp, 2);
+        let mut d = CrtDevice::new(
+            CrtDevice::default_options(),
+            vec![LogicalThread::from(&a), LogicalThread::from(&b)],
+        );
+        assert!(d.run_until_committed(3_000, 5_000_000));
+        assert!(d.drain_detected_faults().is_empty());
+        for i in 0..2 {
+            assert_eq!(d.env().pair(i).comparator.mismatches(), 0);
+        }
+    }
+
+    #[test]
+    fn four_thread_crt_placement() {
+        let ws: Vec<_> = [Benchmark::Gcc, Benchmark::Go, Benchmark::Ijpeg, Benchmark::Swim]
+            .iter()
+            .map(|&b| LogicalThread::from(&Workload::generate(b, 3)))
+            .collect();
+        let d = CrtDevice::new(CrtDevice::default_options(), ws);
+        // Leads of 0,1 on core 0; leads of 2,3 on core 1; trails opposite.
+        for i in 0..2 {
+            assert_eq!(d.placement(i).lead_core, 0);
+            assert_eq!(d.placement(i).trail_core, 1);
+        }
+        for i in 2..4 {
+            assert_eq!(d.placement(i).lead_core, 1);
+            assert_eq!(d.placement(i).trail_core, 0);
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Lockstepped dual-core fault detection (§1, §5) — the incumbent CRT is
+//! measured against.
+//!
+//! Two identical cores receive identical inputs and execute cycle-for-
+//! cycle; a checker compares every signal leaving the sphere of
+//! replication. We model the two dominant performance effects the paper
+//! identifies:
+//!
+//! * every L1 miss request crosses the checker before being forwarded to
+//!   the rest of the memory system — `Lock8` charges 8 cycles on that path
+//!   (`Lock0` is the ideal zero-latency checker);
+//! * both cores waste resources in lockstep on misspeculation and cache
+//!   misses (unlike CRT's decoupled trailing threads), which emerges
+//!   naturally from running two full cores.
+//!
+//! Each core owns a private, identical memory hierarchy: because the two
+//! request streams are identical in fault-free operation, this is
+//! equivalent to one hierarchy serving both through the checker, and it
+//! keeps the cores bit-deterministic (see DESIGN.md).
+//!
+//! The checker compares the released store streams of the two cores
+//! per-thread and in order; a content difference is a detected fault, and a
+//! stream that stalls relative to the other beyond a slack window is a
+//! lockstep desynchronization (also a detection).
+
+use crate::device::{Device, LogicalThread};
+use rmt_isa::mem_image::MemImage;
+use rmt_mem::{HierarchyConfig, MemoryHierarchy};
+use rmt_pipeline::core::{DetectedFault, FaultDetector};
+use rmt_pipeline::env::CoreEnv;
+use rmt_pipeline::{Core, CoreConfig, ThreadId};
+use std::collections::VecDeque;
+
+/// Options for [`LockstepDevice`].
+#[derive(Debug, Clone)]
+pub struct LockstepOptions {
+    /// Core configuration (both cores identical).
+    pub core: CoreConfig,
+    /// Memory-system configuration; `checker_penalty` is overridden by
+    /// [`LockstepOptions::checker_latency`].
+    pub hierarchy: HierarchyConfig,
+    /// Checker latency in cycles: 0 = the paper's Lock0 (ideal), 8 = Lock8.
+    pub checker_latency: u64,
+    /// Cycles one store stream may lag the other before the checker calls
+    /// it a desynchronization.
+    pub desync_window: u64,
+}
+
+impl LockstepOptions {
+    /// The ideal-checker configuration (Lock0).
+    pub fn lock0() -> Self {
+        LockstepOptions {
+            core: CoreConfig::base(),
+            hierarchy: HierarchyConfig::default(),
+            checker_latency: 0,
+            desync_window: 2_000,
+        }
+    }
+
+    /// The realistic 8-cycle-checker configuration (Lock8).
+    pub fn lock8() -> Self {
+        LockstepOptions {
+            checker_latency: 8,
+            ..Self::lock0()
+        }
+    }
+}
+
+/// One record in a core's outbound store stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct StoreRec {
+    cycle: u64,
+    tid: ThreadId,
+    addr: u64,
+    value: u64,
+    bytes: u64,
+}
+
+/// Environment for one lockstepped core: private images plus store logging
+/// for the checker.
+struct LockstepEnv {
+    images: Vec<MemImage>,
+    log: VecDeque<StoreRec>,
+    now: u64,
+}
+
+impl CoreEnv for LockstepEnv {
+    fn read_mem(&mut self, _core: usize, tid: ThreadId, addr: u64, bytes: u64) -> u64 {
+        self.images[tid].read(addr, bytes)
+    }
+
+    fn write_mem(&mut self, _core: usize, tid: ThreadId, addr: u64, value: u64, bytes: u64) {
+        self.images[tid].write(addr, value, bytes);
+        self.log.push_back(StoreRec {
+            cycle: self.now,
+            tid,
+            addr,
+            value,
+            bytes,
+        });
+    }
+}
+
+/// A pair of lockstepped cores with an output checker.
+pub struct LockstepDevice {
+    cores: [Core; 2],
+    hiers: [MemoryHierarchy; 2],
+    envs: [LockstepEnv; 2],
+    cycle: u64,
+    num_logical: usize,
+    desync_window: u64,
+    checker_faults: Vec<DetectedFault>,
+    compared_stores: u64,
+    desynced: bool,
+}
+
+impl LockstepDevice {
+    /// Builds a lockstepped machine running the given logical threads on
+    /// both cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more threads are supplied than one core's contexts.
+    pub fn new(opts: LockstepOptions, threads: Vec<LogicalThread>) -> Self {
+        assert!(
+            threads.len() <= opts.core.max_threads,
+            "too many logical threads for one core"
+        );
+        let mut hier_cfg = opts.hierarchy;
+        hier_cfg.checker_penalty = opts.checker_latency;
+        let mut core_cfg = opts.core;
+        // Every output signal crosses the checker — stores included (§5).
+        core_cfg.store_release_delay = opts.checker_latency;
+        let build_env = || LockstepEnv {
+            images: threads.iter().map(|t| t.memory.clone()).collect(),
+            log: VecDeque::new(),
+            now: 0,
+        };
+        // Each core owns a private single-core hierarchy, so both use local
+        // core index 0 for cache accesses.
+        let mut cores = [Core::new(core_cfg.clone(), 0), Core::new(core_cfg, 0)];
+        for core in &mut cores {
+            for t in &threads {
+                core.attach_thread(t.program.clone(), 0);
+            }
+            core.finalize_partitions();
+        }
+        LockstepDevice {
+            cores,
+            hiers: [
+                MemoryHierarchy::new(hier_cfg, 1),
+                MemoryHierarchy::new(hier_cfg, 1),
+            ],
+            envs: [build_env(), build_env()],
+            cycle: 0,
+            num_logical: threads.len(),
+            desync_window: opts.desync_window,
+            checker_faults: Vec::new(),
+            compared_stores: 0,
+            desynced: false,
+        }
+    }
+
+    fn check_outputs(&mut self) {
+        // Compare matching heads of the two store streams.
+        loop {
+            let (a, b) = (self.envs[0].log.front(), self.envs[1].log.front());
+            match (a, b) {
+                (Some(x), Some(y)) => {
+                    if x.tid != y.tid
+                        || x.addr != y.addr
+                        || x.value != y.value
+                        || x.bytes != y.bytes
+                    {
+                        self.checker_faults.push(DetectedFault {
+                            cycle: self.cycle,
+                            tid: x.tid,
+                            kind: FaultDetector::StoreMismatch,
+                        });
+                    }
+                    self.compared_stores += 1;
+                    self.envs[0].log.pop_front();
+                    self.envs[1].log.pop_front();
+                }
+                (Some(x), None) | (None, Some(x)) => {
+                    // One stream is ahead; tolerate brief skew (the paper
+                    // notes checkers absorb minor synchronization slips),
+                    // flag a desync beyond the window.
+                    if self.cycle.saturating_sub(x.cycle) > self.desync_window && !self.desynced {
+                        self.desynced = true;
+                        self.checker_faults.push(DetectedFault {
+                            cycle: self.cycle,
+                            tid: x.tid,
+                            kind: FaultDetector::StoreMismatch,
+                        });
+                    }
+                    break;
+                }
+                (None, None) => break,
+            }
+        }
+    }
+
+    /// Core `i`.
+    pub fn core(&self, i: usize) -> &Core {
+        &self.cores[i]
+    }
+
+    /// Mutable access to core `i` (fault injection).
+    pub fn core_mut(&mut self, i: usize) -> &mut Core {
+        &mut self.cores[i]
+    }
+
+    /// Stores compared (and matched or flagged) so far.
+    pub fn compared_stores(&self) -> u64 {
+        self.compared_stores
+    }
+
+    /// Whether the cores have desynchronized.
+    pub fn desynced(&self) -> bool {
+        self.desynced
+    }
+
+    /// The memory image of logical thread `i` on core 0 (the canonical
+    /// copy).
+    pub fn image(&self, i: usize) -> &MemImage {
+        &self.envs[0].images[i]
+    }
+}
+
+impl Device for LockstepDevice {
+    fn tick(&mut self) {
+        for i in 0..2 {
+            self.envs[i].now = self.cycle;
+            self.cores[i].tick(self.cycle, &mut self.hiers[i], &mut self.envs[i]);
+            self.hiers[i].tick(self.cycle);
+        }
+        self.check_outputs();
+        self.cycle += 1;
+    }
+
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn num_logical(&self) -> usize {
+        self.num_logical
+    }
+
+    fn committed(&self, logical: usize) -> u64 {
+        self.cores[0].thread_stats(logical).committed
+    }
+
+    fn drain_detected_faults(&mut self) -> Vec<DetectedFault> {
+        let mut out = std::mem::take(&mut self.checker_faults);
+        out.extend(self.cores[0].drain_detected_faults());
+        out.extend(self.cores[1].drain_detected_faults());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmt_workloads::{Benchmark, Workload};
+
+    #[test]
+    fn lockstep_cores_never_diverge_fault_free() {
+        let w = Workload::generate(Benchmark::Compress, 1);
+        let mut d = LockstepDevice::new(LockstepOptions::lock0(), vec![LogicalThread::from(&w)]);
+        assert!(d.run_until_committed(3_000, 2_000_000));
+        assert!(d.drain_detected_faults().is_empty());
+        assert!(!d.desynced());
+        assert!(d.compared_stores() > 10);
+        // Both cores committed identically.
+        assert_eq!(
+            d.core(0).thread_stats(0).committed,
+            d.core(1).thread_stats(0).committed
+        );
+        assert_eq!(d.envs[0].images[0].digest(), d.envs[1].images[0].digest());
+    }
+
+    #[test]
+    fn lock8_is_slower_than_lock0() {
+        let w = Workload::generate(Benchmark::Swim, 2);
+        let target = 5_000;
+        let mut l0 = LockstepDevice::new(LockstepOptions::lock0(), vec![LogicalThread::from(&w)]);
+        assert!(l0.run_until_committed(target, 5_000_000));
+        let mut l8 = LockstepDevice::new(LockstepOptions::lock8(), vec![LogicalThread::from(&w)]);
+        assert!(l8.run_until_committed(target, 5_000_000));
+        assert!(
+            l8.cycle() > l0.cycle(),
+            "the 8-cycle checker must cost cycles: {} vs {}",
+            l8.cycle(),
+            l0.cycle()
+        );
+    }
+
+    #[test]
+    fn injected_fault_is_detected_by_checker() {
+        let w = Workload::generate(Benchmark::Compress, 3);
+        let mut d = LockstepDevice::new(LockstepOptions::lock0(), vec![LogicalThread::from(&w)]);
+        d.run_until_committed(1_000, 1_000_000);
+        // Permanently corrupt a functional unit on core 1 only.
+        d.core_mut(1).set_fu_stuck(0, 3, true);
+        d.run_until_committed(6_000, 5_000_000);
+        let faults = d.drain_detected_faults();
+        assert!(
+            !faults.is_empty(),
+            "a stuck-at fault on one core must cause a store mismatch or desync"
+        );
+    }
+
+    #[test]
+    fn multithreaded_lockstep_runs_clean() {
+        let a = Workload::generate(Benchmark::Gcc, 1);
+        let b = Workload::generate(Benchmark::Fpppp, 1);
+        let mut d = LockstepDevice::new(
+            LockstepOptions::lock8(),
+            vec![LogicalThread::from(&a), LogicalThread::from(&b)],
+        );
+        assert!(d.run_until_committed(2_000, 5_000_000));
+        assert!(d.drain_detected_faults().is_empty());
+    }
+}

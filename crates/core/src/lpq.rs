@@ -1,0 +1,220 @@
+//! The line prediction queue (LPQ) — perfect fetch for the trailing thread
+//! (§4.4, Figure 4).
+//!
+//! The leading thread's retired control flow is aggregated into fetch
+//! chunks (`rmt_pipeline::ChunkAggregator` implements the §4.4.2
+//! termination rules) and queued here. The trailing thread's IBOX consumes
+//! the chunks through a two-head protocol:
+//!
+//! * the **active head** advances on each prediction the address driver
+//!   *acks*;
+//! * the **recovery head** advances only when the chunk was actually
+//!   fetched into the rate-matching buffer;
+//! * an instruction-cache miss *rolls back* the active head to the
+//!   recovery head, and the same predictions are re-sent after the fill.
+//!
+//! In the absence of faults the queue delivers the exact committed path, so
+//! the trailing thread never misfetches and never mispredicts.
+
+use rmt_pipeline::chunk::RetiredChunk;
+use std::collections::VecDeque;
+
+/// The line prediction queue with active and recovery heads.
+///
+/// # Examples
+///
+/// ```
+/// use rmt_core::LinePredictionQueue;
+/// use rmt_pipeline::chunk::RetiredChunk;
+///
+/// let mut lpq = LinePredictionQueue::new(8);
+/// let c = RetiredChunk { start_pc: 0x40, len: 3, halves: [0; 8] };
+/// assert!(lpq.push(c, 0));
+/// let peeked = lpq.peek(0).unwrap();
+/// assert_eq!(peeked.start_pc, 0x40);
+/// lpq.ack();          // address driver accepted
+/// lpq.rollback();     // i-cache miss: resend later
+/// assert_eq!(lpq.peek(10).unwrap().start_pc, 0x40);
+/// lpq.ack();
+/// lpq.fetch_done();   // fetched successfully
+/// assert!(lpq.peek(10).is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LinePredictionQueue {
+    entries: VecDeque<(RetiredChunk, u64)>,
+    /// Entries before `active` have been acked but not yet fetched.
+    active: usize,
+    capacity: usize,
+    peak: usize,
+}
+
+impl LinePredictionQueue {
+    /// Creates an LPQ holding up to `capacity` chunk predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LPQ capacity must be non-zero");
+        LinePredictionQueue {
+            entries: VecDeque::with_capacity(capacity),
+            active: 0,
+            capacity,
+            peak: 0,
+        }
+    }
+
+    /// Whether `n` more chunks fit.
+    pub fn has_space_for(&self, n: usize) -> bool {
+        self.entries.len() + n <= self.capacity
+    }
+
+    /// Queued chunks (including acked-but-unfetched ones).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue holds no chunks.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Highest occupancy ever observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Appends a chunk visible from `visible_at`; returns `false` if full.
+    pub fn push(&mut self, chunk: RetiredChunk, visible_at: u64) -> bool {
+        if self.entries.len() >= self.capacity {
+            return false;
+        }
+        self.entries.push_back((chunk, visible_at));
+        self.peak = self.peak.max(self.entries.len());
+        true
+    }
+
+    /// The chunk at the active head, if present and visible at `now`.
+    pub fn peek(&self, now: u64) -> Option<RetiredChunk> {
+        let (chunk, visible_at) = self.entries.get(self.active)?;
+        (*visible_at <= now).then_some(*chunk)
+    }
+
+    /// Advances the active head (the address driver accepted the peeked
+    /// prediction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no peeked entry to accept.
+    pub fn ack(&mut self) {
+        assert!(self.active < self.entries.len(), "ack without a peek");
+        self.active += 1;
+    }
+
+    /// The oldest acked chunk was fetched: advance the recovery head
+    /// (dequeue it for good).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no chunk is awaiting fetch completion.
+    pub fn fetch_done(&mut self) {
+        assert!(self.active > 0, "fetch_done without an outstanding ack");
+        self.entries.pop_front();
+        self.active -= 1;
+    }
+
+    /// Rolls the active head back to the recovery head (instruction-cache
+    /// miss): all acked-but-unfetched predictions will be re-sent.
+    pub fn rollback(&mut self) {
+        self.active = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(pc: u64) -> RetiredChunk {
+        RetiredChunk {
+            start_pc: pc,
+            len: 4,
+            halves: [0; 8],
+        }
+    }
+
+    #[test]
+    fn fifo_order_through_protocol() {
+        let mut q = LinePredictionQueue::new(4);
+        q.push(chunk(0), 0);
+        q.push(chunk(16), 0);
+        assert_eq!(q.peek(0).unwrap().start_pc, 0);
+        q.ack();
+        assert_eq!(q.peek(0).unwrap().start_pc, 16);
+        q.ack();
+        assert!(q.peek(0).is_none());
+        q.fetch_done();
+        q.fetch_done();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn rollback_resends_acked_predictions() {
+        let mut q = LinePredictionQueue::new(4);
+        q.push(chunk(0), 0);
+        q.push(chunk(16), 0);
+        q.ack();
+        q.ack();
+        q.rollback();
+        // Both entries are re-sent in order.
+        assert_eq!(q.peek(0).unwrap().start_pc, 0);
+        q.ack();
+        q.fetch_done();
+        assert_eq!(q.peek(0).unwrap().start_pc, 16);
+    }
+
+    #[test]
+    fn partial_rollback_after_fetch_done() {
+        let mut q = LinePredictionQueue::new(4);
+        q.push(chunk(0), 0);
+        q.push(chunk(16), 0);
+        q.push(chunk(32), 0);
+        q.ack();
+        q.fetch_done(); // chunk 0 fully consumed
+        q.ack(); // chunk 16 acked
+        q.rollback(); // chunk 16 must be re-sent; chunk 0 must not
+        assert_eq!(q.peek(0).unwrap().start_pc, 16);
+    }
+
+    #[test]
+    fn capacity_and_peak() {
+        let mut q = LinePredictionQueue::new(2);
+        assert!(q.push(chunk(0), 0));
+        assert!(q.push(chunk(16), 0));
+        assert!(!q.push(chunk(32), 0));
+        assert!(q.has_space_for(0));
+        assert!(!q.has_space_for(1));
+        assert_eq!(q.peak(), 2);
+    }
+
+    #[test]
+    fn visibility_delay() {
+        let mut q = LinePredictionQueue::new(2);
+        q.push(chunk(0), 50);
+        assert!(q.peek(49).is_none());
+        assert!(q.peek(50).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "ack without a peek")]
+    fn ack_on_empty_panics() {
+        LinePredictionQueue::new(2).ack();
+    }
+
+    #[test]
+    #[should_panic(expected = "without an outstanding ack")]
+    fn fetch_done_without_ack_panics() {
+        let mut q = LinePredictionQueue::new(2);
+        q.push(chunk(0), 0);
+        q.fetch_done();
+    }
+}

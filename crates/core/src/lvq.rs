@@ -1,0 +1,249 @@
+//! The load value queue (LVQ) — input replication for cached loads (§2.1,
+//! §4.1).
+//!
+//! As each leading-thread load retires, its address and value are written
+//! here; the trailing thread's loads bypass the data cache and load queue
+//! entirely and read the LVQ instead, verifying the address. Entries are
+//! tag-correlated (the PBOX assigns matching program-order tags to both
+//! copies of each load), which is what lets the trailing thread issue its
+//! loads *out of order* against an associative LVQ (§4.1).
+//!
+//! Entries carry a visibility time so that CRT's cross-core forwarding
+//! latency is modelled: an entry written at cycle `t` on one core is
+//! visible to the other core's pipeline at `t + delay`.
+
+/// One LVQ entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LvqEntry {
+    /// Program-order load tag.
+    pub tag: u64,
+    /// The leading thread's effective address (verified by the trailing
+    /// load — a mismatch is a detected fault).
+    pub addr: u64,
+    /// The loaded value.
+    pub value: u64,
+    /// Access size in bytes.
+    pub bytes: u64,
+    /// Cycle from which the trailing thread can see this entry.
+    pub visible_at: u64,
+}
+
+/// A bounded, associative, tag-indexed load value queue.
+///
+/// # Examples
+///
+/// ```
+/// use rmt_core::LoadValueQueue;
+///
+/// let mut lvq = LoadValueQueue::new(4);
+/// assert!(lvq.push(0, 0x100, 42, 8, 10));
+/// assert!(lvq.lookup(0, 5).is_none()); // not visible yet
+/// assert_eq!(lvq.lookup(0, 10).unwrap().value, 42);
+/// lvq.consume(0);
+/// assert!(lvq.lookup(0, 10).is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LoadValueQueue {
+    entries: Vec<LvqEntry>,
+    capacity: usize,
+    peak: usize,
+    ecc: bool,
+    ecc_corrected: u64,
+}
+
+impl LoadValueQueue {
+    /// Creates an LVQ with `capacity` entries (the paper sizes it like the
+    /// store queue: 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LVQ capacity must be non-zero");
+        LoadValueQueue {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            peak: 0,
+            ecc: false,
+            ecc_corrected: 0,
+        }
+    }
+
+    /// Enables ECC protection: the paper requires it because LVQ contents
+    /// are not read redundantly out of the cache (§2.1). With ECC on,
+    /// single-bit strikes are corrected at injection time and counted.
+    pub fn with_ecc(mut self) -> Self {
+        self.ecc = true;
+        self
+    }
+
+    /// Strikes absorbed by ECC so far.
+    pub fn ecc_corrected(&self) -> u64 {
+        self.ecc_corrected
+    }
+
+    /// Whether another entry fits.
+    pub fn has_space(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Highest occupancy ever observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Appends an entry visible from `visible_at`; returns `false` when
+    /// full (the leading load must stall at retirement).
+    pub fn push(&mut self, tag: u64, addr: u64, value: u64, bytes: u64, visible_at: u64) -> bool {
+        if !self.has_space() {
+            return false;
+        }
+        debug_assert!(
+            !self.entries.iter().any(|e| e.tag == tag),
+            "duplicate LVQ tag {tag}"
+        );
+        self.entries.push(LvqEntry {
+            tag,
+            addr,
+            value,
+            bytes,
+            visible_at,
+        });
+        self.peak = self.peak.max(self.entries.len());
+        true
+    }
+
+    /// Associative lookup by tag; `None` when absent or not yet visible.
+    pub fn lookup(&self, tag: u64, now: u64) -> Option<&LvqEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.tag == tag && e.visible_at <= now)
+    }
+
+    /// Deallocates the entry with `tag` (no-op if absent).
+    pub fn consume(&mut self, tag: u64) {
+        if let Some(i) = self.entries.iter().position(|e| e.tag == tag) {
+            self.entries.swap_remove(i);
+        }
+    }
+
+    /// XORs `mask` into the value of the `idx`-th occupied entry (fault
+    /// injection at a random site). Returns the corrupted tag, if any;
+    /// with ECC enabled the strike is corrected in place (and counted) but
+    /// still reported as having hit an entry.
+    pub fn corrupt_nth(&mut self, idx: usize, mask: u64) -> Option<u64> {
+        let e = self.entries.get_mut(idx)?;
+        if self.ecc {
+            self.ecc_corrected += 1;
+            return Some(e.tag);
+        }
+        e.value ^= mask;
+        Some(e.tag)
+    }
+
+    /// XORs `mask` into the value of the entry with `tag` (fault
+    /// injection; the paper protects the LVQ with ECC, so campaigns use
+    /// this to demonstrate why). Returns whether an entry was hit.
+    pub fn corrupt(&mut self, tag: u64, mask: u64) -> bool {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.tag == tag) {
+            if self.ecc {
+                self.ecc_corrected += 1;
+            } else {
+                e.value ^= mask;
+            }
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_lookup_consume_roundtrip() {
+        let mut q = LoadValueQueue::new(2);
+        assert!(q.push(7, 0x40, 99, 8, 0));
+        let e = q.lookup(7, 0).unwrap();
+        assert_eq!(e.addr, 0x40);
+        assert_eq!(e.value, 99);
+        q.consume(7);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut q = LoadValueQueue::new(2);
+        assert!(q.push(0, 0, 0, 8, 0));
+        assert!(q.push(1, 0, 0, 8, 0));
+        assert!(!q.push(2, 0, 0, 8, 0));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peak(), 2);
+    }
+
+    #[test]
+    fn visibility_delay_models_cross_core_forwarding() {
+        let mut q = LoadValueQueue::new(4);
+        q.push(3, 0, 1, 8, 100);
+        assert!(q.lookup(3, 99).is_none());
+        assert!(q.lookup(3, 100).is_some());
+    }
+
+    #[test]
+    fn lookup_is_associative_not_fifo() {
+        let mut q = LoadValueQueue::new(4);
+        q.push(10, 1, 1, 8, 0);
+        q.push(11, 2, 2, 8, 0);
+        q.push(12, 3, 3, 8, 0);
+        // Out-of-order lookup: tag 12 first.
+        assert_eq!(q.lookup(12, 0).unwrap().value, 3);
+        q.consume(12);
+        assert_eq!(q.lookup(10, 0).unwrap().value, 1);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn consume_absent_tag_is_noop() {
+        let mut q = LoadValueQueue::new(2);
+        q.push(1, 0, 0, 8, 0);
+        q.consume(99);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn corrupt_flips_value_bits() {
+        let mut q = LoadValueQueue::new(2);
+        q.push(1, 0, 0b100, 8, 0);
+        assert!(q.corrupt(1, 0b001));
+        assert_eq!(q.lookup(1, 0).unwrap().value, 0b101);
+        assert!(!q.corrupt(5, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        LoadValueQueue::new(0);
+    }
+
+    #[test]
+    fn ecc_absorbs_strikes() {
+        let mut q = LoadValueQueue::new(2).with_ecc();
+        q.push(1, 0, 0b100, 8, 0);
+        assert_eq!(q.corrupt_nth(0, 0b001), Some(1));
+        assert!(q.corrupt(1, 0b010));
+        assert_eq!(q.lookup(1, 0).unwrap().value, 0b100, "value must be intact");
+        assert_eq!(q.ecc_corrected(), 2);
+    }
+}

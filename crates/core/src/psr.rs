@@ -1,0 +1,164 @@
+//! Preferential space redundancy tracking (§4.5, Figure 7).
+//!
+//! The paper's coverage argument: when corresponding instructions of the
+//! two redundant threads execute on the *same* functional unit, a permanent
+//! fault in that unit corrupts both copies identically and escapes
+//! detection. PSR steers the trailing thread's instructions to the opposite
+//! queue half, driving the same-unit fraction from ~65% to ~0.06%.
+//!
+//! [`PsrTracker`] measures that fraction: the leading thread records the FU
+//! and queue half of each committed instruction by commit index; the
+//! trailing thread looks its own commit index up and compares.
+
+/// Ring capacity: the redundant threads' slack is bounded by the LVQ/LPQ
+/// (tens of instructions), so 8K indices is far more than enough.
+const RING: usize = 8192;
+
+/// Tracks same-functional-unit and same-queue-half fractions between the
+/// two threads of one redundant pair.
+///
+/// # Examples
+///
+/// ```
+/// use rmt_core::psr::PsrTracker;
+///
+/// let mut t = PsrTracker::new();
+/// t.record_leading(0, 3, 0);
+/// t.record_trailing(0, 3, 0); // same FU
+/// t.record_leading(1, 4, 0);
+/// t.record_trailing(1, 9, 1); // different FU
+/// assert_eq!(t.compared(), 2);
+/// assert!((t.same_fu_fraction() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PsrTracker {
+    lead: Vec<Option<(u64, u8, u8)>>, // (commit_index, fu, half)
+    compared: u64,
+    same_fu: u64,
+    same_half: u64,
+    missed: u64,
+}
+
+impl Default for PsrTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PsrTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        PsrTracker {
+            lead: vec![None; RING],
+            compared: 0,
+            same_fu: 0,
+            same_half: 0,
+            missed: 0,
+        }
+    }
+
+    /// Records the leading thread's `commit_index`-th instruction.
+    pub fn record_leading(&mut self, commit_index: u64, fu: u8, half: u8) {
+        self.lead[(commit_index % RING as u64) as usize] = Some((commit_index, fu, half));
+    }
+
+    /// Records the trailing thread's `commit_index`-th instruction and
+    /// compares against the leading record.
+    pub fn record_trailing(&mut self, commit_index: u64, fu: u8, half: u8) {
+        let slot = &mut self.lead[(commit_index % RING as u64) as usize];
+        match slot.take() {
+            Some((idx, lfu, lhalf)) if idx == commit_index => {
+                self.compared += 1;
+                if lfu == fu {
+                    self.same_fu += 1;
+                }
+                if lhalf == half {
+                    self.same_half += 1;
+                }
+            }
+            other => {
+                *slot = other; // keep whatever was there; count the miss
+                self.missed += 1;
+            }
+        }
+    }
+
+    /// Pairs of corresponding instructions compared.
+    pub fn compared(&self) -> u64 {
+        self.compared
+    }
+
+    /// Fraction of compared pairs that used the same functional unit.
+    pub fn same_fu_fraction(&self) -> f64 {
+        if self.compared == 0 {
+            0.0
+        } else {
+            self.same_fu as f64 / self.compared as f64
+        }
+    }
+
+    /// Fraction of compared pairs that issued from the same queue half.
+    pub fn same_half_fraction(&self) -> f64 {
+        if self.compared == 0 {
+            0.0
+        } else {
+            self.same_half as f64 / self.compared as f64
+        }
+    }
+
+    /// Trailing commits whose leading record was unavailable (ring
+    /// overflow — should stay at zero in correct runs).
+    pub fn missed(&self) -> u64 {
+        self.missed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_same_and_different() {
+        let mut t = PsrTracker::new();
+        for i in 0..10 {
+            t.record_leading(i, (i % 4) as u8, (i % 2) as u8);
+        }
+        for i in 0..10 {
+            // Same fu for even i, different for odd.
+            let fu = if i % 2 == 0 { (i % 4) as u8 } else { 99 };
+            t.record_trailing(i, fu, (i % 2) as u8);
+        }
+        assert_eq!(t.compared(), 10);
+        assert!((t.same_fu_fraction() - 0.5).abs() < 1e-12);
+        assert!((t.same_half_fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(t.missed(), 0);
+    }
+
+    #[test]
+    fn missing_lead_record_counts_missed() {
+        let mut t = PsrTracker::new();
+        t.record_trailing(5, 0, 0);
+        assert_eq!(t.compared(), 0);
+        assert_eq!(t.missed(), 1);
+    }
+
+    #[test]
+    fn stale_ring_slot_not_matched() {
+        let mut t = PsrTracker::new();
+        t.record_leading(0, 1, 0);
+        // Trailing far ahead (same ring slot, different index).
+        t.record_trailing(RING as u64, 1, 0);
+        assert_eq!(t.compared(), 0);
+        assert_eq!(t.missed(), 1);
+        // Original record still usable.
+        t.record_trailing(0, 1, 0);
+        assert_eq!(t.compared(), 1);
+    }
+
+    #[test]
+    fn empty_fractions_are_zero() {
+        let t = PsrTracker::new();
+        assert_eq!(t.same_fu_fraction(), 0.0);
+        assert_eq!(t.same_half_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Transient-fault **recovery** on top of SRT detection — the "recovery
+//! sequence" the paper's introduction points to (§1: "the checker flags an
+//! error and initiates a hardware or software recovery sequence").
+//!
+//! [`RecoverableSrt`] wraps an [`SrtDevice`] with periodic *quiesced
+//! checkpoints* and detection-triggered rollback-and-replay:
+//!
+//! 1. Every `checkpoint_interval` leading commits, fetch for the pair is
+//!    paused and the machine drains: no in-flight instructions, store
+//!    queues empty, comparator idle. At that instant the architectural
+//!    state outside and inside the sphere is *verified* — every store that
+//!    reached memory was compared — so the committed registers + memory
+//!    image form a provably clean checkpoint.
+//! 2. When any RMT mechanism detects a fault, both threads are squashed,
+//!    their architectural registers and PC restored from the checkpoint,
+//!    the pair's queues (LVQ/LPQ/comparator) reset, memory restored, and
+//!    execution replays.
+//!
+//! Coverage note (also in DESIGN.md): a corrupted register value that
+//! crosses a checkpoint *before* influencing any store is baked into the
+//! checkpoint; full pre-commit checking (SRTR, Vijaykumar et al. 2002)
+//! closes that window. Within an epoch — the overwhelmingly common case
+//! for the paper's detection latencies of tens-to-hundreds of cycles
+//! against epochs of thousands of instructions — recovery is exact, which
+//! the integration tests verify against the golden model.
+
+use crate::device::{Device, LogicalThread, SrtDevice, SrtOptions};
+use rmt_isa::inst::NUM_ARCH_REGS;
+use rmt_pipeline::env::CoreEnv as _;
+use rmt_isa::mem_image::MemImage;
+use rmt_pipeline::core::DetectedFault;
+
+/// A clean, verified snapshot of one redundant pair.
+#[derive(Clone)]
+struct Checkpoint {
+    regs: [u64; NUM_ARCH_REGS],
+    pc: u64,
+    memory: MemImage,
+    /// Stores released up to this checkpoint (the leading thread's
+    /// store-lifetime histogram count).
+    releases: u64,
+}
+
+/// An SRT processor with checkpoint-based transient-fault recovery.
+///
+/// # Examples
+///
+/// See `examples/fault_recovery.rs` and the integration tests in
+/// `tests/recovery_e2e.rs`.
+pub struct RecoverableSrt {
+    dev: SrtDevice,
+    interval: u64,
+    /// Last clean checkpoint per pair.
+    checkpoints: Vec<Checkpoint>,
+    next_checkpoint_at: Vec<u64>,
+    recoveries: u64,
+    checkpoints_taken: u64,
+    /// Released-store counter values rolled back by recoveries, per pair.
+    discarded_releases: Vec<u64>,
+    /// Cap on cycles spent draining for one checkpoint.
+    quiesce_budget: u64,
+}
+
+impl RecoverableSrt {
+    /// Builds a recoverable SRT machine checkpointing every
+    /// `checkpoint_interval` leading commits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `checkpoint_interval` is zero.
+    pub fn new(opts: SrtOptions, threads: Vec<LogicalThread>, checkpoint_interval: u64) -> Self {
+        assert!(checkpoint_interval > 0, "checkpoint interval must be non-zero");
+        let n = threads.len();
+        // The initial state is trivially clean: checkpoint 0 is the entry
+        // state with the initial memory image.
+        let checkpoints = threads
+            .iter()
+            .map(|t| Checkpoint {
+                regs: [0; NUM_ARCH_REGS],
+                pc: 0,
+                memory: t.memory.clone(),
+                releases: 0,
+            })
+            .collect();
+        RecoverableSrt {
+            dev: SrtDevice::new(opts, threads),
+            interval: checkpoint_interval,
+            checkpoints,
+            next_checkpoint_at: vec![checkpoint_interval; n],
+            recoveries: 0,
+            checkpoints_taken: 0,
+            discarded_releases: vec![0; n],
+            quiesce_budget: 200_000,
+        }
+    }
+
+    /// The wrapped device.
+    pub fn device(&self) -> &SrtDevice {
+        &self.dev
+    }
+
+    /// Mutable access to the wrapped device (fault injection).
+    pub fn device_mut(&mut self) -> &mut SrtDevice {
+        &mut self.dev
+    }
+
+    /// Recoveries performed so far.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Checkpoints taken so far (excluding the initial one).
+    pub fn checkpoints_taken(&self) -> u64 {
+        self.checkpoints_taken
+    }
+
+    /// Stores currently reflected in pair `i`'s memory image: total
+    /// releases minus those undone by recoveries. This is the index to
+    /// compare against the golden model's store stream.
+    pub fn effective_releases(&self, i: usize) -> u64 {
+        let (lead, _) = self.dev.pair_tids(i);
+        self.dev.core().store_lifetime(lead).count() - self.discarded_releases[i]
+    }
+
+    /// Drains pair `i` to a quiescent point and snapshots it.
+    fn take_checkpoint(&mut self, i: usize) {
+        let (lead, trail) = self.dev.pair_tids(i);
+        // Pause only the leading thread: the trailing thread must keep
+        // consuming the line prediction queue to drain the pair.
+        self.dev.core_mut().set_fetch_paused(lead, true);
+        let start = self.dev.cycle();
+        loop {
+            let quiesced = self.dev.core().is_quiesced(lead)
+                && self.dev.core().is_quiesced(trail)
+                && self.dev.env().pair(i).comparator.pending() == 0
+                && self.dev.env().pair(i).lvq.is_empty();
+            if quiesced {
+                break;
+            }
+            // The leading thread's final instructions may sit in the line
+            // prediction queue's *open* chunk; flush it so the trailing
+            // thread can finish consuming the stream.
+            let now = self.dev.cycle();
+            self.dev.env_mut().lead_retire_blocked(0, lead, now, i);
+            self.dev.tick();
+            assert!(
+                self.dev.cycle() - start < self.quiesce_budget,
+                "pair {i} failed to quiesce for a checkpoint"
+            );
+        }
+        let (regs, pc) = self.dev.core().snapshot_arch(lead);
+        // Sanity: a quiesced, fault-free pair has identical committed state
+        // in both threads.
+        debug_assert_eq!(pc, self.dev.core().snapshot_arch(trail).1);
+        let (lead_tid, _) = self.dev.pair_tids(i);
+        self.checkpoints[i] = Checkpoint {
+            regs,
+            pc,
+            memory: self.dev.image(i).clone(),
+            releases: self.dev.core().store_lifetime(lead_tid).count(),
+        };
+        self.checkpoints_taken += 1;
+        self.dev.core_mut().set_fetch_paused(lead, false);
+        self.next_checkpoint_at[i] = self.dev.committed(i) + self.interval;
+    }
+
+    /// Rolls pair `i` back to its last checkpoint and replays.
+    fn recover(&mut self, i: usize) {
+        let (lead, trail) = self.dev.pair_tids(i);
+        let cp = self.checkpoints[i].clone();
+        let now = self.dev.cycle();
+        // Releases since the checkpoint are undone by restoring its memory.
+        self.discarded_releases[i] += self
+            .dev
+            .core()
+            .store_lifetime(lead)
+            .count()
+            .saturating_sub(cp.releases);
+        // Clear any permanent-fault configuration the campaign may have
+        // armed is the *caller's* business; recovery only restores state.
+        self.dev.env_mut().reset_pair(i, cp.memory);
+        let core = self.dev.core_mut();
+        core.restore_thread(lead, &cp.regs, cp.pc, now);
+        core.restore_thread(trail, &cp.regs, cp.pc, now);
+        self.recoveries += 1;
+        // Replay will re-reach (and re-pass) the next checkpoint mark.
+        self.next_checkpoint_at[i] = self.dev.committed(i) + self.interval;
+    }
+}
+
+impl Device for RecoverableSrt {
+    fn tick(&mut self) {
+        self.dev.tick();
+        // Detection triggers recovery for the affected pair(s).
+        let faults = self.dev.drain_detected_faults();
+        if !faults.is_empty() {
+            let mut hit: Vec<usize> = faults
+                .iter()
+                .filter_map(|f| {
+                    (0..self.dev.num_logical()).find(|&i| {
+                        let (lead, trail) = self.dev.pair_tids(i);
+                        f.tid == lead || f.tid == trail
+                    })
+                })
+                .collect();
+            hit.sort_unstable();
+            hit.dedup();
+            for i in hit {
+                self.recover(i);
+            }
+            return;
+        }
+        // Periodic checkpoints.
+        for i in 0..self.dev.num_logical() {
+            if self.dev.committed(i) >= self.next_checkpoint_at[i] {
+                self.take_checkpoint(i);
+            }
+        }
+    }
+
+    fn cycle(&self) -> u64 {
+        self.dev.cycle()
+    }
+
+    fn num_logical(&self) -> usize {
+        self.dev.num_logical()
+    }
+
+    fn committed(&self, logical: usize) -> u64 {
+        self.dev.committed(logical)
+    }
+
+    fn drain_detected_faults(&mut self) -> Vec<DetectedFault> {
+        // Detections are consumed internally by recovery; report none.
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmt_workloads::{Benchmark, Workload};
+
+    #[test]
+    fn checkpoints_are_taken_fault_free() {
+        let w = Workload::generate(Benchmark::M88ksim, 1);
+        let mut dev = RecoverableSrt::new(
+            SrtOptions::default(),
+            vec![LogicalThread::from(&w)],
+            5_000,
+        );
+        assert!(dev.run_until_committed(20_000, 20_000_000));
+        assert!(dev.checkpoints_taken() >= 3, "{}", dev.checkpoints_taken());
+        assert_eq!(dev.recoveries(), 0);
+    }
+
+    #[test]
+    fn recovery_restores_forward_progress_after_corruption() {
+        let w = Workload::generate(Benchmark::Compress, 1);
+        let mut dev = RecoverableSrt::new(
+            SrtOptions::default(),
+            vec![LogicalThread::from(&w)],
+            4_000,
+        );
+        assert!(dev.run_until_committed(6_000, 20_000_000));
+        // Strike the store path: detection then recovery.
+        dev.device_mut().core_mut().arm_sq_strike(0, 1 << 13);
+        assert!(dev.run_until_committed(30_000, 60_000_000));
+        assert_eq!(dev.recoveries(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be non-zero")]
+    fn zero_interval_panics() {
+        let w = Workload::generate(Benchmark::Li, 1);
+        RecoverableSrt::new(SrtOptions::default(), vec![LogicalThread::from(&w)], 0);
+    }
+}

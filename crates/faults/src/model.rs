@@ -1,0 +1,85 @@
+//! Fault models and outcome classification.
+
+use std::fmt;
+
+/// What kind of fault an injection plants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A single bit flip in a random physical register (the classic
+    /// particle-strike model).
+    TransientReg,
+    /// A single bit flip in a random store-queue data entry.
+    TransientSq,
+    /// A single bit flip in a random load value queue entry — demonstrates
+    /// why the paper requires ECC on the LVQ (§2.1).
+    TransientLvq,
+    /// A stuck-at bit on one functional unit's output — the permanent
+    /// fault model preferential space redundancy targets (§4.5).
+    PermanentFu,
+}
+
+impl FaultKind {
+    /// All fault kinds.
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::TransientReg,
+        FaultKind::TransientSq,
+        FaultKind::TransientLvq,
+        FaultKind::PermanentFu,
+    ];
+
+    /// A short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::TransientReg => "transient-reg",
+            FaultKind::TransientSq => "transient-sq",
+            FaultKind::TransientLvq => "transient-lvq",
+            FaultKind::PermanentFu => "permanent-fu",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The classified outcome of one injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Detected by an RMT mechanism after this many cycles.
+    Detected {
+        /// Cycles from injection to first detection.
+        latency: u64,
+    },
+    /// No architectural effect within the window.
+    Masked,
+    /// Escaped the sphere undetected: silent data corruption.
+    Silent,
+}
+
+impl FaultOutcome {
+    /// Whether the outcome is a detection.
+    pub fn is_detected(self) -> bool {
+        matches!(self, FaultOutcome::Detected { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(FaultKind::TransientReg.name(), "transient-reg");
+        assert_eq!(FaultKind::PermanentFu.to_string(), "permanent-fu");
+        assert_eq!(FaultKind::ALL.len(), 4);
+    }
+
+    #[test]
+    fn outcome_predicates() {
+        assert!(FaultOutcome::Detected { latency: 5 }.is_detected());
+        assert!(!FaultOutcome::Masked.is_detected());
+        assert!(!FaultOutcome::Silent.is_detected());
+    }
+}

@@ -1,0 +1,11 @@
+use rmt_faults::{run_base_campaign, CampaignConfig, FaultKind};
+use rmt_workloads::{Benchmark, Workload};
+
+#[test]
+#[ignore]
+fn dbg() {
+    let w = Workload::generate(Benchmark::Compress, 1);
+    let cfg = CampaignConfig { injections: 6, warmup_commits: 800, window_commits: 6_000, seed: 5 };
+    let r = run_base_campaign(rmt_pipeline::CoreConfig::base(), &w, FaultKind::TransientSq, cfg);
+    println!("detected={} masked={} silent={}", r.detected, r.masked, r.silent);
+}

@@ -1,0 +1,369 @@
+//! A small assembler: parses the textual syntax [`crate::disasm`] emits —
+//! plus labels — back into a [`Program`].
+//!
+//! Grammar (one instruction or label per line; `;` and `#` start comments):
+//!
+//! ```text
+//! loop:                 ; a label
+//!   addi  r1, r0, 5
+//!   lw    r2, 8(r1)
+//!   sw    r2, 16(r1)
+//!   beq   r1, r2, loop  ; control targets: a label or a 0x/decimal PC
+//!   jal   r63, loop
+//!   halt
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use rmt_isa::asm::assemble;
+//! use rmt_isa::interp::Interpreter;
+//! use rmt_isa::MemImage;
+//!
+//! let p = assemble(r"
+//!     addi r1, r0, 0
+//!     addi r2, r0, 4
+//! top:
+//!     addi r1, r1, 1
+//!     blt  r1, r2, top
+//!     halt
+//! ").unwrap();
+//! let mut i = Interpreter::new(&p, MemImage::new());
+//! i.run(100).unwrap();
+//! assert_eq!(i.state().reg(rmt_isa::Reg::new(1)), 4);
+//! ```
+
+use crate::inst::{Inst, Op, Reg};
+use crate::program::{Program, ProgramBuilder};
+use std::fmt;
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let idx = tok
+        .strip_prefix('r')
+        .and_then(|n| n.parse::<u8>().ok())
+        .filter(|&n| (n as usize) < crate::inst::NUM_ARCH_REGS)
+        .ok_or_else(|| err(line, format!("bad register `{tok}`")))?;
+    Ok(Reg::new(idx))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| err(line, format!("bad immediate `{tok}`")))?;
+    Ok(if neg { -value } else { value })
+}
+
+/// `imm(reg)` displacement operand.
+fn parse_disp(tok: &str, line: usize) -> Result<(Reg, i64), AsmError> {
+    let open = tok
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected `imm(reg)`, got `{tok}`")))?;
+    let close = tok
+        .strip_suffix(')')
+        .ok_or_else(|| err(line, format!("missing `)` in `{tok}`")))?;
+    let imm = parse_imm(&tok[..open], line)?;
+    let reg = parse_reg(&close[open + 1..], line)?;
+    Ok((reg, imm))
+}
+
+/// Control-flow target: a literal PC or a label name.
+enum Target {
+    Pc(i64),
+    Label(String),
+}
+
+fn parse_target(tok: &str, line: usize) -> Result<Target, AsmError> {
+    if tok.starts_with(|c: char| c.is_ascii_digit()) || tok.starts_with('-') {
+        Ok(Target::Pc(parse_imm(tok, line)?))
+    } else if tok.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') && !tok.is_empty() {
+        Ok(Target::Label(tok.to_string()))
+    } else {
+        Err(err(line, format!("bad branch target `{tok}`")))
+    }
+}
+
+/// Assembles `source` into a program.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the offending line for syntax errors,
+/// unknown mnemonics, bad operands, and undefined or duplicate labels.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut b = ProgramBuilder::new();
+    let mut last_line = 0;
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx + 1;
+        last_line = line;
+        let text = raw.split([';', '#']).next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(label) = text.strip_suffix(':') {
+            let label = label.trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                return Err(err(line, format!("bad label `{label}`")));
+            }
+            b.label(label);
+            continue;
+        }
+        let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r.trim()),
+            None => (text, ""),
+        };
+        let ops: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        let want = |n: usize| -> Result<(), AsmError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(err(
+                    line,
+                    format!("`{mnemonic}` takes {n} operand(s), got {}", ops.len()),
+                ))
+            }
+        };
+        match mnemonic {
+            // Three-register ALU forms.
+            "add" | "sub" | "mul" | "div" | "slt" | "and" | "or" | "xor" | "sll" | "srl"
+            | "fadd" | "fsub" | "fmul" | "fdiv" => {
+                want(3)?;
+                let rd = parse_reg(ops[0], line)?;
+                let rs1 = parse_reg(ops[1], line)?;
+                let rs2 = parse_reg(ops[2], line)?;
+                let op = match mnemonic {
+                    "add" => Op::Add,
+                    "sub" => Op::Sub,
+                    "mul" => Op::Mul,
+                    "div" => Op::Div,
+                    "slt" => Op::Slt,
+                    "and" => Op::And,
+                    "or" => Op::Or,
+                    "xor" => Op::Xor,
+                    "sll" => Op::Sll,
+                    "srl" => Op::Srl,
+                    "fadd" => Op::Fadd,
+                    "fsub" => Op::Fsub,
+                    "fmul" => Op::Fmul,
+                    _ => Op::Fdiv,
+                };
+                b.push(Inst::new(op, rd, rs1, rs2, 0));
+            }
+            // Register-immediate forms.
+            "addi" | "slti" | "andi" | "ori" | "xori" | "slli" | "srli" => {
+                want(3)?;
+                let rd = parse_reg(ops[0], line)?;
+                let rs1 = parse_reg(ops[1], line)?;
+                let imm = parse_imm(ops[2], line)?;
+                let op = match mnemonic {
+                    "addi" => Op::Addi,
+                    "slti" => Op::Slti,
+                    "andi" => Op::Andi,
+                    "ori" => Op::Ori,
+                    "xori" => Op::Xori,
+                    "slli" => Op::Slli,
+                    _ => Op::Srli,
+                };
+                b.push(Inst::new(op, rd, rs1, Reg::ZERO, imm));
+            }
+            "lui" => {
+                want(2)?;
+                b.push(Inst::lui(parse_reg(ops[0], line)?, parse_imm(ops[1], line)?));
+            }
+            // Memory forms: `reg, imm(reg)`.
+            "lw" | "lb" => {
+                want(2)?;
+                let rd = parse_reg(ops[0], line)?;
+                let (base, imm) = parse_disp(ops[1], line)?;
+                b.push(if mnemonic == "lw" {
+                    Inst::lw(rd, base, imm)
+                } else {
+                    Inst::lb(rd, base, imm)
+                });
+            }
+            "sw" | "sb" => {
+                want(2)?;
+                let rs2 = parse_reg(ops[0], line)?;
+                let (base, imm) = parse_disp(ops[1], line)?;
+                b.push(if mnemonic == "sw" {
+                    Inst::sw(rs2, base, imm)
+                } else {
+                    Inst::sb(rs2, base, imm)
+                });
+            }
+            // Branches: `rs1, rs2, target`.
+            "beq" | "bne" | "blt" | "bge" => {
+                want(3)?;
+                let rs1 = parse_reg(ops[0], line)?;
+                let rs2 = parse_reg(ops[1], line)?;
+                let op = match mnemonic {
+                    "beq" => Op::Beq,
+                    "bne" => Op::Bne,
+                    "blt" => Op::Blt,
+                    _ => Op::Bge,
+                };
+                match parse_target(ops[2], line)? {
+                    Target::Pc(pc) => b.push(Inst::new(op, Reg::ZERO, rs1, rs2, pc)),
+                    Target::Label(l) => b.push_branch(Inst::new(op, Reg::ZERO, rs1, rs2, 0), l),
+                }
+            }
+            "j" => {
+                want(1)?;
+                match parse_target(ops[0], line)? {
+                    Target::Pc(pc) => b.push(Inst::j(pc)),
+                    Target::Label(l) => b.push_branch(Inst::j(0), l),
+                }
+            }
+            "jal" => {
+                want(2)?;
+                let rd = parse_reg(ops[0], line)?;
+                match parse_target(ops[1], line)? {
+                    Target::Pc(pc) => b.push(Inst::jal(rd, pc)),
+                    Target::Label(l) => b.push_branch(Inst::jal(rd, 0), l),
+                }
+            }
+            "jalr" => {
+                want(2)?;
+                b.push(Inst::jalr(parse_reg(ops[0], line)?, parse_reg(ops[1], line)?));
+            }
+            "membar" => {
+                want(0)?;
+                b.push(Inst::membar());
+            }
+            "nop" => {
+                want(0)?;
+                b.push(Inst::nop());
+            }
+            "halt" => {
+                want(0)?;
+                b.push(Inst::halt());
+            }
+            other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+        }
+    }
+    b.build().map_err(|e| err(last_line, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disasm;
+    use crate::interp::Interpreter;
+    use crate::mem_image::MemImage;
+
+    #[test]
+    fn assembles_and_runs_a_loop() {
+        let p = assemble(
+            r"
+            addi r1, r0, 0
+            addi r2, r0, 10
+        loop:
+            addi r1, r1, 1
+            blt  r1, r2, loop
+            halt
+        ",
+        )
+        .unwrap();
+        let mut i = Interpreter::new(&p, MemImage::new());
+        i.run(1_000).unwrap();
+        assert_eq!(i.state().reg(Reg::new(1)), 10);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble("; a comment\n\n  nop # trailing\nhalt\n").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn memory_displacement_forms() {
+        let p = assemble("lw r1, 8(r2)\nsw r3, -16(r4)\nlb r5, 0x10(r6)\nsb r7, 0(r8)").unwrap();
+        let i0 = p.fetch(0).unwrap();
+        assert_eq!((i0.op, i0.rd, i0.rs1, i0.imm), (Op::Lw, Reg::new(1), Reg::new(2), 8));
+        let i1 = p.fetch(4).unwrap();
+        assert_eq!((i1.op, i1.rs2, i1.rs1, i1.imm), (Op::Sw, Reg::new(3), Reg::new(4), -16));
+        assert_eq!(p.fetch(8).unwrap().imm, 16);
+    }
+
+    #[test]
+    fn numeric_and_label_targets() {
+        let p = assemble("j 0x10\nnop\nnop\nnop\ntop:\nj top").unwrap();
+        assert_eq!(p.fetch(0).unwrap().imm, 16);
+        // `top` is PC 16 (after four instructions); the final jump sits there
+        // and targets itself.
+        assert_eq!(p.fetch(16).unwrap().imm, 16);
+    }
+
+    #[test]
+    fn error_reporting_names_the_line() {
+        let e = assemble("nop\nbogus r1, r2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+        let e = assemble("addi r1, r0\n").unwrap_err();
+        assert!(e.message.contains("3 operand"));
+        let e = assemble("add r64, r0, r0\n").unwrap_err();
+        assert!(e.message.contains("bad register"));
+        let e = assemble("j missing\n").unwrap_err();
+        assert!(e.message.contains("undefined label"));
+    }
+
+    #[test]
+    fn disasm_output_reassembles_for_non_control_ops() {
+        // Round trip every non-control opcode through disasm -> asm.
+        use crate::inst::ALL_OPS;
+        for &op in ALL_OPS {
+            if op.is_control() {
+                continue; // control ops print absolute targets; tested below
+            }
+            let inst = Inst::new(op, Reg::new(3), Reg::new(4), Reg::new(5), 8);
+            let text = disasm::disassemble(&inst);
+            let p = assemble(&text).unwrap_or_else(|e| panic!("{op:?}: {e}\n{text}"));
+            let got = p.fetch(0).unwrap();
+            assert_eq!(got.op, op, "{text}");
+        }
+    }
+
+    #[test]
+    fn control_ops_roundtrip_with_numeric_targets() {
+        for text in ["beq   r1, r2, 0x40", "j     0x100", "jal   r63, 0x8"] {
+            let p = assemble(text).unwrap();
+            let inst = p.fetch(0).unwrap();
+            let again = disasm::disassemble(inst);
+            assert_eq!(again.split_whitespace().collect::<Vec<_>>(),
+                       text.split_whitespace().collect::<Vec<_>>());
+        }
+    }
+}

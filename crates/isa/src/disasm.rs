@@ -1,0 +1,124 @@
+//! Disassembly: conventional assembly rendering of instructions and whole
+//! programs, used by debugging tools and the examples.
+
+use crate::inst::{Inst, Op};
+use crate::program::Program;
+use std::fmt::Write as _;
+
+/// Renders one instruction in conventional assembly syntax.
+///
+/// # Examples
+///
+/// ```
+/// use rmt_isa::{disasm, Inst, Reg};
+///
+/// assert_eq!(disasm::disassemble(&Inst::addi(Reg::new(1), Reg::ZERO, 7)), "addi  r1, r0, 7");
+/// assert_eq!(disasm::disassemble(&Inst::lw(Reg::new(2), Reg::new(3), 16)), "lw    r2, 16(r3)");
+/// assert_eq!(disasm::disassemble(&Inst::beq(Reg::new(1), Reg::new(2), 64)), "beq   r1, r2, 0x40");
+/// ```
+pub fn disassemble(inst: &Inst) -> String {
+    let (rd, rs1, rs2, imm) = (inst.rd, inst.rs1, inst.rs2, inst.imm);
+    let m = |name: &str| format!("{name:<5}");
+    use Op::*;
+    match inst.op {
+        Add | Sub | Mul | Div | Slt | And | Or | Xor | Sll | Srl | Fadd | Fsub | Fmul | Fdiv => {
+            let name = format!("{:?}", inst.op).to_lowercase();
+            format!("{} {rd}, {rs1}, {rs2}", m(&name))
+        }
+        Addi | Slti | Andi | Ori | Xori | Slli | Srli => {
+            let name = format!("{:?}", inst.op).to_lowercase();
+            format!("{} {rd}, {rs1}, {imm}", m(&name))
+        }
+        Lui => format!("{} {rd}, {imm}", m("lui")),
+        Lw => format!("{} {rd}, {imm}({rs1})", m("lw")),
+        Lb => format!("{} {rd}, {imm}({rs1})", m("lb")),
+        Sw => format!("{} {rs2}, {imm}({rs1})", m("sw")),
+        Sb => format!("{} {rs2}, {imm}({rs1})", m("sb")),
+        MemBar => "membar".to_string(),
+        Beq | Bne | Blt | Bge => {
+            let name = format!("{:?}", inst.op).to_lowercase();
+            format!("{} {rs1}, {rs2}, {imm:#x}", m(&name))
+        }
+        J => format!("{} {imm:#x}", m("j")),
+        Jal => format!("{} {rd}, {imm:#x}", m("jal")),
+        Jalr => format!("{} {rd}, {rs1}", m("jalr")),
+        Nop => "nop".to_string(),
+        Halt => "halt".to_string(),
+    }
+}
+
+/// Renders a whole program as an address-annotated listing.
+///
+/// # Examples
+///
+/// ```
+/// use rmt_isa::{disasm, Inst, Program, Reg};
+///
+/// let p = Program::from_insts(vec![Inst::nop(), Inst::halt()]);
+/// let text = disasm::listing(&p);
+/// assert!(text.contains("0x0000:"));
+/// assert!(text.contains("halt"));
+/// ```
+pub fn listing(program: &Program) -> String {
+    let mut out = String::new();
+    for (i, inst) in program.insts().iter().enumerate() {
+        let _ = writeln!(out, "{:#06x}: {}", i * 4, disassemble(inst));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Reg, ALL_OPS};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn register_forms() {
+        assert_eq!(disassemble(&Inst::add(r(1), r(2), r(3))), "add   r1, r2, r3");
+        assert_eq!(disassemble(&Inst::fmul(r(9), r(8), r(7))), "fmul  r9, r8, r7");
+    }
+
+    #[test]
+    fn immediate_forms() {
+        assert_eq!(disassemble(&Inst::addi(r(1), r(2), -5)), "addi  r1, r2, -5");
+        assert_eq!(disassemble(&Inst::lui(r(4), 16)), "lui   r4, 16");
+        assert_eq!(disassemble(&Inst::slli(r(1), r(1), 3)), "slli  r1, r1, 3");
+    }
+
+    #[test]
+    fn memory_forms_use_displacement_syntax() {
+        assert_eq!(disassemble(&Inst::lw(r(1), r(2), 8)), "lw    r1, 8(r2)");
+        assert_eq!(disassemble(&Inst::sb(r(3), r(4), -1)), "sb    r3, -1(r4)");
+    }
+
+    #[test]
+    fn control_forms_use_hex_targets() {
+        assert_eq!(disassemble(&Inst::j(256)), "j     0x100");
+        assert_eq!(disassemble(&Inst::jal(Reg::RA, 64)), "jal   r63, 0x40");
+        assert_eq!(disassemble(&Inst::jalr(Reg::ZERO, Reg::RA)), "jalr  r0, r63");
+        assert_eq!(disassemble(&Inst::blt(r(1), r(2), 16)), "blt   r1, r2, 0x10");
+    }
+
+    #[test]
+    fn every_opcode_disassembles_nonempty() {
+        for &op in ALL_OPS {
+            let inst = Inst::new(op, r(1), r(2), r(3), 4);
+            let text = disassemble(&inst);
+            assert!(!text.is_empty(), "{op:?}");
+            assert!(!text.contains("Debug"), "{op:?} fell through to Debug");
+        }
+    }
+
+    #[test]
+    fn listing_is_line_per_instruction() {
+        let p = Program::from_insts(vec![Inst::nop(); 5]);
+        let text = listing(&p);
+        assert_eq!(text.lines().count(), 5);
+        assert!(text.starts_with("0x0000: nop"));
+        assert!(text.contains("0x0010: nop"));
+    }
+}

@@ -1,0 +1,30 @@
+//! Memory-system timing models for the RMT simulator.
+//!
+//! The paper's sphere of replication *excludes* the L1 caches and everything
+//! below them (§2), so this crate models timing only; architectural values
+//! live in `rmt_isa::MemImage`. That separation lets the pipeline ask "how
+//! long does this access take" independently from "what value does it see".
+//!
+//! Components (sizes from the paper's Table 1):
+//!
+//! * [`cache`] — set-associative caches with LRU replacement and optional
+//!   way prediction (64 KB 2-way L1I/L1D, 3 MB 8-way L2, 64-byte blocks).
+//! * [`mshr`] — outstanding-miss tracking so independent misses overlap
+//!   (memory-level parallelism) and duplicate misses merge.
+//! * [`merge`] — the coalescing merge buffer between the store queue and the
+//!   data cache.
+//! * [`hierarchy`] — the composed L1 → L2 → DRAM latency model, one instance
+//!   per chip with per-core L1s.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod hierarchy;
+pub mod merge;
+pub mod mshr;
+
+pub use cache::{Cache, CacheConfig};
+pub use hierarchy::{HierarchyConfig, MemoryHierarchy};
+pub use merge::MergeBuffer;
+pub use mshr::MissTracker;

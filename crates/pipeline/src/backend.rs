@@ -1,0 +1,869 @@
+//! PBOX (rename/dispatch), QBOX (issue + completion unit), store release
+//! and squash recovery.
+//!
+//! Functional execution happens at issue time ("execute-at-issue"): values
+//! live in the physical register file, so by the time an instruction's
+//! operands are ready its producers have already computed theirs.
+//! Mispredicted branches and memory-order violations schedule a squash for
+//! their *resolution* cycle, which is what gives recovery its realistic
+//! latency.
+
+use crate::config::{ThreadId, ThreadRole};
+use crate::core::{Core, DetectedFault, DynInst, FaultDetector, InstState, IqEntry, SquashEvent};
+use crate::env::{CoreEnv, LvqResult, RetireInfo, RetireKind, StoreRelease};
+use crate::lsq::ForwardResult;
+use crate::regs::RegFile;
+use crate::trace::TraceKind;
+use rmt_isa::exec::{execute, ExecOutcome};
+use rmt_isa::inst::{FuClass, Op};
+use rmt_mem::MemoryHierarchy;
+
+/// Functional-unit class index for per-cycle accounting.
+fn class_idx(c: FuClass) -> usize {
+    match c {
+        FuClass::Int => 0,
+        FuClass::Logic => 1,
+        FuClass::Mem => 2,
+        FuClass::Fp => 3,
+    }
+}
+
+impl Core {
+    // ==================================================================
+    // PBOX: rename / dispatch
+    // ==================================================================
+
+    pub(crate) fn rename(&mut self, now: u64) {
+        let n = self.threads.len();
+        let Some(tid) = (0..n)
+            .map(|off| (self.map_rr + off) % n)
+            .find(|&tid| {
+                let t = &self.threads[tid];
+                t.active
+                    && !t.halted
+                    && matches!(t.rmb.front(), Some((c, consumed)) if c.ready_at <= now && *consumed < c.len)
+            })
+        else {
+            return;
+        };
+        self.map_rr = (tid + 1) % n;
+        self.rename_thread(now, tid);
+    }
+
+    /// IQ capacity available to `tid` under the per-thread reservation rule
+    /// (§4.3): a thread may not squeeze other threads below their reserved
+    /// slots.
+    fn iq_admission(&self, tid: ThreadId) -> bool {
+        let total_live = self.iq.iter().filter(|e| !e.dead).count();
+        if total_live >= self.cfg.iq_size {
+            return false;
+        }
+        let mut counts = vec![0usize; self.threads.len()];
+        for e in self.iq.iter().filter(|e| !e.dead) {
+            counts[e.tid] += 1;
+        }
+        let reserved_for_others: usize = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| *i != tid && t.active && !t.halted)
+            .map(|(i, _)| self.cfg.iq_reserve_per_thread.saturating_sub(counts[i]))
+            .sum();
+        total_live < self.cfg.iq_size - reserved_for_others.min(self.cfg.iq_size - 1)
+            || counts[tid] < self.cfg.iq_reserve_per_thread
+    }
+
+    fn rename_thread(&mut self, now: u64, tid: ThreadId) {
+        let program = self.threads[tid]
+            .program
+            .as_ref()
+            .expect("active thread has a program")
+            .clone();
+        let role = self.threads[tid].role;
+        let trailing = role.is_trailing();
+        let mut mapped = 0usize;
+        loop {
+            if mapped >= self.cfg.chunk_size {
+                break;
+            }
+            let (chunk, consumed) = match self.threads[tid].rmb.front() {
+                Some((c, k)) if *k < c.len => (c.clone(), *k),
+                _ => break,
+            };
+            let pc = chunk.start_pc + 4 * consumed as u64;
+            let Some(&inst) = program.fetch(pc) else {
+                // Wrong-path chunk ran past the program; drop the remainder.
+                self.threads[tid].rmb.pop_front();
+                break;
+            };
+            // ---- resource checks ----
+            if self.threads[tid].rob.len() >= self.cfg.rob_per_thread {
+                self.stats.inc("stall_rob_full");
+                break;
+            }
+            if !self.iq_admission(tid) {
+                self.stats.inc("stall_iq_full");
+                break;
+            }
+            if inst.writes_reg() && self.regfile.free_count() == 0 {
+                self.stats.inc("stall_no_phys_regs");
+                break;
+            }
+            if inst.op.is_load() && !trailing && !self.threads[tid].lq.has_space() {
+                self.stats.inc("stall_lq_full");
+                break;
+            }
+            if inst.op.is_store() && !self.threads[tid].sq.has_space() {
+                self.stats.inc("stall_sq_full");
+                break;
+            }
+            // ---- queue-half selection ----
+            let pos_half = (consumed & 1) as u8;
+            let mut half = if trailing {
+                match chunk.half_hints {
+                    Some(hints) if self.cfg.preferential_space_redundancy => {
+                        1 - (hints[consumed.min(7)] & 1)
+                    }
+                    _ => pos_half,
+                }
+            } else {
+                pos_half
+            };
+            let half_cap = self.cfg.iq_size / 2;
+            let half_live = |c: &Core, h: u8| {
+                c.iq.iter().filter(|e| !e.dead && e.half == h).count()
+            };
+            if half_live(self, half) >= half_cap {
+                let other = 1 - half;
+                if half_live(self, other) >= half_cap {
+                    self.stats.inc("stall_iq_half_full");
+                    break;
+                }
+                if trailing && self.cfg.preferential_space_redundancy {
+                    self.stats.inc("psr_fallback_same_half");
+                }
+                half = other;
+            }
+            // ---- allocate ----
+            let t = &mut self.threads[tid];
+            let seq = t.next_seq;
+            t.next_seq += 1;
+            let uid = self.uid_counter;
+            self.uid_counter += 1;
+            let (s1, s2) = inst.sources();
+            let prs1 = s1.map_or(RegFile::ZERO, |r| t.rename_map.get(r));
+            let prs2 = s2.map_or(RegFile::ZERO, |r| t.rename_map.get(r));
+            let (prd, old_prd) = if inst.writes_reg() {
+                let p = self.regfile.alloc().expect("checked free list");
+                let old = t.rename_map.set(inst.rd, p);
+                (Some(p), old)
+            } else {
+                (None, RegFile::ZERO)
+            };
+            let tag = if inst.op.is_load() {
+                let tag = t.next_load_tag;
+                t.next_load_tag += 1;
+                if !trailing {
+                    t.lq.alloc(seq, pc);
+                }
+                tag
+            } else if inst.op.is_store() {
+                let tag = t.next_store_tag;
+                t.next_store_tag += 1;
+                t.sq.alloc(seq, tag, pc, now);
+                tag
+            } else {
+                0
+            };
+            let pred_next = if consumed == chunk.len - 1 {
+                chunk.pred_next
+            } else {
+                pc + 4
+            };
+            t.rob.push_back(DynInst {
+                seq,
+                uid,
+                pc,
+                inst,
+                pred_next,
+                actual_next: pc + 4,
+                prd,
+                old_prd,
+                prs1,
+                prs2,
+                half,
+                fu_id: 0,
+                state: InstState::InQ,
+                done_at: u64::MAX,
+                mem_addr: 0,
+                mem_bytes: 0,
+                mem_value: 0,
+                tag,
+            });
+            self.iq.push(IqEntry {
+                tid,
+                seq,
+                uid,
+                half,
+                min_issue: now + self.cfg.pbox_latency + self.cfg.qbox_latency,
+                dead: false,
+            });
+            // consume from the chunk
+            if let Some((c, k)) = self.threads[tid].rmb.front_mut() {
+                *k += 1;
+                if *k >= c.len {
+                    self.threads[tid].rmb.pop_front();
+                }
+            }
+            mapped += 1;
+            self.stats.inc("renamed");
+            self.trace(now, tid, pc, TraceKind::Rename);
+        }
+    }
+
+    // ==================================================================
+    // QBOX: issue + execute
+    // ==================================================================
+
+    pub(crate) fn issue(&mut self, now: u64, hier: &mut MemoryHierarchy, env: &mut dyn CoreEnv) {
+        let per_half_limit = [
+            self.cfg.fu_int / 2,
+            self.cfg.fu_logic / 2,
+            self.cfg.fu_mem / 2,
+            self.cfg.fu_fp / 2,
+        ];
+        let mut used = [[0usize; 4]; 2];
+        let mut loads_issued = 0usize;
+        let mut stores_issued = 0usize;
+        let mut total = 0usize;
+        let per_half_issue = self.cfg.issue_width / 2;
+        let mut half_issued = [0usize; 2];
+
+        for i in 0..self.iq.len() {
+            if total >= self.cfg.issue_width {
+                break;
+            }
+            let entry = self.iq[i];
+            if entry.dead || entry.min_issue > now {
+                continue;
+            }
+            let h = entry.half as usize;
+            if half_issued[h] >= per_half_issue {
+                continue;
+            }
+            // Validate the instruction is still live.
+            let Some(d) = self.threads[entry.tid].rob_get(entry.seq) else {
+                self.iq[i].dead = true;
+                continue;
+            };
+            if d.uid != entry.uid || d.state != InstState::InQ {
+                self.iq[i].dead = true;
+                continue;
+            }
+            let (pc, inst, prs1, prs2, seq, uid, tag) =
+                (d.pc, d.inst, d.prs1, d.prs2, d.seq, d.uid, d.tag);
+            let ci = class_idx(inst.op.fu_class());
+            if used[h][ci] >= per_half_limit[ci].max(1) {
+                continue;
+            }
+            if inst.op.is_load() && loads_issued >= self.cfg.max_loads_per_cycle {
+                continue;
+            }
+            if inst.op.is_store() && stores_issued >= self.cfg.max_stores_per_cycle {
+                continue;
+            }
+            let bypass = self.cfg.rbox_latency;
+            if !self.regfile.ready(prs1, now, bypass) {
+                continue;
+            }
+            if inst.op.is_store() {
+                // Stores issue on the *address* operand; the data arrives at
+                // the store queue once its producer has executed (§3.4:
+                // "store data arrives at the store queue two cycles after
+                // the store address").
+                if !self.regfile.written(prs2) {
+                    continue;
+                }
+            } else if !self.regfile.ready(prs2, now, bypass) {
+                continue;
+            }
+            // Functional-unit id (for PSR statistics and permanent faults).
+            let class_total = [
+                self.cfg.fu_int,
+                self.cfg.fu_logic,
+                self.cfg.fu_mem,
+                self.cfg.fu_fp,
+            ];
+            let class_base: usize = class_total[..ci].iter().sum();
+            let fu_id = (class_base + h * (class_total[ci] / 2) + used[h][ci]) as u8;
+
+            let issued = self.try_issue_one(
+                now, entry.tid, seq, uid, pc, inst, prs1, prs2, tag, h as u8, fu_id, hier, env,
+            );
+            if issued {
+                used[h][ci] += 1;
+                half_issued[h] += 1;
+                total += 1;
+                if inst.op.is_load() {
+                    loads_issued += 1;
+                }
+                if inst.op.is_store() {
+                    stores_issued += 1;
+                }
+                self.iq[i].dead = true;
+                self.issued_total += 1;
+            }
+        }
+        // Compact the queue.
+        self.iq.retain(|e| !e.dead);
+    }
+
+    /// Attempts to issue one instruction; returns whether it issued.
+    #[allow(clippy::too_many_arguments)]
+    fn try_issue_one(
+        &mut self,
+        now: u64,
+        tid: ThreadId,
+        seq: u64,
+        uid: u64,
+        pc: u64,
+        inst: rmt_isa::Inst,
+        prs1: crate::regs::PhysReg,
+        prs2: crate::regs::PhysReg,
+        tag: u64,
+        _half: u8,
+        fu_id: u8,
+        hier: &mut MemoryHierarchy,
+        env: &mut dyn CoreEnv,
+    ) -> bool {
+        let role = self.threads[tid].role;
+        let trailing = role.is_trailing();
+        let a = self.regfile.value(prs1);
+        let b = self.regfile.value(prs2);
+        let outcome = execute(&inst, pc, a, b);
+        let rbox = self.cfg.rbox_latency;
+        let mbox = self.cfg.mbox_latency;
+
+        let (done_at, result, actual_next, mem): (u64, Option<u64>, u64, Option<(u64, u64, u64)>) =
+            match outcome {
+                ExecOutcome::Value(v) => {
+                    let v = self.fault_state.apply(fu_id, v);
+                    (now + rbox + inst.op.latency() as u64, Some(v), pc + 4, None)
+                }
+                ExecOutcome::Control {
+                    next_pc, link, ..
+                } => (now + rbox + 1, link, next_pc, None),
+                ExecOutcome::Nop | ExecOutcome::MemBar | ExecOutcome::Halt => {
+                    (now + rbox + 1, None, pc + 4, None)
+                }
+                ExecOutcome::Load { addr, bytes } => {
+                    let addr = self.fault_state.apply(fu_id, addr);
+                    if trailing {
+                        match env.lvq_lookup(self.core_id, tid, now, role.pair().unwrap(), tag) {
+                            LvqResult::NotReady => {
+                                self.stats.inc("lvq_not_ready");
+                                return false;
+                            }
+                            LvqResult::Entry {
+                                addr: lead_addr,
+                                value,
+                            } => {
+                                if lead_addr != addr {
+                                    self.detected_faults.push(DetectedFault {
+                                        cycle: now,
+                                        tid,
+                                        kind: FaultDetector::LvqAddressMismatch,
+                                    });
+                                }
+                                // The entry is consumed by the environment
+                                // when this load retires (so squashed
+                                // wrong-path lookups, possible in the non-
+                                // LPQ ablation, never lose entries).
+                                (now + rbox + mbox, Some(value), pc + 4, Some((addr, bytes, value)))
+                            }
+                        }
+                    } else if addr < self.cfg.uncached_below {
+                        // Uncached (device) load: non-speculative — issues
+                        // only from the head of the reorder buffer with the
+                        // store queue drained — and bypasses the cache
+                        // hierarchy entirely.
+                        if self.threads[tid].rob_base != seq
+                            || self.threads[tid].sq.has_older_than(seq)
+                        {
+                            self.stats.inc("uncached_load_waits");
+                            // The §4.4.2 deadlock shape again: a leading
+                            // store that cannot drain before verification
+                            // blocks the uncached load forever unless the
+                            // open LPQ chunk is forced shut.
+                            if role.is_leading() {
+                                let blocked = self.threads[tid]
+                                    .sq
+                                    .head()
+                                    .map(|e| e.seq < seq && e.retired && !e.verified)
+                                    .unwrap_or(false);
+                                if blocked {
+                                    env.lead_retire_blocked(
+                                        self.core_id,
+                                        tid,
+                                        now,
+                                        role.pair().unwrap(),
+                                    );
+                                }
+                            }
+                            return false;
+                        }
+                        let v = env.read_mem(self.core_id, tid, addr, bytes);
+                        self.threads[tid].lq.fill(seq, addr, bytes);
+                        self.stats.inc("uncached_loads");
+                        let lat = hier.config().mem_latency;
+                        (now + rbox + mbox + lat, Some(v), pc + 4, Some((addr, bytes, v)))
+                    } else {
+                        match self.threads[tid].sq.forward(addr, bytes, seq) {
+                            ForwardResult::Partial { store_seq } => {
+                                self.stats.inc("partial_forward_stalls");
+                                // §4.4.2: if the blocking store already
+                                // retired but cannot drain before its
+                                // trailing copy is fetched, force the open
+                                // LPQ chunk to terminate.
+                                if role.is_leading() {
+                                    let blocked = self.threads[tid]
+                                        .sq
+                                        .iter()
+                                        .find(|e| e.seq == store_seq)
+                                        .map(|e| e.retired && !e.verified)
+                                        .unwrap_or(false);
+                                    if blocked {
+                                        env.lead_retire_blocked(
+                                            self.core_id,
+                                            tid,
+                                            now,
+                                            role.pair().unwrap(),
+                                        );
+                                    }
+                                }
+                                return false;
+                            }
+                            ForwardResult::Full(v) => {
+                                self.stats.inc("store_forwards");
+                                self.threads[tid].lq.fill(seq, addr, bytes);
+                                (now + rbox + mbox, Some(v), pc + 4, Some((addr, bytes, v)))
+                            }
+                            ForwardResult::None => {
+                                let predicted_dependent = self.threads[tid]
+                                    .sq
+                                    .unknown_addr_older(seq)
+                                    .any(|e| self.store_sets.must_wait(pc, e.pc));
+                                if predicted_dependent {
+                                    self.stats.inc("store_set_waits");
+                                    return false;
+                                }
+                                let v = env.read_mem(self.core_id, tid, addr, bytes);
+                                let timing = hier.dload(self.core_id, addr, now);
+                                let extra = timing.ready_at.saturating_sub(now);
+                                if !timing.l1_hit {
+                                    self.stats.inc("dcache_misses");
+                                }
+                                self.threads[tid].lq.fill(seq, addr, bytes);
+                                (now + rbox + mbox + extra, Some(v), pc + 4, Some((addr, bytes, v)))
+                            }
+                        }
+                    }
+                }
+                ExecOutcome::Store { addr, value, bytes } => {
+                    let addr = self.fault_state.apply(fu_id, addr);
+                    let value = self.fault_state.apply(fu_id, value);
+                    let done = now + rbox + 1;
+                    self.threads[tid].sq.fill(seq, addr, value, bytes);
+                    if trailing {
+                        env.trailing_store_executed(
+                            self.core_id,
+                            tid,
+                            done,
+                            role.pair().unwrap(),
+                            tag,
+                            addr,
+                            value,
+                            bytes,
+                        );
+                    } else if let Some(v) = self.threads[tid].lq.violation(seq, addr, bytes) {
+                        // Memory-order violation: the load read stale data.
+                        let (lseq, lpc) = (v.seq, v.pc);
+                        let load_uid = self.threads[tid].rob_get_ref(lseq).map(|l| l.uid);
+                        self.store_sets.record_violation(lpc, pc);
+                        self.stats.inc("order_violations");
+                        if let Some(load_uid) = load_uid {
+                            self.events.push(SquashEvent {
+                                at: done,
+                                tid,
+                                cause_seq: seq,
+                                cause_uid: uid,
+                                from_seq: lseq,
+                                new_pc: lpc,
+                            });
+                            // Tie the event to the load via its uid in
+                            // `cause_uid` slot of a secondary check below.
+                            let _ = load_uid;
+                        }
+                    }
+                    (done, None, pc + 4, Some((addr, bytes, value)))
+                }
+            };
+
+        // Branch resolution: verify prediction (not for LPQ-driven trailing
+        // threads, whose fetch stream is the leading thread's commit path).
+        let verify_control = !trailing || !self.cfg.trailing_uses_lpq;
+        if inst.op.is_control() && verify_control {
+            if inst.op.is_cond_branch() {
+                let pred_taken = {
+                    let d = self.threads[tid].rob_get_ref(seq).expect("inst live");
+                    d.pred_next != pc + 4
+                };
+                let taken = actual_next != pc + 4;
+                self.branch_pred.train_direction(pc, pred_taken, taken);
+                if pred_taken != taken {
+                    self.stats.inc("branch_mispredicts");
+                }
+            }
+            if inst.op == Op::Jalr {
+                self.branch_pred.train_jump_target(pc, actual_next);
+            }
+            let pred_next = self.threads[tid].rob_get_ref(seq).expect("live").pred_next;
+            if pred_next != actual_next {
+                self.events.push(SquashEvent {
+                    at: done_at,
+                    tid,
+                    cause_seq: seq,
+                    cause_uid: uid,
+                    from_seq: seq + 1,
+                    new_pc: actual_next,
+                });
+            }
+        }
+
+        // Write back.
+        let d = self.threads[tid].rob_get(seq).expect("inst live");
+        d.state = InstState::Issued;
+        d.done_at = done_at;
+        d.fu_id = fu_id;
+        d.actual_next = actual_next;
+        if let Some((addr, bytes, value)) = mem {
+            d.mem_addr = addr;
+            d.mem_bytes = bytes;
+            d.mem_value = value;
+        }
+        if let Some(v) = result {
+            if let Some(prd) = d.prd {
+                self.regfile.write(prd, v, done_at);
+            }
+        }
+        self.stats.inc("issued");
+        self.trace(now, tid, pc, TraceKind::Issue { fu: fu_id });
+        true
+    }
+
+    // ==================================================================
+    // Completion unit: in-order retirement
+    // ==================================================================
+
+    pub(crate) fn retire(&mut self, now: u64, _hier: &mut MemoryHierarchy, env: &mut dyn CoreEnv) {
+        let n = self.threads.len();
+        let mut budget = self.cfg.retire_width;
+        for off in 0..n {
+            let tid = (self.retire_rr + off) % n;
+            while budget > 0 {
+                if !self.retire_one(now, tid, env) {
+                    break;
+                }
+                budget -= 1;
+                self.last_retire_cycle = now;
+            }
+            if budget == 0 {
+                break;
+            }
+        }
+        self.retire_rr = (self.retire_rr + 1) % n;
+    }
+
+    /// Tries to retire the oldest instruction of `tid`; returns whether an
+    /// instruction retired.
+    fn retire_one(&mut self, now: u64, tid: ThreadId, env: &mut dyn CoreEnv) -> bool {
+        let role = self.threads[tid].role;
+        let (seq, op) = {
+            let t = &self.threads[tid];
+            let Some(d) = t.rob.front() else {
+                return false;
+            };
+            if d.state != InstState::Issued || d.done_at > now {
+                return false;
+            }
+            (d.seq, d.inst.op)
+        };
+        // Memory barriers retire only once every older store drained
+        // (§4.4.2).
+        if op == Op::MemBar && self.threads[tid].sq.has_older_than(seq) {
+            if let ThreadRole::Leading(pair) = role {
+                env.lead_retire_blocked(self.core_id, tid, now, pair);
+            }
+            self.stats.inc("membar_waits");
+            return false;
+        }
+        // Build the retirement record.
+        let info = {
+            let t = &self.threads[tid];
+            let d = t.rob.front().expect("checked");
+            let kind = if op.is_load() {
+                RetireKind::Load {
+                    tag: d.tag,
+                    addr: d.mem_addr,
+                    value: d.mem_value,
+                    bytes: d.mem_bytes,
+                }
+            } else if op.is_store() {
+                RetireKind::Store {
+                    tag: d.tag,
+                    addr: d.mem_addr,
+                    value: d.mem_value,
+                    bytes: d.mem_bytes,
+                }
+            } else if op == Op::MemBar {
+                RetireKind::MemBar
+            } else {
+                RetireKind::Other
+            };
+            RetireInfo {
+                pair: role.pair().unwrap_or(0),
+                pc: d.pc,
+                next_pc: d.actual_next,
+                iq_half: d.half,
+                fu_id: d.fu_id,
+                commit_index: t.committed,
+                kind,
+            }
+        };
+        match role {
+            ThreadRole::Leading(_) => {
+                if !env.lead_retired(self.core_id, tid, now, &info) {
+                    self.threads[tid].lead_retire_nacks += 1;
+                    self.stats.inc("lead_retire_nacks");
+                    return false;
+                }
+            }
+            ThreadRole::Trailing(_) => env.trailing_retired(self.core_id, tid, now, &info),
+            ThreadRole::Independent => {}
+        }
+        // Commit.
+        let d = self.threads[tid].rob.pop_front().expect("checked");
+        self.threads[tid].rob_base = d.seq + 1;
+        if let Some(prd) = d.prd {
+            // Maintain the committed architectural image (checkpointing).
+            self.threads[tid].committed_regs[d.inst.rd.index() as usize] =
+                self.regfile.value(prd);
+        }
+        self.threads[tid].committed_pc = d.actual_next;
+        if d.prd.is_some() && d.old_prd != RegFile::ZERO {
+            self.regfile.release(d.old_prd);
+        }
+        if op.is_load() {
+            if !role.is_trailing() {
+                self.threads[tid].lq.release(d.seq);
+            }
+            self.threads[tid].loads_committed += 1;
+        }
+        if op.is_store() {
+            self.threads[tid].stores_committed += 1;
+            if role.is_trailing() {
+                // Trailing stores never leave the sphere: the comparison
+                // already happened when they executed. Free the entry.
+                debug_assert_eq!(
+                    self.threads[tid].sq.head().map(|e| e.seq),
+                    Some(d.seq),
+                    "trailing stores release in order"
+                );
+                self.threads[tid].sq.release_head();
+            } else {
+                self.threads[tid].sq.mark_retired_at(d.seq, now);
+                if let Some(mask) = self.sq_strike[tid].take() {
+                    // An armed store-queue strike lands the instant the
+                    // store passes the commit point (fault injection).
+                    self.threads[tid].sq.corrupt(d.seq, mask);
+                    self.stats.inc("sq_strikes_landed");
+                }
+                if role == ThreadRole::Independent {
+                    self.threads[tid].sq.mark_verified(d.seq);
+                }
+            }
+        }
+        if op == Op::Halt {
+            self.threads[tid].halted = true;
+            self.squash(tid, d.seq + 1, d.pc + 4, now);
+        }
+        // Train the line predictor with actual chunk boundaries (not for
+        // trailing threads, which bypass it).
+        if !role.is_trailing() {
+            let mut scratch = std::mem::take(&mut self.threads[tid].chunk_scratch);
+            scratch.clear();
+            self.threads[tid]
+                .line_agg
+                .push(d.pc, d.actual_next, d.half, &mut scratch);
+            for c in &scratch {
+                if let Some(prev) = self.threads[tid].last_chunk_start {
+                    self.line_pred.train(prev, c.start_pc);
+                }
+                self.threads[tid].last_chunk_start = Some(c.start_pc);
+            }
+            self.threads[tid].chunk_scratch = scratch;
+        }
+        self.threads[tid].committed += 1;
+        self.stats.inc("committed");
+        self.trace(now, tid, d.pc, TraceKind::Retire);
+        true
+    }
+
+    // ==================================================================
+    // Store release: SQ head -> merge buffer -> outside the sphere
+    // ==================================================================
+
+    pub(crate) fn release_stores(
+        &mut self,
+        now: u64,
+        hier: &mut MemoryHierarchy,
+        env: &mut dyn CoreEnv,
+    ) {
+        for tid in 0..self.threads.len() {
+            let role = self.threads[tid].role;
+            if role.is_trailing() {
+                continue;
+            }
+            let mut released = 0;
+            while released < self.cfg.max_stores_per_cycle {
+                let Some(head) = self.threads[tid].sq.head().copied() else {
+                    break;
+                };
+                if !head.addr_known || !head.retired {
+                    break;
+                }
+                if now < head.retired_at + self.cfg.store_release_delay {
+                    // The checker has not yet passed this store (lockstep).
+                    break;
+                }
+                if !head.verified {
+                    let ThreadRole::Leading(pair) = role else {
+                        break; // independent stores verify at retire
+                    };
+                    match env.store_release(
+                        self.core_id,
+                        tid,
+                        now,
+                        pair,
+                        head.tag,
+                        head.addr,
+                        head.value,
+                        head.bytes,
+                    ) {
+                        StoreRelease::Wait => {
+                            self.stats.inc("store_verify_waits");
+                            break;
+                        }
+                        StoreRelease::Release => {
+                            self.threads[tid].sq.mark_verified(head.seq);
+                        }
+                        StoreRelease::Mismatch => {
+                            self.detected_faults.push(DetectedFault {
+                                cycle: now,
+                                tid,
+                                kind: FaultDetector::StoreMismatch,
+                            });
+                            // Count the detection and release so the
+                            // machine keeps running (a real system would
+                            // start recovery here).
+                            self.threads[tid].sq.mark_verified(head.seq);
+                        }
+                    }
+                }
+                if !hier.store_retire(self.core_id, head.addr, now) {
+                    self.stats.inc("merge_buffer_stalls");
+                    break;
+                }
+                env.write_mem(self.core_id, tid, head.addr, head.value, head.bytes);
+                self.trace(now, tid, 0, TraceKind::StoreRelease);
+                self.threads[tid].sq_lifetime.record(now - head.alloc_cycle);
+                self.threads[tid].sq.release_head();
+                released += 1;
+                self.stats.inc("stores_released");
+            }
+        }
+    }
+
+    // ==================================================================
+    // Squash events
+    // ==================================================================
+
+    pub(crate) fn process_events(&mut self, now: u64) {
+        if self.events.is_empty() {
+            return;
+        }
+        let mut due: Vec<SquashEvent> = Vec::new();
+        self.events.retain(|e| {
+            if e.at <= now {
+                due.push(*e);
+                false
+            } else {
+                true
+            }
+        });
+        // Deterministic order: oldest cause first.
+        due.sort_by_key(|e| (e.at, e.tid, e.cause_seq));
+        for ev in due {
+            let alive = self.threads[ev.tid]
+                .rob_get_ref(ev.cause_seq)
+                .map(|d| d.uid == ev.cause_uid)
+                .unwrap_or(false);
+            if !alive {
+                continue; // an older squash already removed the cause
+            }
+            self.squash(ev.tid, ev.from_seq, ev.new_pc, now);
+        }
+    }
+
+    /// Removes all instructions of `tid` with `seq >= from_seq`, restores
+    /// the rename map, and redirects fetch to `new_pc`.
+    pub(crate) fn squash(&mut self, tid: ThreadId, from_seq: u64, new_pc: u64, now: u64) {
+        let trailing = self.threads[tid].role.is_trailing();
+        {
+            let t = &mut self.threads[tid];
+            while matches!(t.rob.back(), Some(d) if d.seq >= from_seq) {
+                let d = t.rob.pop_back().expect("checked");
+                if let Some(prd) = d.prd {
+                    t.rename_map.set(d.inst.rd, d.old_prd);
+                    self.regfile.release(prd);
+                }
+                if d.inst.op.is_load() {
+                    t.next_load_tag = d.tag;
+                }
+                if d.inst.op.is_store() {
+                    t.next_store_tag = d.tag;
+                }
+                t.next_seq = d.seq;
+            }
+            t.lq.squash_from(from_seq);
+            t.sq.squash_from(from_seq);
+            t.rmb.clear();
+            if !t.halted {
+                t.fetch_pc = new_pc;
+                t.fetch_stalled_until = t.fetch_stalled_until.max(now + 1);
+                t.fetch_halted = false;
+            }
+            t.squashes += 1;
+        }
+        debug_assert!(trailing == self.threads[tid].role.is_trailing());
+        for e in &mut self.iq {
+            if e.tid == tid && e.seq >= from_seq {
+                e.dead = true;
+            }
+        }
+        self.events
+            .retain(|e| !(e.tid == tid && e.cause_seq >= from_seq));
+        self.stats.inc("squashes");
+        self.trace(now, tid, new_pc, TraceKind::Squash { new_pc });
+    }
+}

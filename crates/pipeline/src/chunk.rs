@@ -1,0 +1,249 @@
+//! Fetch-chunk aggregation from the retired instruction stream.
+//!
+//! The line prediction queue (§4.4.2) forwards *fetch chunks* — contiguous
+//! groups of up to eight instructions — from the leading thread's commit
+//! stage to the trailing thread's fetch stage. The [`ChunkAggregator`]
+//! implements the chunk-termination rules:
+//!
+//! * non-contiguous next PC (a taken control transfer),
+//! * the eight-instruction chunk limit,
+//! * *forced* termination when retirement is blocked on a store-queue
+//!   dependency (memory barrier at the head, or a partial-forwarding store)
+//!   — the deadlock cases of §4.4.2.
+//!
+//! The same aggregation applied to any thread's retired stream yields the
+//! actual fetch-chunk boundaries used to train the line predictor, so base
+//! and leading threads use this type too.
+
+/// A completed fetch chunk, as carried by the line prediction queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetiredChunk {
+    /// PC of the first instruction.
+    pub start_pc: u64,
+    /// Number of instructions (1..=8).
+    pub len: usize,
+    /// Queue-half occupied by each corresponding leading-thread
+    /// instruction (preferential space redundancy hints, §4.5).
+    pub halves: [u8; 8],
+}
+
+impl RetiredChunk {
+    /// PC one past the last instruction in the chunk.
+    pub fn end_pc(&self) -> u64 {
+        self.start_pc + 4 * self.len as u64
+    }
+}
+
+/// A chunk fetched by the IBOX, parked in a rate-matching buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FetchChunk {
+    /// PC of the first instruction.
+    pub start_pc: u64,
+    /// Number of instructions.
+    pub len: usize,
+    /// Cycle at which the chunk becomes visible to the PBOX.
+    pub ready_at: u64,
+    /// Predicted PC of the next chunk (`u64::MAX` when control flow is not
+    /// verified — trailing threads trust the line prediction queue).
+    pub pred_next: u64,
+    /// Preferential-space-redundancy half hints (trailing threads only).
+    pub half_hints: Option<[u8; 8]>,
+}
+
+/// Aggregates a retired instruction stream into fetch chunks.
+///
+/// # Examples
+///
+/// ```
+/// use rmt_pipeline::chunk::ChunkAggregator;
+///
+/// let mut agg = ChunkAggregator::new(8);
+/// let mut out = Vec::new();
+/// agg.push(0, 4, 0, &mut out);   // sequential
+/// agg.push(4, 100, 1, &mut out); // taken branch terminates the chunk
+/// assert_eq!(out.len(), 1);
+/// assert_eq!(out[0].start_pc, 0);
+/// assert_eq!(out[0].len, 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ChunkAggregator {
+    start_pc: u64,
+    len: usize,
+    halves: [u8; 8],
+    expected_next: u64,
+    max_len: usize,
+}
+
+impl ChunkAggregator {
+    /// Creates an aggregator emitting chunks of at most `max_len`
+    /// instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_len` is 0 or greater than 8.
+    pub fn new(max_len: usize) -> Self {
+        assert!((1..=8).contains(&max_len), "chunk length must be 1..=8");
+        ChunkAggregator {
+            start_pc: 0,
+            len: 0,
+            halves: [0; 8],
+            expected_next: 0,
+            max_len,
+        }
+    }
+
+    fn emit(&mut self, out: &mut Vec<RetiredChunk>) {
+        if self.len > 0 {
+            out.push(RetiredChunk {
+                start_pc: self.start_pc,
+                len: self.len,
+                halves: self.halves,
+            });
+            self.len = 0;
+        }
+    }
+
+    /// Feeds one retired instruction: its `pc`, the architectural `next_pc`
+    /// that followed it, and the queue `half` it issued from. Completed
+    /// chunks are appended to `out` (possibly two: a flushed predecessor
+    /// and a single-instruction taken-branch chunk).
+    pub fn push(&mut self, pc: u64, next_pc: u64, half: u8, out: &mut Vec<RetiredChunk>) {
+        if self.len > 0 && (pc != self.expected_next || self.len >= self.max_len) {
+            // The open chunk cannot absorb this instruction.
+            self.emit(out);
+        }
+        if self.len == 0 {
+            self.start_pc = pc;
+        }
+        self.halves[self.len.min(7)] = half;
+        self.len += 1;
+        self.expected_next = pc + 4;
+        if next_pc != pc + 4 || self.len >= self.max_len {
+            // Taken control transfer or full chunk: terminate now.
+            self.emit(out);
+            self.expected_next = next_pc;
+        }
+    }
+
+    /// Forcibly terminates the open chunk (§4.4.2 deadlock-avoidance rules:
+    /// memory barrier at the head of the completion unit, or a store a
+    /// later load needs partial forwarding from).
+    pub fn force_terminate(&mut self, out: &mut Vec<RetiredChunk>) {
+        self.emit(out);
+    }
+
+    /// Instructions accumulated in the open (unterminated) chunk.
+    pub fn open_len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunks(events: &[(u64, u64)]) -> Vec<RetiredChunk> {
+        let mut agg = ChunkAggregator::new(8);
+        let mut out = Vec::new();
+        for &(pc, next) in events {
+            agg.push(pc, next, 0, &mut out);
+        }
+        agg.force_terminate(&mut out);
+        out
+    }
+
+    #[test]
+    fn sequential_run_splits_at_eight() {
+        let events: Vec<(u64, u64)> = (0..10).map(|i| (i * 4, i * 4 + 4)).collect();
+        let out = chunks(&events);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].start_pc, 0);
+        assert_eq!(out[0].len, 8);
+        assert_eq!(out[1].start_pc, 32);
+        assert_eq!(out[1].len, 2);
+    }
+
+    #[test]
+    fn taken_branch_terminates() {
+        let out = chunks(&[(0, 4), (4, 8), (8, 100), (100, 104)]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].len, 3);
+        assert_eq!(out[1].start_pc, 100);
+    }
+
+    #[test]
+    fn back_to_back_taken_branches_make_singleton_chunks() {
+        let out = chunks(&[(0, 100), (100, 200), (200, 204)]);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].len, 1);
+        assert_eq!(out[1].len, 1);
+        assert_eq!(out[2].start_pc, 200);
+    }
+
+    #[test]
+    fn end_pc() {
+        let c = RetiredChunk {
+            start_pc: 16,
+            len: 3,
+            halves: [0; 8],
+        };
+        assert_eq!(c.end_pc(), 28);
+    }
+
+    #[test]
+    fn force_terminate_flushes_open_chunk() {
+        let mut agg = ChunkAggregator::new(8);
+        let mut out = Vec::new();
+        agg.push(0, 4, 0, &mut out);
+        agg.push(4, 8, 0, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(agg.open_len(), 2);
+        agg.force_terminate(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].len, 2);
+        assert_eq!(agg.open_len(), 0);
+        // Idempotent.
+        agg.force_terminate(&mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn resumes_after_forced_termination() {
+        let mut agg = ChunkAggregator::new(8);
+        let mut out = Vec::new();
+        agg.push(0, 4, 0, &mut out);
+        agg.force_terminate(&mut out);
+        agg.push(4, 8, 0, &mut out);
+        agg.force_terminate(&mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].start_pc, 4);
+    }
+
+    #[test]
+    fn halves_recorded_per_instruction() {
+        let mut agg = ChunkAggregator::new(8);
+        let mut out = Vec::new();
+        agg.push(0, 4, 1, &mut out);
+        agg.push(4, 8, 0, &mut out);
+        agg.push(8, 99, 1, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(&out[0].halves[..3], &[1, 0, 1]);
+    }
+
+    #[test]
+    fn smaller_max_len() {
+        let mut agg = ChunkAggregator::new(2);
+        let mut out = Vec::new();
+        for i in 0..4u64 {
+            agg.push(i * 4, i * 4 + 4, 0, &mut out);
+        }
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|c| c.len == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk length")]
+    fn bad_max_len_panics() {
+        ChunkAggregator::new(9);
+    }
+}

@@ -1,0 +1,679 @@
+//! The core: structures, per-cycle orchestration, statistics and fault
+//! hooks. Stage logic lives in [`crate::frontend`] (IBOX) and
+//! [`crate::backend`] (PBOX/QBOX/retire).
+
+use crate::chunk::{ChunkAggregator, FetchChunk};
+use crate::config::{CoreConfig, ThreadId, ThreadRole};
+use crate::env::CoreEnv;
+use crate::lsq::{LoadQueue, StoreQueue};
+use crate::regs::{PhysReg, RegFile, RenameMap};
+use crate::trace::{TraceKind, Tracer};
+use rmt_isa::inst::Inst;
+use rmt_isa::program::Program;
+use rmt_mem::MemoryHierarchy;
+use rmt_predict::{BranchPredictor, LinePredictor, ReturnAddressStack, StoreSets};
+use rmt_stats::{CounterSet, Histogram};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Execution state of an in-flight instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum InstState {
+    /// Waiting in the instruction queue.
+    InQ,
+    /// Issued; completes at `done_at`.
+    Issued,
+}
+
+/// One in-flight (renamed) instruction.
+#[derive(Debug, Clone)]
+pub(crate) struct DynInst {
+    pub seq: u64,
+    pub uid: u64,
+    pub pc: u64,
+    pub inst: Inst,
+    /// Predicted next PC (`u64::MAX` = control flow is not verified —
+    /// trailing threads trust the line prediction queue).
+    pub pred_next: u64,
+    pub actual_next: u64,
+    pub prd: Option<PhysReg>,
+    pub old_prd: PhysReg,
+    pub prs1: PhysReg,
+    pub prs2: PhysReg,
+    pub half: u8,
+    pub fu_id: u8,
+    pub state: InstState,
+    pub done_at: u64,
+    pub mem_addr: u64,
+    pub mem_bytes: u64,
+    pub mem_value: u64,
+    /// Program-order tag (load tag for loads, store tag for stores).
+    pub tag: u64,
+}
+
+/// A pending squash scheduled for a future cycle (branch resolution or a
+/// memory-order violation).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SquashEvent {
+    pub at: u64,
+    pub tid: ThreadId,
+    /// The instruction that caused the squash; the event is stale if it is
+    /// no longer in flight.
+    pub cause_seq: u64,
+    pub cause_uid: u64,
+    /// First sequence number to remove.
+    pub from_seq: u64,
+    /// Where fetch resumes.
+    pub new_pc: u64,
+}
+
+/// A fault detected by an RMT mechanism inside the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectedFault {
+    /// Cycle of detection.
+    pub cycle: u64,
+    /// The thread that observed the mismatch.
+    pub tid: ThreadId,
+    /// What detected it.
+    pub kind: FaultDetector,
+}
+
+/// Which RMT mechanism detected a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDetector {
+    /// Trailing-thread load address disagreed with the load value queue.
+    LvqAddressMismatch,
+    /// The store comparator saw different address/data from the two
+    /// redundant stores.
+    StoreMismatch,
+}
+
+/// Per-thread summary statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadStats {
+    /// Instructions committed.
+    pub committed: u64,
+    /// Pipeline squashes (mispredictions + order violations).
+    pub squashes: u64,
+    /// Loads committed.
+    pub loads: u64,
+    /// Stores committed.
+    pub stores: u64,
+}
+
+/// One hardware thread context.
+pub(crate) struct Thread {
+    pub role: ThreadRole,
+    pub program: Option<Rc<Program>>,
+    pub active: bool,
+    pub halted: bool,
+    /// Fetch stopped because a `Halt` was fetched (cleared on squash).
+    pub fetch_halted: bool,
+    pub fetch_pc: u64,
+    pub fetch_stalled_until: u64,
+    pub rmb: VecDeque<(FetchChunk, usize)>, // (chunk, consumed)
+    pub rename_map: RenameMap,
+    pub rob: VecDeque<DynInst>,
+    pub rob_base: u64,
+    pub next_seq: u64,
+    pub lq: LoadQueue,
+    pub sq: StoreQueue,
+    pub next_load_tag: u64,
+    pub next_store_tag: u64,
+    pub ras: ReturnAddressStack,
+    pub committed: u64,
+    pub squashes: u64,
+    pub loads_committed: u64,
+    pub stores_committed: u64,
+    /// Aggregates the committed stream into chunks to train the line
+    /// predictor.
+    pub line_agg: ChunkAggregator,
+    pub last_chunk_start: Option<u64>,
+    pub chunk_scratch: Vec<crate::chunk::RetiredChunk>,
+    /// Store lifetime from SQ allocation to release (§7.1).
+    pub sq_lifetime: Histogram,
+    /// Retirement is stalled waiting for LVQ space (backpressure stat).
+    pub lead_retire_nacks: u64,
+    /// Architectural register values at the commit point (updated at
+    /// retirement; the basis for checkpoint/recovery).
+    pub committed_regs: Box<[u64; rmt_isa::inst::NUM_ARCH_REGS]>,
+    /// The PC the next committed instruction will have.
+    pub committed_pc: u64,
+    /// Fetch suspended by the device (checkpoint quiesce).
+    pub fetch_paused: bool,
+}
+
+impl Thread {
+    pub(crate) fn rob_get(&mut self, seq: u64) -> Option<&mut DynInst> {
+        if seq < self.rob_base {
+            return None;
+        }
+        let idx = (seq - self.rob_base) as usize;
+        self.rob.get_mut(idx)
+    }
+
+    pub(crate) fn rob_get_ref(&self, seq: u64) -> Option<&DynInst> {
+        if seq < self.rob_base {
+            return None;
+        }
+        let idx = (seq - self.rob_base) as usize;
+        self.rob.get(idx)
+    }
+
+    pub(crate) fn rmb_insts(&self) -> usize {
+        self.rmb
+            .iter()
+            .map(|(c, consumed)| c.len - consumed)
+            .sum()
+    }
+}
+
+/// Per-FU permanent fault state (stuck-at on one output bit).
+#[derive(Debug, Clone, Default)]
+pub struct FaultState {
+    /// `fu_stuck[fu_id] = Some((bit, value))`.
+    pub fu_stuck: Vec<Option<(u8, bool)>>,
+}
+
+impl FaultState {
+    /// Applies the stuck-at fault of `fu` (if any) to `value`.
+    pub fn apply(&self, fu: u8, value: u64) -> u64 {
+        match self.fu_stuck.get(fu as usize).copied().flatten() {
+            Some((bit, true)) => value | (1 << bit),
+            Some((bit, false)) => value & !(1 << bit),
+            None => value,
+        }
+    }
+
+    /// Whether any fault is configured.
+    pub fn any(&self) -> bool {
+        self.fu_stuck.iter().any(Option::is_some)
+    }
+}
+
+/// The cycle-level SMT core.
+///
+/// See the crate-level example for typical use. Drive it by calling
+/// [`Core::tick`] once per cycle with monotonically increasing cycle
+/// numbers.
+pub struct Core {
+    pub(crate) cfg: CoreConfig,
+    pub(crate) core_id: usize,
+    pub(crate) threads: Vec<Thread>,
+    pub(crate) regfile: RegFile,
+    pub(crate) line_pred: LinePredictor,
+    pub(crate) branch_pred: BranchPredictor,
+    pub(crate) store_sets: StoreSets,
+    pub(crate) iq: Vec<IqEntry>,
+    pub(crate) events: Vec<SquashEvent>,
+    pub(crate) stats: CounterSet,
+    pub(crate) fetch_rr: usize,
+    pub(crate) map_rr: usize,
+    pub(crate) retire_rr: usize,
+    pub(crate) uid_counter: u64,
+    pub(crate) fault_state: FaultState,
+    pub(crate) tracer: Option<Tracer>,
+    pub(crate) sq_strike: Vec<Option<u64>>,
+    pub(crate) detected_faults: Vec<DetectedFault>,
+    pub(crate) last_retire_cycle: u64,
+    /// Same-FU statistic support: `(commit_index % WINDOW)` ring of leading
+    /// FU ids, maintained by the device layer via `RetireInfo`.
+    pub(crate) issued_total: u64,
+}
+
+/// An instruction-queue slot.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct IqEntry {
+    pub tid: ThreadId,
+    pub seq: u64,
+    pub uid: u64,
+    pub half: u8,
+    pub min_issue: u64,
+    pub dead: bool,
+}
+
+impl Core {
+    /// Creates a core with no threads attached.
+    pub fn new(cfg: CoreConfig, core_id: usize) -> Self {
+        let threads = (0..cfg.max_threads)
+            .map(|_| Thread {
+                role: ThreadRole::Independent,
+                program: None,
+                active: false,
+                halted: false,
+                fetch_halted: false,
+                fetch_pc: 0,
+                fetch_stalled_until: 0,
+                rmb: VecDeque::new(),
+                rename_map: RenameMap::new(),
+                rob: VecDeque::new(),
+                rob_base: 0,
+                next_seq: 0,
+                lq: LoadQueue::new(cfg.lq_entries),
+                sq: StoreQueue::new(cfg.sq_entries),
+                next_load_tag: 0,
+                next_store_tag: 0,
+                ras: ReturnAddressStack::new(cfg.ras_entries),
+                committed: 0,
+                squashes: 0,
+                loads_committed: 0,
+                stores_committed: 0,
+                line_agg: ChunkAggregator::new(cfg.chunk_size),
+                last_chunk_start: None,
+                chunk_scratch: Vec::new(),
+                sq_lifetime: Histogram::new("sq_lifetime", 8, 64),
+                lead_retire_nacks: 0,
+                committed_regs: Box::new([0; rmt_isa::inst::NUM_ARCH_REGS]),
+                committed_pc: 0,
+                fetch_paused: false,
+            })
+            .collect();
+        let mut fault_state = FaultState::default();
+        fault_state.fu_stuck.resize(cfg.total_fus(), None);
+        let sq_strike = vec![None; cfg.max_threads];
+        Core {
+            regfile: RegFile::new(cfg.phys_regs),
+            line_pred: LinePredictor::new(cfg.line_predictor_entries),
+            branch_pred: BranchPredictor::default(),
+            store_sets: StoreSets::new(cfg.store_sets_entries),
+            iq: Vec::with_capacity(cfg.iq_size),
+            events: Vec::new(),
+            stats: CounterSet::new(),
+            fetch_rr: 0,
+            map_rr: 0,
+            retire_rr: 0,
+            uid_counter: 0,
+            fault_state,
+            tracer: None,
+            sq_strike,
+            detected_faults: Vec::new(),
+            last_retire_cycle: 0,
+            issued_total: 0,
+            threads,
+            cfg,
+            core_id,
+        }
+    }
+
+    /// Attaches a program to the next free hardware thread context as an
+    /// independent thread; returns its thread id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all contexts are in use.
+    pub fn attach_thread(&mut self, program: Rc<Program>, entry_pc: u64) -> ThreadId {
+        self.attach_thread_with_role(program, entry_pc, ThreadRole::Independent)
+    }
+
+    /// Attaches a program with an explicit redundancy role.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all contexts are in use.
+    pub fn attach_thread_with_role(
+        &mut self,
+        program: Rc<Program>,
+        entry_pc: u64,
+        role: ThreadRole,
+    ) -> ThreadId {
+        let tid = self
+            .threads
+            .iter()
+            .position(|t| !t.active)
+            .expect("no free hardware thread context");
+        let t = &mut self.threads[tid];
+        t.active = true;
+        t.role = role;
+        t.program = Some(program);
+        t.fetch_pc = entry_pc;
+        tid
+    }
+
+    /// Recomputes per-thread queue partitions once all threads are
+    /// attached (static partitioning, §3.4). Must be called before the
+    /// first tick.
+    pub fn finalize_partitions(&mut self) {
+        let active = self.threads.iter().filter(|t| t.active).count().max(1);
+        // Trailing threads do not use the load queue (§4.1): leading/
+        // independent threads split it among themselves.
+        let lq_users = self
+            .threads
+            .iter()
+            .filter(|t| t.active && !t.role.is_trailing())
+            .count()
+            .max(1);
+        let sq_cap = self.cfg.sq_per_thread(active);
+        let lq_cap = self.cfg.lq_per_thread(lq_users);
+        for t in &mut self.threads {
+            t.sq = StoreQueue::new(sq_cap);
+            t.lq = LoadQueue::new(lq_cap);
+        }
+    }
+
+    /// The core's id within its device.
+    pub fn core_id(&self) -> usize {
+        self.core_id
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Number of active threads.
+    pub fn active_threads(&self) -> usize {
+        self.threads.iter().filter(|t| t.active).count()
+    }
+
+    /// The role of thread `tid`.
+    pub fn thread_role(&self, tid: ThreadId) -> ThreadRole {
+        self.threads[tid].role
+    }
+
+    /// Whether every active thread has halted.
+    pub fn all_halted(&self) -> bool {
+        self.threads.iter().filter(|t| t.active).all(|t| t.halted)
+    }
+
+    /// Summary statistics of thread `tid`.
+    pub fn thread_stats(&self, tid: ThreadId) -> ThreadStats {
+        let t = &self.threads[tid];
+        ThreadStats {
+            committed: t.committed,
+            squashes: t.squashes,
+            loads: t.loads_committed,
+            stores: t.stores_committed,
+        }
+    }
+
+    /// Core-wide event counters.
+    pub fn stats(&self) -> &CounterSet {
+        &self.stats
+    }
+
+    /// The line predictor (misfetch-rate statistics).
+    pub fn line_predictor(&self) -> &LinePredictor {
+        &self.line_pred
+    }
+
+    /// The branch predictor (misprediction-rate statistics).
+    pub fn branch_predictor(&self) -> &BranchPredictor {
+        &self.branch_pred
+    }
+
+    /// The store-lifetime histogram of thread `tid` (§7.1's store-queue
+    /// occupancy analysis).
+    pub fn store_lifetime(&self, tid: ThreadId) -> &Histogram {
+        &self.threads[tid].sq_lifetime
+    }
+
+    /// Store-queue occupancy of thread `tid` right now.
+    pub fn sq_occupancy(&self, tid: ThreadId) -> usize {
+        self.threads[tid].sq.len()
+    }
+
+    /// Times leading-thread retirement was NACKed by a full LVQ/LPQ.
+    pub fn lead_retire_nacks(&self, tid: ThreadId) -> u64 {
+        self.threads[tid].lead_retire_nacks
+    }
+
+    /// Suspends or resumes instruction fetch for `tid` (used by device-
+    /// level checkpointing to quiesce a thread).
+    pub fn set_fetch_paused(&mut self, tid: ThreadId, paused: bool) {
+        self.threads[tid].fetch_paused = paused;
+    }
+
+    /// Whether `tid` is fully quiesced: nothing in flight, nothing buffered,
+    /// and its store queue drained.
+    pub fn is_quiesced(&self, tid: ThreadId) -> bool {
+        let t = &self.threads[tid];
+        t.rob.is_empty() && t.rmb.is_empty() && t.sq.is_empty()
+    }
+
+    /// Snapshot of `tid`'s committed architectural state:
+    /// `(registers, next_pc)`. Exact regardless of in-flight work — it is
+    /// maintained at retirement.
+    pub fn snapshot_arch(&self, tid: ThreadId) -> ([u64; rmt_isa::inst::NUM_ARCH_REGS], u64) {
+        let t = &self.threads[tid];
+        (*t.committed_regs, t.committed_pc)
+    }
+
+    /// Restores `tid` to the given architectural state: squashes all
+    /// in-flight work, rewrites the committed registers, redirects fetch to
+    /// `pc`, and resets the redundant-pair tag counters (the device resets
+    /// the pair's queues to match).
+    pub fn restore_thread(
+        &mut self,
+        tid: ThreadId,
+        regs: &[u64; rmt_isa::inst::NUM_ARCH_REGS],
+        pc: u64,
+        now: u64,
+    ) {
+        // Drop every in-flight instruction (rename-map rollback included).
+        let from = self.threads[tid].rob_base;
+        self.squash(tid, from, pc, now);
+        // Retired-but-unreleased stores (and any load-queue residue) belong
+        // to the discarded epoch: the checkpoint was taken with the queues
+        // drained, so the replay regenerates them.
+        self.threads[tid].sq.squash_from(0);
+        self.threads[tid].lq.squash_from(0);
+        self.sq_strike[tid] = None;
+        // Write the checkpointed values into the committed mapping,
+        // allocating physical registers for architecturals still mapped to
+        // the zero register.
+        for i in 1..rmt_isa::inst::NUM_ARCH_REGS {
+            let arch = rmt_isa::Reg::new(i as u8);
+            let mut p = self.threads[tid].rename_map.get(arch);
+            if p == RegFile::ZERO {
+                if regs[i] == 0 {
+                    continue; // zero value, zero mapping: already correct
+                }
+                p = self
+                    .regfile
+                    .alloc()
+                    .expect("free physical registers after a full squash");
+                self.threads[tid].rename_map.set(arch, p);
+            }
+            self.regfile.write(p, regs[i], now);
+        }
+        let t = &mut self.threads[tid];
+        *t.committed_regs = *regs;
+        t.committed_pc = pc;
+        t.fetch_pc = pc;
+        t.fetch_stalled_until = now + 1;
+        t.fetch_halted = false;
+        t.halted = false;
+        t.next_load_tag = 0;
+        t.next_store_tag = 0;
+        self.stats.inc("thread_restores");
+    }
+
+    /// Enables pipeline event tracing with a ring of `capacity` events
+    /// (see [`crate::trace`]).
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.tracer = Some(Tracer::new(capacity));
+    }
+
+    /// The tracer, if tracing is enabled.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Records a trace event when tracing is enabled (internal hook).
+    pub(crate) fn trace(&mut self, cycle: u64, tid: ThreadId, pc: u64, kind: TraceKind) {
+        if let Some(t) = &mut self.tracer {
+            t.record(cycle, tid, pc, kind);
+        }
+    }
+
+    /// Faults detected by in-core RMT mechanisms since the last drain.
+    pub fn drain_detected_faults(&mut self) -> Vec<DetectedFault> {
+        std::mem::take(&mut self.detected_faults)
+    }
+
+    /// Reads the architectural value of register `r` in thread `tid`.
+    ///
+    /// Exact only when the thread has no in-flight instructions (e.g. after
+    /// it halted); otherwise it reflects the latest speculative mapping.
+    pub fn arch_reg(&self, tid: ThreadId, r: rmt_isa::Reg) -> u64 {
+        self.regfile.value(self.threads[tid].rename_map.get(r))
+    }
+
+    /// In-flight instruction count of thread `tid` (0 = quiesced).
+    pub fn in_flight(&self, tid: ThreadId) -> usize {
+        self.threads[tid].rob.len()
+    }
+
+    /// Advances the core by one cycle. `now` must increase by exactly one
+    /// per call.
+    pub fn tick(&mut self, now: u64, hier: &mut MemoryHierarchy, env: &mut dyn CoreEnv) {
+        self.process_events(now);
+        self.retire(now, hier, env);
+        self.release_stores(now, hier, env);
+        self.issue(now, hier, env);
+        self.rename(now);
+        self.fetch(now, hier, env);
+        self.watchdog(now);
+    }
+
+    fn watchdog(&mut self, now: u64) {
+        // A correctly configured machine always makes forward progress.
+        // 100k cycles without a retirement while work is in flight means a
+        // deadlock (the exact failure §4.3/§4.4.2 guard against).
+        let in_flight: usize = self.threads.iter().map(|t| t.rob.len()).sum();
+        if in_flight > 0 && now.saturating_sub(self.last_retire_cycle) > 100_000 {
+            let heads: Vec<String> = self
+                .threads
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| {
+                    t.rob.front().map(|d| {
+                        let in_iq = self
+                            .iq
+                            .iter()
+                            .any(|e| !e.dead && e.tid == i && e.seq == d.seq && e.uid == d.uid);
+                        format!(
+                            "t{i}: pc={:#x} op={:?} state={:?} done_at={} seq={} in_iq={in_iq}",
+                            d.pc, d.inst.op, d.state, d.done_at, d.seq
+                        )
+                    })
+                })
+                .collect();
+            panic!(
+                "deadlock: no retirement since cycle {} (now {now}, {in_flight} in flight, \
+                 sq occupancies {:?}, heads: {heads:?})",
+                self.last_retire_cycle,
+                self.threads.iter().map(|t| t.sq.len()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault-injection hooks (used by rmt-faults)
+    // ------------------------------------------------------------------
+
+    /// Number of physical registers (for fault-site selection).
+    pub fn phys_reg_count(&self) -> usize {
+        self.cfg.phys_regs
+    }
+
+    /// Physical registers currently holding live state (architecturally
+    /// mapped or in flight) — the meaningful fault sites for a particle
+    /// strike on the register file.
+    pub fn live_phys_regs(&self) -> Vec<PhysReg> {
+        let mut live: Vec<PhysReg> = Vec::new();
+        for t in self.threads.iter().filter(|t| t.active) {
+            for r in 0..rmt_isa::inst::NUM_ARCH_REGS {
+                let p = t.rename_map.get(rmt_isa::Reg::new(r as u8));
+                if p != RegFile::ZERO {
+                    live.push(p);
+                }
+            }
+            for d in &t.rob {
+                if let Some(p) = d.prd {
+                    live.push(p);
+                }
+            }
+        }
+        live.sort_unstable();
+        live.dedup();
+        live
+    }
+
+    /// XORs `mask` into physical register `r` (transient fault).
+    pub fn corrupt_phys_reg(&mut self, r: PhysReg, mask: u64) {
+        self.regfile.corrupt(r, mask);
+    }
+
+    /// XORs `mask` into the data of the `idx`-th store-queue entry of
+    /// thread `tid`; returns whether an entry was present.
+    pub fn corrupt_sq_entry(&mut self, tid: ThreadId, idx: usize, mask: u64) -> bool {
+        let t = &mut self.threads[tid];
+        let seq = t.sq.iter().nth(idx).map(|e| e.seq);
+        match seq {
+            Some(s) => t.sq.corrupt(s, mask),
+            None => false,
+        }
+    }
+
+    /// Snapshot of thread `tid`'s store queue as `(addr, value, retired)`
+    /// tuples (debugging and fault-site inspection).
+    pub fn sq_snapshot(&self, tid: ThreadId) -> Vec<(u64, u64, bool)> {
+        self.threads[tid]
+            .sq
+            .iter()
+            .map(|e| (e.addr, e.value, e.retired))
+            .collect()
+    }
+
+    /// Indices of store-queue entries of `tid` whose data is present (and,
+    /// optionally, not yet verified) — the meaningful strike sites for a
+    /// store-queue fault.
+    pub fn sq_filled_entries(&self, tid: ThreadId, unverified_only: bool) -> Vec<usize> {
+        self.threads[tid]
+            .sq
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.addr_known && (!unverified_only || !e.verified))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Arms a strike on thread `tid`'s store queue: the next store to
+    /// retire has `mask` XORed into its data the moment it passes the
+    /// commit point — past squash-and-refill (which would shed the fault)
+    /// but before output comparison / release.
+    pub fn arm_sq_strike(&mut self, tid: ThreadId, mask: u64) {
+        self.sq_strike[tid] = Some(mask);
+    }
+
+    /// Indices of *retired* store-queue entries of `tid`: stores past the
+    /// commit point that can no longer be squashed (and so cannot shed an
+    /// injected fault by re-execution), but have not yet left the sphere.
+    pub fn sq_retired_entries(&self, tid: ThreadId) -> Vec<usize> {
+        self.threads[tid]
+            .sq
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.addr_known && e.retired)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Configures a permanent stuck-at fault on functional unit `fu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fu` is out of range.
+    pub fn set_fu_stuck(&mut self, fu: usize, bit: u8, value: bool) {
+        assert!(fu < self.cfg.total_fus(), "functional unit out of range");
+        self.fault_state.fu_stuck[fu] = Some((bit, value));
+    }
+
+    /// Removes all configured permanent faults.
+    pub fn clear_fu_faults(&mut self) {
+        for f in &mut self.fault_state.fu_stuck {
+            *f = None;
+        }
+    }
+}

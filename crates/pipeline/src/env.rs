@@ -1,0 +1,322 @@
+//! The core's environment: architectural memory plus the redundant-
+//! multithreading attachment points.
+//!
+//! The base processor interacts with everything outside itself through the
+//! [`CoreEnv`] trait. For an ordinary machine ([`IndependentEnv`]) that is
+//! just architectural memory. For RMT devices, `rmt-core` implements this
+//! trait with the paper's structures — the load value queue, the line
+//! prediction queue and the store comparator — so that the *same* pipeline
+//! model runs beneath the base, SRT, CRT and lockstepped machines.
+
+use crate::chunk::RetiredChunk;
+use crate::config::{PairId, ThreadId};
+use rmt_isa::mem_image::MemImage;
+
+/// What kind of instruction retired (payload for [`RetireInfo`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetireKind {
+    /// Anything that is not a load, store or memory barrier.
+    Other,
+    /// A load: `(tag, addr, value, bytes)`.
+    Load {
+        /// Program-order load tag within the thread.
+        tag: u64,
+        /// Effective address.
+        addr: u64,
+        /// Loaded value.
+        value: u64,
+        /// Access size.
+        bytes: u64,
+    },
+    /// A store: `(tag, addr, value, bytes)` — note the store has *not* yet
+    /// left the store queue at retirement.
+    Store {
+        /// Program-order store tag within the thread.
+        tag: u64,
+        /// Effective address.
+        addr: u64,
+        /// Store data.
+        value: u64,
+        /// Access size.
+        bytes: u64,
+    },
+    /// A memory barrier.
+    MemBar,
+}
+
+/// Everything the environment needs to know about one retired instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetireInfo {
+    /// The redundant pair the thread belongs to (meaningless for
+    /// independent threads).
+    pub pair: PairId,
+    /// PC of the retired instruction.
+    pub pc: u64,
+    /// Architectural next PC (branch target if taken).
+    pub next_pc: u64,
+    /// Instruction-queue half the instruction issued from (0 or 1).
+    pub iq_half: u8,
+    /// Functional unit that executed it (for preferential-space-redundancy
+    /// statistics and permanent-fault analysis).
+    pub fu_id: u8,
+    /// Zero-based index of this instruction in the thread's commit stream.
+    pub commit_index: u64,
+    /// Kind-specific payload.
+    pub kind: RetireKind,
+}
+
+/// The store comparator's answer when a leading store asks to leave the
+/// sphere of replication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreRelease {
+    /// The corresponding trailing store has not arrived yet: keep waiting
+    /// in the store queue.
+    Wait,
+    /// Compared equal: forward outside the sphere.
+    Release,
+    /// Compared *unequal*: a fault has been detected.
+    Mismatch,
+}
+
+/// Result of a trailing-thread load value queue lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LvqResult {
+    /// The leading thread has not retired this load yet: retry later.
+    NotReady,
+    /// The entry: the address the leading thread used and the value it
+    /// loaded. The trailing thread verifies the address and consumes the
+    /// value.
+    Entry {
+        /// Leading thread's effective address.
+        addr: u64,
+        /// Leading thread's loaded value.
+        value: u64,
+    },
+}
+
+/// The environment a [`crate::Core`] executes in.
+///
+/// Methods take the core's id so one environment can serve the two cores of
+/// a CMP device; `now` lets cross-core implementations model forwarding
+/// latency.
+pub trait CoreEnv {
+    /// Architectural load for an independent or leading thread.
+    fn read_mem(&mut self, core: usize, tid: ThreadId, addr: u64, bytes: u64) -> u64;
+
+    /// A verified (or independent) store leaves the sphere of replication.
+    fn write_mem(&mut self, core: usize, tid: ThreadId, addr: u64, value: u64, bytes: u64);
+
+    /// A leading-thread instruction retired. Returning `false` NACKs the
+    /// retirement (e.g. the load value queue or line prediction queue is
+    /// full); the core stalls retirement of this thread and retries.
+    fn lead_retired(
+        &mut self,
+        _core: usize,
+        _tid: ThreadId,
+        _now: u64,
+        _info: &RetireInfo,
+    ) -> bool {
+        true
+    }
+
+    /// The leading thread's oldest instruction cannot retire because of a
+    /// store-queue dependency (memory barrier at the head, or a load
+    /// needing partial forwarding from an unverified store): the line
+    /// prediction queue must force-terminate its open chunk (§4.4.2).
+    fn lead_retire_blocked(&mut self, _core: usize, _tid: ThreadId, _now: u64, _pair: PairId) {}
+
+    /// May this leading store leave the sphere? Independent threads always
+    /// release.
+    fn store_release(
+        &mut self,
+        _core: usize,
+        _tid: ThreadId,
+        _now: u64,
+        _pair: PairId,
+        _tag: u64,
+        _addr: u64,
+        _value: u64,
+        _bytes: u64,
+    ) -> StoreRelease {
+        StoreRelease::Release
+    }
+
+    /// Peeks the line prediction queue at its active head.
+    fn lpq_peek(&mut self, _core: usize, _tid: ThreadId, _now: u64, _pair: PairId) -> Option<RetiredChunk> {
+        None
+    }
+
+    /// The address driver accepted the peeked prediction (advance the
+    /// active head).
+    fn lpq_ack(&mut self, _core: usize, _tid: ThreadId, _pair: PairId) {}
+
+    /// The accepted chunk was successfully fetched (advance the recovery
+    /// head).
+    fn lpq_fetch_done(&mut self, _core: usize, _tid: ThreadId, _pair: PairId) {}
+
+    /// An instruction-cache miss interrupted the prediction stream: roll
+    /// the active head back to the recovery head.
+    fn lpq_rollback(&mut self, _core: usize, _tid: ThreadId, _pair: PairId) {}
+
+    /// Looks up the load value queue entry with the given tag.
+    fn lvq_lookup(&mut self, _core: usize, _tid: ThreadId, _now: u64, _pair: PairId, _tag: u64) -> LvqResult {
+        LvqResult::NotReady
+    }
+
+    /// Consumes (deallocates) the LVQ entry with the given tag.
+    fn lvq_consume(&mut self, _core: usize, _tid: ThreadId, _pair: PairId, _tag: u64) {}
+
+    /// A trailing store's address and data became available (it "entered
+    /// the store queue", §4.2): feed the store comparator.
+    fn trailing_store_executed(
+        &mut self,
+        _core: usize,
+        _tid: ThreadId,
+        _now: u64,
+        _pair: PairId,
+        _tag: u64,
+        _addr: u64,
+        _value: u64,
+        _bytes: u64,
+    ) {
+    }
+
+    /// A trailing-thread instruction retired (used for the same-FU
+    /// statistic of §7.1.1 and coverage accounting).
+    fn trailing_retired(&mut self, _core: usize, _tid: ThreadId, _now: u64, _info: &RetireInfo) {}
+}
+
+/// The trivial environment: every thread is independent and reads/writes a
+/// private memory image.
+///
+/// # Examples
+///
+/// ```
+/// use rmt_pipeline::env::{CoreEnv, IndependentEnv};
+/// use rmt_isa::MemImage;
+///
+/// let mut env = IndependentEnv::new(vec![MemImage::new()]);
+/// env.write_mem(0, 0, 0x100, 7, 8);
+/// assert_eq!(env.read_mem(0, 0, 0x100, 8), 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IndependentEnv {
+    images: Vec<MemImage>,
+    /// `assign[core][tid]` = image index; defaults to `tid` on core 0.
+    assign: Vec<Vec<usize>>,
+}
+
+impl IndependentEnv {
+    /// Creates an environment over the given memory images; by default
+    /// thread `t` of core 0 uses image `t`.
+    pub fn new(images: Vec<MemImage>) -> Self {
+        let n = images.len();
+        IndependentEnv {
+            images,
+            assign: vec![(0..n).collect()],
+        }
+    }
+
+    /// Routes `(core, tid)` to `image`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image` is out of range.
+    pub fn assign(&mut self, core: usize, tid: ThreadId, image: usize) {
+        assert!(image < self.images.len(), "image index out of range");
+        while self.assign.len() <= core {
+            self.assign.push(Vec::new());
+        }
+        let row = &mut self.assign[core];
+        while row.len() <= tid {
+            row.push(0);
+        }
+        row[tid] = image;
+    }
+
+    fn image_idx(&self, core: usize, tid: ThreadId) -> usize {
+        self.assign
+            .get(core)
+            .and_then(|row| row.get(tid))
+            .copied()
+            .unwrap_or(tid)
+    }
+
+    /// The image used by `(core, tid)`.
+    pub fn image(&self, core: usize, tid: ThreadId) -> &MemImage {
+        &self.images[self.image_idx(core, tid)]
+    }
+
+    /// All images.
+    pub fn images(&self) -> &[MemImage] {
+        &self.images
+    }
+}
+
+impl CoreEnv for IndependentEnv {
+    fn read_mem(&mut self, core: usize, tid: ThreadId, addr: u64, bytes: u64) -> u64 {
+        let idx = self.image_idx(core, tid);
+        self.images[idx].read(addr, bytes)
+    }
+
+    fn write_mem(&mut self, core: usize, tid: ThreadId, addr: u64, value: u64, bytes: u64) {
+        let idx = self.image_idx(core, tid);
+        self.images[idx].write(addr, value, bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_env_routes_by_thread() {
+        let mut a = MemImage::new();
+        a.write_u64(0, 1);
+        let mut b = MemImage::new();
+        b.write_u64(0, 2);
+        let mut env = IndependentEnv::new(vec![a, b]);
+        assert_eq!(env.read_mem(0, 0, 0, 8), 1);
+        assert_eq!(env.read_mem(0, 1, 0, 8), 2);
+    }
+
+    #[test]
+    fn explicit_assignment_overrides_default() {
+        let mut a = MemImage::new();
+        a.write_u64(0, 7);
+        let mut env = IndependentEnv::new(vec![a]);
+        env.assign(1, 3, 0);
+        assert_eq!(env.read_mem(1, 3, 0, 8), 7);
+    }
+
+    #[test]
+    fn default_rmt_hooks_are_inert() {
+        let mut env = IndependentEnv::new(vec![MemImage::new()]);
+        assert!(env.lead_retired(
+            0,
+            0,
+            0,
+            &RetireInfo {
+                pair: 0,
+                pc: 0,
+                next_pc: 4,
+                iq_half: 0,
+                fu_id: 0,
+                commit_index: 0,
+                kind: RetireKind::Other,
+            }
+        ));
+        assert_eq!(
+            env.store_release(0, 0, 0, 0, 0, 0, 0, 8),
+            StoreRelease::Release
+        );
+        assert_eq!(env.lvq_lookup(0, 0, 0, 0, 0), LvqResult::NotReady);
+        assert!(env.lpq_peek(0, 0, 0, 0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_assignment_panics() {
+        IndependentEnv::new(vec![]).assign(0, 0, 5);
+    }
+}

@@ -1,0 +1,68 @@
+//! The base processor: a cycle-level model of an eight-wide, four-context
+//! SMT core resembling the Alpha Araña/EV8 (the paper's §3, Table 1,
+//! Figure 2).
+//!
+//! The pipeline is organized exactly as the paper's boxes:
+//!
+//! * **IBOX** ([`frontend`]) — thread chooser (ICOUNT-approximating), line
+//!   predictor driving fetch of two 8-instruction chunks per cycle,
+//!   way-predicted L1I, per-thread rate-matching buffers.
+//! * **PBOX** ([`backend`]) — register rename (512 physical registers), one
+//!   8-instruction map chunk per cycle from one thread.
+//! * **QBOX** ([`backend`]) — a 128-entry instruction queue split into two
+//!   64-entry halves, four issues per half per cycle, plus the completion
+//!   unit (per-thread in-order retirement, 8 per cycle).
+//! * **RBOX/EBOX/FBOX** — register-read latency and the functional-unit
+//!   pools (8 int, 8 logic, 4 mem, 4 FP, split across queue halves).
+//! * **MBOX** ([`lsq`]) — load queue, store queue (statically partitioned
+//!   per thread, or per-thread queues with the paper's `ptsq`
+//!   optimization), store→load forwarding with a partial-overlap stall
+//!   path, store-sets violation detection, and the data cache via
+//!   `rmt-mem`.
+//!
+//! Redundant-multithreading attachment points are expressed through the
+//! [`env::CoreEnv`] trait: a thread's [`config::ThreadRole`] decides whether
+//! its fetch is driven by the line predictor or by an external line
+//! prediction queue, whether its loads read memory or a load value queue,
+//! and whether its stores must be verified before leaving the sphere of
+//! replication. `rmt-core` implements those environments; the base
+//! processor ships with [`env::IndependentEnv`] where every thread is an
+//! ordinary program.
+//!
+//! # Examples
+//!
+//! Run one benchmark on the base processor:
+//!
+//! ```
+//! use rmt_pipeline::{Core, CoreConfig, env::IndependentEnv};
+//! use rmt_workloads::{Benchmark, Workload};
+//! use std::rc::Rc;
+//!
+//! let w = Workload::generate(Benchmark::Swim, 1);
+//! let mut env = IndependentEnv::new(vec![w.memory.clone()]);
+//! let mut core = Core::new(CoreConfig::base(), 0);
+//! core.attach_thread(Rc::new(w.program.clone()), 0);
+//! let mut hier = rmt_mem::MemoryHierarchy::new(Default::default(), 1);
+//! for cycle in 0..2_000 {
+//!     core.tick(cycle, &mut hier, &mut env);
+//! }
+//! assert!(core.thread_stats(0).committed > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod chunk;
+pub mod config;
+pub mod core;
+pub mod env;
+pub mod frontend;
+pub mod lsq;
+pub mod regs;
+pub mod trace;
+
+pub use crate::core::{Core, ThreadStats};
+pub use chunk::{ChunkAggregator, FetchChunk, RetiredChunk};
+pub use config::{CoreConfig, ThreadId, ThreadRole};
+pub use env::{CoreEnv, RetireInfo};

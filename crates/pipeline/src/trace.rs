@@ -1,0 +1,185 @@
+//! Pipeline event tracing.
+//!
+//! A bounded ring of per-stage events for debugging and for tests that
+//! assert *mechanism* (e.g. "this load issued twice because the first
+//! attempt hit a partial forward"). Tracing is off by default and costs
+//! nothing when disabled; enable it with
+//! [`crate::Core::enable_tracing`].
+//!
+//! # Examples
+//!
+//! ```
+//! use rmt_pipeline::{Core, CoreConfig};
+//! use rmt_pipeline::env::IndependentEnv;
+//! use rmt_isa::{Inst, MemImage, Program, Reg};
+//! use std::rc::Rc;
+//!
+//! let p = Program::from_insts(vec![Inst::addi(Reg::new(1), Reg::ZERO, 7), Inst::halt()]);
+//! let mut core = Core::new(CoreConfig::base(), 0);
+//! core.attach_thread(Rc::new(p), 0);
+//! core.finalize_partitions();
+//! core.enable_tracing(256);
+//! let mut env = IndependentEnv::new(vec![MemImage::new()]);
+//! let mut hier = rmt_mem::MemoryHierarchy::new(Default::default(), 1);
+//! for c in 0..200 { core.tick(c, &mut hier, &mut env); }
+//! let text = core.tracer().unwrap().render();
+//! assert!(text.contains("retire"));
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A chunk of `len` instructions entered the rate-matching buffer.
+    FetchChunk {
+        /// Instructions in the chunk.
+        len: usize,
+    },
+    /// An instruction was renamed into the window.
+    Rename,
+    /// An instruction issued to functional unit `fu`.
+    Issue {
+        /// Functional unit id.
+        fu: u8,
+    },
+    /// An instruction retired.
+    Retire,
+    /// The thread squashed from this instruction and redirected to
+    /// `new_pc`.
+    Squash {
+        /// Redirect target.
+        new_pc: u64,
+    },
+    /// A store left the sphere of replication.
+    StoreRelease,
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceKind::FetchChunk { len } => write!(f, "fetch({len})"),
+            TraceKind::Rename => write!(f, "rename"),
+            TraceKind::Issue { fu } => write!(f, "issue(fu{fu})"),
+            TraceKind::Retire => write!(f, "retire"),
+            TraceKind::Squash { new_pc } => write!(f, "squash->{new_pc:#x}"),
+            TraceKind::StoreRelease => write!(f, "store-release"),
+        }
+    }
+}
+
+/// One traced event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Cycle of the event.
+    pub cycle: u64,
+    /// Hardware thread.
+    pub tid: usize,
+    /// PC involved (0 when not applicable).
+    pub pc: u64,
+    /// The event.
+    pub kind: TraceKind,
+}
+
+/// A bounded event ring.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    events: VecDeque<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// Creates a tracer keeping the most recent `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "tracer capacity must be non-zero");
+        Tracer {
+            events: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest beyond capacity.
+    pub fn record(&mut self, cycle: u64, tid: usize, pc: u64, kind: TraceKind) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceRecord {
+            cycle,
+            tid,
+            pc,
+            kind,
+        });
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the retained events as one line each.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.events {
+            let _ = writeln!(out, "[{:>8}] t{} pc={:#06x} {}", e.cycle, e.tid, e.pc, e.kind);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut t = Tracer::new(3);
+        for i in 0..5u64 {
+            t.record(i, 0, i * 4, TraceKind::Rename);
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let cycles: Vec<u64> = t.events().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn render_contains_all_fields() {
+        let mut t = Tracer::new(4);
+        t.record(7, 1, 0x40, TraceKind::Issue { fu: 3 });
+        t.record(9, 1, 0x40, TraceKind::Squash { new_pc: 0x80 });
+        let text = t.render();
+        assert!(text.contains("issue(fu3)"));
+        assert!(text.contains("squash->0x80"));
+        assert!(text.contains("t1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        Tracer::new(0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Diagnostics (run with `--ignored`): the machine's IPC ceiling on ideal
+//! (fully independent) code, single- and dual-threaded. The workload
+//! generator is calibrated against this ceiling (DESIGN.md §9).
+
+use rmt_isa::inst::{Inst, Reg};
+use rmt_isa::program::ProgramBuilder;
+use rmt_mem::{HierarchyConfig, MemoryHierarchy};
+use rmt_pipeline::env::IndependentEnv;
+use rmt_pipeline::{Core, CoreConfig};
+use std::rc::Rc;
+
+fn peak(body: usize, threads: usize) -> f64 {
+    let mut b = ProgramBuilder::new();
+    b.label("top");
+    for i in 0..body {
+        let r = Reg::new((1 + i % 40) as u8);
+        b.push(Inst::addi(r, r, 1));
+    }
+    b.push_branch(Inst::j(0), "top");
+    let p = Rc::new(b.build().unwrap());
+    let mut env = IndependentEnv::new(vec![rmt_isa::MemImage::new(); threads]);
+    let mut core = Core::new(CoreConfig::base(), 0);
+    for _ in 0..threads {
+        core.attach_thread(p.clone(), 0);
+    }
+    core.finalize_partitions();
+    let mut hier = MemoryHierarchy::new(HierarchyConfig::default(), 1);
+    for c in 0..30_000 {
+        core.tick(c, &mut hier, &mut env);
+        hier.tick(c);
+    }
+    (0..threads)
+        .map(|t| core.thread_stats(t).committed)
+        .sum::<u64>() as f64
+        / 30_000.0
+}
+
+#[test]
+#[ignore = "diagnostic tool, not a correctness test"]
+fn dump_peak_ipc() {
+    for body in [7usize, 15, 31, 63] {
+        println!(
+            "body={body:3} 1T ipc={:.2}  2T total={:.2}",
+            peak(body, 1),
+            peak(body, 2)
+        );
+    }
+}
+
+#[test]
+fn machine_ceiling_is_near_the_issue_width() {
+    // Kept as a real test: ideal code must saturate close to the 8-wide
+    // issue/retire width, or a scheduling regression crept in.
+    assert!(peak(7, 1) > 7.5, "single-thread ceiling degraded");
+    assert!(peak(15, 2) > 7.5, "two-thread aggregate ceiling degraded");
+}

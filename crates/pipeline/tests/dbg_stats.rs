@@ -1,0 +1,54 @@
+//! Diagnostics (run with `--ignored`): per-benchmark warm-window IPC and
+//! counter deltas on the base machine. Not a correctness test — a tool for
+//! recalibrating the synthetic workloads (DESIGN.md §9).
+//!
+//! ```text
+//! cargo test -p rmt-pipeline --release --test dbg_stats -- --ignored --nocapture
+//! ```
+
+use rmt_mem::{HierarchyConfig, MemoryHierarchy};
+use rmt_pipeline::env::IndependentEnv;
+use rmt_pipeline::{Core, CoreConfig};
+use rmt_workloads::profile::ALL_BENCHMARKS;
+use rmt_workloads::Workload;
+use std::rc::Rc;
+
+#[test]
+#[ignore = "diagnostic tool, not a correctness test"]
+fn dump_stats() {
+    for &bench in ALL_BENCHMARKS {
+        let w = Workload::generate(bench, 11);
+        let mut env = IndependentEnv::new(vec![w.memory.clone()]);
+        let mut core = Core::new(CoreConfig::base(), 0);
+        core.attach_thread(Rc::new(w.program.clone()), 0);
+        core.finalize_partitions();
+        let mut hier = MemoryHierarchy::new(HierarchyConfig::default(), 1);
+        let mut cycle = 0u64;
+        while core.thread_stats(0).committed < 60_000 {
+            core.tick(cycle, &mut hier, &mut env);
+            hier.tick(cycle);
+            cycle += 1;
+        }
+        let c0 = cycle;
+        let i0 = core.thread_stats(0).committed;
+        let snap: Vec<(String, u64)> = core
+            .stats()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        while core.thread_stats(0).committed < i0 + 50_000 {
+            core.tick(cycle, &mut hier, &mut env);
+            hier.tick(cycle);
+            cycle += 1;
+        }
+        let dc = cycle - c0;
+        println!("==== {bench} ==== warm ipc={:.3} cycles={dc}", 50_000.0 / dc as f64);
+        for (k, v) in core.stats().iter() {
+            let old = snap.iter().find(|(k2, _)| k2 == k).map(|(_, v)| *v).unwrap_or(0);
+            let d = v - old;
+            if d > 0 {
+                println!("   {k:<28} {d:>8}  ({:.3}/instr)", d as f64 / 50_000.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Cached single-thread base-processor IPCs — the denominators of the
+//! paper's SMT-efficiency metric (§6.4): "the IPC of the thread when it
+//! would run in single-thread mode through the same SMT machine".
+
+use crate::experiment::{DeviceKind, Experiment};
+use rmt_workloads::Benchmark;
+use std::collections::HashMap;
+
+/// Caches single-thread base IPCs per `(benchmark, seed, warmup, measure)`.
+#[derive(Debug, Default)]
+pub struct BaselineCache {
+    cache: HashMap<(Benchmark, u64, u64, u64), f64>,
+}
+
+impl BaselineCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Single-thread base-processor IPC of `bench` under the given run
+    /// parameters (computed once, then cached).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline simulation itself fails (it never should).
+    pub fn ipc(&mut self, bench: Benchmark, seed: u64, warmup: u64, measure: u64) -> f64 {
+        *self
+            .cache
+            .entry((bench, seed, warmup, measure))
+            .or_insert_with(|| {
+                Experiment::new(DeviceKind::Base)
+                    .benchmark(bench)
+                    .seed(seed)
+                    .warmup(warmup)
+                    .measure(measure)
+                    .run()
+                    .expect("baseline run must succeed")
+                    .ipc(0)
+            })
+    }
+
+    /// Number of cached baselines.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_and_reuses() {
+        let mut c = BaselineCache::new();
+        assert!(c.is_empty());
+        let a = c.ipc(Benchmark::M88ksim, 1, 500, 2_000);
+        assert_eq!(c.len(), 1);
+        let b = c.ipc(Benchmark::M88ksim, 1, 500, 2_000);
+        assert_eq!(c.len(), 1);
+        assert_eq!(a, b);
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_entries() {
+        let mut c = BaselineCache::new();
+        c.ipc(Benchmark::Li, 1, 500, 2_000);
+        c.ipc(Benchmark::Li, 2, 500, 2_000);
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,468 @@
+//! The experiment builder: one device configuration, one benchmark set,
+//! one measured interval.
+
+use rmt_core::crt::CrtDevice;
+use rmt_core::device::{BaseDevice, Device, LogicalThread, SrtDevice, SrtOptions};
+use rmt_core::lockstep::{LockstepDevice, LockstepOptions};
+use rmt_mem::HierarchyConfig;
+use rmt_pipeline::CoreConfig;
+use rmt_workloads::{Benchmark, Workload};
+use std::fmt;
+
+/// The machine configurations the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// The unmodified base processor (one hardware thread per program).
+    Base,
+    /// The base processor running *two* copies of each program with no
+    /// input replication or output comparison ("Base2" in Figure 6).
+    Base2,
+    /// SRT with preferential space redundancy (the paper's default after
+    /// §7.1.1).
+    Srt,
+    /// SRT with per-thread store queues (§4.2).
+    SrtPtsq,
+    /// SRT without store comparison ("SRT + nosc" in Figure 6).
+    SrtNosc,
+    /// SRT without preferential space redundancy (§7.1.1's baseline).
+    SrtNoPsr,
+    /// Lockstepped dual core with an ideal zero-cycle checker.
+    Lock0,
+    /// Lockstepped dual core with an 8-cycle checker.
+    Lock8,
+    /// Chip-level redundant threading (the paper's contribution, §5).
+    Crt,
+}
+
+impl DeviceKind {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceKind::Base => "Base",
+            DeviceKind::Base2 => "Base2",
+            DeviceKind::Srt => "SRT",
+            DeviceKind::SrtPtsq => "SRT+ptsq",
+            DeviceKind::SrtNosc => "SRT+nosc",
+            DeviceKind::SrtNoPsr => "SRT-noPSR",
+            DeviceKind::Lock0 => "Lock0",
+            DeviceKind::Lock8 => "Lock8",
+            DeviceKind::Crt => "CRT",
+        }
+    }
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Errors from [`Experiment::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The measurement did not finish within the cycle budget.
+    Timeout {
+        /// Cycles simulated before giving up.
+        cycles: u64,
+    },
+    /// No benchmarks were supplied.
+    NoBenchmarks,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Timeout { cycles } => {
+                write!(f, "simulation exceeded its cycle budget ({cycles})")
+            }
+            SimError::NoBenchmarks => write!(f, "experiment has no benchmarks"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Builder for one simulation run.
+///
+/// See the crate-level example.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    kind: DeviceKind,
+    benchmarks: Vec<Benchmark>,
+    seed: u64,
+    warmup: u64,
+    measure: u64,
+    core_cfg: CoreConfig,
+    hier_cfg: HierarchyConfig,
+    srt_opts: SrtOptions,
+    max_cycle_factor: u64,
+}
+
+impl Experiment {
+    /// Starts an experiment on the given machine kind.
+    pub fn new(kind: DeviceKind) -> Self {
+        let mut core_cfg = CoreConfig::base();
+        let mut srt_opts = SrtOptions::default();
+        match kind {
+            DeviceKind::Srt | DeviceKind::SrtNosc | DeviceKind::Crt => {
+                srt_opts.core.preferential_space_redundancy = true;
+            }
+            DeviceKind::SrtPtsq => {
+                srt_opts.core.preferential_space_redundancy = true;
+                srt_opts.core.per_thread_store_queues = true;
+            }
+            DeviceKind::SrtNoPsr => {}
+            _ => {}
+        }
+        if kind == DeviceKind::SrtNosc {
+            srt_opts.env.store_comparison = false;
+        }
+        if kind == DeviceKind::Crt {
+            srt_opts.env.cross_core_delay = 4;
+            // §4.2: the cross-core verification latency makes the shared
+            // store-queue partitioning the binding constraint; CRT uses the
+            // paper's per-thread store queues.
+            srt_opts.core.per_thread_store_queues = true;
+        }
+        core_cfg.preferential_space_redundancy = false;
+        Experiment {
+            kind,
+            benchmarks: Vec::new(),
+            seed: 1,
+            warmup: 20_000,
+            measure: 100_000,
+            core_cfg,
+            hier_cfg: HierarchyConfig::default(),
+            srt_opts,
+            max_cycle_factor: 60,
+        }
+    }
+
+    /// Adds one benchmark (one logical thread).
+    pub fn benchmark(mut self, b: Benchmark) -> Self {
+        self.benchmarks.push(b);
+        self
+    }
+
+    /// Adds several benchmarks (logical threads).
+    pub fn benchmarks(mut self, bs: &[Benchmark]) -> Self {
+        self.benchmarks.extend_from_slice(bs);
+        self
+    }
+
+    /// Workload seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Instructions each logical thread commits before measurement starts.
+    pub fn warmup(mut self, n: u64) -> Self {
+        self.warmup = n;
+        self
+    }
+
+    /// Instructions each logical thread commits inside the measured
+    /// interval.
+    pub fn measure(mut self, n: u64) -> Self {
+        self.measure = n;
+        self
+    }
+
+    /// Applies a closure to the core configuration of whichever device this
+    /// experiment builds (sweeps and ablations).
+    pub fn tweak_core(mut self, f: impl Fn(&mut CoreConfig)) -> Self {
+        f(&mut self.core_cfg);
+        f(&mut self.srt_opts.core);
+        self
+    }
+
+    /// Applies a closure to the full SRT/CRT options (store-queue sweeps,
+    /// forwarding-delay sweeps, fetch-policy ablations).
+    pub fn tweak_srt(mut self, f: impl FnOnce(&mut SrtOptions)) -> Self {
+        f(&mut self.srt_opts);
+        self
+    }
+
+    /// Applies a closure to the memory-hierarchy configuration of whichever
+    /// device this experiment builds (prefetch/latency sweeps).
+    pub fn tweak_hierarchy(mut self, f: impl Fn(&mut HierarchyConfig)) -> Self {
+        f(&mut self.hier_cfg);
+        f(&mut self.srt_opts.hierarchy);
+        self
+    }
+
+    /// Raises the cycle-budget multiplier (slow configurations).
+    pub fn max_cycle_factor(mut self, factor: u64) -> Self {
+        self.max_cycle_factor = factor;
+        self
+    }
+
+    fn logical_threads(&self) -> Vec<LogicalThread> {
+        self.benchmarks
+            .iter()
+            .map(|&b| LogicalThread::from(&Workload::generate(b, self.seed)))
+            .collect()
+    }
+
+    /// Runs the experiment.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NoBenchmarks`] if no benchmark was added;
+    /// [`SimError::Timeout`] if the run exceeds the cycle budget.
+    pub fn run(self) -> Result<RunResult, SimError> {
+        if self.benchmarks.is_empty() {
+            return Err(SimError::NoBenchmarks);
+        }
+        let threads = self.logical_threads();
+        let mut device: Box<dyn Device> = match self.kind {
+            DeviceKind::Base => Box::new(BaseDevice::new(
+                self.core_cfg.clone(),
+                self.hier_cfg,
+                threads,
+            )),
+            DeviceKind::Base2 => {
+                // Each logical thread twice, no replication: committed is
+                // measured on the even (first-copy) hardware threads.
+                let doubled: Vec<LogicalThread> = threads
+                    .iter()
+                    .flat_map(|t| [t.clone(), t.clone()])
+                    .collect();
+                Box::new(BaseDevice::new(
+                    self.core_cfg.clone(),
+                    self.hier_cfg,
+                    doubled,
+                ))
+            }
+            DeviceKind::Srt
+            | DeviceKind::SrtPtsq
+            | DeviceKind::SrtNosc
+            | DeviceKind::SrtNoPsr => Box::new(SrtDevice::new(self.srt_opts.clone(), threads)),
+            DeviceKind::Lock0 => Box::new(LockstepDevice::new(
+                LockstepOptions {
+                    core: self.core_cfg.clone(),
+                    hierarchy: self.hier_cfg,
+                    ..LockstepOptions::lock0()
+                },
+                threads,
+            )),
+            DeviceKind::Lock8 => Box::new(LockstepDevice::new(
+                LockstepOptions {
+                    core: self.core_cfg.clone(),
+                    hierarchy: self.hier_cfg,
+                    ..LockstepOptions::lock8()
+                },
+                threads,
+            )),
+            DeviceKind::Crt => Box::new(CrtDevice::new(self.srt_opts.clone(), threads)),
+        };
+        let logical_idx: Vec<usize> = match self.kind {
+            DeviceKind::Base2 => (0..self.benchmarks.len()).map(|i| 2 * i).collect(),
+            _ => (0..self.benchmarks.len()).collect(),
+        };
+
+        let budget = (self.warmup + self.measure) * self.max_cycle_factor + 200_000;
+        // Per-thread measurement windows, as in the paper's fixed
+        // instruction count per program: thread i's window opens when it
+        // commits its `warmup`-th instruction and closes when it commits
+        // `measure` more. This keeps fast threads' efficiency from being
+        // inflated by the extra cache warmup they enjoy while slower
+        // threads catch up.
+        let n = logical_idx.len();
+        let mut start_cycle: Vec<Option<u64>> = vec![None; n];
+        let mut end_cycle: Vec<Option<u64>> = vec![None; n];
+        let mut faults = 0usize;
+        while end_cycle.iter().any(Option::is_none) {
+            device.tick();
+            if device.cycle() > budget {
+                return Err(SimError::Timeout {
+                    cycles: device.cycle(),
+                });
+            }
+            for (k, &i) in logical_idx.iter().enumerate() {
+                let c = device.committed(i);
+                if start_cycle[k].is_none() && c >= self.warmup {
+                    start_cycle[k] = Some(device.cycle());
+                    // Only faults during measurement are reported.
+                    faults = 0;
+                }
+                if start_cycle[k].is_some() && end_cycle[k].is_none() && c >= self.warmup + self.measure
+                {
+                    end_cycle[k] = Some(device.cycle());
+                }
+            }
+            faults += device.drain_detected_faults().len();
+        }
+        let total_cycles = end_cycle
+            .iter()
+            .map(|c| c.expect("all windows closed"))
+            .max()
+            .unwrap_or(0)
+            - start_cycle
+                .iter()
+                .map(|c| c.expect("all windows opened"))
+                .min()
+                .unwrap_or(0);
+        let per_thread = logical_idx
+            .iter()
+            .enumerate()
+            .map(|(k, _)| ThreadOutcome {
+                benchmark: self.benchmarks[k],
+                committed: self.measure,
+                cycles: end_cycle[k].expect("closed") - start_cycle[k].expect("opened"),
+            })
+            .collect();
+        Ok(RunResult {
+            kind: self.kind,
+            cycles: total_cycles,
+            per_thread,
+            faults_detected: faults,
+        })
+    }
+}
+
+
+/// Per-logical-thread outcome of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadOutcome {
+    /// The benchmark this thread ran.
+    pub benchmark: Benchmark,
+    /// Instructions committed in the measured interval.
+    pub committed: u64,
+    /// Cycles in the measured interval (shared across threads).
+    pub cycles: u64,
+}
+
+impl ThreadOutcome {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// The result of one experiment run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Machine kind.
+    pub kind: DeviceKind,
+    /// Cycles in the measured interval.
+    pub cycles: u64,
+    /// Per-logical-thread outcomes.
+    pub per_thread: Vec<ThreadOutcome>,
+    /// Faults detected during measurement (0 in fault-free runs).
+    pub faults_detected: usize,
+}
+
+impl RunResult {
+    /// IPC of logical thread `i` over the measured interval.
+    pub fn ipc(&self, i: usize) -> f64 {
+        self.per_thread[i].ipc()
+    }
+
+    /// Total committed instructions across threads.
+    pub fn total_committed(&self) -> u64 {
+        self.per_thread.iter().map(|t| t.committed).sum()
+    }
+
+    /// Faults detected during the measured interval.
+    pub fn faults_detected(&self) -> usize {
+        self.faults_detected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(kind: DeviceKind, b: Benchmark) -> RunResult {
+        Experiment::new(kind)
+            .benchmark(b)
+            .warmup(1_000)
+            .measure(4_000)
+            .seed(3)
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_experiment_errors() {
+        assert_eq!(
+            Experiment::new(DeviceKind::Base).run().unwrap_err(),
+            SimError::NoBenchmarks
+        );
+    }
+
+    #[test]
+    fn base_and_srt_run() {
+        let base = quick(DeviceKind::Base, Benchmark::M88ksim);
+        let srt = quick(DeviceKind::Srt, Benchmark::M88ksim);
+        assert!(base.ipc(0) > 0.0);
+        assert!(srt.ipc(0) > 0.0);
+        assert!(srt.cycles > base.cycles, "SRT must cost cycles");
+        assert_eq!(srt.faults_detected(), 0);
+    }
+
+    #[test]
+    fn base2_measures_first_copy() {
+        let r = quick(DeviceKind::Base2, Benchmark::Li);
+        assert_eq!(r.per_thread.len(), 1);
+        assert!(r.per_thread[0].committed >= 4_000);
+    }
+
+    #[test]
+    fn lockstep_kinds_run() {
+        let l0 = quick(DeviceKind::Lock0, Benchmark::Ijpeg);
+        let l8 = quick(DeviceKind::Lock8, Benchmark::Ijpeg);
+        assert!(l8.cycles >= l0.cycles);
+    }
+
+    #[test]
+    fn crt_runs_multithreaded() {
+        let r = Experiment::new(DeviceKind::Crt)
+            .benchmarks(&[Benchmark::Gcc, Benchmark::Fpppp])
+            .warmup(1_000)
+            .measure(3_000)
+            .run()
+            .unwrap();
+        assert_eq!(r.per_thread.len(), 2);
+        assert!(r.ipc(0) > 0.0);
+        assert!(r.ipc(1) > 0.0);
+    }
+
+    #[test]
+    fn identical_experiments_are_reproducible() {
+        let a = quick(DeviceKind::Srt, Benchmark::Go);
+        let b = quick(DeviceKind::Srt, Benchmark::Go);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.total_committed(), b.total_committed());
+    }
+
+    #[test]
+    fn tweak_srt_changes_behaviour() {
+        let small_sq = Experiment::new(DeviceKind::Srt)
+            .benchmark(Benchmark::Compress)
+            .warmup(1_000)
+            .measure(4_000)
+            .tweak_srt(|o| o.core.sq_entries = 8)
+            .run()
+            .unwrap();
+        let big_sq = Experiment::new(DeviceKind::Srt)
+            .benchmark(Benchmark::Compress)
+            .warmup(1_000)
+            .measure(4_000)
+            .tweak_srt(|o| o.core.sq_entries = 128)
+            .run()
+            .unwrap();
+        assert!(
+            small_sq.cycles > big_sq.cycles,
+            "a tiny store queue must hurt: {} vs {}",
+            small_sq.cycles,
+            big_sq.cycles
+        );
+    }
+}

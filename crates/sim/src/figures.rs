@@ -1,0 +1,861 @@
+//! One driver per reproduced table/figure.
+//!
+//! Every function returns a [`FigureResult`]: a printable table whose rows
+//! mirror the paper's artifact, plus a machine-readable summary used by
+//! tests and EXPERIMENTS.md. The `rmt-bench` binaries are thin wrappers
+//! that print these.
+//!
+//! The paper's runs are 15M instructions per program on a hardware-grade
+//! simulator; ours default to smaller intervals (see [`SimScale`]) — the
+//! *shape* of each result is the reproduction target, not absolute
+//! magnitudes (DESIGN.md §5).
+
+use crate::baseline::BaselineCache;
+use crate::experiment::{DeviceKind, Experiment};
+use rmt_core::device::{Device, LogicalThread, SrtDevice, SrtOptions};
+use rmt_faults::{run_base_campaign, run_lockstep_campaign, run_srt_campaign, CampaignConfig, FaultKind};
+use rmt_pipeline::CoreConfig;
+use rmt_stats::metrics::{degradation_pct, mean, smt_efficiency};
+use rmt_stats::table::{fmt3, fmt_pct};
+use rmt_stats::Table;
+use rmt_workloads::mix::{four_program_mixes, mix_name, two_program_mixes};
+use rmt_workloads::{Benchmark, Workload};
+use std::collections::BTreeMap;
+
+/// How much simulation to spend per data point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimScale {
+    /// Instructions committed per logical thread before measurement.
+    pub warmup: u64,
+    /// Instructions committed per logical thread in the measured interval.
+    pub measure: u64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl SimScale {
+    /// Small runs for CI and Criterion (~seconds per figure). Caches and
+    /// predictors are still partially cold at this scale; use it for shape
+    /// checks, not recorded numbers.
+    pub fn quick() -> Self {
+        SimScale {
+            warmup: 2_000,
+            measure: 10_000,
+            seed: 1,
+        }
+    }
+
+    /// The default scale used by the figure binaries: long enough for the
+    /// pointer-chase rings, predictors and caches to reach steady state.
+    pub fn standard() -> Self {
+        SimScale {
+            warmup: 40_000,
+            measure: 80_000,
+            seed: 1,
+        }
+    }
+
+    /// Long runs for the recorded EXPERIMENTS.md numbers.
+    pub fn full() -> Self {
+        SimScale {
+            warmup: 60_000,
+            measure: 150_000,
+            seed: 1,
+        }
+    }
+}
+
+/// A printable artifact plus machine-readable summary values.
+#[derive(Debug)]
+pub struct FigureResult {
+    /// The paper-style rows.
+    pub table: Table,
+    /// Named scalar results (averages, deltas) for tests and reports.
+    pub summary: BTreeMap<String, f64>,
+}
+
+impl FigureResult {
+    /// A summary value by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is absent (a test programming error).
+    pub fn value(&self, key: &str) -> f64 {
+        *self
+            .summary
+            .get(key)
+            .unwrap_or_else(|| panic!("missing summary key `{key}`"))
+    }
+}
+
+fn run_eff(
+    kind: DeviceKind,
+    benches: &[Benchmark],
+    scale: SimScale,
+    baselines: &mut BaselineCache,
+) -> f64 {
+    let r = Experiment::new(kind)
+        .benchmarks(benches)
+        .seed(scale.seed)
+        .warmup(scale.warmup)
+        .measure(scale.measure)
+        .run()
+        .unwrap_or_else(|e| panic!("{kind} on {benches:?} failed: {e}"));
+    let pairs: Vec<(f64, f64)> = benches
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| {
+            (
+                r.ipc(i),
+                baselines.ipc(b, scale.seed, scale.warmup, scale.measure),
+            )
+        })
+        .collect();
+    smt_efficiency(&pairs)
+}
+
+// ====================================================================
+// Table 1 and Figure 2: machine description
+// ====================================================================
+
+/// Table 1: the base processor's parameters, read back from the live
+/// configuration structures so the table cannot drift from the model.
+pub fn table1() -> FigureResult {
+    let c = CoreConfig::base();
+    let h = rmt_mem::HierarchyConfig::default();
+    let mut t = Table::with_columns(&["box", "parameter", "value"]);
+    let mut row = |a: &str, b: &str, v: String| t.row(vec![a.into(), b.into(), v]);
+    row("IBOX", "fetch width", format!("{} x {}-instruction chunks", c.fetch_chunks, c.chunk_size));
+    row("IBOX", "line predictor entries", c.line_predictor_entries.to_string());
+    row("IBOX", "L1 I-cache", format!("{} KB, {}-way, {} B blocks, way prediction", h.l1i.size_bytes / 1024, h.l1i.assoc, h.l1i.block_bytes));
+    row("IBOX", "memory dependence predictor", format!("store sets, {} entries", c.store_sets_entries));
+    row("PBOX", "map width", format!("one {}-instruction chunk per cycle", c.chunk_size));
+    row("QBOX", "instruction queue", format!("{} entries (two {}-entry halves)", c.iq_size, c.iq_size / 2));
+    row("QBOX", "issue width", format!("{} per cycle", c.issue_width));
+    row("RBOX", "register file", format!("{} physical registers", c.phys_regs));
+    row("EBOX/FBOX", "functional units", format!("{} int, {} logic, {} mem, {} fp", c.fu_int, c.fu_logic, c.fu_mem, c.fu_fp));
+    row("MBOX", "L1 D-cache", format!("{} KB, {}-way, {} B blocks, {} load ports", h.l1d.size_bytes / 1024, h.l1d.assoc, h.l1d.block_bytes, c.max_loads_per_cycle));
+    row("MBOX", "load queue", format!("{} entries", c.lq_entries));
+    row("MBOX", "store queue", format!("{} entries", c.sq_entries));
+    row("system", "L2 cache", format!("{} MB, {}-way, {} B blocks", h.l2.size_bytes / 1024 / 1024, h.l2.assoc, h.l2.block_bytes));
+    row("system", "L2 / memory latency", format!("{} / {} cycles", h.l2_latency, h.mem_latency));
+    let mut summary = BTreeMap::new();
+    summary.insert("iq_size".into(), c.iq_size as f64);
+    summary.insert("phys_regs".into(), c.phys_regs as f64);
+    FigureResult { table: t, summary }
+}
+
+/// Figure 2: the pipeline's stage latencies.
+pub fn fig2_pipeline() -> FigureResult {
+    let c = CoreConfig::base();
+    let mut t = Table::with_columns(&["segment", "role", "cycles"]);
+    for (seg, role, cyc) in [
+        ("I", "IBOX: thread chooser, line prediction, I-cache, rate-matching buffer", c.ibox_latency),
+        ("P", "PBOX: wire delay + register rename", c.pbox_latency),
+        ("Q", "QBOX: instruction queue", c.qbox_latency),
+        ("R", "RBOX: register read", c.rbox_latency),
+        ("E", "EBOX: functional units (base latency)", 1),
+        ("M", "MBOX: data cache / load queue / store queue", c.mbox_latency),
+    ] {
+        t.row(vec![seg.into(), role.into(), cyc.to_string()]);
+    }
+    let mut summary = BTreeMap::new();
+    summary.insert(
+        "frontend_depth".into(),
+        (c.ibox_latency + c.pbox_latency + c.qbox_latency) as f64,
+    );
+    FigureResult { table: t, summary }
+}
+
+// ====================================================================
+// Figure 6: SRT with one logical thread
+// ====================================================================
+
+/// Figure 6: SMT-efficiency for one logical thread under Base2, SRT+nosc,
+/// SRT and SRT+ptsq, across the benchmark suite.
+pub fn fig6_srt_single(scale: SimScale, benches: &[Benchmark]) -> FigureResult {
+    let mut baselines = BaselineCache::new();
+    let mut t = Table::with_columns(&["benchmark", "Base2", "SRT+nosc", "SRT", "SRT+ptsq"]);
+    let kinds = [
+        DeviceKind::Base2,
+        DeviceKind::SrtNosc,
+        DeviceKind::Srt,
+        DeviceKind::SrtPtsq,
+    ];
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
+    for &b in benches {
+        let mut cells = vec![b.name().to_string()];
+        for (k, &kind) in kinds.iter().enumerate() {
+            let eff = run_eff(kind, &[b], scale, &mut baselines);
+            cols[k].push(eff);
+            cells.push(fmt3(eff));
+        }
+        t.row(cells);
+    }
+    let mut avg_cells = vec!["average".to_string()];
+    let mut summary = BTreeMap::new();
+    for (k, &kind) in kinds.iter().enumerate() {
+        let m = mean(&cols[k]);
+        avg_cells.push(fmt3(m));
+        summary.insert(format!("{}_mean_efficiency", kind.name()), m);
+        summary.insert(
+            format!("{}_mean_degradation_pct", kind.name()),
+            degradation_pct(1.0, m),
+        );
+    }
+    t.row(avg_cells);
+    FigureResult { table: t, summary }
+}
+
+// ====================================================================
+// Figure 7: preferential space redundancy
+// ====================================================================
+
+fn same_fu_fraction(psr_enabled: bool, bench: Benchmark, scale: SimScale) -> (f64, f64) {
+    let mut opts = SrtOptions::default();
+    opts.core.preferential_space_redundancy = psr_enabled;
+    let w = Workload::generate(bench, scale.seed);
+    let mut dev = SrtDevice::new(opts, vec![LogicalThread::from(&w)]);
+    let ok = dev.run_until_committed(scale.warmup + scale.measure, (scale.warmup + scale.measure) * 100);
+    assert!(ok, "{bench}: PSR run timed out");
+    let psr = &dev.env().pair(0).psr;
+    (psr.same_fu_fraction(), psr.same_half_fraction())
+}
+
+/// Figure 7: fraction of corresponding instructions executing on the same
+/// functional unit, without and with preferential space redundancy.
+pub fn fig7_psr(scale: SimScale, benches: &[Benchmark]) -> FigureResult {
+    let mut t = Table::with_columns(&[
+        "benchmark",
+        "same-FU (no PSR)",
+        "same-FU (PSR)",
+        "same-half (no PSR)",
+        "same-half (PSR)",
+    ]);
+    let mut no_psr = Vec::new();
+    let mut with_psr = Vec::new();
+    for &b in benches {
+        let (fu0, half0) = same_fu_fraction(false, b, scale);
+        let (fu1, half1) = same_fu_fraction(true, b, scale);
+        no_psr.push(fu0);
+        with_psr.push(fu1);
+        t.row(vec![
+            b.name().into(),
+            fmt_pct(fu0 * 100.0),
+            fmt_pct(fu1 * 100.0),
+            fmt_pct(half0 * 100.0),
+            fmt_pct(half1 * 100.0),
+        ]);
+    }
+    t.row(vec![
+        "average".into(),
+        fmt_pct(mean(&no_psr) * 100.0),
+        fmt_pct(mean(&with_psr) * 100.0),
+        String::new(),
+        String::new(),
+    ]);
+    let mut summary = BTreeMap::new();
+    summary.insert("same_fu_no_psr".into(), mean(&no_psr));
+    summary.insert("same_fu_with_psr".into(), mean(&with_psr));
+    FigureResult { table: t, summary }
+}
+
+// ====================================================================
+// Two-logical-thread SRT (§7.1 prose)
+// ====================================================================
+
+/// §7.1's two-logical-thread SRT result: SMT-efficiency of SRT and
+/// SRT+ptsq running two programs as two redundant pairs (four contexts).
+pub fn fig8_srt_multi(scale: SimScale) -> FigureResult {
+    let mut baselines = BaselineCache::new();
+    let mut t = Table::with_columns(&["pair", "Base(2 threads)", "SRT", "SRT+ptsq"]);
+    let mut base_col = Vec::new();
+    let mut srt_col = Vec::new();
+    let mut ptsq_col = Vec::new();
+    for pair in two_program_mixes() {
+        let base = run_eff(DeviceKind::Base, &pair, scale, &mut baselines);
+        let srt = run_eff(DeviceKind::Srt, &pair, scale, &mut baselines);
+        let ptsq = run_eff(DeviceKind::SrtPtsq, &pair, scale, &mut baselines);
+        base_col.push(base);
+        srt_col.push(srt);
+        ptsq_col.push(ptsq);
+        t.row(vec![mix_name(&pair), fmt3(base), fmt3(srt), fmt3(ptsq)]);
+    }
+    t.row(vec![
+        "average".into(),
+        fmt3(mean(&base_col)),
+        fmt3(mean(&srt_col)),
+        fmt3(mean(&ptsq_col)),
+    ]);
+    let mut summary = BTreeMap::new();
+    summary.insert("base2t_mean_efficiency".into(), mean(&base_col));
+    summary.insert("srt_mean_efficiency".into(), mean(&srt_col));
+    summary.insert("ptsq_mean_efficiency".into(), mean(&ptsq_col));
+    FigureResult { table: t, summary }
+}
+
+// ====================================================================
+// Store lifetimes (§4.2 / §7.1 prose)
+// ====================================================================
+
+/// §7.1's store-queue analysis: average lifetime of a store-queue entry on
+/// the base processor vs the SRT leading thread.
+pub fn fig9_storeq(scale: SimScale, benches: &[Benchmark]) -> FigureResult {
+    let mut t = Table::with_columns(&["benchmark", "base lifetime", "SRT lead lifetime", "delta"]);
+    let mut deltas = Vec::new();
+    for &b in benches {
+        let w = Workload::generate(b, scale.seed);
+        let target = scale.warmup + scale.measure;
+
+        let mut base = rmt_core::device::BaseDevice::new(
+            CoreConfig::base(),
+            Default::default(),
+            vec![LogicalThread::from(&w)],
+        );
+        assert!(base.run_until_committed(target, target * 100));
+        let base_life = base.core().store_lifetime(0).mean();
+
+        let mut srt = SrtDevice::new(SrtOptions::default(), vec![LogicalThread::from(&w)]);
+        assert!(srt.run_until_committed(target, target * 100));
+        let (lead, _) = srt.pair_tids(0);
+        let srt_life = srt.core().store_lifetime(lead).mean();
+
+        let delta = srt_life - base_life;
+        deltas.push(delta);
+        t.row(vec![
+            b.name().into(),
+            fmt3(base_life),
+            fmt3(srt_life),
+            fmt3(delta),
+        ]);
+    }
+    t.row(vec![
+        "average".into(),
+        String::new(),
+        String::new(),
+        fmt3(mean(&deltas)),
+    ]);
+    let mut summary = BTreeMap::new();
+    summary.insert("mean_lifetime_delta".into(), mean(&deltas));
+    FigureResult { table: t, summary }
+}
+
+// ====================================================================
+// Figures 10-12: lockstepping vs CRT
+// ====================================================================
+
+fn crt_vs_lockstep(scale: SimScale, mixes: &[Vec<Benchmark>], label: &str) -> FigureResult {
+    let mut baselines = BaselineCache::new();
+    let mut t = Table::with_columns(&[label, "Lock0", "Lock8", "CRT", "CRT vs Lock8"]);
+    let mut l0 = Vec::new();
+    let mut l8 = Vec::new();
+    let mut crt = Vec::new();
+    for mix in mixes {
+        let e0 = run_eff(DeviceKind::Lock0, mix, scale, &mut baselines);
+        let e8 = run_eff(DeviceKind::Lock8, mix, scale, &mut baselines);
+        let ec = run_eff(DeviceKind::Crt, mix, scale, &mut baselines);
+        l0.push(e0);
+        l8.push(e8);
+        crt.push(ec);
+        let gain = (ec / e8 - 1.0) * 100.0;
+        t.row(vec![
+            mix_name(mix),
+            fmt3(e0),
+            fmt3(e8),
+            fmt3(ec),
+            fmt_pct(gain),
+        ]);
+    }
+    let gain = (mean(&crt) / mean(&l8) - 1.0) * 100.0;
+    let max_gain = crt
+        .iter()
+        .zip(&l8)
+        .map(|(c, l)| (c / l - 1.0) * 100.0)
+        .fold(f64::MIN, f64::max);
+    t.row(vec![
+        "average".into(),
+        fmt3(mean(&l0)),
+        fmt3(mean(&l8)),
+        fmt3(mean(&crt)),
+        fmt_pct(gain),
+    ]);
+    let mut summary = BTreeMap::new();
+    summary.insert("lock0_mean".into(), mean(&l0));
+    summary.insert("lock8_mean".into(), mean(&l8));
+    summary.insert("crt_mean".into(), mean(&crt));
+    summary.insert("crt_vs_lock8_pct".into(), gain);
+    summary.insert("crt_vs_lock8_max_pct".into(), max_gain);
+    FigureResult { table: t, summary }
+}
+
+/// §7.2 single-thread comparison: CRT performs like lockstepping when only
+/// one logical thread runs.
+pub fn fig10_crt_single(scale: SimScale, benches: &[Benchmark]) -> FigureResult {
+    let mixes: Vec<Vec<Benchmark>> = benches.iter().map(|&b| vec![b]).collect();
+    crt_vs_lockstep(scale, &mixes, "benchmark")
+}
+
+/// §7.2 two-program comparison: CRT's cross-coupling beats lockstepping.
+pub fn fig11_crt_two(scale: SimScale) -> FigureResult {
+    let mixes: Vec<Vec<Benchmark>> = two_program_mixes().iter().map(|m| m.to_vec()).collect();
+    crt_vs_lockstep(scale, &mixes, "pair")
+}
+
+/// §7.2 four-program comparison (the paper's 15 combinations; see
+/// `rmt_workloads::mix` for the reconstruction).
+pub fn fig12_crt_four(scale: SimScale) -> FigureResult {
+    let mixes: Vec<Vec<Benchmark>> = four_program_mixes().iter().map(|m| m.to_vec()).collect();
+    crt_vs_lockstep(scale, &mixes, "mix")
+}
+
+// ====================================================================
+// Ablations
+// ====================================================================
+
+/// Store-queue size sweep (the motivation for per-thread store queues,
+/// §4.2): SRT efficiency as the shared store queue grows.
+pub fn abl_sq_size(scale: SimScale, benches: &[Benchmark]) -> FigureResult {
+    let sizes = [16usize, 32, 64, 128, 256];
+    let mut cols: Vec<String> = vec!["benchmark".into()];
+    cols.extend(sizes.iter().map(|s| format!("SQ={s}")));
+    let mut t = Table::new(cols);
+    let mut baselines = BaselineCache::new();
+    let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
+    for &b in benches {
+        let mut cells = vec![b.name().to_string()];
+        for (i, &s) in sizes.iter().enumerate() {
+            let r = Experiment::new(DeviceKind::Srt)
+                .benchmark(b)
+                .seed(scale.seed)
+                .warmup(scale.warmup)
+                .measure(scale.measure)
+                .tweak_srt(move |o| o.core.sq_entries = s)
+                .max_cycle_factor(120)
+                .run()
+                .expect("sweep run");
+            let eff = r.ipc(0) / baselines.ipc(b, scale.seed, scale.warmup, scale.measure);
+            per_size[i].push(eff);
+            cells.push(fmt3(eff));
+        }
+        t.row(cells);
+    }
+    let mut summary = BTreeMap::new();
+    for (i, &s) in sizes.iter().enumerate() {
+        summary.insert(format!("eff_sq{s}"), mean(&per_size[i]));
+    }
+    FigureResult { table: t, summary }
+}
+
+/// Trailing-fetch policy ablation (§4.4): the line prediction queue vs
+/// fetching the trailing thread through the shared line predictor.
+pub fn abl_fetch_policy(scale: SimScale, benches: &[Benchmark]) -> FigureResult {
+    let mut baselines = BaselineCache::new();
+    let mut t = Table::with_columns(&[
+        "benchmark",
+        "SRT (LPQ)",
+        "SRT (shared line pred)",
+        "trailing squashes (shared)",
+    ]);
+    let mut lpq_col = Vec::new();
+    let mut shared_col = Vec::new();
+    for &b in benches {
+        let lpq = run_eff(DeviceKind::Srt, &[b], scale, &mut baselines);
+        // Shared-line-predictor trailing fetch: trailing threads
+        // misspeculate, so comparison must move to retirement.
+        let w = Workload::generate(b, scale.seed);
+        let mut opts = SrtOptions::default();
+        opts.core.preferential_space_redundancy = true;
+        opts.core.trailing_uses_lpq = false;
+        opts.env.compare_at_retire = true;
+        opts.env.lpq_enabled = false;
+        let mut dev = SrtDevice::new(opts, vec![LogicalThread::from(&w)]);
+        let target = scale.warmup + scale.measure;
+        assert!(dev.run_until_committed(target, target * 200), "{b} shared-fetch run timed out");
+        let (lead, trail) = dev.pair_tids(0);
+        let eff = {
+            let ipc = dev.core().thread_stats(lead).committed as f64 / dev.cycle() as f64;
+            // Compare whole-run IPC against a whole-run base IPC for the
+            // same instruction count (no warmup split needed for a ratio of
+            // identically-measured runs).
+            let mut base = rmt_core::device::BaseDevice::new(
+                CoreConfig::base(),
+                Default::default(),
+                vec![LogicalThread::from(&w)],
+            );
+            assert!(base.run_until_committed(target, target * 100));
+            let base_ipc = base.committed(0) as f64 / base.cycle() as f64;
+            ipc / base_ipc
+        };
+        let trail_squashes = dev.core().thread_stats(trail).squashes;
+        lpq_col.push(lpq);
+        shared_col.push(eff);
+        t.row(vec![
+            b.name().into(),
+            fmt3(lpq),
+            fmt3(eff),
+            trail_squashes.to_string(),
+        ]);
+    }
+    let mut summary = BTreeMap::new();
+    summary.insert("lpq_mean".into(), mean(&lpq_col));
+    summary.insert("shared_mean".into(), mean(&shared_col));
+    FigureResult { table: t, summary }
+}
+
+/// Trailing-fetch priority ablation (§4.4's "best performance was achieved
+/// by giving the trailing thread priority").
+pub fn abl_slack(scale: SimScale, benches: &[Benchmark]) -> FigureResult {
+    let mut baselines = BaselineCache::new();
+    let mut t = Table::with_columns(&["benchmark", "trailing priority", "ICOUNT only"]);
+    let mut pri = Vec::new();
+    let mut icount = Vec::new();
+    for &b in benches {
+        let with_pri = run_eff(DeviceKind::Srt, &[b], scale, &mut baselines);
+        let r = Experiment::new(DeviceKind::Srt)
+            .benchmark(b)
+            .seed(scale.seed)
+            .warmup(scale.warmup)
+            .measure(scale.measure)
+            .tweak_srt(|o| o.core.trailing_fetch_priority = false)
+            .max_cycle_factor(120)
+            .run()
+            .expect("icount run");
+        let without = r.ipc(0) / baselines.ipc(b, scale.seed, scale.warmup, scale.measure);
+        pri.push(with_pri);
+        icount.push(without);
+        t.row(vec![b.name().into(), fmt3(with_pri), fmt3(without)]);
+    }
+    let mut summary = BTreeMap::new();
+    summary.insert("priority_mean".into(), mean(&pri));
+    summary.insert("icount_mean".into(), mean(&icount));
+    FigureResult { table: t, summary }
+}
+
+/// LVQ size sweep: the load value queue bounds the slack between the
+/// redundant threads; too small and the leading thread stalls at
+/// retirement, too large buys nothing.
+pub fn abl_lvq_size(scale: SimScale, benches: &[Benchmark]) -> FigureResult {
+    let sizes = [8usize, 16, 32, 64, 128];
+    let mut cols: Vec<String> = vec!["benchmark".into()];
+    cols.extend(sizes.iter().map(|s| format!("LVQ={s}")));
+    let mut t = Table::new(cols);
+    let mut baselines = BaselineCache::new();
+    let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
+    for &b in benches {
+        let mut cells = vec![b.name().to_string()];
+        for (i, &sz) in sizes.iter().enumerate() {
+            let r = Experiment::new(DeviceKind::Srt)
+                .benchmark(b)
+                .seed(scale.seed)
+                .warmup(scale.warmup)
+                .measure(scale.measure)
+                .tweak_srt(move |o| o.env.lvq_entries = sz)
+                .max_cycle_factor(150)
+                .run()
+                .expect("lvq sweep run");
+            let eff = r.ipc(0) / baselines.ipc(b, scale.seed, scale.warmup, scale.measure);
+            per_size[i].push(eff);
+            cells.push(fmt3(eff));
+        }
+        t.row(cells);
+    }
+    let mut summary = BTreeMap::new();
+    for (i, &sz) in sizes.iter().enumerate() {
+        summary.insert(format!("eff_lvq{sz}"), mean(&per_size[i]));
+    }
+    FigureResult { table: t, summary }
+}
+
+/// CRT inter-core forwarding-delay sweep: the paper argues the forwarding
+/// queues decouple the threads, so CRT tolerates cross-core latency (§5).
+pub fn abl_crt_delay(scale: SimScale, benches: &[Benchmark]) -> FigureResult {
+    let delays = [0u64, 2, 4, 8, 16, 32];
+    let mut cols: Vec<String> = vec!["benchmark".into()];
+    cols.extend(delays.iter().map(|d| format!("delay={d}")));
+    let mut t = Table::new(cols);
+    let mut baselines = BaselineCache::new();
+    let mut per_delay: Vec<Vec<f64>> = vec![Vec::new(); delays.len()];
+    for &b in benches {
+        let mut cells = vec![b.name().to_string()];
+        for (i, &d) in delays.iter().enumerate() {
+            let r = Experiment::new(DeviceKind::Crt)
+                .benchmark(b)
+                .seed(scale.seed)
+                .warmup(scale.warmup)
+                .measure(scale.measure)
+                .tweak_srt(move |o| o.env.cross_core_delay = d)
+                .max_cycle_factor(150)
+                .run()
+                .expect("delay sweep run");
+            let eff = r.ipc(0) / baselines.ipc(b, scale.seed, scale.warmup, scale.measure);
+            per_delay[i].push(eff);
+            cells.push(fmt3(eff));
+        }
+        t.row(cells);
+    }
+    let mut summary = BTreeMap::new();
+    for (i, &d) in delays.iter().enumerate() {
+        summary.insert(format!("eff_delay{d}"), mean(&per_delay[i]));
+    }
+    FigureResult { table: t, summary }
+}
+
+/// Redundant-thread slack distribution under SRT: mean and maximum of
+/// (leading − trailing) committed instructions, the quantity slack fetch
+/// controlled explicitly in the original SRT design and that the LVQ/LPQ
+/// capacity bounds implicitly here (§4.4).
+pub fn slack_profile(scale: SimScale, benches: &[Benchmark]) -> FigureResult {
+    let mut t = Table::with_columns(&["benchmark", "mean slack", "max slack", "lvq peak", "lpq peak"]);
+    let mut means = Vec::new();
+    for &b in benches {
+        let w = Workload::generate(b, scale.seed);
+        let mut dev = SrtDevice::new(SrtOptions::default(), vec![LogicalThread::from(&w)]);
+        let target = scale.warmup + scale.measure;
+        assert!(dev.run_until_committed(target, target * 120), "{b} timed out");
+        let pair = dev.env().pair(0);
+        means.push(pair.slack.mean());
+        t.row(vec![
+            b.name().into(),
+            fmt3(pair.slack.mean()),
+            pair.slack.max().unwrap_or(0).to_string(),
+            pair.lvq.peak().to_string(),
+            pair.lpq.peak().to_string(),
+        ]);
+    }
+    let mut summary = BTreeMap::new();
+    summary.insert("mean_slack".into(), mean(&means));
+    FigureResult { table: t, summary }
+}
+
+/// Workload characterization: instruction mix and machine behaviour per
+/// synthetic benchmark, next to the base-processor IPC (the credibility
+/// table for the SPEC95 substitution in DESIGN.md §1).
+pub fn workload_chars(scale: SimScale, benches: &[Benchmark]) -> FigureResult {
+    let mut t = Table::with_columns(&[
+        "benchmark",
+        "IPC",
+        "branch%",
+        "load%",
+        "store%",
+        "fp%",
+        "squash/1k",
+        "working set",
+    ]);
+    let mut summary = BTreeMap::new();
+    for &b in benches {
+        let w = Workload::generate(b, scale.seed);
+        // Static instruction mix over the program text.
+        let insts = w.program.insts();
+        let total = insts.len() as f64;
+        let frac = |pred: &dyn Fn(&rmt_isa::Inst) -> bool| {
+            insts.iter().filter(|i| pred(i)).count() as f64 / total * 100.0
+        };
+        let branches = frac(&|i| i.op.is_cond_branch());
+        let loads = frac(&|i| i.op.is_load());
+        let stores = frac(&|i| i.op.is_store());
+        let fp = frac(&|i| matches!(i.op.fu_class(), rmt_isa::FuClass::Fp));
+        // Dynamic behaviour on the base machine: IPC from the warm
+        // measurement window (the same number every SMT-efficiency in this
+        // suite divides by); squash rate over the whole run.
+        let mut baselines = BaselineCache::new();
+        let ipc = baselines.ipc(b, scale.seed, scale.warmup, scale.measure);
+        let mut dev = rmt_core::device::BaseDevice::new(
+            CoreConfig::base(),
+            Default::default(),
+            vec![LogicalThread::from(&w)],
+        );
+        let target = scale.warmup + scale.measure;
+        assert!(dev.run_until_committed(target, target * 120), "{b} timed out");
+        let committed = dev.committed(0) as f64;
+        let squash_rate = dev.core().thread_stats(0).squashes as f64 / committed * 1_000.0;
+        summary.insert(format!("{}_ipc", b.name()), ipc);
+        t.row(vec![
+            b.name().into(),
+            fmt3(ipc),
+            fmt_pct(branches),
+            fmt_pct(loads),
+            fmt_pct(stores),
+            fmt_pct(fp),
+            fmt3(squash_rate),
+            format!("{} KB", b.profile().working_set / 1024),
+        ]);
+    }
+    FigureResult { table: t, summary }
+}
+
+/// Next-line L1D prefetch ablation (extension; the paper's machine has no
+/// prefetcher): base-machine IPC with and without it, per benchmark.
+pub fn abl_prefetch(scale: SimScale, benches: &[Benchmark]) -> FigureResult {
+    let mut t = Table::with_columns(&["benchmark", "no prefetch", "next-line prefetch", "speedup"]);
+    let mut speedups = Vec::new();
+    let mut summary = BTreeMap::new();
+    for &b in benches {
+        let run = |pf: bool| {
+            Experiment::new(DeviceKind::Base)
+                .benchmark(b)
+                .seed(scale.seed)
+                .warmup(scale.warmup)
+                .measure(scale.measure)
+                .tweak_hierarchy(move |h| h.l1d_next_line_prefetch = pf)
+                .max_cycle_factor(150)
+                .run()
+                .expect("prefetch run")
+                .ipc(0)
+        };
+        let off = run(false);
+        let on = run(true);
+        let speedup = on / off;
+        speedups.push(speedup);
+        t.row(vec![b.name().into(), fmt3(off), fmt3(on), fmt3(speedup)]);
+    }
+    summary.insert("mean_speedup".into(), mean(&speedups));
+    FigureResult { table: t, summary }
+}
+
+// ====================================================================
+// Fault coverage
+// ====================================================================
+
+/// Fault-detection coverage across architectures and fault models,
+/// including PSR's effect on permanent-fault coverage (§4.5).
+pub fn fault_coverage(scale: SimScale, bench: Benchmark) -> FigureResult {
+    let w = Workload::generate(bench, scale.seed);
+    let cfg = CampaignConfig {
+        injections: 12,
+        warmup_commits: scale.warmup.min(3_000),
+        window_commits: scale.measure.min(20_000),
+        seed: 0xc0ffee,
+    };
+    let mut t = Table::with_columns(&[
+        "machine",
+        "fault",
+        "detected",
+        "masked",
+        "silent",
+        "coverage",
+        "mean latency",
+    ]);
+    let mut summary = BTreeMap::new();
+    let mut add = |t: &mut Table, machine: &str, r: rmt_faults::CampaignReport| {
+        t.row(vec![
+            machine.into(),
+            r.kind.name().into(),
+            r.detected.to_string(),
+            r.masked.to_string(),
+            r.silent.to_string(),
+            fmt3(r.coverage()),
+            fmt3(r.mean_latency()),
+        ]);
+        summary.insert(format!("{machine}_{}_coverage", r.kind.name()), r.coverage());
+        summary.insert(
+            format!("{machine}_{}_silent", r.kind.name()),
+            r.silent as f64,
+        );
+    };
+    // Base machine: no detection at all.
+    for kind in [FaultKind::TransientReg, FaultKind::TransientSq] {
+        add(&mut t, "base", run_base_campaign(CoreConfig::base(), &w, kind, cfg));
+    }
+    // SRT with PSR: all models.
+    let mut psr_opts = SrtOptions::default();
+    psr_opts.core.preferential_space_redundancy = true;
+    for kind in FaultKind::ALL {
+        add(&mut t, "srt", run_srt_campaign(psr_opts.clone(), &w, kind, cfg));
+    }
+    // SRT without PSR: permanent faults (the coverage PSR exists to fix).
+    add(
+        &mut t,
+        "srt-nopsr",
+        run_srt_campaign(SrtOptions::default(), &w, FaultKind::PermanentFu, cfg),
+    );
+    // SRT with the ECC the paper mandates for the LVQ (§2.1): strikes on
+    // LVQ entries are corrected before they can diverge the threads.
+    let mut ecc_opts = psr_opts.clone();
+    ecc_opts.env.lvq_ecc = true;
+    add(
+        &mut t,
+        "srt-ecc",
+        run_srt_campaign(ecc_opts, &w, FaultKind::TransientLvq, cfg),
+    );
+    // Lockstep: permanent + register faults.
+    for kind in [FaultKind::TransientReg, FaultKind::PermanentFu] {
+        add(
+            &mut t,
+            "lockstep",
+            run_lockstep_campaign(rmt_core::lockstep::LockstepOptions::lock8(), &w, kind, cfg),
+        );
+    }
+    FigureResult { table: t, summary }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const QUICK_BENCHES: &[Benchmark] = &[Benchmark::M88ksim, Benchmark::Ijpeg];
+
+    #[test]
+    fn table1_reflects_config() {
+        let r = table1();
+        assert_eq!(r.value("iq_size"), 128.0);
+        assert_eq!(r.value("phys_regs"), 512.0);
+        assert!(r.table.num_rows() >= 10);
+    }
+
+    #[test]
+    fn fig2_depth() {
+        let r = fig2_pipeline();
+        assert_eq!(r.value("frontend_depth"), 10.0);
+    }
+
+    #[test]
+    fn fig6_shape_matches_paper_orderings() {
+        let r = fig6_srt_single(SimScale::quick(), QUICK_BENCHES);
+        // The orderings the paper reports: redundant execution costs
+        // performance; SRT's optimized trailing thread beats naive
+        // two-copy redundancy (Base2); removing store comparison (nosc)
+        // recovers part of the loss; per-thread store queues help.
+        let srt = r.value("SRT_mean_efficiency");
+        let base2 = r.value("Base2_mean_efficiency");
+        let nosc = r.value("SRT+nosc_mean_efficiency");
+        let ptsq = r.value("SRT+ptsq_mean_efficiency");
+        assert!(srt < 1.0, "SRT must degrade: {srt}");
+        assert!(base2 < 1.0, "Base2 must degrade: {base2}");
+        assert!(srt > base2 * 0.99, "SRT {srt} should beat Base2 {base2}");
+        assert!(nosc >= srt * 0.98, "nosc should not be slower than SRT");
+        assert!(ptsq >= srt * 0.99, "ptsq should not be slower than SRT");
+        assert!(srt > 0.3, "SRT implausibly slow: {srt}");
+    }
+
+    #[test]
+    fn fig7_psr_kills_same_fu() {
+        let r = fig7_psr(SimScale::quick(), &[Benchmark::M88ksim]);
+        let before = r.value("same_fu_no_psr");
+        let after = r.value("same_fu_with_psr");
+        assert!(before > 0.25, "no-PSR same-FU fraction too low: {before}");
+        assert!(after < 0.05, "PSR same-FU fraction too high: {after}");
+    }
+
+    #[test]
+    fn fig9_srt_lengthens_store_lifetime() {
+        let r = fig9_storeq(SimScale::quick(), QUICK_BENCHES);
+        assert!(
+            r.value("mean_lifetime_delta") > 5.0,
+            "SRT must lengthen store lifetimes: {}",
+            r.value("mean_lifetime_delta")
+        );
+    }
+
+    #[test]
+    fn fault_coverage_shape() {
+        let r = fault_coverage(SimScale::quick(), Benchmark::Swim);
+        // The base machine detects nothing; unmasked store corruption is
+        // silent.
+        assert_eq!(r.value("base_transient-sq_coverage"), 0.0);
+        assert!(r.value("base_transient-sq_silent") >= 1.0);
+        // SRT catches store-queue corruption.
+        assert!(r.value("srt_transient-sq_coverage") > 0.6);
+        // SRT never lets a register strike escape silently.
+        assert_eq!(r.value("srt_transient-reg_silent"), 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Experiment harness: builds devices, runs warmup/measurement intervals,
+//! and regenerates every table and figure of the paper's evaluation.
+//!
+//! * [`experiment`] — the [`Experiment`] builder: one device configuration
+//!   running one set of benchmarks for a measured interval.
+//! * [`baseline`] — cached single-thread base-processor IPCs, the
+//!   denominators of the paper's SMT-efficiency metric (§6.4).
+//! * [`figures`] — one function per reproduced table/figure; each returns a
+//!   [`rmt_stats::Table`] whose rows mirror the paper's artifact. The
+//!   `rmt-bench` binaries print these.
+//!
+//! # Examples
+//!
+//! ```
+//! use rmt_sim::{DeviceKind, Experiment};
+//! use rmt_workloads::Benchmark;
+//!
+//! let r = Experiment::new(DeviceKind::Srt)
+//!     .benchmark(Benchmark::M88ksim)
+//!     .warmup(1_000)
+//!     .measure(4_000)
+//!     .run()
+//!     .unwrap();
+//! assert!(r.ipc(0) > 0.0);
+//! assert_eq!(r.faults_detected(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod experiment;
+pub mod figures;
+
+pub use baseline::BaselineCache;
+pub use experiment::{DeviceKind, Experiment, RunResult, SimError};
+pub use figures::SimScale;

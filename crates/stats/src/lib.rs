@@ -1,0 +1,45 @@
+//! Statistics, metrics and deterministic randomness for the RMT simulator.
+//!
+//! This crate provides the measurement substrate shared by every other crate
+//! in the workspace:
+//!
+//! * [`rng`] — a deterministic, dependency-free pseudo-random number
+//!   generator ([`rng::Xoshiro256`]). Determinism matters here: lockstepped
+//!   cores must produce bit-identical streams, and every experiment must be
+//!   reproducible from a `(config, seed)` pair.
+//! * [`counter`] — named event counters and counter groups.
+//! * [`histogram`] — fixed-bucket histograms used for store-lifetime and
+//!   occupancy distributions.
+//! * [`table`] — plain-text table rendering used by the figure/table
+//!   regeneration binaries.
+//! * [`metrics`] — IPC and SMT-efficiency (weighted speedup) computations,
+//!   the paper's evaluation metric (§6.4).
+//!
+//! # Examples
+//!
+//! ```
+//! use rmt_stats::rng::Xoshiro256;
+//! use rmt_stats::metrics::smt_efficiency;
+//!
+//! let mut rng = Xoshiro256::seed_from(42);
+//! let _coin = rng.chance(0.5);
+//!
+//! // A thread that achieves 0.9 IPC in SMT mode and 1.2 IPC alone:
+//! let eff = smt_efficiency(&[(0.9, 1.2)]);
+//! assert!((eff - 0.75).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod histogram;
+pub mod metrics;
+pub mod rng;
+pub mod table;
+
+pub use counter::{Counter, CounterSet};
+pub use histogram::Histogram;
+pub use metrics::{smt_efficiency, ThreadRun};
+pub use rng::Xoshiro256;
+pub use table::Table;

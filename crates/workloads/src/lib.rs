@@ -1,0 +1,38 @@
+//! Synthetic SPEC CPU95-like workloads.
+//!
+//! The paper evaluates on the 18 SPEC CPU95 benchmarks. Those binaries (and
+//! an Alpha toolchain) are unavailable, so this crate synthesizes — per
+//! benchmark name — a deterministic program in the `rmt-isa` ISA whose
+//! *rates* (branch density and predictability, load/store density, FP
+//! fraction, working-set size, ILP, call behaviour) land in the region the
+//! real benchmark occupies. RMT's performance effects are driven by exactly
+//! these rates (DESIGN.md §1), so the synthetic suite exercises the same
+//! mechanisms: store-queue pressure, line-predictor mispredictions, cache
+//! misses that the trailing thread can skip, and so on.
+//!
+//! * [`profile`] — the [`Benchmark`] enum and per-benchmark parameters.
+//! * [`generate`] — the program generator (kernels + main loop).
+//! * [`mix`] — the multiprogram combinations used by the two- and
+//!   four-logical-thread experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use rmt_workloads::{Benchmark, Workload};
+//!
+//! let w = Workload::generate(Benchmark::Gcc, 1);
+//! assert!(w.program.len() > 100);
+//! // Deterministic: same benchmark + seed -> identical program.
+//! let w2 = Workload::generate(Benchmark::Gcc, 1);
+//! assert_eq!(w.program, w2.program);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generate;
+pub mod mix;
+pub mod profile;
+
+pub use generate::Workload;
+pub use profile::{Benchmark, Profile};

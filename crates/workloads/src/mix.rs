@@ -1,0 +1,134 @@
+//! Multiprogram mixes for the multithreaded experiments.
+//!
+//! The paper combines benchmarks for its multithreaded runs (§6.2):
+//!
+//! * two-program runs: every pair of {gcc, go, fpppp, swim} — six pairs;
+//! * four-program runs: combinations of four of {gcc, go, ijpeg, fpppp,
+//!   swim} — the paper reports 15 combinations. Four *distinct* choices
+//!   from five benchmarks yield only C(5,4) = 5, so the paper necessarily
+//!   allowed repeats; we reproduce 15 as the 5 distinct four-of-five
+//!   combinations plus the C(5,2) = 10 doubled pairs (a, a, b, b). This is
+//!   recorded as a substitution in EXPERIMENTS.md.
+
+use crate::profile::Benchmark;
+
+/// The four benchmarks the paper pairs for two-program runs.
+pub const PAIR_POOL: [Benchmark; 4] = [
+    Benchmark::Gcc,
+    Benchmark::Go,
+    Benchmark::Fpppp,
+    Benchmark::Swim,
+];
+
+/// The five benchmarks the paper combines for four-program runs.
+pub const QUAD_POOL: [Benchmark; 5] = [
+    Benchmark::Gcc,
+    Benchmark::Go,
+    Benchmark::Ijpeg,
+    Benchmark::Fpppp,
+    Benchmark::Swim,
+];
+
+/// The six two-program pairs: every unordered pair from [`PAIR_POOL`].
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(rmt_workloads::mix::two_program_mixes().len(), 6);
+/// ```
+pub fn two_program_mixes() -> Vec<[Benchmark; 2]> {
+    let mut out = Vec::new();
+    for i in 0..PAIR_POOL.len() {
+        for j in (i + 1)..PAIR_POOL.len() {
+            out.push([PAIR_POOL[i], PAIR_POOL[j]]);
+        }
+    }
+    out
+}
+
+/// The fifteen four-program mixes: the 5 distinct 4-of-5 combinations from
+/// [`QUAD_POOL`] plus the 10 doubled pairs `(a, a, b, b)`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(rmt_workloads::mix::four_program_mixes().len(), 15);
+/// ```
+pub fn four_program_mixes() -> Vec<[Benchmark; 4]> {
+    let mut out = Vec::new();
+    // Distinct four-of-five: drop each element once.
+    for skip in 0..QUAD_POOL.len() {
+        let mut combo = Vec::with_capacity(4);
+        for (i, &b) in QUAD_POOL.iter().enumerate() {
+            if i != skip {
+                combo.push(b);
+            }
+        }
+        out.push([combo[0], combo[1], combo[2], combo[3]]);
+    }
+    // Doubled pairs.
+    for i in 0..QUAD_POOL.len() {
+        for j in (i + 1)..QUAD_POOL.len() {
+            out.push([QUAD_POOL[i], QUAD_POOL[i], QUAD_POOL[j], QUAD_POOL[j]]);
+        }
+    }
+    out
+}
+
+/// Human-readable name of a mix, e.g. `gcc+go`.
+pub fn mix_name(benchmarks: &[Benchmark]) -> String {
+    benchmarks
+        .iter()
+        .map(|b| b.name())
+        .collect::<Vec<_>>()
+        .join("+")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_pairs() {
+        let pairs = two_program_mixes();
+        assert_eq!(pairs.len(), 6);
+        // All distinct.
+        for (i, a) in pairs.iter().enumerate() {
+            for b in &pairs[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        // Each pair has two different benchmarks.
+        for p in &pairs {
+            assert_ne!(p[0], p[1]);
+        }
+    }
+
+    #[test]
+    fn fifteen_quads() {
+        let quads = four_program_mixes();
+        assert_eq!(quads.len(), 15);
+        for (i, a) in quads.iter().enumerate() {
+            for b in &quads[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn quads_use_only_the_pool() {
+        for q in four_program_mixes() {
+            for b in q {
+                assert!(QUAD_POOL.contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn names_join_with_plus() {
+        assert_eq!(
+            mix_name(&[Benchmark::Gcc, Benchmark::Go]),
+            "gcc+go".to_string()
+        );
+    }
+}

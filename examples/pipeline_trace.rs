@@ -1,0 +1,60 @@
+//! Peek inside the machine: disassemble a small program, run it on the
+//! base core with tracing enabled, and print the pipeline's event stream.
+//!
+//! ```text
+//! cargo run --release --example pipeline_trace
+//! ```
+
+use rmt::isa::disasm;
+use rmt::isa::inst::{Inst, Reg};
+use rmt::isa::program::ProgramBuilder;
+use rmt::isa::MemImage;
+use rmt::mem::MemoryHierarchy;
+use rmt::pipeline::env::IndependentEnv;
+use rmt::pipeline::{Core, CoreConfig};
+use std::rc::Rc;
+
+fn main() {
+    let r = Reg::new;
+    let mut b = ProgramBuilder::new();
+    b.push(Inst::addi(r(1), Reg::ZERO, 0));
+    b.push(Inst::addi(r(2), Reg::ZERO, 5));
+    b.label("loop");
+    b.push(Inst::slli(r(3), r(1), 3));
+    b.push(Inst::sw(r(1), r(3), 0x20000));
+    b.push(Inst::addi(r(1), r(1), 1));
+    b.push_branch(Inst::blt(r(1), r(2), 0), "loop");
+    b.push(Inst::halt());
+    let program = b.build().expect("labels resolve");
+
+    println!("program:\n{}", disasm::listing(&program));
+
+    let mut core = Core::new(CoreConfig::base(), 0);
+    core.attach_thread(Rc::new(program), 0);
+    core.finalize_partitions();
+    core.enable_tracing(4096);
+    let mut env = IndependentEnv::new(vec![MemImage::new()]);
+    let mut hier = MemoryHierarchy::new(Default::default(), 1);
+    let mut cycle = 0;
+    while !(core.all_halted() && core.in_flight(0) == 0) {
+        core.tick(cycle, &mut hier, &mut env);
+        hier.tick(cycle);
+        cycle += 1;
+        assert!(cycle < 100_000, "unexpectedly stuck");
+    }
+    // Let the stores drain through the merge buffer.
+    for c in cycle..cycle + 100 {
+        core.tick(c, &mut hier, &mut env);
+    }
+
+    println!("pipeline events ({} cycles total):", cycle);
+    print!("{}", core.tracer().expect("tracing enabled").render());
+    println!(
+        "\nfinal state: r1 = {}, committed = {}",
+        core.arch_reg(0, r(1)),
+        core.thread_stats(0).committed
+    );
+    for i in 0..5u64 {
+        println!("mem[{:#x}] = {}", 0x20000 + i * 8, env.image(0, 0).read_u64(0x20000 + i * 8));
+    }
+}

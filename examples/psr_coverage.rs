@@ -1,0 +1,43 @@
+//! Preferential space redundancy (§4.5): how steering the trailing thread
+//! to the opposite instruction-queue half turns permanent faults from
+//! escapes into detections.
+//!
+//! ```text
+//! cargo run --release --example psr_coverage
+//! ```
+
+use rmt::core::device::{Device, LogicalThread, SrtDevice, SrtOptions};
+use rmt::workloads::{Benchmark, Workload};
+
+fn same_fu(psr: bool) -> (f64, f64) {
+    let mut opts = SrtOptions::default();
+    opts.core.preferential_space_redundancy = psr;
+    let w = Workload::generate(Benchmark::M88ksim, 1);
+    let mut dev = SrtDevice::new(opts, vec![LogicalThread::from(&w)]);
+    dev.run_until_committed(30_000, 10_000_000);
+    let t = &dev.env().pair(0).psr;
+    (t.same_fu_fraction(), t.same_half_fraction())
+}
+
+fn main() {
+    println!("fraction of corresponding leading/trailing instructions that");
+    println!("execute on the SAME functional unit (a permanent fault there");
+    println!("corrupts both copies identically and escapes detection):\n");
+
+    let (fu_off, half_off) = same_fu(false);
+    println!(
+        "  without PSR: {:5.1}% same FU  ({:5.1}% same queue half)",
+        fu_off * 100.0,
+        half_off * 100.0
+    );
+    let (fu_on, half_on) = same_fu(true);
+    println!(
+        "  with PSR:    {:5.1}% same FU  ({:5.1}% same queue half)",
+        fu_on * 100.0,
+        half_on * 100.0
+    );
+    println!(
+        "\nthe paper reports ~65% dropping to ~0.06% (Figure 7); the\n\
+         mechanism — opposite-half steering — is the same here."
+    );
+}

@@ -1,0 +1,42 @@
+//! Quickstart: run a benchmark redundantly on an SRT processor and compare
+//! it against the unprotected base machine.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rmt::sim::{DeviceKind, Experiment};
+use rmt::workloads::Benchmark;
+
+fn main() {
+    let bench = Benchmark::M88ksim;
+    println!("running `{bench}` on the base processor and on SRT...\n");
+
+    let base = Experiment::new(DeviceKind::Base)
+        .benchmark(bench)
+        .warmup(5_000)
+        .measure(30_000)
+        .run()
+        .expect("base run");
+    let srt = Experiment::new(DeviceKind::Srt)
+        .benchmark(bench)
+        .warmup(5_000)
+        .measure(30_000)
+        .run()
+        .expect("SRT run");
+
+    println!("base processor : IPC {:.3}", base.ipc(0));
+    println!(
+        "SRT processor  : IPC {:.3}  (every instruction executed twice, \
+         outputs compared)",
+        srt.ipc(0)
+    );
+    println!(
+        "cost of redundancy: {:.1}% slowdown",
+        (1.0 - srt.ipc(0) / base.ipc(0)) * 100.0
+    );
+    println!(
+        "faults detected during the fault-free run: {} (expected 0)",
+        srt.faults_detected()
+    );
+}

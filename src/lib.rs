@@ -1,0 +1,47 @@
+//! # rmt — Redundant Multithreading Alternatives
+//!
+//! A from-scratch Rust reproduction of **"Detailed Design and Evaluation of
+//! Redundant Multithreading Alternatives"** (Mukherjee, Kontz, Reinhardt —
+//! ISCA 2002): transient/permanent fault detection by running two copies of
+//! a program as redundant threads and comparing their outputs, on top of a
+//! cycle-level model of a commercial-grade (EV8-like) SMT processor.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`isa`] — the instruction set the simulated machine executes.
+//! * [`workloads`] — synthetic SPEC CPU95-like benchmark generators.
+//! * [`mem`] — caches, merge buffer and DRAM timing.
+//! * [`predict`] — line/branch predictors, RAS and store-sets.
+//! * [`pipeline`] — the base SMT core (IBOX/PBOX/QBOX/RBOX/EBOX/MBOX).
+//! * [`core`] — **the paper's contribution**: SRT, CRT and lockstepping.
+//! * [`faults`] — fault injection and coverage campaigns.
+//! * [`sim`] — experiment harness and metric collection.
+//! * [`stats`] — counters, histograms, tables, deterministic RNG.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rmt::sim::{Experiment, DeviceKind};
+//! use rmt::workloads::Benchmark;
+//!
+//! // Run `gcc` redundantly on an SRT processor for a short interval and
+//! // check that redundant execution produced the same architectural state.
+//! let result = Experiment::new(DeviceKind::Srt)
+//!     .benchmark(Benchmark::Gcc)
+//!     .warmup(1_000)
+//!     .measure(5_000)
+//!     .run()
+//!     .expect("simulation runs");
+//! assert!(result.total_committed() > 0);
+//! assert_eq!(result.faults_detected(), 0);
+//! ```
+
+pub use rmt_core as core;
+pub use rmt_faults as faults;
+pub use rmt_isa as isa;
+pub use rmt_mem as mem;
+pub use rmt_pipeline as pipeline;
+pub use rmt_predict as predict;
+pub use rmt_sim as sim;
+pub use rmt_stats as stats;
+pub use rmt_workloads as workloads;

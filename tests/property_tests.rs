@@ -1,0 +1,310 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rmt::core::comparator::CompareOutcome;
+use rmt::core::{LinePredictionQueue, LoadValueQueue, StoreComparator};
+use rmt::isa::inst::{Inst, Reg, ALL_OPS};
+use rmt::isa::MemImage;
+use rmt::pipeline::chunk::ChunkAggregator;
+use rmt::stats::Histogram;
+use std::collections::HashMap;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..64).prop_map(Reg::new)
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    (
+        0..ALL_OPS.len(),
+        arb_reg(),
+        arb_reg(),
+        arb_reg(),
+        any::<i32>(),
+    )
+        .prop_map(|(op, rd, rs1, rs2, imm)| Inst::new(ALL_OPS[op], rd, rs1, rs2, imm as i64))
+}
+
+proptest! {
+    #[test]
+    fn inst_encode_decode_roundtrip(inst in arb_inst()) {
+        let decoded = Inst::decode(inst.encode()).unwrap();
+        prop_assert_eq!(inst, decoded);
+    }
+
+    #[test]
+    fn exec_is_deterministic(inst in arb_inst(), pc in any::<u32>(), a in any::<u64>(), b in any::<u64>()) {
+        let pc = (pc as u64) & !3;
+        let x = rmt::isa::execute(&inst, pc, a, b);
+        let y = rmt::isa::execute(&inst, pc, a, b);
+        prop_assert_eq!(x, y);
+    }
+
+    #[test]
+    fn mem_image_matches_hashmap_model(
+        ops in vec((any::<u16>(), any::<u64>(), any::<bool>()), 1..200)
+    ) {
+        // Addresses confined to 64 KiB so collisions actually happen.
+        let mut img = MemImage::new();
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        for (addr, value, word) in ops {
+            let addr = addr as u64;
+            if word {
+                img.write_u64(addr, value);
+                for i in 0..8 {
+                    model.insert(addr + i, (value >> (8 * i)) as u8);
+                }
+            } else {
+                img.write_u8(addr, value as u8);
+                model.insert(addr, value as u8);
+            }
+        }
+        for (&a, &expect) in &model {
+            prop_assert_eq!(img.read_u8(a), expect);
+        }
+    }
+
+    #[test]
+    fn mem_image_digest_is_content_function(
+        writes in vec((any::<u16>(), any::<u64>()), 1..50)
+    ) {
+        // Writing the same contents in any order produces the same digest.
+        let mut a = MemImage::new();
+        for &(addr, v) in &writes {
+            a.write_u64(addr as u64, v);
+        }
+        let mut b = MemImage::new();
+        for &(addr, v) in writes.iter().rev() {
+            b.write_u64(addr as u64, v);
+        }
+        // Later writes win; replay forward on b to converge.
+        for &(addr, v) in &writes {
+            b.write_u64(addr as u64, v);
+        }
+        prop_assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn chunk_aggregator_reconstructs_the_commit_stream(
+        // A random walk of (block length 1..=12, taken target) pairs.
+        blocks in vec((1u64..12, any::<u16>()), 1..40)
+    ) {
+        // Build the retired (pc, next_pc) stream.
+        let mut stream = Vec::new();
+        let mut pc = 0u64;
+        for &(len, target) in &blocks {
+            for i in 0..len {
+                let next = if i == len - 1 {
+                    (target as u64) * 4
+                } else {
+                    pc + 4
+                };
+                stream.push((pc, next));
+                pc = next;
+            }
+        }
+        let mut agg = ChunkAggregator::new(8);
+        let mut chunks = Vec::new();
+        for &(pc, next) in &stream {
+            agg.push(pc, next, 0, &mut chunks);
+        }
+        agg.force_terminate(&mut chunks);
+        // Invariant 1: chunks partition the stream exactly.
+        let total: usize = chunks.iter().map(|c| c.len).sum();
+        prop_assert_eq!(total, stream.len());
+        // Invariant 2: every chunk is contiguous and at most 8 long.
+        let mut idx = 0;
+        for c in &chunks {
+            prop_assert!(c.len >= 1 && c.len <= 8);
+            for k in 0..c.len {
+                prop_assert_eq!(stream[idx].0, c.start_pc + 4 * k as u64);
+                idx += 1;
+            }
+            // Invariant 3: a chunk never continues across a taken branch.
+            for k in 0..c.len - 1 {
+                let within = c.start_pc + 4 * k as u64;
+                prop_assert_eq!(stream[idx - c.len + k].1, within + 4);
+            }
+        }
+    }
+
+    #[test]
+    fn lvq_is_an_exact_tag_map(
+        entries in vec((any::<u64>(), any::<u64>()), 1..32),
+        lookups in vec(any::<usize>(), 1..32)
+    ) {
+        let mut lvq = LoadValueQueue::new(64);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for (i, &(addr, value)) in entries.iter().enumerate() {
+            let tag = i as u64;
+            prop_assert!(lvq.push(tag, addr, value, 8, 0));
+            model.insert(tag, value);
+        }
+        for &l in &lookups {
+            let tag = (l % entries.len()) as u64;
+            match lvq.lookup(tag, 0) {
+                Some(e) => {
+                    prop_assert_eq!(Some(&e.value), model.get(&tag));
+                    lvq.consume(tag);
+                    model.remove(&tag);
+                }
+                None => prop_assert!(!model.contains_key(&tag)),
+            }
+        }
+    }
+
+    #[test]
+    fn lpq_protocol_never_loses_or_reorders(
+        n in 1usize..20,
+        rollback_at in any::<usize>()
+    ) {
+        let mut lpq = LinePredictionQueue::new(32);
+        for i in 0..n {
+            let c = rmt::pipeline::chunk::RetiredChunk {
+                start_pc: i as u64 * 32,
+                len: 4,
+                halves: [0; 8],
+            };
+            prop_assert!(lpq.push(c, 0));
+        }
+        let mut seen = Vec::new();
+        let mut did_rollback = false;
+        while let Some(c) = lpq.peek(0) {
+            lpq.ack();
+            if !did_rollback && seen.len() == rollback_at % n {
+                // One i-cache miss somewhere in the stream.
+                lpq.rollback();
+                did_rollback = true;
+                continue;
+            }
+            lpq.fetch_done();
+            seen.push(c.start_pc);
+        }
+        prop_assert_eq!(seen.len(), n);
+        for (i, &pc) in seen.iter().enumerate() {
+            prop_assert_eq!(pc, i as u64 * 32);
+        }
+    }
+
+    #[test]
+    fn comparator_matches_iff_streams_equal(
+        stores in vec((any::<u64>(), any::<u64>(), any::<bool>()), 1..40)
+    ) {
+        let mut cmp = StoreComparator::new();
+        for (i, &(addr, value, corrupt)) in stores.iter().enumerate() {
+            let tag = i as u64;
+            cmp.record_trailing(tag, addr, value, 8, 0);
+            let lead_value = if corrupt { value ^ 1 } else { value };
+            let out = cmp.check(tag, addr, lead_value, 8, 0);
+            if corrupt {
+                prop_assert_eq!(out, CompareOutcome::Mismatch);
+            } else {
+                prop_assert_eq!(out, CompareOutcome::Match);
+            }
+        }
+        let corrupted = stores.iter().filter(|s| s.2).count() as u64;
+        prop_assert_eq!(cmp.mismatches(), corrupted);
+        prop_assert_eq!(cmp.matches(), stores.len() as u64 - corrupted);
+    }
+
+    #[test]
+    fn histogram_mean_matches_naive_mean(samples in vec(0u64..10_000, 1..100)) {
+        let mut h = Histogram::new("t", 64, 32);
+        for &s in &samples {
+            h.record(s);
+        }
+        let naive = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        prop_assert!((h.mean() - naive).abs() < 1e-9);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.min(), samples.iter().min().copied());
+        prop_assert_eq!(h.max(), samples.iter().max().copied());
+    }
+}
+
+proptest! {
+    /// Disassemble → reassemble round trip for arbitrary non-control
+    /// instructions (control targets print as absolute PCs, covered by the
+    /// unit tests in `rmt_isa::asm`).
+    #[test]
+    fn disasm_asm_roundtrip(inst in arb_inst().prop_filter("non-control", |i| !i.op.is_control()), ) {
+        // Clamp the immediate to the 32-bit range `encode` guarantees.
+        let inst = Inst::new(inst.op, inst.rd, inst.rs1, inst.rs2, inst.imm as i32 as i64);
+        let text = rmt::isa::disasm::disassemble(&inst);
+        let p = rmt::isa::asm::assemble(&text).unwrap();
+        let got = p.fetch(0).unwrap();
+        prop_assert_eq!(got.op, inst.op, "{}", text);
+        // Operand fields that the op actually uses must survive.
+        if inst.writes_reg() {
+            prop_assert_eq!(got.rd, inst.rd, "{}", text);
+        }
+        let (s1, s2) = inst.sources();
+        if let Some(r) = s1 { prop_assert_eq!(got.rs1, r, "{}", text); }
+        if let Some(r) = s2 { prop_assert_eq!(got.rs2, r, "{}", text); }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Differential: random *structured* programs (straight-line blocks
+    /// with bounded loops) retire identically on the pipeline and the
+    /// reference interpreter.
+    #[test]
+    fn pipeline_matches_interpreter_on_random_programs(seed in any::<u64>()) {
+        use rmt::isa::program::ProgramBuilder;
+        use rmt::stats::Xoshiro256;
+        let mut rng = Xoshiro256::seed_from(seed);
+        let mut b = ProgramBuilder::new();
+        let r = |i: u64| Reg::new(1 + (i % 20) as u8);
+        // Prologue: seed registers.
+        for i in 0..8 {
+            b.push(Inst::addi(r(i), Reg::ZERO, rng.range(0, 1000) as i64));
+        }
+        // A bounded loop with a random body.
+        b.push(Inst::addi(Reg::new(30), Reg::ZERO, 0));
+        b.push(Inst::addi(Reg::new(31), Reg::ZERO, 40));
+        b.label("loop");
+        for _ in 0..rng.range(4, 20) {
+            let (d, s1, s2) = (r(rng.below(20)), r(rng.below(20)), r(rng.below(20)));
+            match rng.below(6) {
+                0 => b.push(Inst::add(d, s1, s2)),
+                1 => b.push(Inst::mul(d, s1, s2)),
+                2 => b.push(Inst::xor(d, s1, s2)),
+                3 => b.push(Inst::sw(s1, Reg::ZERO, 0x20000 + 8 * rng.below(32) as i64)),
+                4 => b.push(Inst::lw(d, Reg::ZERO, 0x20000 + 8 * rng.below(32) as i64)),
+                _ => b.push(Inst::slli(d, s1, rng.below(8) as i64)),
+            }
+        }
+        b.push(Inst::addi(Reg::new(30), Reg::new(30), 1));
+        b.push_branch(Inst::blt(Reg::new(30), Reg::new(31), 0), "loop");
+        b.push(Inst::halt());
+        let program = b.build().unwrap();
+
+        let mut interp = rmt::isa::interp::Interpreter::new(&program, MemImage::new());
+        interp.run(1_000_000).unwrap();
+
+        use rmt::pipeline::env::IndependentEnv;
+        let mut env = IndependentEnv::new(vec![MemImage::new()]);
+        let mut core = rmt::pipeline::Core::new(rmt::pipeline::CoreConfig::base(), 0);
+        core.attach_thread(std::rc::Rc::new(program.clone()), 0);
+        core.finalize_partitions();
+        let mut hier = rmt::mem::MemoryHierarchy::new(Default::default(), 1);
+        let mut cycle = 0u64;
+        while !(core.all_halted() && core.in_flight(0) == 0) {
+            core.tick(cycle, &mut hier, &mut env);
+            hier.tick(cycle);
+            cycle += 1;
+            prop_assert!(cycle < 2_000_000, "pipeline did not finish");
+        }
+        for c in cycle..cycle + 2_000 {
+            core.tick(c, &mut hier, &mut env);
+            hier.tick(c);
+        }
+        prop_assert_eq!(core.thread_stats(0).committed, interp.committed());
+        prop_assert_eq!(env.image(0, 0).digest(), interp.mem().digest());
+        for i in 0..20 {
+            prop_assert_eq!(core.arch_reg(0, r(i)), interp.state().reg(r(i)));
+        }
+    }
+}
