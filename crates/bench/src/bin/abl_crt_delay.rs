@@ -1,10 +1,10 @@
 //! Ablation: CRT efficiency as the inter-core forwarding delay sweeps.
 fn main() {
     let args = rmt_bench::FigureArgs::parse();
-    let r = rmt_sim::figures::abl_crt_delay(args.scale, &args.benches);
-    rmt_bench::print_figure(
+    rmt_bench::run_and_print(
         "Ablation: CRT cross-core forwarding delay sweep",
         "Section 5 (the queues decouple the threads from the latency)",
-        &r,
+        &args,
+        |ctx| rmt_sim::figures::abl_crt_delay(ctx, args.scale, &args.benches),
     );
 }

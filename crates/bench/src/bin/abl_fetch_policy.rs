@@ -1,10 +1,10 @@
 //! Ablation: trailing fetch through the LPQ vs the shared line predictor.
 fn main() {
     let args = rmt_bench::FigureArgs::parse();
-    let r = rmt_sim::figures::abl_fetch_policy(args.scale, &args.benches);
-    rmt_bench::print_figure(
+    rmt_bench::run_and_print(
         "Ablation: trailing-thread fetch policy",
         "Section 4.4 (paper: sharing the line predictor does not work well)",
-        &r,
+        &args,
+        |ctx| rmt_sim::figures::abl_fetch_policy(ctx, args.scale, &args.benches),
     );
 }

@@ -1,10 +1,10 @@
 //! Ablation: SRT efficiency as the load value queue size sweeps.
 fn main() {
     let args = rmt_bench::FigureArgs::parse();
-    let r = rmt_sim::figures::abl_lvq_size(args.scale, &args.benches);
-    rmt_bench::print_figure(
+    rmt_bench::run_and_print(
         "Ablation: load-value-queue size sweep under SRT",
         "Section 4.1 (the LVQ bounds the redundant threads' slack)",
-        &r,
+        &args,
+        |ctx| rmt_sim::figures::abl_lvq_size(ctx, args.scale, &args.benches),
     );
 }

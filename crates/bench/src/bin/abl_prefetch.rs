@@ -1,10 +1,10 @@
 //! Ablation (extension): next-line L1D prefetching on the base machine.
 fn main() {
     let args = rmt_bench::FigureArgs::parse();
-    let r = rmt_sim::figures::abl_prefetch(args.scale, &args.benches);
-    rmt_bench::print_figure(
+    rmt_bench::run_and_print(
         "Ablation: next-line L1D prefetch",
         "Extension (the paper's base machine has no prefetcher)",
-        &r,
+        &args,
+        |ctx| rmt_sim::figures::abl_prefetch(ctx, args.scale, &args.benches),
     );
 }

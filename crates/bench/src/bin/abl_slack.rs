@@ -1,10 +1,10 @@
 //! Ablation: trailing-thread fetch priority vs plain ICOUNT choice.
 fn main() {
     let args = rmt_bench::FigureArgs::parse();
-    let r = rmt_sim::figures::abl_slack(args.scale, &args.benches);
-    rmt_bench::print_figure(
+    rmt_bench::run_and_print(
         "Ablation: trailing fetch priority",
         "Section 4.4 (paper: trailing priority performed best)",
-        &r,
+        &args,
+        |ctx| rmt_sim::figures::abl_slack(ctx, args.scale, &args.benches),
     );
 }

@@ -1,10 +1,10 @@
 //! Ablation: SRT efficiency as the shared store queue size sweeps.
 fn main() {
     let args = rmt_bench::FigureArgs::parse();
-    let r = rmt_sim::figures::abl_sq_size(args.scale, &args.benches);
-    rmt_bench::print_figure(
+    rmt_bench::run_and_print(
         "Ablation: store-queue size sweep under SRT",
         "Motivates section 4.2's per-thread store queues",
-        &r,
+        &args,
+        |ctx| rmt_sim::figures::abl_sq_size(ctx, args.scale, &args.benches),
     );
 }

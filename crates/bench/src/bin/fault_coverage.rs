@@ -2,10 +2,10 @@
 fn main() {
     let args = rmt_bench::FigureArgs::parse();
     let bench = args.benches.first().copied().unwrap_or(rmt_workloads::Benchmark::Swim);
-    let r = rmt_sim::figures::fault_coverage(args.scale, bench);
-    rmt_bench::print_figure(
+    rmt_bench::run_and_print(
         "Fault-injection coverage",
         "Sections 4.5 / 7.1.1 (paper: PSR makes permanent faults detectable)",
-        &r,
+        &args,
+        |ctx| rmt_sim::figures::fault_coverage(ctx, args.scale, bench),
     );
 }

@@ -1,10 +1,10 @@
 //! Regenerates the single-thread lockstep-vs-CRT comparison of section 7.2.
 fn main() {
     let args = rmt_bench::FigureArgs::parse();
-    let r = rmt_sim::figures::fig10_crt_single(args.scale, &args.benches);
-    rmt_bench::print_figure(
+    rmt_bench::run_and_print(
         "Lock0 / Lock8 / CRT, one logical thread",
         "Section 7.2 (paper: CRT performs similarly to lockstepping)",
-        &r,
+        &args,
+        |ctx| rmt_sim::figures::fig10_crt_single(ctx, args.scale, &args.benches),
     );
 }

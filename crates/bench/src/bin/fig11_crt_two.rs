@@ -1,10 +1,10 @@
 //! Regenerates the two-program lockstep-vs-CRT comparison of section 7.2.
 fn main() {
     let args = rmt_bench::FigureArgs::parse();
-    let r = rmt_sim::figures::fig11_crt_two(args.scale);
-    rmt_bench::print_figure(
+    rmt_bench::run_and_print(
         "Lock0 / Lock8 / CRT, two logical threads",
         "Section 7.2 (paper: CRT outperforms lockstepping, up to 22%)",
-        &r,
+        &args,
+        |ctx| rmt_sim::figures::fig11_crt_two(ctx, args.scale),
     );
 }

@@ -1,10 +1,10 @@
 //! Regenerates the four-program lockstep-vs-CRT comparison of section 7.2.
 fn main() {
     let args = rmt_bench::FigureArgs::parse();
-    let r = rmt_sim::figures::fig12_crt_four(args.scale);
-    rmt_bench::print_figure(
+    rmt_bench::run_and_print(
         "Lock0 / Lock8 / CRT, four logical threads (15 mixes)",
         "Section 7.2 (paper: CRT beats lockstepping by 13% on average)",
-        &r,
+        &args,
+        |ctx| rmt_sim::figures::fig12_crt_four(ctx, args.scale),
     );
 }

@@ -2,10 +2,10 @@
 //! Base2 / SRT+nosc / SRT / SRT+ptsq.
 fn main() {
     let args = rmt_bench::FigureArgs::parse();
-    let r = rmt_sim::figures::fig6_srt_single(args.scale, &args.benches);
-    rmt_bench::print_figure(
+    rmt_bench::run_and_print(
         "Figure 6: SRT SMT-efficiency, one logical thread",
         "Figure 6 (paper: SRT degrades ~32% vs base; ptsq recovers ~2%)",
-        &r,
+        &args,
+        |ctx| rmt_sim::figures::fig6_srt_single(ctx, args.scale, &args.benches),
     );
 }

@@ -2,10 +2,10 @@
 //! fraction of corresponding instructions sharing a functional unit.
 fn main() {
     let args = rmt_bench::FigureArgs::parse();
-    let r = rmt_sim::figures::fig7_psr(args.scale, &args.benches);
-    rmt_bench::print_figure(
+    rmt_bench::run_and_print(
         "Figure 7: same-functional-unit fraction, PSR off/on",
         "Figure 7 (paper: ~65% -> ~0.06%)",
-        &r,
+        &args,
+        |ctx| rmt_sim::figures::fig7_psr(ctx, args.scale, &args.benches),
     );
 }

@@ -2,10 +2,10 @@
 //! SRT+ptsq efficiency on the six two-program pairs.
 fn main() {
     let args = rmt_bench::FigureArgs::parse();
-    let r = rmt_sim::figures::fig8_srt_multi(args.scale);
-    rmt_bench::print_figure(
+    rmt_bench::run_and_print(
         "Two-logical-thread SRT",
         "Section 7.1 prose (paper: SRT ~-40%, ptsq ~-32%)",
-        &r,
+        &args,
+        |ctx| rmt_sim::figures::fig8_srt_multi(ctx, args.scale),
     );
 }

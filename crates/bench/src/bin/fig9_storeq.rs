@@ -1,10 +1,10 @@
 //! Regenerates the store-queue lifetime analysis of sections 4.2/7.1.
 fn main() {
     let args = rmt_bench::FigureArgs::parse();
-    let r = rmt_sim::figures::fig9_storeq(args.scale, &args.benches);
-    rmt_bench::print_figure(
+    rmt_bench::run_and_print(
         "Store-queue entry lifetimes: base vs SRT leading thread",
         "Section 7.1 prose (paper: ~+39 cycles)",
-        &r,
+        &args,
+        |ctx| rmt_sim::figures::fig9_storeq(ctx, args.scale, &args.benches),
     );
 }

@@ -1,10 +1,10 @@
 //! Instrumentation: the slack between redundant threads under SRT.
 fn main() {
     let args = rmt_bench::FigureArgs::parse();
-    let r = rmt_sim::figures::slack_profile(args.scale, &args.benches);
-    rmt_bench::print_figure(
+    rmt_bench::run_and_print(
         "Redundant-thread slack profile under SRT",
         "Section 4.4 (LPQ-driven fetch subsumes explicit slack fetch)",
-        &r,
+        &args,
+        |ctx| rmt_sim::figures::slack_profile(ctx, args.scale, &args.benches),
     );
 }

@@ -1,10 +1,10 @@
 //! Characterization of the 18 synthetic SPEC95-like workloads.
 fn main() {
     let args = rmt_bench::FigureArgs::parse();
-    let r = rmt_sim::figures::workload_chars(args.scale, &args.benches);
-    rmt_bench::print_figure(
+    rmt_bench::run_and_print(
         "Synthetic workload characterization",
         "DESIGN.md section 1 (the SPEC CPU95 substitution)",
-        &r,
+        &args,
+        |ctx| rmt_sim::figures::workload_chars(ctx, args.scale, &args.benches),
     );
 }

@@ -4,19 +4,24 @@
 //!
 //! ```text
 //! --quick | --standard | --full     simulation scale (default: standard)
+//! --scale quick|standard|full       same, in key-value form
 //! --benches gcc,go,swim             benchmark subset (default: all 18)
 //! --seed N                          workload seed (default: 1)
+//! --jobs N                          worker threads (default: all cores)
 //! ```
 //!
-//! and prints a paper-style table plus its summary values.
+//! and prints a paper-style table plus its summary values, the wall-clock
+//! time and the number of simulation jobs executed. Results are bitwise
+//! identical at any `--jobs` level (see `rmt_sim::runner`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use rmt_sim::figures::FigureResult;
-use rmt_sim::SimScale;
+use rmt_sim::{FigureCtx, Runner, SimScale};
 use rmt_workloads::profile::ALL_BENCHMARKS;
 use rmt_workloads::Benchmark;
+use std::time::Instant;
 
 /// Parsed command-line options shared by all figure binaries.
 #[derive(Debug, Clone)]
@@ -25,6 +30,8 @@ pub struct FigureArgs {
     pub scale: SimScale,
     /// Benchmarks to run (default: all 18).
     pub benches: Vec<Benchmark>,
+    /// Worker threads to fan data points across (default: all cores).
+    pub jobs: usize,
 }
 
 impl FigureArgs {
@@ -37,17 +44,39 @@ impl FigureArgs {
     pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
         let mut scale = SimScale::standard();
         let mut benches: Vec<Benchmark> = ALL_BENCHMARKS.to_vec();
+        let mut jobs = Runner::available().jobs();
         let mut it = args.into_iter();
+        let set_scale = |scale: &mut SimScale, name: &str| {
+            let seed = scale.seed;
+            *scale = match name {
+                "quick" => SimScale::quick(),
+                "standard" => SimScale::standard(),
+                "full" => SimScale::full(),
+                other => usage(&format!("unknown scale `{other}`")),
+            };
+            scale.seed = seed;
+        };
         while let Some(a) = it.next() {
             match a.as_str() {
-                "--quick" => scale = SimScale::quick(),
-                "--standard" => scale = SimScale::standard(),
-                "--full" => scale = SimScale::full(),
+                "--quick" => set_scale(&mut scale, "quick"),
+                "--standard" => set_scale(&mut scale, "standard"),
+                "--full" => set_scale(&mut scale, "full"),
+                "--scale" => {
+                    let name = it.next().unwrap_or_else(|| usage("--scale needs a name"));
+                    set_scale(&mut scale, &name);
+                }
                 "--seed" => {
                     scale.seed = it
                         .next()
                         .and_then(|s| s.parse().ok())
                         .unwrap_or_else(|| usage("--seed needs a number"))
+                }
+                "--jobs" => {
+                    jobs = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage("--jobs needs a positive number"))
                 }
                 "--benches" => {
                     let list = it.next().unwrap_or_else(|| usage("--benches needs a list"));
@@ -66,7 +95,16 @@ impl FigureArgs {
                 other => usage(&format!("unknown argument `{other}`")),
             }
         }
-        FigureArgs { scale, benches }
+        FigureArgs {
+            scale,
+            benches,
+            jobs,
+        }
+    }
+
+    /// A figure context sized to the parsed `--jobs`.
+    pub fn ctx(&self) -> FigureCtx {
+        FigureCtx::new(self.jobs)
     }
 }
 
@@ -75,7 +113,8 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: <figure-binary> [--quick|--standard|--full] [--seed N] [--benches a,b,c]"
+        "usage: <figure-binary> [--quick|--standard|--full|--scale S] [--seed N] \
+         [--benches a,b,c] [--jobs N]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 })
 }
@@ -92,26 +131,64 @@ pub fn print_figure(title: &str, paper_reference: &str, r: &FigureResult) {
     }
 }
 
+/// Builds a [`FigureCtx`] from `args`, runs `figure` on it, prints the
+/// result plus wall-clock time and jobs executed. The standard `main`
+/// body of every parallel figure binary.
+pub fn run_and_print(
+    title: &str,
+    paper_reference: &str,
+    args: &FigureArgs,
+    figure: impl FnOnce(&FigureCtx) -> FigureResult,
+) {
+    let ctx = args.ctx();
+    let start = Instant::now();
+    let r = figure(&ctx);
+    let elapsed = start.elapsed();
+    print_figure(title, paper_reference, &r);
+    println!();
+    println!(
+        "  [{} simulation jobs on {} worker(s) in {:.2}s]",
+        ctx.runner.jobs_executed(),
+        ctx.runner.jobs(),
+        elapsed.as_secs_f64()
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn parse(args: &[&str]) -> FigureArgs {
+        FigureArgs::from_iter(args.iter().map(|s| s.to_string()))
+    }
+
     #[test]
     fn default_args() {
-        let a = FigureArgs::from_iter(Vec::<String>::new());
+        let a = parse(&[]);
         assert_eq!(a.benches.len(), 18);
         assert_eq!(a.scale, SimScale::standard());
+        assert!(a.jobs >= 1);
     }
 
     #[test]
     fn parses_scale_and_benches() {
-        let a = FigureArgs::from_iter(
-            ["--quick", "--benches", "gcc,swim", "--seed", "7"]
-                .iter()
-                .map(|s| s.to_string()),
-        );
+        let a = parse(&["--quick", "--benches", "gcc,swim", "--seed", "7"]);
         assert_eq!(a.benches, vec![Benchmark::Gcc, Benchmark::Swim]);
         assert_eq!(a.scale.warmup, SimScale::quick().warmup);
         assert_eq!(a.scale.seed, 7);
+    }
+
+    #[test]
+    fn parses_scale_key_value_and_jobs() {
+        let a = parse(&["--scale", "quick", "--jobs", "2"]);
+        assert_eq!(a.scale.warmup, SimScale::quick().warmup);
+        assert_eq!(a.jobs, 2);
+    }
+
+    #[test]
+    fn seed_survives_scale_switch() {
+        let a = parse(&["--seed", "9", "--scale", "full"]);
+        assert_eq!(a.scale.seed, 9);
+        assert_eq!(a.scale.measure, SimScale::full().measure);
     }
 }

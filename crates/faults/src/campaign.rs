@@ -33,8 +33,19 @@ impl Default for CampaignConfig {
     }
 }
 
+/// Forward-progress watchdog: a fault can stop the machine from ever
+/// committing again (a corrupted branch target steers the committed path
+/// into a halt or off the program, or deadlocks the redundant pair on a
+/// queue dependency). Fault-free commit gaps are bounded by a couple of
+/// memory round-trips, so a window this long without a single commit means
+/// the machine is dead, not slow. On the redundant machines the hang is a
+/// *detection* (real fail-stop designs time out the checker exactly this
+/// way); on the base machine nothing observes it, so it counts with the
+/// silent failures.
+const WATCHDOG_CYCLES: u64 = 50_000;
+
 /// Aggregated campaign results.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignReport {
     /// The fault model used.
     pub kind: FaultKind,
@@ -60,6 +71,23 @@ impl CampaignReport {
             silent: 0,
             latencies: Histogram::new("detection_latency", 50, 100),
         }
+    }
+
+    /// Builds a report from per-injection outcomes in index order.
+    ///
+    /// This is how parallel campaigns aggregate: each injection's outcome
+    /// is computed independently (seeded from its index via
+    /// [`rmt_stats::rng::split_seed`]), gathered by index, and folded here
+    /// — so the report is identical however the injections were scheduled.
+    pub fn from_outcomes(
+        kind: FaultKind,
+        outcomes: impl IntoIterator<Item = FaultOutcome>,
+    ) -> Self {
+        let mut report = CampaignReport::new(kind);
+        for o in outcomes {
+            report.record(o);
+        }
+        report
     }
 
     fn record(&mut self, outcome: FaultOutcome) {
@@ -192,84 +220,110 @@ pub fn run_srt_campaign(
     kind: FaultKind,
     cfg: CampaignConfig,
 ) -> CampaignReport {
-    let mut report = CampaignReport::new(kind);
-    let mut rng = Xoshiro256::seed_from(cfg.seed);
-    for _ in 0..cfg.injections {
-        let mut dev = SrtDevice::new(opts.clone(), vec![LogicalThread::new(
-            workload.program.clone().into(),
-            workload.memory.clone(),
-        )]);
-        // `Rc<Program>` clone above: build from the workload's parts.
-        if !dev.run_until_committed(cfg.warmup_commits, 50_000_000) {
-            panic!("warmup did not complete");
-        }
-        dev.drain_detected_faults();
-        // A strike site (an occupied queue entry) may not exist at this
-        // exact cycle; keep running briefly until one appears.
-        let mut injected = false;
-        for _ in 0..2_000 {
-            injected = match kind {
-                FaultKind::TransientLvq => {
-                    let occ = dev.env().pair(0).lvq.len();
-                    if occ == 0 {
-                        false
-                    } else {
-                        let idx = rng.below(occ.max(1) as u64) as usize;
-                        let bit = rng.below(64);
-                        dev.env_mut()
-                            .pair_mut(0)
-                            .lvq
-                            .corrupt_nth(idx, 1 << bit)
-                            .is_some()
-                    }
+    CampaignReport::from_outcomes(
+        kind,
+        (0..cfg.injections).map(|i| srt_injection(&opts, workload, kind, cfg, i)),
+    )
+}
+
+/// One SRT injection — number `index` of the campaign described by `cfg`.
+///
+/// Pure function of its arguments: the fault site is drawn from a stream
+/// seeded by `split_seed(cfg.seed, index)`, so campaigns may execute their
+/// injections in any order (or in parallel) and aggregate with
+/// [`CampaignReport::from_outcomes`] without changing a single bit of the
+/// report.
+pub fn srt_injection(
+    opts: &SrtOptions,
+    workload: &Workload,
+    kind: FaultKind,
+    cfg: CampaignConfig,
+    index: usize,
+) -> FaultOutcome {
+    let mut rng = Xoshiro256::for_job(cfg.seed, index as u64);
+    let mut dev = SrtDevice::new(opts.clone(), vec![LogicalThread::new(
+        workload.program.clone().into(),
+        workload.memory.clone(),
+    )]);
+    // `Rc<Program>` clone above: build from the workload's parts.
+    if !dev.run_until_committed(cfg.warmup_commits, 50_000_000) {
+        panic!("warmup did not complete");
+    }
+    dev.drain_detected_faults();
+    // A strike site (an occupied queue entry) may not exist at this
+    // exact cycle; keep running briefly until one appears.
+    let mut injected = false;
+    for _ in 0..2_000 {
+        injected = match kind {
+            FaultKind::TransientLvq => {
+                let occ = dev.env().pair(0).lvq.len();
+                if occ == 0 {
+                    false
+                } else {
+                    let idx = rng.below(occ.max(1) as u64) as usize;
+                    let bit = rng.below(64);
+                    dev.env_mut()
+                        .pair_mut(0)
+                        .lvq
+                        .corrupt_nth(idx, 1 << bit)
+                        .is_some()
                 }
-                _ => {
-                    let (lead, _) = dev.pair_tids(0);
-                    inject_into_core(dev.core_mut(), lead, kind, &mut rng)
-                }
-            };
-            if injected {
-                break;
             }
-            dev.tick();
+            _ => {
+                let (lead, _) = dev.pair_tids(0);
+                inject_into_core(dev.core_mut(), lead, kind, &mut rng)
+            }
+        };
+        if injected {
+            break;
         }
-        if !injected {
-            report.record(FaultOutcome::Masked);
-            continue;
+        dev.tick();
+    }
+    if !injected {
+        return FaultOutcome::Masked;
+    }
+    let inject_cycle = dev.cycle();
+    let target = dev.committed(0) + cfg.window_commits;
+    let mut golden = GoldenTracker::new(workload);
+    let mut outcome = None;
+    let mut next_checkpoint = dev.committed(0) + 200;
+    let mut progress = (dev.committed(0), dev.cycle());
+    while dev.committed(0) < target {
+        dev.tick();
+        if !dev.drain_detected_faults().is_empty() {
+            outcome = Some(FaultOutcome::Detected {
+                latency: dev.cycle() - inject_cycle,
+            });
+            break;
         }
-        let inject_cycle = dev.cycle();
-        let target = dev.committed(0) + cfg.window_commits;
-        let mut golden = GoldenTracker::new(workload);
-        let mut outcome = None;
-        let mut next_checkpoint = dev.committed(0) + 200;
-        while dev.committed(0) < target {
-            dev.tick();
-            if !dev.drain_detected_faults().is_empty() {
+        match dev.committed(0) {
+            c if c != progress.0 => progress = (c, dev.cycle()),
+            _ if dev.cycle() - progress.1 > WATCHDOG_CYCLES => {
+                // The pair stopped committing: fail-stop watchdog fires.
                 outcome = Some(FaultOutcome::Detected {
                     latency: dev.cycle() - inject_cycle,
                 });
                 break;
             }
-            if dev.committed(0) >= next_checkpoint {
-                next_checkpoint += 200;
-                let released = dev.core().stats().get("stores_released");
-                if golden.digest_at(released) != dev.image(0).digest() {
-                    outcome = Some(FaultOutcome::Silent);
-                    break;
-                }
+            _ => {}
+        }
+        if dev.committed(0) >= next_checkpoint {
+            next_checkpoint += 200;
+            let released = dev.core().stats().get("stores_released");
+            if golden.digest_at(released) != dev.image(0).digest() {
+                outcome = Some(FaultOutcome::Silent);
+                break;
             }
         }
-        let outcome = outcome.unwrap_or_else(|| {
-            let released = dev.core().stats().get("stores_released");
-            if golden.digest_at(released) == dev.image(0).digest() {
-                FaultOutcome::Masked
-            } else {
-                FaultOutcome::Silent
-            }
-        });
-        report.record(outcome);
     }
-    report
+    outcome.unwrap_or_else(|| {
+        let released = dev.core().stats().get("stores_released");
+        if golden.digest_at(released) == dev.image(0).digest() {
+            FaultOutcome::Masked
+        } else {
+            FaultOutcome::Silent
+        }
+    })
 }
 
 /// Runs a campaign on the *base* processor: no detection mechanism exists,
@@ -280,63 +334,83 @@ pub fn run_base_campaign(
     kind: FaultKind,
     cfg: CampaignConfig,
 ) -> CampaignReport {
+    CampaignReport::from_outcomes(
+        kind,
+        (0..cfg.injections).map(|i| base_injection(&core_cfg, workload, kind, cfg, i)),
+    )
+}
+
+/// One base-processor injection — number `index` of the campaign. See
+/// [`srt_injection`] for the independence/seeding contract.
+pub fn base_injection(
+    core_cfg: &rmt_pipeline::CoreConfig,
+    workload: &Workload,
+    kind: FaultKind,
+    cfg: CampaignConfig,
+    index: usize,
+) -> FaultOutcome {
     assert!(
         !matches!(kind, FaultKind::TransientLvq),
         "the base processor has no LVQ"
     );
-    let mut report = CampaignReport::new(kind);
-    let mut rng = Xoshiro256::seed_from(cfg.seed);
-    for _ in 0..cfg.injections {
-        let mut dev = BaseDevice::new(
-            core_cfg.clone(),
-            Default::default(),
-            vec![LogicalThread::new(
-                workload.program.clone().into(),
-                workload.memory.clone(),
-            )],
-        );
-        if !dev.run_until_committed(cfg.warmup_commits, 50_000_000) {
-            panic!("warmup did not complete");
+    let mut rng = Xoshiro256::for_job(cfg.seed, index as u64);
+    let mut dev = BaseDevice::new(
+        core_cfg.clone(),
+        Default::default(),
+        vec![LogicalThread::new(
+            workload.program.clone().into(),
+            workload.memory.clone(),
+        )],
+    );
+    if !dev.run_until_committed(cfg.warmup_commits, 50_000_000) {
+        panic!("warmup did not complete");
+    }
+    let mut injected = false;
+    for _ in 0..2_000 {
+        injected = inject_into_core(dev.core_mut(), 0, kind, &mut rng);
+        if injected {
+            break;
         }
-        let mut injected = false;
-        for _ in 0..2_000 {
-            injected = inject_into_core(dev.core_mut(), 0, kind, &mut rng);
-            if injected {
+        dev.tick();
+    }
+    if !injected {
+        return FaultOutcome::Masked;
+    }
+    let target = dev.committed(0) + cfg.window_commits;
+    let mut golden = GoldenTracker::new(workload);
+    let mut outcome = None;
+    let mut next_checkpoint = dev.committed(0) + 200;
+    let mut progress = (dev.committed(0), dev.cycle());
+    while dev.committed(0) < target {
+        dev.tick();
+        match dev.committed(0) {
+            c if c != progress.0 => progress = (c, dev.cycle()),
+            _ if dev.cycle() - progress.1 > WATCHDOG_CYCLES => {
+                // Hung with no detection hardware to notice: an
+                // unsignaled failure, bucketed with the silent ones.
+                outcome = Some(FaultOutcome::Silent);
                 break;
             }
-            dev.tick();
+            _ => {}
         }
-        if !injected {
-            report.record(FaultOutcome::Masked);
-            continue;
-        }
-        let target = dev.committed(0) + cfg.window_commits;
-        let mut golden = GoldenTracker::new(workload);
-        let mut outcome = None;
-        let mut next_checkpoint = dev.committed(0) + 200;
-        while dev.committed(0) < target {
-            dev.tick();
-            if dev.committed(0) >= next_checkpoint {
-                next_checkpoint += 200;
-                let released = dev.core().stats().get("stores_released");
-                if golden.digest_at(released) != dev.image(0).digest() {
-                    outcome = Some(FaultOutcome::Silent);
-                    break;
-                }
-            }
-        }
-        debug_assert!(dev.drain_detected_faults().is_empty());
-        let outcome = outcome.unwrap_or_else(|| {
+        if dev.committed(0) >= next_checkpoint {
+            next_checkpoint += 200;
             let released = dev.core().stats().get("stores_released");
-            if golden.digest_at(released) == dev.image(0).digest() {
-                FaultOutcome::Masked
-            } else {
-                FaultOutcome::Silent
+            if golden.digest_at(released) != dev.image(0).digest() {
+                outcome = Some(FaultOutcome::Silent);
+                break;
             }
-        });
-        report.record(outcome);
+        }
     }
-    report
+    debug_assert!(dev.drain_detected_faults().is_empty());
+    outcome.unwrap_or_else(|| {
+        let released = dev.core().stats().get("stores_released");
+        if golden.digest_at(released) == dev.image(0).digest() {
+            FaultOutcome::Masked
+        } else {
+            FaultOutcome::Silent
+        }
+    })
 }
 
 /// Runs a campaign on a lockstepped machine; faults are injected into core
@@ -347,55 +421,73 @@ pub fn run_lockstep_campaign(
     kind: FaultKind,
     cfg: CampaignConfig,
 ) -> CampaignReport {
+    CampaignReport::from_outcomes(
+        kind,
+        (0..cfg.injections).map(|i| lockstep_injection(&opts, workload, kind, cfg, i)),
+    )
+}
+
+/// One lockstep injection — number `index` of the campaign. See
+/// [`srt_injection`] for the independence/seeding contract.
+pub fn lockstep_injection(
+    opts: &LockstepOptions,
+    workload: &Workload,
+    kind: FaultKind,
+    cfg: CampaignConfig,
+    index: usize,
+) -> FaultOutcome {
     assert!(
         !matches!(kind, FaultKind::TransientLvq),
         "lockstepped machines have no LVQ"
     );
-    let mut report = CampaignReport::new(kind);
-    let mut rng = Xoshiro256::seed_from(cfg.seed);
-    for _ in 0..cfg.injections {
-        let mut dev = LockstepDevice::new(
-            opts.clone(),
-            vec![LogicalThread::new(
-                workload.program.clone().into(),
-                workload.memory.clone(),
-            )],
-        );
-        if !dev.run_until_committed(cfg.warmup_commits, 50_000_000) {
-            panic!("warmup did not complete");
-        }
-        dev.drain_detected_faults();
-        let mut injected = false;
-        for _ in 0..2_000 {
-            injected = inject_into_core(dev.core_mut(1), 0, kind, &mut rng);
-            if injected {
-                break;
-            }
-            dev.tick();
-        }
-        if !injected {
-            report.record(FaultOutcome::Masked);
-            continue;
-        }
-        let inject_cycle = dev.cycle();
-        let target = dev.committed(0) + cfg.window_commits;
-        let mut outcome = None;
-        while dev.committed(0) < target {
-            dev.tick();
-            if !dev.drain_detected_faults().is_empty() {
-                outcome = Some(FaultOutcome::Detected {
-                    latency: dev.cycle() - inject_cycle,
-                });
-                break;
-            }
-        }
-        // The checker compares every released store, so an undetected fault
-        // cannot have escaped: classify as masked, but verify against the
-        // golden model in debug builds.
-        let outcome = outcome.unwrap_or(FaultOutcome::Masked);
-        report.record(outcome);
+    let mut rng = Xoshiro256::for_job(cfg.seed, index as u64);
+    let mut dev = LockstepDevice::new(
+        opts.clone(),
+        vec![LogicalThread::new(
+            workload.program.clone().into(),
+            workload.memory.clone(),
+        )],
+    );
+    if !dev.run_until_committed(cfg.warmup_commits, 50_000_000) {
+        panic!("warmup did not complete");
     }
-    report
+    dev.drain_detected_faults();
+    let mut injected = false;
+    for _ in 0..2_000 {
+        injected = inject_into_core(dev.core_mut(1), 0, kind, &mut rng);
+        if injected {
+            break;
+        }
+        dev.tick();
+    }
+    if !injected {
+        return FaultOutcome::Masked;
+    }
+    let inject_cycle = dev.cycle();
+    let target = dev.committed(0) + cfg.window_commits;
+    let mut progress = (dev.committed(0), dev.cycle());
+    while dev.committed(0) < target {
+        dev.tick();
+        if !dev.drain_detected_faults().is_empty() {
+            return FaultOutcome::Detected {
+                latency: dev.cycle() - inject_cycle,
+            };
+        }
+        match dev.committed(0) {
+            c if c != progress.0 => progress = (c, dev.cycle()),
+            _ if dev.cycle() - progress.1 > WATCHDOG_CYCLES => {
+                // Both cores stopped: the checker pipeline stalled and the
+                // fail-stop watchdog fires.
+                return FaultOutcome::Detected {
+                    latency: dev.cycle() - inject_cycle,
+                };
+            }
+            _ => {}
+        }
+    }
+    // The checker compares every released store, so an undetected fault
+    // cannot have escaped: classify as masked.
+    FaultOutcome::Masked
 }
 
 #[cfg(test)]

@@ -492,17 +492,24 @@ impl Core {
                         self.store_sets.record_violation(lpc, pc);
                         self.stats.inc("order_violations");
                         if let Some(load_uid) = load_uid {
+                            // The *load* is the cause: if an older squash
+                            // removes it before this event fires, the replay
+                            // is moot and the event must die with it.
+                            // Tying the event to the store instead would let
+                            // several same-window violations each redirect
+                            // fetch to their own (ever younger) load pc; the
+                            // first squash already discards everything past
+                            // the oldest load, so the later redirects would
+                            // skip the instructions in between and commit a
+                            // wrong-path stream.
                             self.events.push(SquashEvent {
                                 at: done,
                                 tid,
-                                cause_seq: seq,
-                                cause_uid: uid,
+                                cause_seq: lseq,
+                                cause_uid: load_uid,
                                 from_seq: lseq,
                                 new_pc: lpc,
                             });
-                            // Tie the event to the load via its uid in
-                            // `cause_uid` slot of a secondary check below.
-                            let _ = load_uid;
                         }
                     }
                     (done, None, pc + 4, Some((addr, bytes, value)))
@@ -648,7 +655,31 @@ impl Core {
                     return false;
                 }
             }
-            ThreadRole::Trailing(_) => env.trailing_retired(self.core_id, tid, now, &info),
+            ThreadRole::Trailing(_) => {
+                // An LPQ-driven trailing thread retires exactly the leading
+                // thread's committed path, never its own speculation, so
+                // every retired instruction must sit where the previous
+                // one's *computed* outcome pointed. A broken chain means a
+                // control outcome crossed the sphere of replication corrupt
+                // — e.g. a strike on a register that only feeds a branch,
+                // which steers both threads down the same wrong committed
+                // path and is invisible to the store comparator. This is
+                // the branch-outcome check at the LPQ boundary; fault-free
+                // runs never trip it (trailing computes from the same
+                // committed values the leading thread retired).
+                if self.cfg.trailing_uses_lpq
+                    && self.threads[tid].committed > 0
+                    && self.threads[tid].committed_pc != info.pc
+                {
+                    self.detected_faults.push(DetectedFault {
+                        cycle: now,
+                        tid,
+                        kind: FaultDetector::ControlDivergence,
+                    });
+                    self.stats.inc("control_divergences");
+                }
+                env.trailing_retired(self.core_id, tid, now, &info);
+            }
             ThreadRole::Independent => {}
         }
         // Commit.

@@ -86,6 +86,13 @@ pub enum FaultDetector {
     /// The store comparator saw different address/data from the two
     /// redundant stores.
     StoreMismatch,
+    /// An LPQ-driven trailing thread executed a control instruction whose
+    /// computed outcome disagreed with the leading thread's committed path
+    /// (the direction its own fetch followed). Branch outcomes cross the
+    /// sphere of replication through the line prediction queue, so the
+    /// disagreement is a redundancy mismatch, not a misprediction — the
+    /// trailing thread never misspeculates.
+    ControlDivergence,
 }
 
 /// Per-thread summary statistics.

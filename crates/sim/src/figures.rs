@@ -5,6 +5,13 @@
 //! tests and EXPERIMENTS.md. The `rmt-bench` binaries are thin wrappers
 //! that print these.
 //!
+//! Each driver takes a [`FigureCtx`] and submits its independent data
+//! points — `(device kind, benchmark/mix, scale)` experiments, or
+//! per-injection fault-campaign jobs — to the context's [`Runner`].
+//! Results are gathered by job index and baselines are memoized once per
+//! key, so a figure is **bitwise identical** at any `--jobs` level (the
+//! determinism tests assert this).
+//!
 //! The paper's runs are 15M instructions per program on a hardware-grade
 //! simulator; ours default to smaller intervals (see [`SimScale`]) — the
 //! *shape* of each result is the reproduction target, not absolute
@@ -12,8 +19,9 @@
 
 use crate::baseline::BaselineCache;
 use crate::experiment::{DeviceKind, Experiment};
+use crate::runner::{par_base_campaign, par_lockstep_campaign, par_srt_campaign, Runner};
 use rmt_core::device::{Device, LogicalThread, SrtDevice, SrtOptions};
-use rmt_faults::{run_base_campaign, run_lockstep_campaign, run_srt_campaign, CampaignConfig, FaultKind};
+use rmt_faults::{CampaignConfig, FaultKind};
 use rmt_pipeline::CoreConfig;
 use rmt_stats::metrics::{degradation_pct, mean, smt_efficiency};
 use rmt_stats::table::{fmt3, fmt_pct};
@@ -34,9 +42,9 @@ pub struct SimScale {
 }
 
 impl SimScale {
-    /// Small runs for CI and Criterion (~seconds per figure). Caches and
-    /// predictors are still partially cold at this scale; use it for shape
-    /// checks, not recorded numbers.
+    /// Small runs for CI (~seconds per figure). Caches and predictors are
+    /// still partially cold at this scale; use it for shape checks, not
+    /// recorded numbers.
     pub fn quick() -> Self {
         SimScale {
             warmup: 2_000,
@@ -65,8 +73,43 @@ impl SimScale {
     }
 }
 
+/// Shared execution context for a figure suite: the parallel [`Runner`]
+/// and the [`BaselineCache`] whose base-IPC denominators are computed
+/// exactly once per `(bench, seed, warmup, measure)` across every figure
+/// run through it.
+#[derive(Debug, Default)]
+pub struct FigureCtx {
+    /// The job pool figures fan their data points across.
+    pub runner: Runner,
+    /// Memoized single-thread base IPCs shared by all drivers and workers.
+    pub baselines: BaselineCache,
+}
+
+impl FigureCtx {
+    /// A context with `jobs` worker threads.
+    pub fn new(jobs: usize) -> Self {
+        FigureCtx {
+            runner: Runner::new(jobs),
+            baselines: BaselineCache::new(),
+        }
+    }
+
+    /// A context sized to the host's available parallelism.
+    pub fn available() -> Self {
+        FigureCtx {
+            runner: Runner::available(),
+            baselines: BaselineCache::new(),
+        }
+    }
+
+    /// A single-worker context (the sequential reference).
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+}
+
 /// A printable artifact plus machine-readable summary values.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FigureResult {
     /// The paper-style rows.
     pub table: Table,
@@ -92,7 +135,7 @@ fn run_eff(
     kind: DeviceKind,
     benches: &[Benchmark],
     scale: SimScale,
-    baselines: &mut BaselineCache,
+    baselines: &BaselineCache,
 ) -> f64 {
     let r = Experiment::new(kind)
         .benchmarks(benches)
@@ -112,6 +155,22 @@ fn run_eff(
         })
         .collect();
     smt_efficiency(&pairs)
+}
+
+/// Fans `benches × variants` efficiency points across the runner and
+/// returns them grouped per benchmark (variant-major within a bench) —
+/// the access pattern every per-benchmark figure table uses.
+fn grid_eff(
+    ctx: &FigureCtx,
+    scale: SimScale,
+    rows: &[Vec<Benchmark>],
+    variants: &[DeviceKind],
+) -> Vec<Vec<f64>> {
+    let k = variants.len();
+    let flat = ctx.runner.run(rows.len() * k, |i| {
+        run_eff(variants[i % k], &rows[i / k], scale, &ctx.baselines)
+    });
+    flat.chunks(k).map(<[f64]>::to_vec).collect()
 }
 
 // ====================================================================
@@ -173,20 +232,21 @@ pub fn fig2_pipeline() -> FigureResult {
 
 /// Figure 6: SMT-efficiency for one logical thread under Base2, SRT+nosc,
 /// SRT and SRT+ptsq, across the benchmark suite.
-pub fn fig6_srt_single(scale: SimScale, benches: &[Benchmark]) -> FigureResult {
-    let mut baselines = BaselineCache::new();
-    let mut t = Table::with_columns(&["benchmark", "Base2", "SRT+nosc", "SRT", "SRT+ptsq"]);
+pub fn fig6_srt_single(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> FigureResult {
     let kinds = [
         DeviceKind::Base2,
         DeviceKind::SrtNosc,
         DeviceKind::Srt,
         DeviceKind::SrtPtsq,
     ];
+    let rows: Vec<Vec<Benchmark>> = benches.iter().map(|&b| vec![b]).collect();
+    let effs = grid_eff(ctx, scale, &rows, &kinds);
+
+    let mut t = Table::with_columns(&["benchmark", "Base2", "SRT+nosc", "SRT", "SRT+ptsq"]);
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
-    for &b in benches {
+    for (b, row) in benches.iter().zip(&effs) {
         let mut cells = vec![b.name().to_string()];
-        for (k, &kind) in kinds.iter().enumerate() {
-            let eff = run_eff(kind, &[b], scale, &mut baselines);
+        for (k, &eff) in row.iter().enumerate() {
             cols[k].push(eff);
             cells.push(fmt3(eff));
         }
@@ -224,7 +284,11 @@ fn same_fu_fraction(psr_enabled: bool, bench: Benchmark, scale: SimScale) -> (f6
 
 /// Figure 7: fraction of corresponding instructions executing on the same
 /// functional unit, without and with preferential space redundancy.
-pub fn fig7_psr(scale: SimScale, benches: &[Benchmark]) -> FigureResult {
+pub fn fig7_psr(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> FigureResult {
+    // Two jobs per benchmark: PSR off (even indices) and on (odd).
+    let points = ctx.runner.run(benches.len() * 2, |i| {
+        same_fu_fraction(i % 2 == 1, benches[i / 2], scale)
+    });
     let mut t = Table::with_columns(&[
         "benchmark",
         "same-FU (no PSR)",
@@ -234,9 +298,9 @@ pub fn fig7_psr(scale: SimScale, benches: &[Benchmark]) -> FigureResult {
     ]);
     let mut no_psr = Vec::new();
     let mut with_psr = Vec::new();
-    for &b in benches {
-        let (fu0, half0) = same_fu_fraction(false, b, scale);
-        let (fu1, half1) = same_fu_fraction(true, b, scale);
+    for (b, pair) in benches.iter().zip(points.chunks(2)) {
+        let (fu0, half0) = pair[0];
+        let (fu1, half1) = pair[1];
         no_psr.push(fu0);
         with_psr.push(fu1);
         t.row(vec![
@@ -266,20 +330,21 @@ pub fn fig7_psr(scale: SimScale, benches: &[Benchmark]) -> FigureResult {
 
 /// §7.1's two-logical-thread SRT result: SMT-efficiency of SRT and
 /// SRT+ptsq running two programs as two redundant pairs (four contexts).
-pub fn fig8_srt_multi(scale: SimScale) -> FigureResult {
-    let mut baselines = BaselineCache::new();
+pub fn fig8_srt_multi(ctx: &FigureCtx, scale: SimScale) -> FigureResult {
+    let kinds = [DeviceKind::Base, DeviceKind::Srt, DeviceKind::SrtPtsq];
+    let pairs: Vec<Vec<Benchmark>> = two_program_mixes().iter().map(|m| m.to_vec()).collect();
+    let effs = grid_eff(ctx, scale, &pairs, &kinds);
+
     let mut t = Table::with_columns(&["pair", "Base(2 threads)", "SRT", "SRT+ptsq"]);
     let mut base_col = Vec::new();
     let mut srt_col = Vec::new();
     let mut ptsq_col = Vec::new();
-    for pair in two_program_mixes() {
-        let base = run_eff(DeviceKind::Base, &pair, scale, &mut baselines);
-        let srt = run_eff(DeviceKind::Srt, &pair, scale, &mut baselines);
-        let ptsq = run_eff(DeviceKind::SrtPtsq, &pair, scale, &mut baselines);
+    for (pair, row) in pairs.iter().zip(&effs) {
+        let (base, srt, ptsq) = (row[0], row[1], row[2]);
         base_col.push(base);
         srt_col.push(srt);
         ptsq_col.push(ptsq);
-        t.row(vec![mix_name(&pair), fmt3(base), fmt3(srt), fmt3(ptsq)]);
+        t.row(vec![mix_name(pair), fmt3(base), fmt3(srt), fmt3(ptsq)]);
     }
     t.row(vec![
         "average".into(),
@@ -300,10 +365,9 @@ pub fn fig8_srt_multi(scale: SimScale) -> FigureResult {
 
 /// §7.1's store-queue analysis: average lifetime of a store-queue entry on
 /// the base processor vs the SRT leading thread.
-pub fn fig9_storeq(scale: SimScale, benches: &[Benchmark]) -> FigureResult {
-    let mut t = Table::with_columns(&["benchmark", "base lifetime", "SRT lead lifetime", "delta"]);
-    let mut deltas = Vec::new();
-    for &b in benches {
+pub fn fig9_storeq(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> FigureResult {
+    let lifetimes = ctx.runner.run(benches.len(), |i| {
+        let b = benches[i];
         let w = Workload::generate(b, scale.seed);
         let target = scale.warmup + scale.measure;
 
@@ -319,7 +383,12 @@ pub fn fig9_storeq(scale: SimScale, benches: &[Benchmark]) -> FigureResult {
         assert!(srt.run_until_committed(target, target * 100));
         let (lead, _) = srt.pair_tids(0);
         let srt_life = srt.core().store_lifetime(lead).mean();
+        (base_life, srt_life)
+    });
 
+    let mut t = Table::with_columns(&["benchmark", "base lifetime", "SRT lead lifetime", "delta"]);
+    let mut deltas = Vec::new();
+    for (b, &(base_life, srt_life)) in benches.iter().zip(&lifetimes) {
         let delta = srt_life - base_life;
         deltas.push(delta);
         t.row(vec![
@@ -344,16 +413,21 @@ pub fn fig9_storeq(scale: SimScale, benches: &[Benchmark]) -> FigureResult {
 // Figures 10-12: lockstepping vs CRT
 // ====================================================================
 
-fn crt_vs_lockstep(scale: SimScale, mixes: &[Vec<Benchmark>], label: &str) -> FigureResult {
-    let mut baselines = BaselineCache::new();
+fn crt_vs_lockstep(
+    ctx: &FigureCtx,
+    scale: SimScale,
+    mixes: &[Vec<Benchmark>],
+    label: &str,
+) -> FigureResult {
+    let kinds = [DeviceKind::Lock0, DeviceKind::Lock8, DeviceKind::Crt];
+    let effs = grid_eff(ctx, scale, mixes, &kinds);
+
     let mut t = Table::with_columns(&[label, "Lock0", "Lock8", "CRT", "CRT vs Lock8"]);
     let mut l0 = Vec::new();
     let mut l8 = Vec::new();
     let mut crt = Vec::new();
-    for mix in mixes {
-        let e0 = run_eff(DeviceKind::Lock0, mix, scale, &mut baselines);
-        let e8 = run_eff(DeviceKind::Lock8, mix, scale, &mut baselines);
-        let ec = run_eff(DeviceKind::Crt, mix, scale, &mut baselines);
+    for (mix, row) in mixes.iter().zip(&effs) {
+        let (e0, e8, ec) = (row[0], row[1], row[2]);
         l0.push(e0);
         l8.push(e8);
         crt.push(ec);
@@ -390,76 +464,97 @@ fn crt_vs_lockstep(scale: SimScale, mixes: &[Vec<Benchmark>], label: &str) -> Fi
 
 /// §7.2 single-thread comparison: CRT performs like lockstepping when only
 /// one logical thread runs.
-pub fn fig10_crt_single(scale: SimScale, benches: &[Benchmark]) -> FigureResult {
+pub fn fig10_crt_single(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> FigureResult {
     let mixes: Vec<Vec<Benchmark>> = benches.iter().map(|&b| vec![b]).collect();
-    crt_vs_lockstep(scale, &mixes, "benchmark")
+    crt_vs_lockstep(ctx, scale, &mixes, "benchmark")
 }
 
 /// §7.2 two-program comparison: CRT's cross-coupling beats lockstepping.
-pub fn fig11_crt_two(scale: SimScale) -> FigureResult {
+pub fn fig11_crt_two(ctx: &FigureCtx, scale: SimScale) -> FigureResult {
     let mixes: Vec<Vec<Benchmark>> = two_program_mixes().iter().map(|m| m.to_vec()).collect();
-    crt_vs_lockstep(scale, &mixes, "pair")
+    crt_vs_lockstep(ctx, scale, &mixes, "pair")
 }
 
 /// §7.2 four-program comparison (the paper's 15 combinations; see
 /// `rmt_workloads::mix` for the reconstruction).
-pub fn fig12_crt_four(scale: SimScale) -> FigureResult {
+pub fn fig12_crt_four(ctx: &FigureCtx, scale: SimScale) -> FigureResult {
     let mixes: Vec<Vec<Benchmark>> = four_program_mixes().iter().map(|m| m.to_vec()).collect();
-    crt_vs_lockstep(scale, &mixes, "mix")
+    crt_vs_lockstep(ctx, scale, &mixes, "mix")
 }
 
 // ====================================================================
 // Ablations
 // ====================================================================
 
-/// Store-queue size sweep (the motivation for per-thread store queues,
-/// §4.2): SRT efficiency as the shared store queue grows.
-pub fn abl_sq_size(scale: SimScale, benches: &[Benchmark]) -> FigureResult {
-    let sizes = [16usize, 32, 64, 128, 256];
+/// Runs a `benches × params` sweep on the runner: one SRT/CRT experiment
+/// per point with `tweak` applied, efficiency against the shared baseline.
+/// Returns points grouped per benchmark (param-major within a bench).
+fn sweep_eff<P: Copy + Sync>(
+    ctx: &FigureCtx,
+    scale: SimScale,
+    benches: &[Benchmark],
+    kind: DeviceKind,
+    params: &[P],
+    max_cycle_factor: u64,
+    tweak: impl Fn(&mut SrtOptions, P) + Sync,
+) -> Vec<Vec<f64>> {
+    let k = params.len();
+    let flat = ctx.runner.run(benches.len() * k, |i| {
+        let b = benches[i / k];
+        let p = params[i % k];
+        let r = Experiment::new(kind)
+            .benchmark(b)
+            .seed(scale.seed)
+            .warmup(scale.warmup)
+            .measure(scale.measure)
+            .tweak_srt(|o| tweak(o, p))
+            .max_cycle_factor(max_cycle_factor)
+            .run()
+            .expect("sweep run");
+        r.ipc(0) / ctx.baselines.ipc(b, scale.seed, scale.warmup, scale.measure)
+    });
+    flat.chunks(k).map(<[f64]>::to_vec).collect()
+}
+
+fn sweep_table<P: Copy + std::fmt::Display>(
+    benches: &[Benchmark],
+    params: &[P],
+    param_label: &str,
+    summary_prefix: &str,
+    per_bench: &[Vec<f64>],
+) -> FigureResult {
     let mut cols: Vec<String> = vec!["benchmark".into()];
-    cols.extend(sizes.iter().map(|s| format!("SQ={s}")));
+    cols.extend(params.iter().map(|p| format!("{param_label}={p}")));
     let mut t = Table::new(cols);
-    let mut baselines = BaselineCache::new();
-    let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
-    for &b in benches {
+    for (b, row) in benches.iter().zip(per_bench) {
         let mut cells = vec![b.name().to_string()];
-        for (i, &s) in sizes.iter().enumerate() {
-            let r = Experiment::new(DeviceKind::Srt)
-                .benchmark(b)
-                .seed(scale.seed)
-                .warmup(scale.warmup)
-                .measure(scale.measure)
-                .tweak_srt(move |o| o.core.sq_entries = s)
-                .max_cycle_factor(120)
-                .run()
-                .expect("sweep run");
-            let eff = r.ipc(0) / baselines.ipc(b, scale.seed, scale.warmup, scale.measure);
-            per_size[i].push(eff);
-            cells.push(fmt3(eff));
-        }
+        cells.extend(row.iter().map(|&e| fmt3(e)));
         t.row(cells);
     }
     let mut summary = BTreeMap::new();
-    for (i, &s) in sizes.iter().enumerate() {
-        summary.insert(format!("eff_sq{s}"), mean(&per_size[i]));
+    for (i, p) in params.iter().enumerate() {
+        let col: Vec<f64> = per_bench.iter().map(|row| row[i]).collect();
+        summary.insert(format!("{summary_prefix}{p}"), mean(&col));
     }
     FigureResult { table: t, summary }
 }
 
+/// Store-queue size sweep (the motivation for per-thread store queues,
+/// §4.2): SRT efficiency as the shared store queue grows.
+pub fn abl_sq_size(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> FigureResult {
+    let sizes = [16usize, 32, 64, 128, 256];
+    let effs = sweep_eff(ctx, scale, benches, DeviceKind::Srt, &sizes, 120, |o, s| {
+        o.core.sq_entries = s;
+    });
+    sweep_table(benches, &sizes, "SQ", "eff_sq", &effs)
+}
+
 /// Trailing-fetch policy ablation (§4.4): the line prediction queue vs
 /// fetching the trailing thread through the shared line predictor.
-pub fn abl_fetch_policy(scale: SimScale, benches: &[Benchmark]) -> FigureResult {
-    let mut baselines = BaselineCache::new();
-    let mut t = Table::with_columns(&[
-        "benchmark",
-        "SRT (LPQ)",
-        "SRT (shared line pred)",
-        "trailing squashes (shared)",
-    ]);
-    let mut lpq_col = Vec::new();
-    let mut shared_col = Vec::new();
-    for &b in benches {
-        let lpq = run_eff(DeviceKind::Srt, &[b], scale, &mut baselines);
+pub fn abl_fetch_policy(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> FigureResult {
+    let points = ctx.runner.run(benches.len(), |i| {
+        let b = benches[i];
+        let lpq = run_eff(DeviceKind::Srt, &[b], scale, &ctx.baselines);
         // Shared-line-predictor trailing fetch: trailing threads
         // misspeculate, so comparison must move to retirement.
         let w = Workload::generate(b, scale.seed);
@@ -487,6 +582,18 @@ pub fn abl_fetch_policy(scale: SimScale, benches: &[Benchmark]) -> FigureResult 
             ipc / base_ipc
         };
         let trail_squashes = dev.core().thread_stats(trail).squashes;
+        (lpq, eff, trail_squashes)
+    });
+
+    let mut t = Table::with_columns(&[
+        "benchmark",
+        "SRT (LPQ)",
+        "SRT (shared line pred)",
+        "trailing squashes (shared)",
+    ]);
+    let mut lpq_col = Vec::new();
+    let mut shared_col = Vec::new();
+    for (b, &(lpq, eff, trail_squashes)) in benches.iter().zip(&points) {
         lpq_col.push(lpq);
         shared_col.push(eff);
         t.row(vec![
@@ -504,26 +611,32 @@ pub fn abl_fetch_policy(scale: SimScale, benches: &[Benchmark]) -> FigureResult 
 
 /// Trailing-fetch priority ablation (§4.4's "best performance was achieved
 /// by giving the trailing thread priority").
-pub fn abl_slack(scale: SimScale, benches: &[Benchmark]) -> FigureResult {
-    let mut baselines = BaselineCache::new();
+pub fn abl_slack(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> FigureResult {
+    // Two jobs per benchmark: trailing priority (even) and ICOUNT (odd).
+    let points = ctx.runner.run(benches.len() * 2, |i| {
+        let b = benches[i / 2];
+        if i % 2 == 0 {
+            run_eff(DeviceKind::Srt, &[b], scale, &ctx.baselines)
+        } else {
+            let r = Experiment::new(DeviceKind::Srt)
+                .benchmark(b)
+                .seed(scale.seed)
+                .warmup(scale.warmup)
+                .measure(scale.measure)
+                .tweak_srt(|o| o.core.trailing_fetch_priority = false)
+                .max_cycle_factor(120)
+                .run()
+                .expect("icount run");
+            r.ipc(0) / ctx.baselines.ipc(b, scale.seed, scale.warmup, scale.measure)
+        }
+    });
     let mut t = Table::with_columns(&["benchmark", "trailing priority", "ICOUNT only"]);
     let mut pri = Vec::new();
     let mut icount = Vec::new();
-    for &b in benches {
-        let with_pri = run_eff(DeviceKind::Srt, &[b], scale, &mut baselines);
-        let r = Experiment::new(DeviceKind::Srt)
-            .benchmark(b)
-            .seed(scale.seed)
-            .warmup(scale.warmup)
-            .measure(scale.measure)
-            .tweak_srt(|o| o.core.trailing_fetch_priority = false)
-            .max_cycle_factor(120)
-            .run()
-            .expect("icount run");
-        let without = r.ipc(0) / baselines.ipc(b, scale.seed, scale.warmup, scale.measure);
-        pri.push(with_pri);
-        icount.push(without);
-        t.row(vec![b.name().into(), fmt3(with_pri), fmt3(without)]);
+    for (b, pair) in benches.iter().zip(points.chunks(2)) {
+        pri.push(pair[0]);
+        icount.push(pair[1]);
+        t.row(vec![b.name().into(), fmt3(pair[0]), fmt3(pair[1])]);
     }
     let mut summary = BTreeMap::new();
     summary.insert("priority_mean".into(), mean(&pri));
@@ -534,92 +647,53 @@ pub fn abl_slack(scale: SimScale, benches: &[Benchmark]) -> FigureResult {
 /// LVQ size sweep: the load value queue bounds the slack between the
 /// redundant threads; too small and the leading thread stalls at
 /// retirement, too large buys nothing.
-pub fn abl_lvq_size(scale: SimScale, benches: &[Benchmark]) -> FigureResult {
+pub fn abl_lvq_size(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> FigureResult {
     let sizes = [8usize, 16, 32, 64, 128];
-    let mut cols: Vec<String> = vec!["benchmark".into()];
-    cols.extend(sizes.iter().map(|s| format!("LVQ={s}")));
-    let mut t = Table::new(cols);
-    let mut baselines = BaselineCache::new();
-    let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
-    for &b in benches {
-        let mut cells = vec![b.name().to_string()];
-        for (i, &sz) in sizes.iter().enumerate() {
-            let r = Experiment::new(DeviceKind::Srt)
-                .benchmark(b)
-                .seed(scale.seed)
-                .warmup(scale.warmup)
-                .measure(scale.measure)
-                .tweak_srt(move |o| o.env.lvq_entries = sz)
-                .max_cycle_factor(150)
-                .run()
-                .expect("lvq sweep run");
-            let eff = r.ipc(0) / baselines.ipc(b, scale.seed, scale.warmup, scale.measure);
-            per_size[i].push(eff);
-            cells.push(fmt3(eff));
-        }
-        t.row(cells);
-    }
-    let mut summary = BTreeMap::new();
-    for (i, &sz) in sizes.iter().enumerate() {
-        summary.insert(format!("eff_lvq{sz}"), mean(&per_size[i]));
-    }
-    FigureResult { table: t, summary }
+    let effs = sweep_eff(ctx, scale, benches, DeviceKind::Srt, &sizes, 150, |o, sz| {
+        o.env.lvq_entries = sz;
+    });
+    sweep_table(benches, &sizes, "LVQ", "eff_lvq", &effs)
 }
 
 /// CRT inter-core forwarding-delay sweep: the paper argues the forwarding
 /// queues decouple the threads, so CRT tolerates cross-core latency (§5).
-pub fn abl_crt_delay(scale: SimScale, benches: &[Benchmark]) -> FigureResult {
+pub fn abl_crt_delay(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> FigureResult {
     let delays = [0u64, 2, 4, 8, 16, 32];
-    let mut cols: Vec<String> = vec!["benchmark".into()];
-    cols.extend(delays.iter().map(|d| format!("delay={d}")));
-    let mut t = Table::new(cols);
-    let mut baselines = BaselineCache::new();
-    let mut per_delay: Vec<Vec<f64>> = vec![Vec::new(); delays.len()];
-    for &b in benches {
-        let mut cells = vec![b.name().to_string()];
-        for (i, &d) in delays.iter().enumerate() {
-            let r = Experiment::new(DeviceKind::Crt)
-                .benchmark(b)
-                .seed(scale.seed)
-                .warmup(scale.warmup)
-                .measure(scale.measure)
-                .tweak_srt(move |o| o.env.cross_core_delay = d)
-                .max_cycle_factor(150)
-                .run()
-                .expect("delay sweep run");
-            let eff = r.ipc(0) / baselines.ipc(b, scale.seed, scale.warmup, scale.measure);
-            per_delay[i].push(eff);
-            cells.push(fmt3(eff));
-        }
-        t.row(cells);
-    }
-    let mut summary = BTreeMap::new();
-    for (i, &d) in delays.iter().enumerate() {
-        summary.insert(format!("eff_delay{d}"), mean(&per_delay[i]));
-    }
-    FigureResult { table: t, summary }
+    let effs = sweep_eff(ctx, scale, benches, DeviceKind::Crt, &delays, 150, |o, d| {
+        o.env.cross_core_delay = d;
+    });
+    sweep_table(benches, &delays, "delay", "eff_delay", &effs)
 }
 
 /// Redundant-thread slack distribution under SRT: mean and maximum of
 /// (leading − trailing) committed instructions, the quantity slack fetch
 /// controlled explicitly in the original SRT design and that the LVQ/LPQ
 /// capacity bounds implicitly here (§4.4).
-pub fn slack_profile(scale: SimScale, benches: &[Benchmark]) -> FigureResult {
-    let mut t = Table::with_columns(&["benchmark", "mean slack", "max slack", "lvq peak", "lpq peak"]);
-    let mut means = Vec::new();
-    for &b in benches {
+pub fn slack_profile(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> FigureResult {
+    let points = ctx.runner.run(benches.len(), |i| {
+        let b = benches[i];
         let w = Workload::generate(b, scale.seed);
         let mut dev = SrtDevice::new(SrtOptions::default(), vec![LogicalThread::from(&w)]);
         let target = scale.warmup + scale.measure;
         assert!(dev.run_until_committed(target, target * 120), "{b} timed out");
         let pair = dev.env().pair(0);
-        means.push(pair.slack.mean());
+        (
+            pair.slack.mean(),
+            pair.slack.max().unwrap_or(0),
+            pair.lvq.peak(),
+            pair.lpq.peak(),
+        )
+    });
+    let mut t = Table::with_columns(&["benchmark", "mean slack", "max slack", "lvq peak", "lpq peak"]);
+    let mut means = Vec::new();
+    for (b, &(slack_mean, slack_max, lvq_peak, lpq_peak)) in benches.iter().zip(&points) {
+        means.push(slack_mean);
         t.row(vec![
             b.name().into(),
-            fmt3(pair.slack.mean()),
-            pair.slack.max().unwrap_or(0).to_string(),
-            pair.lvq.peak().to_string(),
-            pair.lpq.peak().to_string(),
+            fmt3(slack_mean),
+            slack_max.to_string(),
+            lvq_peak.to_string(),
+            lpq_peak.to_string(),
         ]);
     }
     let mut summary = BTreeMap::new();
@@ -630,7 +704,48 @@ pub fn slack_profile(scale: SimScale, benches: &[Benchmark]) -> FigureResult {
 /// Workload characterization: instruction mix and machine behaviour per
 /// synthetic benchmark, next to the base-processor IPC (the credibility
 /// table for the SPEC95 substitution in DESIGN.md §1).
-pub fn workload_chars(scale: SimScale, benches: &[Benchmark]) -> FigureResult {
+pub fn workload_chars(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> FigureResult {
+    struct Chars {
+        ipc: f64,
+        branches: f64,
+        loads: f64,
+        stores: f64,
+        fp: f64,
+        squash_rate: f64,
+        working_set: u64,
+    }
+    let points = ctx.runner.run(benches.len(), |i| {
+        let b = benches[i];
+        let w = Workload::generate(b, scale.seed);
+        // Static instruction mix over the program text.
+        let insts = w.program.insts();
+        let total = insts.len() as f64;
+        let frac = |pred: &dyn Fn(&rmt_isa::Inst) -> bool| {
+            insts.iter().filter(|i| pred(i)).count() as f64 / total * 100.0
+        };
+        // Dynamic behaviour on the base machine: IPC from the warm
+        // measurement window (the same number every SMT-efficiency in this
+        // suite divides by); squash rate over the whole run.
+        let ipc = ctx.baselines.ipc(b, scale.seed, scale.warmup, scale.measure);
+        let mut dev = rmt_core::device::BaseDevice::new(
+            CoreConfig::base(),
+            Default::default(),
+            vec![LogicalThread::from(&w)],
+        );
+        let target = scale.warmup + scale.measure;
+        assert!(dev.run_until_committed(target, target * 120), "{b} timed out");
+        let committed = dev.committed(0) as f64;
+        Chars {
+            ipc,
+            branches: frac(&|i| i.op.is_cond_branch()),
+            loads: frac(&|i| i.op.is_load()),
+            stores: frac(&|i| i.op.is_store()),
+            fp: frac(&|i| matches!(i.op.fu_class(), rmt_isa::FuClass::Fp)),
+            squash_rate: dev.core().thread_stats(0).squashes as f64 / committed * 1_000.0,
+            working_set: b.profile().working_set,
+        }
+    });
+
     let mut t = Table::with_columns(&[
         "benchmark",
         "IPC",
@@ -642,42 +757,17 @@ pub fn workload_chars(scale: SimScale, benches: &[Benchmark]) -> FigureResult {
         "working set",
     ]);
     let mut summary = BTreeMap::new();
-    for &b in benches {
-        let w = Workload::generate(b, scale.seed);
-        // Static instruction mix over the program text.
-        let insts = w.program.insts();
-        let total = insts.len() as f64;
-        let frac = |pred: &dyn Fn(&rmt_isa::Inst) -> bool| {
-            insts.iter().filter(|i| pred(i)).count() as f64 / total * 100.0
-        };
-        let branches = frac(&|i| i.op.is_cond_branch());
-        let loads = frac(&|i| i.op.is_load());
-        let stores = frac(&|i| i.op.is_store());
-        let fp = frac(&|i| matches!(i.op.fu_class(), rmt_isa::FuClass::Fp));
-        // Dynamic behaviour on the base machine: IPC from the warm
-        // measurement window (the same number every SMT-efficiency in this
-        // suite divides by); squash rate over the whole run.
-        let mut baselines = BaselineCache::new();
-        let ipc = baselines.ipc(b, scale.seed, scale.warmup, scale.measure);
-        let mut dev = rmt_core::device::BaseDevice::new(
-            CoreConfig::base(),
-            Default::default(),
-            vec![LogicalThread::from(&w)],
-        );
-        let target = scale.warmup + scale.measure;
-        assert!(dev.run_until_committed(target, target * 120), "{b} timed out");
-        let committed = dev.committed(0) as f64;
-        let squash_rate = dev.core().thread_stats(0).squashes as f64 / committed * 1_000.0;
-        summary.insert(format!("{}_ipc", b.name()), ipc);
+    for (b, c) in benches.iter().zip(&points) {
+        summary.insert(format!("{}_ipc", b.name()), c.ipc);
         t.row(vec![
             b.name().into(),
-            fmt3(ipc),
-            fmt_pct(branches),
-            fmt_pct(loads),
-            fmt_pct(stores),
-            fmt_pct(fp),
-            fmt3(squash_rate),
-            format!("{} KB", b.profile().working_set / 1024),
+            fmt3(c.ipc),
+            fmt_pct(c.branches),
+            fmt_pct(c.loads),
+            fmt_pct(c.stores),
+            fmt_pct(c.fp),
+            fmt3(c.squash_rate),
+            format!("{} KB", c.working_set / 1024),
         ]);
     }
     FigureResult { table: t, summary }
@@ -685,25 +775,26 @@ pub fn workload_chars(scale: SimScale, benches: &[Benchmark]) -> FigureResult {
 
 /// Next-line L1D prefetch ablation (extension; the paper's machine has no
 /// prefetcher): base-machine IPC with and without it, per benchmark.
-pub fn abl_prefetch(scale: SimScale, benches: &[Benchmark]) -> FigureResult {
+pub fn abl_prefetch(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> FigureResult {
+    // Two jobs per benchmark: prefetch off (even) and on (odd).
+    let ipcs = ctx.runner.run(benches.len() * 2, |i| {
+        let pf = i % 2 == 1;
+        Experiment::new(DeviceKind::Base)
+            .benchmark(benches[i / 2])
+            .seed(scale.seed)
+            .warmup(scale.warmup)
+            .measure(scale.measure)
+            .tweak_hierarchy(move |h| h.l1d_next_line_prefetch = pf)
+            .max_cycle_factor(150)
+            .run()
+            .expect("prefetch run")
+            .ipc(0)
+    });
     let mut t = Table::with_columns(&["benchmark", "no prefetch", "next-line prefetch", "speedup"]);
     let mut speedups = Vec::new();
     let mut summary = BTreeMap::new();
-    for &b in benches {
-        let run = |pf: bool| {
-            Experiment::new(DeviceKind::Base)
-                .benchmark(b)
-                .seed(scale.seed)
-                .warmup(scale.warmup)
-                .measure(scale.measure)
-                .tweak_hierarchy(move |h| h.l1d_next_line_prefetch = pf)
-                .max_cycle_factor(150)
-                .run()
-                .expect("prefetch run")
-                .ipc(0)
-        };
-        let off = run(false);
-        let on = run(true);
+    for (b, pair) in benches.iter().zip(ipcs.chunks(2)) {
+        let (off, on) = (pair[0], pair[1]);
         let speedup = on / off;
         speedups.push(speedup);
         t.row(vec![b.name().into(), fmt3(off), fmt3(on), fmt3(speedup)]);
@@ -717,8 +808,9 @@ pub fn abl_prefetch(scale: SimScale, benches: &[Benchmark]) -> FigureResult {
 // ====================================================================
 
 /// Fault-detection coverage across architectures and fault models,
-/// including PSR's effect on permanent-fault coverage (§4.5).
-pub fn fault_coverage(scale: SimScale, bench: Benchmark) -> FigureResult {
+/// including PSR's effect on permanent-fault coverage (§4.5). Each
+/// campaign's injections are fanned across the runner.
+pub fn fault_coverage(ctx: &FigureCtx, scale: SimScale, bench: Benchmark) -> FigureResult {
     let w = Workload::generate(bench, scale.seed);
     let cfg = CampaignConfig {
         injections: 12,
@@ -753,20 +845,35 @@ pub fn fault_coverage(scale: SimScale, bench: Benchmark) -> FigureResult {
         );
     };
     // Base machine: no detection at all.
+    let base_cfg = CoreConfig::base();
     for kind in [FaultKind::TransientReg, FaultKind::TransientSq] {
-        add(&mut t, "base", run_base_campaign(CoreConfig::base(), &w, kind, cfg));
+        add(
+            &mut t,
+            "base",
+            par_base_campaign(&ctx.runner, &base_cfg, &w, kind, cfg),
+        );
     }
     // SRT with PSR: all models.
     let mut psr_opts = SrtOptions::default();
     psr_opts.core.preferential_space_redundancy = true;
     for kind in FaultKind::ALL {
-        add(&mut t, "srt", run_srt_campaign(psr_opts.clone(), &w, kind, cfg));
+        add(
+            &mut t,
+            "srt",
+            par_srt_campaign(&ctx.runner, &psr_opts, &w, kind, cfg),
+        );
     }
     // SRT without PSR: permanent faults (the coverage PSR exists to fix).
     add(
         &mut t,
         "srt-nopsr",
-        run_srt_campaign(SrtOptions::default(), &w, FaultKind::PermanentFu, cfg),
+        par_srt_campaign(
+            &ctx.runner,
+            &SrtOptions::default(),
+            &w,
+            FaultKind::PermanentFu,
+            cfg,
+        ),
     );
     // SRT with the ECC the paper mandates for the LVQ (§2.1): strikes on
     // LVQ entries are corrected before they can diverge the threads.
@@ -775,14 +882,15 @@ pub fn fault_coverage(scale: SimScale, bench: Benchmark) -> FigureResult {
     add(
         &mut t,
         "srt-ecc",
-        run_srt_campaign(ecc_opts, &w, FaultKind::TransientLvq, cfg),
+        par_srt_campaign(&ctx.runner, &ecc_opts, &w, FaultKind::TransientLvq, cfg),
     );
     // Lockstep: permanent + register faults.
+    let lock_opts = rmt_core::lockstep::LockstepOptions::lock8();
     for kind in [FaultKind::TransientReg, FaultKind::PermanentFu] {
         add(
             &mut t,
             "lockstep",
-            run_lockstep_campaign(rmt_core::lockstep::LockstepOptions::lock8(), &w, kind, cfg),
+            par_lockstep_campaign(&ctx.runner, &lock_opts, &w, kind, cfg),
         );
     }
     FigureResult { table: t, summary }
@@ -810,7 +918,8 @@ mod tests {
 
     #[test]
     fn fig6_shape_matches_paper_orderings() {
-        let r = fig6_srt_single(SimScale::quick(), QUICK_BENCHES);
+        let ctx = FigureCtx::new(2);
+        let r = fig6_srt_single(&ctx, SimScale::quick(), QUICK_BENCHES);
         // The orderings the paper reports: redundant execution costs
         // performance; SRT's optimized trailing thread beats naive
         // two-copy redundancy (Base2); removing store comparison (nosc)
@@ -825,11 +934,13 @@ mod tests {
         assert!(nosc >= srt * 0.98, "nosc should not be slower than SRT");
         assert!(ptsq >= srt * 0.99, "ptsq should not be slower than SRT");
         assert!(srt > 0.3, "SRT implausibly slow: {srt}");
+        // One baseline per benchmark, however many device kinds ran.
+        assert_eq!(ctx.baselines.len(), QUICK_BENCHES.len());
     }
 
     #[test]
     fn fig7_psr_kills_same_fu() {
-        let r = fig7_psr(SimScale::quick(), &[Benchmark::M88ksim]);
+        let r = fig7_psr(&FigureCtx::new(2), SimScale::quick(), &[Benchmark::M88ksim]);
         let before = r.value("same_fu_no_psr");
         let after = r.value("same_fu_with_psr");
         assert!(before > 0.25, "no-PSR same-FU fraction too low: {before}");
@@ -838,7 +949,7 @@ mod tests {
 
     #[test]
     fn fig9_srt_lengthens_store_lifetime() {
-        let r = fig9_storeq(SimScale::quick(), QUICK_BENCHES);
+        let r = fig9_storeq(&FigureCtx::new(2), SimScale::quick(), QUICK_BENCHES);
         assert!(
             r.value("mean_lifetime_delta") > 5.0,
             "SRT must lengthen store lifetimes: {}",
@@ -848,7 +959,7 @@ mod tests {
 
     #[test]
     fn fault_coverage_shape() {
-        let r = fault_coverage(SimScale::quick(), Benchmark::Swim);
+        let r = fault_coverage(&FigureCtx::new(2), SimScale::quick(), Benchmark::Swim);
         // The base machine detects nothing; unmasked store corruption is
         // silent.
         assert_eq!(r.value("base_transient-sq_coverage"), 0.0);

@@ -8,6 +8,10 @@
 //! * [`figures`] — one function per reproduced table/figure; each returns a
 //!   [`rmt_stats::Table`] whose rows mirror the paper's artifact. The
 //!   `rmt-bench` binaries print these.
+//! * [`runner`] — the deterministic work-stealing job pool that fans a
+//!   figure's independent data points (experiments, fault injections)
+//!   across worker threads with bitwise-identical results at any
+//!   `--jobs` level.
 //!
 //! # Examples
 //!
@@ -31,7 +35,9 @@
 pub mod baseline;
 pub mod experiment;
 pub mod figures;
+pub mod runner;
 
 pub use baseline::BaselineCache;
 pub use experiment::{DeviceKind, Experiment, RunResult, SimError};
-pub use figures::SimScale;
+pub use figures::{FigureCtx, SimScale};
+pub use runner::Runner;

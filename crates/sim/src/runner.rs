@@ -1,0 +1,273 @@
+//! Deterministic parallel execution of independent simulation points.
+//!
+//! The evaluation is a large cross-product — device kinds × benchmarks ×
+//! mixes × fault injections — and every data point is an independent
+//! simulation. [`Runner`] fans those points across a scoped-thread
+//! work-stealing pool (no external dependencies) while keeping results
+//! **bitwise identical** to sequential execution:
+//!
+//! * each job is a pure function of its index — per-job randomness comes
+//!   from [`rmt_stats::rng::split_seed`], never from a stream consumed in
+//!   scheduling order;
+//! * results are gathered into a slot per job index, so the output vector
+//!   is ordered by submission, not completion;
+//! * shared state ([`crate::BaselineCache`]) memoizes through
+//!   [`std::sync::OnceLock`], so a value is computed once and every thread
+//!   observes the same bits.
+//!
+//! Under those rules `Runner::new(1)` and `Runner::new(64)` produce equal
+//! results for any job set, which the test suite asserts on whole figures
+//! and fault campaigns.
+//!
+//! # Examples
+//!
+//! ```
+//! use rmt_sim::runner::Runner;
+//!
+//! let squares = Runner::new(4).run(8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use rmt_core::device::SrtOptions;
+use rmt_core::lockstep::LockstepOptions;
+use rmt_faults::campaign::{base_injection, lockstep_injection, srt_injection};
+use rmt_faults::{CampaignConfig, CampaignReport, FaultKind};
+use rmt_pipeline::CoreConfig;
+use rmt_workloads::Workload;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A deterministic parallel job pool.
+///
+/// Cheap to construct (no threads live between [`Runner::run`] calls; each
+/// call spawns a scoped pool and joins it before returning).
+#[derive(Debug)]
+pub struct Runner {
+    jobs: usize,
+    executed: AtomicUsize,
+}
+
+impl Runner {
+    /// A runner with `jobs` worker threads (clamped to at least 1).
+    pub fn new(jobs: usize) -> Self {
+        Runner {
+            jobs: jobs.max(1),
+            executed: AtomicUsize::new(0),
+        }
+    }
+
+    /// A runner sized to the host's available parallelism.
+    pub fn available() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// Number of worker threads this runner uses.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Total jobs executed over this runner's lifetime (all `run` calls).
+    pub fn jobs_executed(&self) -> usize {
+        self.executed.load(Ordering::Relaxed)
+    }
+
+    /// Runs `job(0..n)` and returns the results ordered by index.
+    ///
+    /// Jobs must be independent: `job` may not communicate between indices
+    /// except through synchronization that yields order-independent values
+    /// (e.g. a [`OnceLock`](std::sync::OnceLock)-memoized cache). Under
+    /// that contract the result is identical for any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised by any job.
+    pub fn run<T, F>(&self, n: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.executed.fetch_add(n, Ordering::Relaxed);
+        let workers = self.jobs.min(n);
+        if workers <= 1 {
+            return (0..n).map(job).collect();
+        }
+
+        // One deque per worker, seeded with a contiguous block of indices
+        // (neighbouring jobs often share baselines, so block ownership
+        // maximizes cache-cell reuse within a worker). Idle workers steal
+        // from the *back* of a victim's deque — the classic split: owners
+        // drain front-to-back, thieves take the coldest work.
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| {
+                let lo = n * w / workers;
+                let hi = n * (w + 1) / workers;
+                Mutex::new((lo..hi).collect())
+            })
+            .collect();
+        // One result slot per job; a slot is written exactly once, by
+        // whichever worker claimed that index, so gathering is by index
+        // and completion order never shows.
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let queues = &queues;
+                let slots = &slots;
+                let job = &job;
+                scope.spawn(move || loop {
+                    let idx = {
+                        let mut own = queues[w].lock().expect("queue poisoned");
+                        own.pop_front()
+                    };
+                    let idx = match idx {
+                        Some(i) => i,
+                        None => {
+                            // Steal: scan victims round-robin from w+1.
+                            let mut stolen = None;
+                            for v in 1..workers {
+                                let victim = (w + v) % workers;
+                                let mut q = queues[victim].lock().expect("queue poisoned");
+                                if let Some(i) = q.pop_back() {
+                                    stolen = Some(i);
+                                    break;
+                                }
+                            }
+                            match stolen {
+                                Some(i) => i,
+                                None => return,
+                            }
+                        }
+                    };
+                    let out = job(idx);
+                    *slots[idx].lock().expect("slot poisoned") = Some(out);
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("slot poisoned")
+                    .expect("every job index was claimed and completed")
+            })
+            .collect()
+    }
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Self::available()
+    }
+}
+
+// ====================================================================
+// Parallel fault campaigns
+// ====================================================================
+
+/// [`rmt_faults::run_srt_campaign`] with injections fanned across the
+/// runner. Identical report to the sequential form for any worker count
+/// (each injection draws from its own [`split_seed`]-derived stream, and
+/// outcomes are aggregated in index order).
+///
+/// [`split_seed`]: rmt_stats::rng::split_seed
+pub fn par_srt_campaign(
+    runner: &Runner,
+    opts: &SrtOptions,
+    workload: &Workload,
+    kind: FaultKind,
+    cfg: CampaignConfig,
+) -> CampaignReport {
+    let outcomes = runner.run(cfg.injections, |i| {
+        srt_injection(opts, workload, kind, cfg, i)
+    });
+    CampaignReport::from_outcomes(kind, outcomes)
+}
+
+/// [`rmt_faults::run_base_campaign`] fanned across the runner.
+pub fn par_base_campaign(
+    runner: &Runner,
+    core_cfg: &CoreConfig,
+    workload: &Workload,
+    kind: FaultKind,
+    cfg: CampaignConfig,
+) -> CampaignReport {
+    let outcomes = runner.run(cfg.injections, |i| {
+        base_injection(core_cfg, workload, kind, cfg, i)
+    });
+    CampaignReport::from_outcomes(kind, outcomes)
+}
+
+/// [`rmt_faults::run_lockstep_campaign`] fanned across the runner.
+pub fn par_lockstep_campaign(
+    runner: &Runner,
+    opts: &LockstepOptions,
+    workload: &Workload,
+    kind: FaultKind,
+    cfg: CampaignConfig,
+) -> CampaignReport {
+    let outcomes = runner.run(cfg.injections, |i| {
+        lockstep_injection(opts, workload, kind, cfg, i)
+    });
+    CampaignReport::from_outcomes(kind, outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gathers_by_index_regardless_of_workers() {
+        for workers in [1, 2, 3, 8, 17] {
+            let r = Runner::new(workers);
+            let out = r.run(33, |i| 3 * i + 1);
+            assert_eq!(out, (0..33).map(|i| 3 * i + 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_empty() {
+        assert!(Runner::new(4).run(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_jobs() {
+        assert_eq!(Runner::new(64).run(2, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn counts_executed_jobs() {
+        let r = Runner::new(2);
+        r.run(5, |i| i);
+        r.run(7, |i| i);
+        assert_eq!(r.jobs_executed(), 12);
+    }
+
+    #[test]
+    fn workers_clamped_to_one() {
+        assert_eq!(Runner::new(0).jobs(), 1);
+    }
+
+    #[test]
+    fn stealing_drains_imbalanced_load() {
+        // Jobs whose cost is wildly index-dependent still all complete and
+        // land in their slots.
+        let r = Runner::new(4);
+        let out = r.run(64, |i| {
+            if i % 16 == 0 {
+                // A "slow" job.
+                (0..20_000u64).fold(i as u64, |a, x| a.wrapping_add(x))
+            } else {
+                i as u64
+            }
+        });
+        assert_eq!(out.len(), 64);
+        assert_eq!(out[1], 1);
+        assert_eq!(out[63], 63);
+    }
+}

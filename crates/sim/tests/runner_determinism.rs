@@ -1,0 +1,48 @@
+//! The determinism contract of `rmt_sim::runner`: `--jobs N` must not
+//! change a single result bit. Whole figures and whole fault campaigns are
+//! compared between a sequential context and an oversubscribed parallel
+//! one (more workers than this host has cores, so stealing actually
+//! happens).
+
+use rmt_core::device::SrtOptions;
+use rmt_faults::{run_srt_campaign, CampaignConfig, FaultKind};
+use rmt_sim::figures::{self, FigureCtx};
+use rmt_sim::runner::par_srt_campaign;
+use rmt_sim::{Runner, SimScale};
+use rmt_workloads::{Benchmark, Workload};
+
+#[test]
+fn fig6_is_identical_at_any_job_count() {
+    let benches = [Benchmark::M88ksim, Benchmark::Ijpeg];
+    let scale = SimScale::quick();
+    let seq = figures::fig6_srt_single(&FigureCtx::sequential(), scale, &benches);
+    let par = figures::fig6_srt_single(&FigureCtx::new(8), scale, &benches);
+    // Tables compare cell-by-cell (formatted strings), so even a
+    // last-digit wobble in any efficiency fails here.
+    assert_eq!(seq.table, par.table, "fig6 table differs across --jobs");
+    assert_eq!(seq.summary.len(), par.summary.len());
+    for (k, v) in &seq.summary {
+        assert_eq!(
+            v.to_bits(),
+            par.summary[k].to_bits(),
+            "summary `{k}` differs bitwise across --jobs"
+        );
+    }
+}
+
+#[test]
+fn srt_campaign_is_identical_sequential_and_parallel() {
+    let w = Workload::generate(Benchmark::M88ksim, 2);
+    let cfg = CampaignConfig {
+        injections: 6,
+        warmup_commits: 800,
+        window_commits: 5_000,
+        seed: 11,
+    };
+    let kind = FaultKind::TransientReg;
+    let seq = run_srt_campaign(SrtOptions::default(), &w, kind, cfg);
+    let par = par_srt_campaign(&Runner::new(8), &SrtOptions::default(), &w, kind, cfg);
+    // `CampaignReport` equality covers the outcome counts *and* the
+    // detection-latency histogram bin-by-bin.
+    assert_eq!(seq, par, "campaign report differs across worker counts");
+}

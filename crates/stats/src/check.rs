@@ -1,0 +1,126 @@
+//! A minimal in-repo property-test harness.
+//!
+//! The workspace builds with no network access, so it cannot depend on an
+//! external property-testing crate. This module provides the small subset
+//! the test suite actually needs: run a property over N pseudo-random
+//! cases drawn from a [`Xoshiro256`] stream, and on failure report the
+//! case's seed so the exact input can be replayed (no shrinking — the
+//! generators below are narrow enough that the failing case is readable
+//! as-is).
+//!
+//! # Examples
+//!
+//! ```
+//! use rmt_stats::check::run_cases;
+//!
+//! run_cases("addition commutes", 64, 0xadd, |rng| {
+//!     let (a, b) = (rng.next_u64() >> 1, rng.next_u64() >> 1);
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+//!
+//! To replay one failing case, seed a generator directly:
+//!
+//! ```text
+//! property `lvq is an exact tag map` failed at case 17/64 (case seed 0x8c6e...)
+//! replay with: Xoshiro256::seed_from(0x8c6e...)
+//! ```
+
+use crate::rng::{split_seed, Xoshiro256};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Default number of cases per property; override with the
+/// `RMT_PROP_CASES` environment variable.
+pub const DEFAULT_CASES: u64 = 64;
+
+/// Number of cases to run, honouring `RMT_PROP_CASES`.
+pub fn cases_from_env(default: u64) -> u64 {
+    std::env::var("RMT_PROP_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Runs `property` over `cases` pseudo-random cases.
+///
+/// Case `i` receives a generator seeded with `split_seed(base_seed, i)`,
+/// so every case is independent of how many cases run before it and the
+/// whole property is reproducible from `(base_seed, i)`. On a panic inside
+/// the property, the case index and case seed are printed and the panic is
+/// re-raised, failing the test with its original message.
+pub fn run_cases(
+    name: &str,
+    cases: u64,
+    base_seed: u64,
+    property: impl Fn(&mut Xoshiro256),
+) {
+    let cases = cases_from_env(cases);
+    for i in 0..cases {
+        let case_seed = split_seed(base_seed, i);
+        let mut rng = Xoshiro256::seed_from(case_seed);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| property(&mut rng))) {
+            eprintln!(
+                "property `{name}` failed at case {i}/{cases} (case seed {case_seed:#x})"
+            );
+            eprintln!("replay with: Xoshiro256::seed_from({case_seed:#x})");
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Draws a vector of `lo..hi` (inclusive bounds on length) elements.
+pub fn gen_vec<T>(
+    rng: &mut Xoshiro256,
+    min_len: u64,
+    max_len: u64,
+    mut item: impl FnMut(&mut Xoshiro256) -> T,
+) -> Vec<T> {
+    let n = rng.range(min_len, max_len);
+    (0..n).map(|_| item(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let count = std::cell::Cell::new(0u64);
+        run_cases("counts", 10, 1, |_| count.set(count.get() + 1));
+        assert_eq!(count.get(), 10);
+    }
+
+    #[test]
+    fn failing_property_propagates_panic() {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            run_cases("fails", 10, 1, |rng| {
+                assert!(rng.next_u64() % 2 == 0, "odd value");
+            })
+        }));
+        assert!(r.is_err(), "the failing case must propagate");
+    }
+
+    #[test]
+    fn cases_are_independent_of_count() {
+        // Case 3 sees the same stream whether 4 or 40 cases run.
+        let capture = |total: u64| {
+            let got = std::cell::Cell::new(0u64);
+            run_cases("indep", total, 99, |rng| {
+                if got.get() == 0 {
+                    got.set(rng.next_u64());
+                }
+            });
+            got.get()
+        };
+        assert_eq!(capture(4), capture(40));
+    }
+
+    #[test]
+    fn gen_vec_respects_bounds() {
+        let mut rng = Xoshiro256::seed_from(2);
+        for _ in 0..100 {
+            let v = gen_vec(&mut rng, 1, 5, |r| r.next_u64());
+            assert!((1..=5).contains(&v.len()));
+        }
+    }
+}

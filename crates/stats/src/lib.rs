@@ -7,6 +7,9 @@
 //!   generator ([`rng::Xoshiro256`]). Determinism matters here: lockstepped
 //!   cores must produce bit-identical streams, and every experiment must be
 //!   reproducible from a `(config, seed)` pair.
+//! * [`check`] — a minimal property-test harness driven by [`rng`], used
+//!   by the workspace's property tests (the build is offline, so no
+//!   external property-testing crate).
 //! * [`counter`] — named event counters and counter groups.
 //! * [`histogram`] — fixed-bucket histograms used for store-lifetime and
 //!   occupancy distributions.
@@ -32,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod counter;
 pub mod histogram;
 pub mod metrics;

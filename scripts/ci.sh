@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate plus a parallel-runner smoke test.
+# Fully offline: the workspace has no external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== smoke: parallel figure run (quick scale, 2 workers) =="
+cargo run --release -p rmt-bench --bin fig6_srt_single -- --scale quick --jobs 2
+
+echo "== ci.sh: all checks passed =="

@@ -64,7 +64,7 @@ fn permanent_fault_detected_quickly_with_psr() {
     let w = Workload::generate(Benchmark::M88ksim, 1);
     let mut psr = SrtOptions::default();
     psr.core.preferential_space_redundancy = true;
-    let r = run_srt_campaign(psr, &w, FaultKind::PermanentFu, cfg(4));
+    let r = run_srt_campaign(psr, &w, FaultKind::PermanentFu, cfg(6));
     assert!(r.detected >= 3, "PSR should detect stuck-at FUs: {r:?}");
     assert_eq!(r.silent, 0);
 }

@@ -1,51 +1,61 @@
-//! Property-based tests (proptest) over the core data structures and
-//! invariants.
+//! Property-based tests over the core data structures and invariants,
+//! driven by the in-repo harness (`rmt::stats::check`) — the workspace
+//! builds offline, so it cannot depend on an external property-testing
+//! crate. A failure prints the case seed; replay it with
+//! `Xoshiro256::seed_from(seed)`.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
 use rmt::core::comparator::CompareOutcome;
 use rmt::core::{LinePredictionQueue, LoadValueQueue, StoreComparator};
 use rmt::isa::inst::{Inst, Reg, ALL_OPS};
 use rmt::isa::MemImage;
 use rmt::pipeline::chunk::ChunkAggregator;
-use rmt::stats::Histogram;
+use rmt::stats::check::{cases_from_env, gen_vec, run_cases, DEFAULT_CASES};
+use rmt::stats::{Histogram, Xoshiro256};
 use std::collections::HashMap;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..64).prop_map(Reg::new)
+fn cases() -> u64 {
+    cases_from_env(DEFAULT_CASES)
 }
 
-fn arb_inst() -> impl Strategy<Value = Inst> {
-    (
-        0..ALL_OPS.len(),
-        arb_reg(),
-        arb_reg(),
-        arb_reg(),
-        any::<i32>(),
-    )
-        .prop_map(|(op, rd, rs1, rs2, imm)| Inst::new(ALL_OPS[op], rd, rs1, rs2, imm as i64))
+fn gen_reg(rng: &mut Xoshiro256) -> Reg {
+    Reg::new(rng.below(64) as u8)
 }
 
-proptest! {
-    #[test]
-    fn inst_encode_decode_roundtrip(inst in arb_inst()) {
+fn gen_inst(rng: &mut Xoshiro256) -> Inst {
+    let op = ALL_OPS[rng.below(ALL_OPS.len() as u64) as usize];
+    let (rd, rs1, rs2) = (gen_reg(rng), gen_reg(rng), gen_reg(rng));
+    let imm = rng.next_u64() as i32 as i64;
+    Inst::new(op, rd, rs1, rs2, imm)
+}
+
+#[test]
+fn inst_encode_decode_roundtrip() {
+    run_cases("inst encode/decode roundtrip", cases(), 0x1001, |rng| {
+        let inst = gen_inst(rng);
         let decoded = Inst::decode(inst.encode()).unwrap();
-        prop_assert_eq!(inst, decoded);
-    }
+        assert_eq!(inst, decoded);
+    });
+}
 
-    #[test]
-    fn exec_is_deterministic(inst in arb_inst(), pc in any::<u32>(), a in any::<u64>(), b in any::<u64>()) {
-        let pc = (pc as u64) & !3;
+#[test]
+fn exec_is_deterministic() {
+    run_cases("execute is deterministic", cases(), 0x1002, |rng| {
+        let inst = gen_inst(rng);
+        let pc = (rng.next_u64() as u32 as u64) & !3;
+        let (a, b) = (rng.next_u64(), rng.next_u64());
         let x = rmt::isa::execute(&inst, pc, a, b);
         let y = rmt::isa::execute(&inst, pc, a, b);
-        prop_assert_eq!(x, y);
-    }
+        assert_eq!(x, y);
+    });
+}
 
-    #[test]
-    fn mem_image_matches_hashmap_model(
-        ops in vec((any::<u16>(), any::<u64>(), any::<bool>()), 1..200)
-    ) {
+#[test]
+fn mem_image_matches_hashmap_model() {
+    run_cases("mem image matches hashmap model", cases(), 0x1003, |rng| {
         // Addresses confined to 64 KiB so collisions actually happen.
+        let ops = gen_vec(rng, 1, 199, |r| {
+            (r.next_u64() as u16, r.next_u64(), r.chance(0.5))
+        });
         let mut img = MemImage::new();
         let mut model: HashMap<u64, u8> = HashMap::new();
         for (addr, value, word) in ops {
@@ -61,15 +71,16 @@ proptest! {
             }
         }
         for (&a, &expect) in &model {
-            prop_assert_eq!(img.read_u8(a), expect);
+            assert_eq!(img.read_u8(a), expect);
         }
-    }
+    });
+}
 
-    #[test]
-    fn mem_image_digest_is_content_function(
-        writes in vec((any::<u16>(), any::<u64>()), 1..50)
-    ) {
+#[test]
+fn mem_image_digest_is_content_function() {
+    run_cases("mem image digest is a content function", cases(), 0x1004, |rng| {
         // Writing the same contents in any order produces the same digest.
+        let writes = gen_vec(rng, 1, 49, |r| (r.next_u64() as u16, r.next_u64()));
         let mut a = MemImage::new();
         for &(addr, v) in &writes {
             a.write_u64(addr as u64, v);
@@ -82,14 +93,15 @@ proptest! {
         for &(addr, v) in &writes {
             b.write_u64(addr as u64, v);
         }
-        prop_assert_eq!(a.digest(), b.digest());
-    }
+        assert_eq!(a.digest(), b.digest());
+    });
+}
 
-    #[test]
-    fn chunk_aggregator_reconstructs_the_commit_stream(
-        // A random walk of (block length 1..=12, taken target) pairs.
-        blocks in vec((1u64..12, any::<u16>()), 1..40)
-    ) {
+#[test]
+fn chunk_aggregator_reconstructs_the_commit_stream() {
+    run_cases("chunk aggregator partitions the stream", cases(), 0x1005, |rng| {
+        // A random walk of (block length 1..=11, taken target) pairs.
+        let blocks = gen_vec(rng, 1, 39, |r| (r.range(1, 11), r.next_u64() as u16));
         // Build the retired (pc, next_pc) stream.
         let mut stream = Vec::new();
         let mut pc = 0u64;
@@ -112,53 +124,55 @@ proptest! {
         agg.force_terminate(&mut chunks);
         // Invariant 1: chunks partition the stream exactly.
         let total: usize = chunks.iter().map(|c| c.len).sum();
-        prop_assert_eq!(total, stream.len());
+        assert_eq!(total, stream.len());
         // Invariant 2: every chunk is contiguous and at most 8 long.
         let mut idx = 0;
         for c in &chunks {
-            prop_assert!(c.len >= 1 && c.len <= 8);
+            assert!(c.len >= 1 && c.len <= 8);
             for k in 0..c.len {
-                prop_assert_eq!(stream[idx].0, c.start_pc + 4 * k as u64);
+                assert_eq!(stream[idx].0, c.start_pc + 4 * k as u64);
                 idx += 1;
             }
             // Invariant 3: a chunk never continues across a taken branch.
             for k in 0..c.len - 1 {
                 let within = c.start_pc + 4 * k as u64;
-                prop_assert_eq!(stream[idx - c.len + k].1, within + 4);
+                assert_eq!(stream[idx - c.len + k].1, within + 4);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn lvq_is_an_exact_tag_map(
-        entries in vec((any::<u64>(), any::<u64>()), 1..32),
-        lookups in vec(any::<usize>(), 1..32)
-    ) {
+#[test]
+fn lvq_is_an_exact_tag_map() {
+    run_cases("lvq is an exact tag map", cases(), 0x1006, |rng| {
+        let entries = gen_vec(rng, 1, 31, |r| (r.next_u64(), r.next_u64()));
+        let lookups = gen_vec(rng, 1, 31, |r| r.next_u64() as usize);
         let mut lvq = LoadValueQueue::new(64);
         let mut model: HashMap<u64, u64> = HashMap::new();
         for (i, &(addr, value)) in entries.iter().enumerate() {
             let tag = i as u64;
-            prop_assert!(lvq.push(tag, addr, value, 8, 0));
+            assert!(lvq.push(tag, addr, value, 8, 0));
             model.insert(tag, value);
         }
         for &l in &lookups {
             let tag = (l % entries.len()) as u64;
             match lvq.lookup(tag, 0) {
                 Some(e) => {
-                    prop_assert_eq!(Some(&e.value), model.get(&tag));
+                    assert_eq!(Some(&e.value), model.get(&tag));
                     lvq.consume(tag);
                     model.remove(&tag);
                 }
-                None => prop_assert!(!model.contains_key(&tag)),
+                None => assert!(!model.contains_key(&tag)),
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn lpq_protocol_never_loses_or_reorders(
-        n in 1usize..20,
-        rollback_at in any::<usize>()
-    ) {
+#[test]
+fn lpq_protocol_never_loses_or_reorders() {
+    run_cases("lpq never loses or reorders", cases(), 0x1007, |rng| {
+        let n = rng.range(1, 19) as usize;
+        let rollback_at = rng.next_u64() as usize;
         let mut lpq = LinePredictionQueue::new(32);
         for i in 0..n {
             let c = rmt::pipeline::chunk::RetiredChunk {
@@ -166,7 +180,7 @@ proptest! {
                 len: 4,
                 halves: [0; 8],
             };
-            prop_assert!(lpq.push(c, 0));
+            assert!(lpq.push(c, 0));
         }
         let mut seen = Vec::new();
         let mut did_rollback = false;
@@ -181,16 +195,19 @@ proptest! {
             lpq.fetch_done();
             seen.push(c.start_pc);
         }
-        prop_assert_eq!(seen.len(), n);
+        assert_eq!(seen.len(), n);
         for (i, &pc) in seen.iter().enumerate() {
-            prop_assert_eq!(pc, i as u64 * 32);
+            assert_eq!(pc, i as u64 * 32);
         }
-    }
+    });
+}
 
-    #[test]
-    fn comparator_matches_iff_streams_equal(
-        stores in vec((any::<u64>(), any::<u64>(), any::<bool>()), 1..40)
-    ) {
+#[test]
+fn comparator_matches_iff_streams_equal() {
+    run_cases("comparator matches iff streams equal", cases(), 0x1008, |rng| {
+        let stores = gen_vec(rng, 1, 39, |r| {
+            (r.next_u64(), r.next_u64(), r.chance(0.5))
+        });
         let mut cmp = StoreComparator::new();
         for (i, &(addr, value, corrupt)) in stores.iter().enumerate() {
             let tag = i as u64;
@@ -198,63 +215,72 @@ proptest! {
             let lead_value = if corrupt { value ^ 1 } else { value };
             let out = cmp.check(tag, addr, lead_value, 8, 0);
             if corrupt {
-                prop_assert_eq!(out, CompareOutcome::Mismatch);
+                assert_eq!(out, CompareOutcome::Mismatch);
             } else {
-                prop_assert_eq!(out, CompareOutcome::Match);
+                assert_eq!(out, CompareOutcome::Match);
             }
         }
         let corrupted = stores.iter().filter(|s| s.2).count() as u64;
-        prop_assert_eq!(cmp.mismatches(), corrupted);
-        prop_assert_eq!(cmp.matches(), stores.len() as u64 - corrupted);
-    }
+        assert_eq!(cmp.mismatches(), corrupted);
+        assert_eq!(cmp.matches(), stores.len() as u64 - corrupted);
+    });
+}
 
-    #[test]
-    fn histogram_mean_matches_naive_mean(samples in vec(0u64..10_000, 1..100)) {
+#[test]
+fn histogram_mean_matches_naive_mean() {
+    run_cases("histogram mean matches naive mean", cases(), 0x1009, |rng| {
+        let samples = gen_vec(rng, 1, 99, |r| r.below(10_000));
         let mut h = Histogram::new("t", 64, 32);
         for &s in &samples {
             h.record(s);
         }
         let naive = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
-        prop_assert!((h.mean() - naive).abs() < 1e-9);
-        prop_assert_eq!(h.count(), samples.len() as u64);
-        prop_assert_eq!(h.min(), samples.iter().min().copied());
-        prop_assert_eq!(h.max(), samples.iter().max().copied());
-    }
+        assert!((h.mean() - naive).abs() < 1e-9);
+        assert_eq!(h.count(), samples.len() as u64);
+        assert_eq!(h.min(), samples.iter().min().copied());
+        assert_eq!(h.max(), samples.iter().max().copied());
+    });
 }
 
-proptest! {
-    /// Disassemble → reassemble round trip for arbitrary non-control
-    /// instructions (control targets print as absolute PCs, covered by the
-    /// unit tests in `rmt_isa::asm`).
-    #[test]
-    fn disasm_asm_roundtrip(inst in arb_inst().prop_filter("non-control", |i| !i.op.is_control()), ) {
+/// Disassemble → reassemble round trip for arbitrary non-control
+/// instructions (control targets print as absolute PCs, covered by the
+/// unit tests in `rmt_isa::asm`).
+#[test]
+fn disasm_asm_roundtrip() {
+    run_cases("disasm/asm roundtrip (non-control)", cases(), 0x100a, |rng| {
+        let inst = loop {
+            let i = gen_inst(rng);
+            if !i.op.is_control() {
+                break i;
+            }
+        };
         // Clamp the immediate to the 32-bit range `encode` guarantees.
         let inst = Inst::new(inst.op, inst.rd, inst.rs1, inst.rs2, inst.imm as i32 as i64);
         let text = rmt::isa::disasm::disassemble(&inst);
         let p = rmt::isa::asm::assemble(&text).unwrap();
         let got = p.fetch(0).unwrap();
-        prop_assert_eq!(got.op, inst.op, "{}", text);
+        assert_eq!(got.op, inst.op, "{text}");
         // Operand fields that the op actually uses must survive.
         if inst.writes_reg() {
-            prop_assert_eq!(got.rd, inst.rd, "{}", text);
+            assert_eq!(got.rd, inst.rd, "{text}");
         }
         let (s1, s2) = inst.sources();
-        if let Some(r) = s1 { prop_assert_eq!(got.rs1, r, "{}", text); }
-        if let Some(r) = s2 { prop_assert_eq!(got.rs2, r, "{}", text); }
-    }
+        if let Some(r) = s1 {
+            assert_eq!(got.rs1, r, "{text}");
+        }
+        if let Some(r) = s2 {
+            assert_eq!(got.rs2, r, "{text}");
+        }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Differential: random *structured* programs (straight-line blocks
-    /// with bounded loops) retire identically on the pipeline and the
-    /// reference interpreter.
-    #[test]
-    fn pipeline_matches_interpreter_on_random_programs(seed in any::<u64>()) {
+/// Differential: random *structured* programs (straight-line blocks with
+/// bounded loops) retire identically on the pipeline and the reference
+/// interpreter. Heavier than the structural properties, so fewer cases.
+#[test]
+fn pipeline_matches_interpreter_on_random_programs() {
+    run_cases("pipeline matches interpreter", cases_from_env(16), 0x100b, |rng| {
         use rmt::isa::program::ProgramBuilder;
-        use rmt::stats::Xoshiro256;
-        let mut rng = Xoshiro256::seed_from(seed);
         let mut b = ProgramBuilder::new();
         let r = |i: u64| Reg::new(1 + (i % 20) as u8);
         // Prologue: seed registers.
@@ -295,16 +321,16 @@ proptest! {
             core.tick(cycle, &mut hier, &mut env);
             hier.tick(cycle);
             cycle += 1;
-            prop_assert!(cycle < 2_000_000, "pipeline did not finish");
+            assert!(cycle < 2_000_000, "pipeline did not finish");
         }
         for c in cycle..cycle + 2_000 {
             core.tick(c, &mut hier, &mut env);
             hier.tick(c);
         }
-        prop_assert_eq!(core.thread_stats(0).committed, interp.committed());
-        prop_assert_eq!(env.image(0, 0).digest(), interp.mem().digest());
+        assert_eq!(core.thread_stats(0).committed, interp.committed());
+        assert_eq!(env.image(0, 0).digest(), interp.mem().digest());
         for i in 0..20 {
-            prop_assert_eq!(core.arch_reg(0, r(i)), interp.state().reg(r(i)));
+            assert_eq!(core.arch_reg(0, r(i)), interp.state().reg(r(i)));
         }
-    }
+    });
 }
