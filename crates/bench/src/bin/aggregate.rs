@@ -1,0 +1,16 @@
+//! Aggregate suite run: per-benchmark base IPC plus mean SRT and CRT
+//! single-thread efficiencies, with every run's metric snapshot and the
+//! host simulation speed. Writes `BENCH_PR2.json` unless `--json` names
+//! another path.
+fn main() {
+    let mut args = rmt_bench::FigureArgs::parse();
+    if args.json.is_none() {
+        args.json = Some("BENCH_PR2.json".to_string());
+    }
+    rmt_bench::run_and_print(
+        "Suite summary: base IPC, SRT and CRT efficiency",
+        "Figures 6 and 10 (aggregate)",
+        &args,
+        |ctx| rmt_sim::figures::suite_summary(ctx, args.scale, &args.benches),
+    );
+}

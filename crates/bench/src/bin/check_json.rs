@@ -1,0 +1,131 @@
+//! Validates machine-readable figure results (`results/*.json`).
+//!
+//! ```text
+//! check_json FILE [FILE...]
+//! ```
+//!
+//! Checks each document against the schema in [`rmt_bench::figure_json`]
+//! and re-asserts the issue-slot conservation invariant inside every
+//! embedded metric snapshot (each core's attributed slots must total
+//! exactly `8 × cycles`). Exits nonzero on the first invalid file —
+//! `scripts/ci.sh` uses this as the `--json` smoke check.
+
+use rmt_stats::json::parse;
+use rmt_stats::Json;
+
+/// The idle-or-issued slot counters exported per core under `slots/`.
+const SLOT_COUNTERS: [&str; 7] = [
+    "issued",
+    "window_empty",
+    "data_wait",
+    "structural_fu",
+    "structural_iq_half",
+    "squash_recovery",
+    "sphere_wait",
+];
+
+fn check_snapshot(key: &str, snap: &Json) -> Result<(), String> {
+    let members = snap
+        .members()
+        .ok_or_else(|| format!("metrics[{key}] is not an object"))?;
+    let mut cores = 0;
+    for (name, _) in members {
+        let Some(prefix) = name.strip_suffix("/slots/issued") else {
+            continue;
+        };
+        cores += 1;
+        let cycles = snap
+            .get(&format!("{prefix}/cycles"))
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("metrics[{key}]: missing `{prefix}/cycles`"))?;
+        let mut total = 0u64;
+        for slot in SLOT_COUNTERS {
+            total += snap
+                .get(&format!("{prefix}/slots/{slot}"))
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("metrics[{key}]: missing `{prefix}/slots/{slot}`"))?;
+        }
+        if total != 8 * cycles {
+            return Err(format!(
+                "metrics[{key}]: `{prefix}` slot conservation violated: \
+                 {total} attributed slots over {cycles} cycles (want {})",
+                8 * cycles
+            ));
+        }
+    }
+    if cores == 0 {
+        return Err(format!("metrics[{key}]: no per-core slot accounting found"));
+    }
+    Ok(())
+}
+
+fn check_file(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let doc = parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    for key in [
+        "title", "paper", "scale", "benches", "table", "summary", "metrics", "host",
+    ] {
+        doc.get(key).ok_or_else(|| format!("missing `{key}`"))?;
+    }
+    let table = doc.get("table").expect("checked");
+    let cols = table
+        .get("columns")
+        .and_then(Json::as_array)
+        .ok_or("`table.columns` is not an array")?;
+    let rows = table
+        .get("rows")
+        .and_then(Json::as_array)
+        .ok_or("`table.rows` is not an array")?;
+    for (i, row) in rows.iter().enumerate() {
+        let cells = row
+            .as_array()
+            .ok_or_else(|| format!("`table.rows[{i}]` is not an array"))?;
+        if cells.len() != cols.len() {
+            return Err(format!(
+                "`table.rows[{i}]` has {} cells for {} columns",
+                cells.len(),
+                cols.len()
+            ));
+        }
+    }
+    for (k, v) in doc
+        .get("summary")
+        .and_then(Json::members)
+        .ok_or("`summary` is not an object")?
+    {
+        v.as_f64()
+            .ok_or_else(|| format!("`summary.{k}` is not a number"))?;
+    }
+    for (k, snap) in doc
+        .get("metrics")
+        .and_then(Json::members)
+        .ok_or("`metrics` is not an object")?
+    {
+        check_snapshot(k, snap)?;
+    }
+    let host = doc.get("host").expect("checked");
+    host.get("wall_seconds")
+        .and_then(Json::as_f64)
+        .ok_or("`host.wall_seconds` is not a number")?;
+    host.get("sim_cycles")
+        .and_then(Json::as_u64)
+        .ok_or("`host.sim_cycles` is not a u64")?;
+    Ok(())
+}
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: check_json FILE [FILE...]");
+        std::process::exit(2);
+    }
+    for f in &files {
+        match check_file(f) {
+            Ok(()) => println!("{f}: ok"),
+            Err(e) => {
+                eprintln!("error: {f}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

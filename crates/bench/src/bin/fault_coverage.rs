@@ -1,7 +1,11 @@
 //! Fault-injection coverage across base / SRT / SRT-noPSR / lockstep.
 fn main() {
     let args = rmt_bench::FigureArgs::parse();
-    let bench = args.benches.first().copied().unwrap_or(rmt_workloads::Benchmark::Swim);
+    let bench = args
+        .benches
+        .first()
+        .copied()
+        .unwrap_or(rmt_workloads::Benchmark::Swim);
     rmt_bench::run_and_print(
         "Fault-injection coverage",
         "Sections 4.5 / 7.1.1 (paper: PSR makes permanent faults detectable)",

@@ -1,5 +1,7 @@
 //! Regenerates Figure 2: the base processor's integer pipeline latencies.
 fn main() {
-    let r = rmt_sim::figures::fig2_pipeline();
-    rmt_bench::print_figure("Figure 2: pipeline segments", "Figure 2", &r);
+    let args = rmt_bench::FigureArgs::parse();
+    rmt_bench::run_and_print("Figure 2: pipeline segments", "Figure 2", &args, |_ctx| {
+        rmt_sim::figures::fig2_pipeline()
+    });
 }

@@ -1,5 +1,10 @@
 //! Regenerates Table 1: base processor parameters.
 fn main() {
-    let r = rmt_sim::figures::table1();
-    rmt_bench::print_figure("Table 1: base processor parameters", "Table 1", &r);
+    let args = rmt_bench::FigureArgs::parse();
+    rmt_bench::run_and_print(
+        "Table 1: base processor parameters",
+        "Table 1",
+        &args,
+        |_ctx| rmt_sim::figures::table1(),
+    );
 }

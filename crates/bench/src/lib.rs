@@ -8,17 +8,23 @@
 //! --benches gcc,go,swim             benchmark subset (default: all 18)
 //! --seed N                          workload seed (default: 1)
 //! --jobs N                          worker threads (default: all cores)
+//! --json PATH                       also write the result as JSON
 //! ```
 //!
 //! and prints a paper-style table plus its summary values, the wall-clock
 //! time and the number of simulation jobs executed. Results are bitwise
 //! identical at any `--jobs` level (see `rmt_sim::runner`).
+//!
+//! With `--json`, the same result is written as a machine-readable
+//! document (see [`figure_json`] for the schema); `results/*.json` in the
+//! repository are the canonical machine-readable outputs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use rmt_sim::figures::FigureResult;
 use rmt_sim::{FigureCtx, Runner, SimScale};
+use rmt_stats::Json;
 use rmt_workloads::profile::ALL_BENCHMARKS;
 use rmt_workloads::Benchmark;
 use std::time::Instant;
@@ -32,6 +38,8 @@ pub struct FigureArgs {
     pub benches: Vec<Benchmark>,
     /// Worker threads to fan data points across (default: all cores).
     pub jobs: usize,
+    /// Path to also write the result to as JSON (`--json PATH`).
+    pub json: Option<String>,
 }
 
 impl FigureArgs {
@@ -45,6 +53,7 @@ impl FigureArgs {
         let mut scale = SimScale::standard();
         let mut benches: Vec<Benchmark> = ALL_BENCHMARKS.to_vec();
         let mut jobs = Runner::available().jobs();
+        let mut json = None;
         let mut it = args.into_iter();
         let set_scale = |scale: &mut SimScale, name: &str| {
             let seed = scale.seed;
@@ -91,6 +100,9 @@ impl FigureArgs {
                         })
                         .collect();
                 }
+                "--json" => {
+                    json = Some(it.next().unwrap_or_else(|| usage("--json needs a path")));
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown argument `{other}`")),
             }
@@ -99,6 +111,7 @@ impl FigureArgs {
             scale,
             benches,
             jobs,
+            json,
         }
     }
 
@@ -114,7 +127,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: <figure-binary> [--quick|--standard|--full|--scale S] [--seed N] \
-         [--benches a,b,c] [--jobs N]"
+         [--benches a,b,c] [--jobs N] [--json PATH]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 })
 }
@@ -131,9 +144,128 @@ pub fn print_figure(title: &str, paper_reference: &str, r: &FigureResult) {
     }
 }
 
+/// Host-side execution statistics attached under `"host"` in JSON reports.
+///
+/// Wall time and throughput vary run to run; everything *else* in the
+/// document is bitwise reproducible at any `--jobs` level, which is why
+/// the determinism tests compare documents with `"host"` stripped.
+#[derive(Debug, Clone, Copy)]
+pub struct HostStats {
+    /// Wall-clock seconds for the whole figure.
+    pub wall_seconds: f64,
+    /// Simulated cycles credited to the runner by the figure's drivers.
+    pub sim_cycles: u64,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Simulation jobs executed.
+    pub jobs_executed: usize,
+}
+
+/// Builds the machine-readable JSON document for one figure run.
+///
+/// Schema (all keys always present):
+///
+/// ```text
+/// {
+///   "title": str, "paper": str,
+///   "scale": {"warmup": u64, "measure": u64, "seed": u64},
+///   "benches": [str, ...],
+///   "table": {"columns": [str, ...], "rows": [[str, ...], ...]},
+///   "summary": {name: f64, ...},
+///   "metrics": {"mix/variant": {metric: value, ...}, ...},
+///   "host": {"wall_seconds": f64, "sim_cycles": u64,
+///            "sim_cycles_per_sec": f64, "jobs": u64, "jobs_executed": u64}
+/// }
+/// ```
+pub fn figure_json(
+    title: &str,
+    paper_reference: &str,
+    args: &FigureArgs,
+    r: &FigureResult,
+    host: &HostStats,
+) -> Json {
+    let scale = Json::obj()
+        .with("warmup", Json::U64(args.scale.warmup))
+        .with("measure", Json::U64(args.scale.measure))
+        .with("seed", Json::U64(args.scale.seed));
+    let benches = Json::Arr(
+        args.benches
+            .iter()
+            .map(|b| Json::Str(b.name().to_string()))
+            .collect(),
+    );
+    let columns = Json::Arr(
+        r.table
+            .header()
+            .iter()
+            .map(|c| Json::Str(c.clone()))
+            .collect(),
+    );
+    let rows = Json::Arr(
+        (0..r.table.num_rows())
+            .map(|i| {
+                Json::Arr(
+                    (0..r.table.header().len())
+                        .map(|j| Json::Str(r.table.cell(i, j).unwrap_or("").to_string()))
+                        .collect(),
+                )
+            })
+            .collect(),
+    );
+    let mut summary = Json::obj();
+    for (k, v) in &r.summary {
+        summary.set(k, Json::F64(*v));
+    }
+    let mut metrics = Json::obj();
+    for (k, snap) in &r.metrics {
+        metrics.set(k, snap.to_json());
+    }
+    let rate = if host.wall_seconds > 0.0 {
+        host.sim_cycles as f64 / host.wall_seconds
+    } else {
+        0.0
+    };
+    let host_json = Json::obj()
+        .with("wall_seconds", Json::F64(host.wall_seconds))
+        .with("sim_cycles", Json::U64(host.sim_cycles))
+        .with("sim_cycles_per_sec", Json::F64(rate))
+        .with("jobs", Json::U64(host.jobs as u64))
+        .with("jobs_executed", Json::U64(host.jobs_executed as u64));
+    Json::obj()
+        .with("title", Json::Str(title.to_string()))
+        .with("paper", Json::Str(paper_reference.to_string()))
+        .with("scale", scale)
+        .with("benches", benches)
+        .with(
+            "table",
+            Json::obj().with("columns", columns).with("rows", rows),
+        )
+        .with("summary", summary)
+        .with("metrics", metrics)
+        .with("host", host_json)
+}
+
+/// Writes `doc` to `path` (pretty-printed), creating parent directories.
+///
+/// # Panics
+///
+/// Panics if the path cannot be created or written — a figure binary has
+/// nothing sensible to do with a broken output path.
+pub fn write_json(path: &str, doc: &Json) {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", parent.display()));
+        }
+    }
+    std::fs::write(path, doc.encode_pretty())
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+}
+
 /// Builds a [`FigureCtx`] from `args`, runs `figure` on it, prints the
-/// result plus wall-clock time and jobs executed. The standard `main`
-/// body of every parallel figure binary.
+/// result plus wall-clock time and jobs executed, and writes the JSON
+/// document when `--json` was given. The standard `main` body of every
+/// figure binary.
 pub fn run_and_print(
     title: &str,
     paper_reference: &str,
@@ -152,6 +284,16 @@ pub fn run_and_print(
         ctx.runner.jobs(),
         elapsed.as_secs_f64()
     );
+    if let Some(path) = &args.json {
+        let host = HostStats {
+            wall_seconds: elapsed.as_secs_f64(),
+            sim_cycles: ctx.runner.sim_cycles(),
+            jobs: ctx.runner.jobs(),
+            jobs_executed: ctx.runner.jobs_executed(),
+        };
+        write_json(path, &figure_json(title, paper_reference, args, &r, &host));
+        println!("  [json written to {path}]");
+    }
 }
 
 #[cfg(test)]
@@ -190,5 +332,39 @@ mod tests {
         let a = parse(&["--seed", "9", "--scale", "full"]);
         assert_eq!(a.scale.seed, 9);
         assert_eq!(a.scale.measure, SimScale::full().measure);
+    }
+
+    #[test]
+    fn parses_json_path() {
+        let a = parse(&["--json", "results/out.json"]);
+        assert_eq!(a.json.as_deref(), Some("results/out.json"));
+        assert_eq!(parse(&[]).json, None);
+    }
+
+    #[test]
+    fn figure_json_schema_roundtrips() {
+        let a = parse(&["--quick", "--benches", "gcc"]);
+        let r = rmt_sim::figures::table1();
+        let host = HostStats {
+            wall_seconds: 0.5,
+            sim_cycles: 100,
+            jobs: 1,
+            jobs_executed: 0,
+        };
+        let doc = figure_json("a title", "a ref", &a, &r, &host);
+        let parsed = rmt_stats::json::parse(&doc.encode_pretty()).expect("valid JSON");
+        for key in [
+            "title", "paper", "scale", "benches", "table", "summary", "metrics", "host",
+        ] {
+            assert!(parsed.get(key).is_some(), "missing key `{key}`");
+        }
+        let host = parsed.get("host").unwrap();
+        assert_eq!(host.get("sim_cycles").unwrap().as_u64(), Some(100));
+        assert_eq!(
+            host.get("sim_cycles_per_sec").unwrap().as_f64(),
+            Some(200.0)
+        );
+        let cols = parsed.get("table").unwrap().get("columns").unwrap();
+        assert_eq!(cols.as_array().unwrap().len(), r.table.header().len());
     }
 }

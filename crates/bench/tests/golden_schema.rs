@@ -1,0 +1,109 @@
+//! Golden-schema test: the committed `results/fig6_srt_single.json`
+//! artifact must parse, match the documented schema, and uphold the
+//! issue-slot conservation invariant inside every embedded snapshot.
+//! This pins the JSON format: a schema change that would orphan consumers
+//! of the committed artifacts fails here first.
+
+use rmt_stats::json::parse;
+use rmt_stats::Json;
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../results/fig6_srt_single.json"
+);
+
+fn golden() -> Json {
+    let text = std::fs::read_to_string(GOLDEN)
+        .unwrap_or_else(|e| panic!("cannot read committed artifact {GOLDEN}: {e}"));
+    parse(&text).expect("committed artifact is valid JSON")
+}
+
+#[test]
+fn has_all_schema_keys() {
+    let doc = golden();
+    for key in [
+        "title", "paper", "scale", "benches", "table", "summary", "metrics", "host",
+    ] {
+        assert!(doc.get(key).is_some(), "missing top-level key `{key}`");
+    }
+    let scale = doc.get("scale").unwrap();
+    for key in ["warmup", "measure", "seed"] {
+        assert!(scale.get(key).and_then(Json::as_u64).is_some());
+    }
+}
+
+#[test]
+fn table_is_rectangular_with_benchmark_rows() {
+    let doc = golden();
+    let table = doc.get("table").unwrap();
+    let cols = table.get("columns").and_then(Json::as_array).unwrap();
+    let rows = table.get("rows").and_then(Json::as_array).unwrap();
+    assert_eq!(cols[0].as_str(), Some("benchmark"));
+    let n_benches = doc.get("benches").and_then(Json::as_array).unwrap().len();
+    // One row per benchmark plus the average row.
+    assert_eq!(rows.len(), n_benches + 1);
+    for row in rows {
+        assert_eq!(row.as_array().unwrap().len(), cols.len());
+    }
+}
+
+#[test]
+fn summary_has_the_figure6_headlines() {
+    let doc = golden();
+    let summary = doc.get("summary").unwrap();
+    for key in [
+        "SRT_mean_efficiency",
+        "Base2_mean_efficiency",
+        "SRT+ptsq_mean_efficiency",
+        "SRT_mean_degradation_pct",
+    ] {
+        let v = summary
+            .get(key)
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("missing summary `{key}`"));
+        assert!(v.is_finite());
+    }
+}
+
+#[test]
+fn embedded_metrics_conserve_issue_slots() {
+    let doc = golden();
+    let metrics = doc.get("metrics").and_then(Json::members).unwrap();
+    assert!(!metrics.is_empty(), "artifact embeds no metric snapshots");
+    let slots = [
+        "issued",
+        "window_empty",
+        "data_wait",
+        "structural_fu",
+        "structural_iq_half",
+        "squash_recovery",
+        "sphere_wait",
+    ];
+    for (key, snap) in metrics {
+        let cycles = snap
+            .get("core0/cycles")
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("{key}: missing core0/cycles"));
+        let total: u64 = slots
+            .iter()
+            .map(|s| {
+                snap.get(&format!("core0/slots/{s}"))
+                    .and_then(Json::as_u64)
+                    .unwrap_or_else(|| panic!("{key}: missing core0/slots/{s}"))
+            })
+            .sum();
+        assert_eq!(total, 8 * cycles, "{key}: slot conservation violated");
+    }
+}
+
+#[test]
+fn host_section_recorded_a_real_run() {
+    let doc = golden();
+    let host = doc.get("host").unwrap();
+    assert!(host.get("sim_cycles").and_then(Json::as_u64).unwrap() > 0);
+    assert!(
+        host.get("wall_seconds").and_then(Json::as_f64).unwrap() > 0.0,
+        "wall time must be positive"
+    );
+    assert!(host.get("jobs").and_then(Json::as_u64).unwrap() >= 1);
+}

@@ -59,7 +59,14 @@ impl StoreComparator {
     /// latency in CRT). A re-execution of the same tag (possible only in
     /// the non-LPQ ablation where trailing threads misspeculate) replaces
     /// the previous record.
-    pub fn record_trailing(&mut self, tag: u64, addr: u64, value: u64, bytes: u64, visible_at: u64) {
+    pub fn record_trailing(
+        &mut self,
+        tag: u64,
+        addr: u64,
+        value: u64,
+        bytes: u64,
+        visible_at: u64,
+    ) {
         if let Some(e) = self.trailing.iter_mut().find(|e| e.tag == tag) {
             *e = TrailingStore {
                 tag,
@@ -81,7 +88,14 @@ impl StoreComparator {
 
     /// Compares the leading store `tag` against the recorded trailing copy.
     /// On `Match` or `Mismatch` the trailing record is consumed.
-    pub fn check(&mut self, tag: u64, addr: u64, value: u64, bytes: u64, now: u64) -> CompareOutcome {
+    pub fn check(
+        &mut self,
+        tag: u64,
+        addr: u64,
+        value: u64,
+        bytes: u64,
+        now: u64,
+    ) -> CompareOutcome {
         let Some(i) = self
             .trailing
             .iter()

@@ -18,6 +18,7 @@ use rmt_isa::mem_image::MemImage;
 use rmt_mem::MemoryHierarchy;
 use rmt_pipeline::core::DetectedFault;
 use rmt_pipeline::{Core, ThreadRole};
+use rmt_stats::MetricsRegistry;
 
 /// Placement of one redundant pair on the two cores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,6 +141,7 @@ impl Device for CrtDevice {
         self.cores[0].tick(self.cycle, &mut self.hier, &mut self.env);
         self.cores[1].tick(self.cycle, &mut self.hier, &mut self.env);
         self.hier.tick(self.cycle);
+        self.env.sample_occupancy();
         self.cycle += 1;
     }
 
@@ -160,6 +162,13 @@ impl Device for CrtDevice {
         let mut out = self.cores[0].drain_detected_faults();
         out.extend(self.cores[1].drain_detected_faults());
         out
+    }
+
+    fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.counter("device/cycles", self.cycle);
+        self.cores[0].export_metrics(reg, "core0");
+        self.cores[1].export_metrics(reg, "core1");
+        self.env.export_metrics(reg, "rmt");
     }
 }
 
@@ -216,10 +225,15 @@ mod tests {
 
     #[test]
     fn four_thread_crt_placement() {
-        let ws: Vec<_> = [Benchmark::Gcc, Benchmark::Go, Benchmark::Ijpeg, Benchmark::Swim]
-            .iter()
-            .map(|&b| LogicalThread::from(&Workload::generate(b, 3)))
-            .collect();
+        let ws: Vec<_> = [
+            Benchmark::Gcc,
+            Benchmark::Go,
+            Benchmark::Ijpeg,
+            Benchmark::Swim,
+        ]
+        .iter()
+        .map(|&b| LogicalThread::from(&Workload::generate(b, 3)))
+        .collect();
         let d = CrtDevice::new(CrtDevice::default_options(), ws);
         // Leads of 0,1 on core 0; leads of 2,3 on core 1; trails opposite.
         for i in 0..2 {

@@ -17,6 +17,7 @@ use rmt_mem::{HierarchyConfig, MemoryHierarchy};
 use rmt_pipeline::core::DetectedFault;
 use rmt_pipeline::env::IndependentEnv;
 use rmt_pipeline::{Core, CoreConfig, ThreadRole};
+use rmt_stats::MetricsRegistry;
 use std::rc::Rc;
 
 /// A logical program to run (redundantly or not): its code and initial
@@ -63,6 +64,12 @@ pub trait Device {
 
     /// Faults detected since the last call.
     fn drain_detected_faults(&mut self) -> Vec<DetectedFault>;
+
+    /// Exports the machine's full metric tree into `reg`: per-core cycle
+    /// and issue-slot accounting, occupancy distributions, per-thread
+    /// statistics, and (for redundant machines) per-pair sphere-crossing
+    /// state. Names are stable across runs (`core0/...`, `rmt/pair0/...`).
+    fn export_metrics(&self, reg: &mut MetricsRegistry);
 
     /// Runs until every logical thread has committed at least `per_thread`
     /// instructions (absolute count) or `max_cycles` elapse. Returns whether
@@ -165,6 +172,11 @@ impl Device for BaseDevice {
     fn drain_detected_faults(&mut self) -> Vec<DetectedFault> {
         self.core.drain_detected_faults()
     }
+
+    fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.counter("device/cycles", self.cycle);
+        self.core.export_metrics(reg, "core0");
+    }
 }
 
 // ====================================================================
@@ -220,8 +232,7 @@ impl SrtDevice {
         let mut pair_tids = Vec::new();
         for (i, t) in threads.iter().enumerate() {
             let lead = core.attach_thread_with_role(t.program.clone(), 0, ThreadRole::Leading(i));
-            let trail =
-                core.attach_thread_with_role(t.program.clone(), 0, ThreadRole::Trailing(i));
+            let trail = core.attach_thread_with_role(t.program.clone(), 0, ThreadRole::Trailing(i));
             env.map_thread(0, lead, i);
             env.map_thread(0, trail, i);
             pair_tids.push((lead, trail));
@@ -271,6 +282,7 @@ impl Device for SrtDevice {
     fn tick(&mut self) {
         self.core.tick(self.cycle, &mut self.hier, &mut self.env);
         self.hier.tick(self.cycle);
+        self.env.sample_occupancy();
         self.cycle += 1;
     }
 
@@ -288,6 +300,12 @@ impl Device for SrtDevice {
 
     fn drain_detected_faults(&mut self) -> Vec<DetectedFault> {
         self.core.drain_detected_faults()
+    }
+
+    fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.counter("device/cycles", self.cycle);
+        self.core.export_metrics(reg, "core0");
+        self.env.export_metrics(reg, "rmt");
     }
 }
 
@@ -322,7 +340,10 @@ mod tests {
         // The trailing thread lags but tracks the leading thread.
         assert!(trail_n > 0);
         assert!(trail_n <= lead_n);
-        assert!(lead_n - trail_n < 2_000, "slack out of control: {lead_n} vs {trail_n}");
+        assert!(
+            lead_n - trail_n < 2_000,
+            "slack out of control: {lead_n} vs {trail_n}"
+        );
         // No faults without injection.
         assert!(d.drain_detected_faults().is_empty());
         assert_eq!(d.env().pair(0).comparator.mismatches(), 0);

@@ -61,6 +61,6 @@ pub use crt::CrtDevice;
 pub use device::{BaseDevice, Device, LogicalThread, SrtDevice, SrtOptions};
 pub use lockstep::{LockstepDevice, LockstepOptions};
 pub use lpq::LinePredictionQueue;
-pub use recovery::RecoverableSrt;
 pub use lvq::LoadValueQueue;
+pub use recovery::RecoverableSrt;
 pub use rmt_env::RmtEnv;

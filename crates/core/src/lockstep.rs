@@ -29,6 +29,7 @@ use rmt_mem::{HierarchyConfig, MemoryHierarchy};
 use rmt_pipeline::core::{DetectedFault, FaultDetector};
 use rmt_pipeline::env::CoreEnv;
 use rmt_pipeline::{Core, CoreConfig, ThreadId};
+use rmt_stats::MetricsRegistry;
 use std::collections::VecDeque;
 
 /// Options for [`LockstepDevice`].
@@ -256,6 +257,14 @@ impl Device for LockstepDevice {
         out.extend(self.cores[0].drain_detected_faults());
         out.extend(self.cores[1].drain_detected_faults());
         out
+    }
+
+    fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.counter("device/cycles", self.cycle);
+        self.cores[0].export_metrics(reg, "core0");
+        self.cores[1].export_metrics(reg, "core1");
+        reg.counter("checker/compared_stores", self.compared_stores);
+        reg.counter("checker/desynced", u64::from(self.desynced));
     }
 }
 

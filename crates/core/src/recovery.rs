@@ -26,9 +26,9 @@
 
 use crate::device::{Device, LogicalThread, SrtDevice, SrtOptions};
 use rmt_isa::inst::NUM_ARCH_REGS;
-use rmt_pipeline::env::CoreEnv as _;
 use rmt_isa::mem_image::MemImage;
 use rmt_pipeline::core::DetectedFault;
+use rmt_pipeline::env::CoreEnv as _;
 
 /// A clean, verified snapshot of one redundant pair.
 #[derive(Clone)]
@@ -69,7 +69,10 @@ impl RecoverableSrt {
     ///
     /// Panics if `checkpoint_interval` is zero.
     pub fn new(opts: SrtOptions, threads: Vec<LogicalThread>, checkpoint_interval: u64) -> Self {
-        assert!(checkpoint_interval > 0, "checkpoint interval must be non-zero");
+        assert!(
+            checkpoint_interval > 0,
+            "checkpoint interval must be non-zero"
+        );
         let n = threads.len();
         // The initial state is trivially clean: checkpoint 0 is the entry
         // state with the initial memory image.
@@ -234,6 +237,12 @@ impl Device for RecoverableSrt {
         // Detections are consumed internally by recovery; report none.
         Vec::new()
     }
+
+    fn export_metrics(&self, reg: &mut rmt_stats::MetricsRegistry) {
+        self.dev.export_metrics(reg);
+        reg.counter("recovery/checkpoints_taken", self.checkpoints_taken);
+        reg.counter("recovery/recoveries", self.recoveries);
+    }
 }
 
 #[cfg(test)]
@@ -244,11 +253,8 @@ mod tests {
     #[test]
     fn checkpoints_are_taken_fault_free() {
         let w = Workload::generate(Benchmark::M88ksim, 1);
-        let mut dev = RecoverableSrt::new(
-            SrtOptions::default(),
-            vec![LogicalThread::from(&w)],
-            5_000,
-        );
+        let mut dev =
+            RecoverableSrt::new(SrtOptions::default(), vec![LogicalThread::from(&w)], 5_000);
         assert!(dev.run_until_committed(20_000, 20_000_000));
         assert!(dev.checkpoints_taken() >= 3, "{}", dev.checkpoints_taken());
         assert_eq!(dev.recoveries(), 0);
@@ -257,11 +263,8 @@ mod tests {
     #[test]
     fn recovery_restores_forward_progress_after_corruption() {
         let w = Workload::generate(Benchmark::Compress, 1);
-        let mut dev = RecoverableSrt::new(
-            SrtOptions::default(),
-            vec![LogicalThread::from(&w)],
-            4_000,
-        );
+        let mut dev =
+            RecoverableSrt::new(SrtOptions::default(), vec![LogicalThread::from(&w)], 4_000);
         assert!(dev.run_until_committed(6_000, 20_000_000));
         // Strike the store path: detection then recovery.
         dev.device_mut().core_mut().arm_sq_strike(0, 1 << 13);

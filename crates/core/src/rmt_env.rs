@@ -13,9 +13,9 @@ use crate::lvq::LoadValueQueue;
 use crate::psr::PsrTracker;
 use rmt_isa::mem_image::MemImage;
 use rmt_pipeline::chunk::{ChunkAggregator, RetiredChunk};
-use rmt_stats::Histogram;
 use rmt_pipeline::config::{PairId, ThreadId};
 use rmt_pipeline::env::{CoreEnv, LvqResult, RetireInfo, RetireKind, StoreRelease};
+use rmt_stats::{Histogram, MetricsRegistry};
 
 /// Configuration of the forwarding structures (defaults follow §6.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,7 +93,38 @@ pub struct PairState {
     /// the original SRT paper's slack fetch controlled explicitly and the
     /// LVQ/LPQ bound implicitly here.
     pub slack: Histogram,
+    /// Per-cycle LVQ occupancy (sampled by the owning device's tick).
+    pub lvq_occupancy: Histogram,
+    /// Per-cycle LPQ occupancy (chunks).
+    pub lpq_occupancy: Histogram,
+    /// Per-cycle comparator backlog (trailing stores awaiting their
+    /// leading counterpart).
+    pub comparator_pending: Histogram,
     scratch: Vec<RetiredChunk>,
+}
+
+impl PairState {
+    fn new(cfg: &RmtEnvConfig, image: MemImage) -> PairState {
+        PairState {
+            lvq: if cfg.lvq_ecc {
+                LoadValueQueue::new(cfg.lvq_entries).with_ecc()
+            } else {
+                LoadValueQueue::new(cfg.lvq_entries)
+            },
+            lpq: LinePredictionQueue::new(cfg.lpq_chunks),
+            agg: ChunkAggregator::new(8),
+            comparator: StoreComparator::new(),
+            psr: PsrTracker::new(),
+            image,
+            lead_commits: 0,
+            trail_commits: 0,
+            slack: Histogram::new("slack_instructions", 16, 64),
+            lvq_occupancy: Histogram::new("lvq_occupancy", 2, 40),
+            lpq_occupancy: Histogram::new("lpq_occupancy", 2, 40),
+            comparator_pending: Histogram::new("comparator_pending", 2, 40),
+            scratch: Vec::new(),
+        }
+    }
 }
 
 /// The RMT environment: per-pair queues plus thread-to-pair routing.
@@ -110,22 +141,7 @@ impl RmtEnv {
     pub fn new(cfg: RmtEnvConfig, images: Vec<MemImage>) -> Self {
         let pairs = images
             .into_iter()
-            .map(|image| PairState {
-                lvq: if cfg.lvq_ecc {
-                    LoadValueQueue::new(cfg.lvq_entries).with_ecc()
-                } else {
-                    LoadValueQueue::new(cfg.lvq_entries)
-                },
-                lpq: LinePredictionQueue::new(cfg.lpq_chunks),
-                agg: ChunkAggregator::new(8),
-                comparator: StoreComparator::new(),
-                psr: PsrTracker::new(),
-                image,
-                lead_commits: 0,
-                trail_commits: 0,
-                slack: Histogram::new("slack_instructions", 16, 64),
-                scratch: Vec::new(),
-            })
+            .map(|image| PairState::new(&cfg, image))
             .collect();
         RmtEnv {
             cfg,
@@ -174,23 +190,7 @@ impl RmtEnv {
     /// Resets pair `p` to a pristine state around `image` (recovery):
     /// fresh queues, comparator and statistics, zeroed commit counters.
     pub fn reset_pair(&mut self, p: PairId, image: MemImage) {
-        let lvq = if self.cfg.lvq_ecc {
-            LoadValueQueue::new(self.cfg.lvq_entries).with_ecc()
-        } else {
-            LoadValueQueue::new(self.cfg.lvq_entries)
-        };
-        self.pairs[p] = PairState {
-            lvq,
-            lpq: LinePredictionQueue::new(self.cfg.lpq_chunks),
-            agg: ChunkAggregator::new(8),
-            comparator: StoreComparator::new(),
-            psr: PsrTracker::new(),
-            image,
-            lead_commits: 0,
-            trail_commits: 0,
-            slack: Histogram::new("slack_instructions", 16, 64),
-            scratch: Vec::new(),
-        };
+        self.pairs[p] = PairState::new(&self.cfg, image);
     }
 
     /// Number of pairs.
@@ -201,6 +201,47 @@ impl RmtEnv {
     /// The configuration.
     pub fn config(&self) -> &RmtEnvConfig {
         &self.cfg
+    }
+
+    /// Records one per-cycle occupancy sample for every pair's
+    /// sphere-crossing queues. Devices call this once per tick.
+    pub fn sample_occupancy(&mut self) {
+        for p in &mut self.pairs {
+            p.lvq_occupancy.record(p.lvq.len() as u64);
+            p.lpq_occupancy.record(p.lpq.len() as u64);
+            p.comparator_pending.record(p.comparator.pending() as u64);
+        }
+    }
+
+    /// Exports per-pair RMT metrics into `reg` under `prefix` (e.g.
+    /// `rmt/pair0/lvq/occupancy`, `rmt/pair0/comparator/mismatches`).
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        for (i, p) in self.pairs.iter().enumerate() {
+            let pp = format!("{prefix}/pair{i}");
+            reg.counter(&format!("{pp}/lead_commits"), p.lead_commits);
+            reg.counter(&format!("{pp}/trail_commits"), p.trail_commits);
+            reg.histogram(&format!("{pp}/slack"), &p.slack);
+            reg.histogram(&format!("{pp}/lvq/occupancy"), &p.lvq_occupancy);
+            reg.counter(&format!("{pp}/lvq/peak"), p.lvq.peak() as u64);
+            reg.counter(&format!("{pp}/lvq/ecc_corrected"), p.lvq.ecc_corrected());
+            reg.histogram(&format!("{pp}/lpq/occupancy"), &p.lpq_occupancy);
+            reg.counter(&format!("{pp}/lpq/peak"), p.lpq.peak() as u64);
+            reg.histogram(&format!("{pp}/comparator/pending"), &p.comparator_pending);
+            reg.counter(&format!("{pp}/comparator/matches"), p.comparator.matches());
+            reg.counter(
+                &format!("{pp}/comparator/mismatches"),
+                p.comparator.mismatches(),
+            );
+            reg.counter(&format!("{pp}/psr/compared"), p.psr.compared());
+            reg.gauge(
+                &format!("{pp}/psr/same_fu_fraction"),
+                p.psr.same_fu_fraction(),
+            );
+            reg.gauge(
+                &format!("{pp}/psr/same_half_fraction"),
+                p.psr.same_half_fraction(),
+            );
+        }
     }
 
     fn lvq_visible(&self, now: u64) -> u64 {
@@ -299,7 +340,10 @@ impl CoreEnv for RmtEnv {
         if !self.cfg.store_comparison {
             return StoreRelease::Release;
         }
-        match self.pairs[pair].comparator.check(tag, addr, value, bytes, now) {
+        match self.pairs[pair]
+            .comparator
+            .check(tag, addr, value, bytes, now)
+        {
             CompareOutcome::NotYet => StoreRelease::Wait,
             CompareOutcome::Match => StoreRelease::Release,
             CompareOutcome::Mismatch => StoreRelease::Mismatch,
@@ -425,7 +469,10 @@ mod tests {
         assert_eq!(env.lvq_lookup(0, 1, 100, 0, 0), LvqResult::NotReady);
         assert_eq!(
             env.lvq_lookup(0, 1, 102, 0, 0),
-            LvqResult::Entry { addr: 0x40, value: 7 }
+            LvqResult::Entry {
+                addr: 0x40,
+                value: 7
+            }
         );
     }
 
@@ -463,7 +510,9 @@ mod tests {
             assert!(env.lead_retired(0, 0, 10, &info));
         }
         // The taken branch terminated a 3-instruction chunk.
-        let c = env.lpq_peek(0, 1, 14, 0).expect("chunk visible after delay");
+        let c = env
+            .lpq_peek(0, 1, 14, 0)
+            .expect("chunk visible after delay");
         assert_eq!(c.start_pc, 0);
         assert_eq!(c.len, 3);
         assert_eq!(&c.halves[..3], &[0, 1, 0]);

@@ -241,10 +241,13 @@ pub fn srt_injection(
     index: usize,
 ) -> FaultOutcome {
     let mut rng = Xoshiro256::for_job(cfg.seed, index as u64);
-    let mut dev = SrtDevice::new(opts.clone(), vec![LogicalThread::new(
-        workload.program.clone().into(),
-        workload.memory.clone(),
-    )]);
+    let mut dev = SrtDevice::new(
+        opts.clone(),
+        vec![LogicalThread::new(
+            workload.program.clone().into(),
+            workload.memory.clone(),
+        )],
+    );
     // `Rc<Program>` clone above: build from the workload's parts.
     if !dev.run_until_committed(cfg.warmup_commits, 50_000_000) {
         panic!("warmup did not complete");

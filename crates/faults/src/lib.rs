@@ -26,7 +26,7 @@ pub mod campaign;
 pub mod model;
 
 pub use campaign::{
-    base_injection, lockstep_injection, run_base_campaign, run_lockstep_campaign,
-    run_srt_campaign, srt_injection, CampaignConfig, CampaignReport,
+    base_injection, lockstep_injection, run_base_campaign, run_lockstep_campaign, run_srt_campaign,
+    srt_injection, CampaignConfig, CampaignReport,
 };
 pub use model::{FaultKind, FaultOutcome};

@@ -5,7 +5,20 @@ use rmt_workloads::{Benchmark, Workload};
 #[ignore]
 fn dbg() {
     let w = Workload::generate(Benchmark::Compress, 1);
-    let cfg = CampaignConfig { injections: 6, warmup_commits: 800, window_commits: 6_000, seed: 5 };
-    let r = run_base_campaign(rmt_pipeline::CoreConfig::base(), &w, FaultKind::TransientSq, cfg);
-    println!("detected={} masked={} silent={}", r.detected, r.masked, r.silent);
+    let cfg = CampaignConfig {
+        injections: 6,
+        warmup_commits: 800,
+        window_commits: 6_000,
+        seed: 5,
+    };
+    let r = run_base_campaign(
+        rmt_pipeline::CoreConfig::base(),
+        &w,
+        FaultKind::TransientSq,
+        cfg,
+    );
+    println!(
+        "detected={} masked={} silent={}",
+        r.detected, r.masked, r.silent
+    );
 }

@@ -201,7 +201,10 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             }
             "lui" => {
                 want(2)?;
-                b.push(Inst::lui(parse_reg(ops[0], line)?, parse_imm(ops[1], line)?));
+                b.push(Inst::lui(
+                    parse_reg(ops[0], line)?,
+                    parse_imm(ops[1], line)?,
+                ));
             }
             // Memory forms: `reg, imm(reg)`.
             "lw" | "lb" => {
@@ -257,7 +260,10 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             }
             "jalr" => {
                 want(2)?;
-                b.push(Inst::jalr(parse_reg(ops[0], line)?, parse_reg(ops[1], line)?));
+                b.push(Inst::jalr(
+                    parse_reg(ops[0], line)?,
+                    parse_reg(ops[1], line)?,
+                ));
             }
             "membar" => {
                 want(0)?;
@@ -312,9 +318,15 @@ mod tests {
     fn memory_displacement_forms() {
         let p = assemble("lw r1, 8(r2)\nsw r3, -16(r4)\nlb r5, 0x10(r6)\nsb r7, 0(r8)").unwrap();
         let i0 = p.fetch(0).unwrap();
-        assert_eq!((i0.op, i0.rd, i0.rs1, i0.imm), (Op::Lw, Reg::new(1), Reg::new(2), 8));
+        assert_eq!(
+            (i0.op, i0.rd, i0.rs1, i0.imm),
+            (Op::Lw, Reg::new(1), Reg::new(2), 8)
+        );
         let i1 = p.fetch(4).unwrap();
-        assert_eq!((i1.op, i1.rs2, i1.rs1, i1.imm), (Op::Sw, Reg::new(3), Reg::new(4), -16));
+        assert_eq!(
+            (i1.op, i1.rs2, i1.rs1, i1.imm),
+            (Op::Sw, Reg::new(3), Reg::new(4), -16)
+        );
         assert_eq!(p.fetch(8).unwrap().imm, 16);
     }
 
@@ -362,8 +374,10 @@ mod tests {
             let p = assemble(text).unwrap();
             let inst = p.fetch(0).unwrap();
             let again = disasm::disassemble(inst);
-            assert_eq!(again.split_whitespace().collect::<Vec<_>>(),
-                       text.split_whitespace().collect::<Vec<_>>());
+            assert_eq!(
+                again.split_whitespace().collect::<Vec<_>>(),
+                text.split_whitespace().collect::<Vec<_>>()
+            );
         }
     }
 }

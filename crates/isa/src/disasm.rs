@@ -78,8 +78,14 @@ mod tests {
 
     #[test]
     fn register_forms() {
-        assert_eq!(disassemble(&Inst::add(r(1), r(2), r(3))), "add   r1, r2, r3");
-        assert_eq!(disassemble(&Inst::fmul(r(9), r(8), r(7))), "fmul  r9, r8, r7");
+        assert_eq!(
+            disassemble(&Inst::add(r(1), r(2), r(3))),
+            "add   r1, r2, r3"
+        );
+        assert_eq!(
+            disassemble(&Inst::fmul(r(9), r(8), r(7))),
+            "fmul  r9, r8, r7"
+        );
     }
 
     #[test]
@@ -99,8 +105,14 @@ mod tests {
     fn control_forms_use_hex_targets() {
         assert_eq!(disassemble(&Inst::j(256)), "j     0x100");
         assert_eq!(disassemble(&Inst::jal(Reg::RA, 64)), "jal   r63, 0x40");
-        assert_eq!(disassemble(&Inst::jalr(Reg::ZERO, Reg::RA)), "jalr  r0, r63");
-        assert_eq!(disassemble(&Inst::blt(r(1), r(2), 16)), "blt   r1, r2, 0x10");
+        assert_eq!(
+            disassemble(&Inst::jalr(Reg::ZERO, Reg::RA)),
+            "jalr  r0, r63"
+        );
+        assert_eq!(
+            disassemble(&Inst::blt(r(1), r(2), 16)),
+            "blt   r1, r2, 0x10"
+        );
     }
 
     #[test]

@@ -171,28 +171,70 @@ mod tests {
 
     #[test]
     fn alu_basics() {
-        assert_eq!(execute(&Inst::add(r(1), r(2), r(3)), 0, 5, 7), ExecOutcome::Value(12));
-        assert_eq!(execute(&Inst::sub(r(1), r(2), r(3)), 0, 5, 7), ExecOutcome::Value(u64::MAX - 1));
-        assert_eq!(execute(&Inst::mul(r(1), r(2), r(3)), 0, 3, 4), ExecOutcome::Value(12));
-        assert_eq!(execute(&Inst::div(r(1), r(2), r(3)), 0, 12, 4), ExecOutcome::Value(3));
-        assert_eq!(execute(&Inst::div(r(1), r(2), r(3)), 0, 12, 0), ExecOutcome::Value(0));
-        assert_eq!(execute(&Inst::slt(r(1), r(2), r(3)), 0, 1, 2), ExecOutcome::Value(1));
+        assert_eq!(
+            execute(&Inst::add(r(1), r(2), r(3)), 0, 5, 7),
+            ExecOutcome::Value(12)
+        );
+        assert_eq!(
+            execute(&Inst::sub(r(1), r(2), r(3)), 0, 5, 7),
+            ExecOutcome::Value(u64::MAX - 1)
+        );
+        assert_eq!(
+            execute(&Inst::mul(r(1), r(2), r(3)), 0, 3, 4),
+            ExecOutcome::Value(12)
+        );
+        assert_eq!(
+            execute(&Inst::div(r(1), r(2), r(3)), 0, 12, 4),
+            ExecOutcome::Value(3)
+        );
+        assert_eq!(
+            execute(&Inst::div(r(1), r(2), r(3)), 0, 12, 0),
+            ExecOutcome::Value(0)
+        );
+        assert_eq!(
+            execute(&Inst::slt(r(1), r(2), r(3)), 0, 1, 2),
+            ExecOutcome::Value(1)
+        );
     }
 
     #[test]
     fn logic_and_shifts() {
-        assert_eq!(execute(&Inst::and(r(1), r(2), r(3)), 0, 0b1100, 0b1010), ExecOutcome::Value(0b1000));
-        assert_eq!(execute(&Inst::or(r(1), r(2), r(3)), 0, 0b1100, 0b1010), ExecOutcome::Value(0b1110));
-        assert_eq!(execute(&Inst::xor(r(1), r(2), r(3)), 0, 0b1100, 0b1010), ExecOutcome::Value(0b0110));
-        assert_eq!(execute(&Inst::sll(r(1), r(2), r(3)), 0, 1, 65), ExecOutcome::Value(2));
-        assert_eq!(execute(&Inst::srli(r(1), r(2), 3), 0, 16, 0), ExecOutcome::Value(2));
+        assert_eq!(
+            execute(&Inst::and(r(1), r(2), r(3)), 0, 0b1100, 0b1010),
+            ExecOutcome::Value(0b1000)
+        );
+        assert_eq!(
+            execute(&Inst::or(r(1), r(2), r(3)), 0, 0b1100, 0b1010),
+            ExecOutcome::Value(0b1110)
+        );
+        assert_eq!(
+            execute(&Inst::xor(r(1), r(2), r(3)), 0, 0b1100, 0b1010),
+            ExecOutcome::Value(0b0110)
+        );
+        assert_eq!(
+            execute(&Inst::sll(r(1), r(2), r(3)), 0, 1, 65),
+            ExecOutcome::Value(2)
+        );
+        assert_eq!(
+            execute(&Inst::srli(r(1), r(2), 3), 0, 16, 0),
+            ExecOutcome::Value(2)
+        );
     }
 
     #[test]
     fn immediates() {
-        assert_eq!(execute(&Inst::addi(r(1), r(2), -1), 0, 5, 0), ExecOutcome::Value(4));
-        assert_eq!(execute(&Inst::lui(r(1), 3), 0, 0, 0), ExecOutcome::Value(3 << 16));
-        assert_eq!(execute(&Inst::slti(r(1), r(2), 10), 0, 5, 0), ExecOutcome::Value(1));
+        assert_eq!(
+            execute(&Inst::addi(r(1), r(2), -1), 0, 5, 0),
+            ExecOutcome::Value(4)
+        );
+        assert_eq!(
+            execute(&Inst::lui(r(1), 3), 0, 0, 0),
+            ExecOutcome::Value(3 << 16)
+        );
+        assert_eq!(
+            execute(&Inst::slti(r(1), r(2), 10), 0, 5, 0),
+            ExecOutcome::Value(1)
+        );
     }
 
     #[test]
@@ -219,21 +261,37 @@ mod tests {
         let b = Inst::beq(r(1), r(2), 100);
         assert_eq!(
             execute(&b, 20, 5, 5),
-            ExecOutcome::Control { taken: true, next_pc: 100, link: None }
+            ExecOutcome::Control {
+                taken: true,
+                next_pc: 100,
+                link: None
+            }
         );
         assert_eq!(
             execute(&b, 20, 5, 6),
-            ExecOutcome::Control { taken: false, next_pc: 24, link: None }
+            ExecOutcome::Control {
+                taken: false,
+                next_pc: 24,
+                link: None
+            }
         );
         let blt = Inst::blt(r(1), r(2), 8);
         assert_eq!(
             execute(&blt, 0, 1, 2),
-            ExecOutcome::Control { taken: true, next_pc: 8, link: None }
+            ExecOutcome::Control {
+                taken: true,
+                next_pc: 8,
+                link: None
+            }
         );
         let bge = Inst::bge(r(1), r(2), 8);
         assert_eq!(
             execute(&bge, 0, 2, 2),
-            ExecOutcome::Control { taken: true, next_pc: 8, link: None }
+            ExecOutcome::Control {
+                taken: true,
+                next_pc: 8,
+                link: None
+            }
         );
     }
 
@@ -241,15 +299,27 @@ mod tests {
     fn jumps_link() {
         assert_eq!(
             execute(&Inst::jal(Reg::RA, 40), 8, 0, 0),
-            ExecOutcome::Control { taken: true, next_pc: 40, link: Some(12) }
+            ExecOutcome::Control {
+                taken: true,
+                next_pc: 40,
+                link: Some(12)
+            }
         );
         assert_eq!(
             execute(&Inst::jalr(Reg::RA, r(5)), 8, 103, 0),
-            ExecOutcome::Control { taken: true, next_pc: 100, link: Some(12) }
+            ExecOutcome::Control {
+                taken: true,
+                next_pc: 100,
+                link: Some(12)
+            }
         );
         assert_eq!(
             execute(&Inst::j(32), 8, 0, 0),
-            ExecOutcome::Control { taken: true, next_pc: 32, link: None }
+            ExecOutcome::Control {
+                taken: true,
+                next_pc: 32,
+                link: None
+            }
         );
     }
 
@@ -274,7 +344,12 @@ mod tests {
     fn reg_value_extraction() {
         assert_eq!(ExecOutcome::Value(3).reg_value(), Some(3));
         assert_eq!(
-            ExecOutcome::Control { taken: true, next_pc: 0, link: Some(8) }.reg_value(),
+            ExecOutcome::Control {
+                taken: true,
+                next_pc: 0,
+                link: Some(8)
+            }
+            .reg_value(),
             Some(8)
         );
         assert_eq!(ExecOutcome::Nop.reg_value(), None);

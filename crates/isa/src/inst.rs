@@ -146,8 +146,8 @@ impl Op {
     pub fn fu_class(self) -> FuClass {
         use Op::*;
         match self {
-            Add | Sub | Mul | Div | Slt | Addi | Slti | Lui | Beq | Bne | Blt | Bge | J
-            | Jal | Jalr | Nop | Halt => FuClass::Int,
+            Add | Sub | Mul | Div | Slt | Addi | Slti | Lui | Beq | Bne | Blt | Bge | J | Jal
+            | Jalr | Nop | Halt => FuClass::Int,
             And | Or | Xor | Sll | Srl | Andi | Ori | Xori | Slli | Srli => FuClass::Logic,
             Lw | Lb | Sw | Sb | MemBar => FuClass::Mem,
             Fadd | Fsub | Fmul | Fdiv => FuClass::Fp,
@@ -220,7 +220,13 @@ pub struct Inst {
 impl Inst {
     /// Creates an instruction from raw parts.
     pub fn new(op: Op, rd: Reg, rs1: Reg, rs2: Reg, imm: i64) -> Self {
-        Inst { op, rd, rs1, rs2, imm }
+        Inst {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm,
+        }
     }
 
     /// `rd = rs1 + rs2`
@@ -471,7 +477,10 @@ impl Inst {
     /// The immediate is truncated to 32 bits, which is sufficient for all
     /// generated programs (addresses fit in 32 bits).
     pub fn encode(&self) -> u64 {
-        let opcode = ALL_OPS.iter().position(|o| *o == self.op).expect("op in table") as u64;
+        let opcode = ALL_OPS
+            .iter()
+            .position(|o| *o == self.op)
+            .expect("op in table") as u64;
         ((self.imm as i32 as u32 as u64) << 32)
             | (opcode << 24)
             | ((self.rd.index() as u64) << 18)
@@ -486,9 +495,7 @@ impl Inst {
     /// Returns [`DecodeError`] if the opcode field is out of range.
     pub fn decode(word: u64) -> Result<Inst, DecodeError> {
         let opcode = ((word >> 24) & 0xff) as u8;
-        let op = *ALL_OPS
-            .get(opcode as usize)
-            .ok_or(DecodeError { opcode })?;
+        let op = *ALL_OPS.get(opcode as usize).ok_or(DecodeError { opcode })?;
         Ok(Inst {
             op,
             rd: Reg::new(((word >> 18) & 0x3f) as u8),

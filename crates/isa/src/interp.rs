@@ -168,10 +168,7 @@ impl<'p> Interpreter<'p> {
             return Err(StopReason::Halted);
         }
         let pc = self.state.pc();
-        let inst = *self
-            .program
-            .fetch(pc)
-            .ok_or(StopReason::PcOutOfRange(pc))?;
+        let inst = *self.program.fetch(pc).ok_or(StopReason::PcOutOfRange(pc))?;
         let a = self.state.reg(inst.rs1);
         let b = self.state.reg(inst.rs2);
         let mut commit = Commit {

@@ -45,7 +45,7 @@ impl Program {
     /// Fetches the instruction at byte address `pc` (must be 4-aligned).
     /// Returns `None` past the end of the program or for unaligned PCs.
     pub fn fetch(&self, pc: u64) -> Option<&Inst> {
-        if pc % 4 != 0 {
+        if !pc.is_multiple_of(4) {
             return None;
         }
         self.insts.get((pc / 4) as usize)

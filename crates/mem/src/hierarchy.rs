@@ -139,9 +139,7 @@ impl MemoryHierarchy {
         if self.l2.access(addr).hit {
             now + self.cfg.l2_latency
         } else {
-            let ready = self
-                .l2_mshr
-                .start_fill(addr, now, self.cfg.mem_latency);
+            let ready = self.l2_mshr.start_fill(addr, now, self.cfg.mem_latency);
             ready + self.cfg.l2_latency
         }
     }
@@ -294,8 +292,8 @@ mod tests {
     fn l2_hit_is_cheaper() {
         let mut m = MemoryHierarchy::new(small_cfg(), 1);
         m.ifetch(0, 0, 0); // fills L2 and L1I
-        // Evict nothing from L2; invalidate only L1 by thrashing its set:
-        // L1I is 1KB/2-way/64B = 8 sets; blocks 0, 8, 16 map to set 0.
+                           // Evict nothing from L2; invalidate only L1 by thrashing its set:
+                           // L1I is 1KB/2-way/64B = 8 sets; blocks 0, 8, 16 map to set 0.
         m.ifetch(0, 8 * 64, 200);
         m.ifetch(0, 16 * 64, 400);
         // Block 0 now out of L1I but in L2.
@@ -384,7 +382,12 @@ mod tests {
         // The next block is in flight: its fill completes around the same
         // time, not a full miss later.
         let t1 = m.dload(0, 64, 1);
-        assert!(t1.ready_at <= t0.ready_at + 20, "{} vs {}", t1.ready_at, t0.ready_at);
+        assert!(
+            t1.ready_at <= t0.ready_at + 20,
+            "{} vs {}",
+            t1.ready_at,
+            t0.ready_at
+        );
         // Without prefetch the second access pays a fresh full miss.
         let mut plain = MemoryHierarchy::new(small_cfg(), 1);
         let p0 = plain.dload(0, 0, 0);

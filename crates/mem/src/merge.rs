@@ -176,7 +176,7 @@ mod tests {
         assert!(mb.try_insert(0, 0));
         assert!(mb.try_insert(64, 0));
         assert!(mb.try_insert(128, 1)); // drains at cycle 1 (first drain free)
-        // next_drain_ok is now 101; another insert at cycle 2 must stall.
+                                        // next_drain_ok is now 101; another insert at cycle 2 must stall.
         assert!(!mb.try_insert(192, 2));
         assert_eq!(mb.full_stalls(), 1);
         // After bandwidth recovers, it succeeds.

@@ -12,7 +12,7 @@ use rmt_isa::inst::Inst;
 use rmt_isa::program::Program;
 use rmt_mem::MemoryHierarchy;
 use rmt_predict::{BranchPredictor, LinePredictor, ReturnAddressStack, StoreSets};
-use rmt_stats::{CounterSet, Histogram};
+use rmt_stats::{CounterSet, Histogram, MetricsRegistry};
 use std::collections::VecDeque;
 use std::rc::Rc;
 
@@ -95,6 +95,50 @@ pub enum FaultDetector {
     ControlDivergence,
 }
 
+/// Per-cycle issue-slot accounting in the style of top-down analysis:
+/// every one of the `issue_width` slots of every accounted cycle is
+/// attributed to exactly one cause, so the categories always sum to
+/// `issue_width × cycles` (a standing conservation invariant).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IssueSlots {
+    /// Cycles accounted (one per [`Core::tick`]).
+    pub cycles: u64,
+    /// Slots that issued an instruction.
+    pub issued: u64,
+    /// Idle slots with no candidate in the window at all (fetch/rename
+    /// starvation outside any squash-recovery window).
+    pub window_empty: u64,
+    /// Idle slots whose best candidates waited on unready source operands
+    /// or memory dependences (store-set waits, partial forwards, uncached
+    /// ordering).
+    pub data_wait: u64,
+    /// Idle slots whose candidates were blocked by functional-unit class
+    /// limits or load/store port limits.
+    pub structural_fu: u64,
+    /// Idle slots whose candidates were blocked by the per-IQ-half issue
+    /// limit (`issue_width / 2` per half, §3.3).
+    pub structural_iq_half: u64,
+    /// Idle slots in the frontend-refill shadow of a squash.
+    pub squash_recovery: u64,
+    /// Idle slots of trailing threads waiting on sphere-crossing state
+    /// (load value queue entries not yet filled by the leading thread).
+    pub sphere_wait: u64,
+}
+
+impl IssueSlots {
+    /// Sum of every attributed category; equals `issue_width × cycles` by
+    /// construction.
+    pub fn total(&self) -> u64 {
+        self.issued
+            + self.window_empty
+            + self.data_wait
+            + self.structural_fu
+            + self.structural_iq_half
+            + self.squash_recovery
+            + self.sphere_wait
+    }
+}
+
 /// Per-thread summary statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ThreadStats {
@@ -168,10 +212,7 @@ impl Thread {
     }
 
     pub(crate) fn rmb_insts(&self) -> usize {
-        self.rmb
-            .iter()
-            .map(|(c, consumed)| c.len - consumed)
-            .sum()
+        self.rmb.iter().map(|(c, consumed)| c.len - consumed).sum()
     }
 }
 
@@ -226,6 +267,19 @@ pub struct Core {
     /// Same-FU statistic support: `(commit_index % WINDOW)` ring of leading
     /// FU ids, maintained by the device layer via `RetireInfo`.
     pub(crate) issued_total: u64,
+    /// Issue-slot accounting (see [`IssueSlots`]).
+    pub(crate) slots: IssueSlots,
+    /// Idle issue slots before this cycle are attributed to squash
+    /// recovery rather than an empty window.
+    pub(crate) squash_recovery_until: u64,
+    /// Per-cycle occupancy of the two IQ halves.
+    pub(crate) occ_iq: [Histogram; 2],
+    /// Per-cycle total load-queue occupancy across threads.
+    pub(crate) occ_lq: Histogram,
+    /// Per-cycle total store-queue occupancy across threads.
+    pub(crate) occ_sq: Histogram,
+    /// Per-cycle total rate-matching-buffer chunks across threads.
+    pub(crate) occ_rmb: Histogram,
 }
 
 /// An instruction-queue slot.
@@ -296,6 +350,15 @@ impl Core {
             detected_faults: Vec::new(),
             last_retire_cycle: 0,
             issued_total: 0,
+            slots: IssueSlots::default(),
+            squash_recovery_until: 0,
+            occ_iq: [
+                Histogram::new("iq_half0_occupancy", 2, 40),
+                Histogram::new("iq_half1_occupancy", 2, 40),
+            ],
+            occ_lq: Histogram::new("lq_occupancy", 4, 64),
+            occ_sq: Histogram::new("sq_occupancy", 4, 64),
+            occ_rmb: Histogram::new("rmb_occupancy", 1, 33),
             threads,
             cfg,
             core_id,
@@ -398,6 +461,52 @@ impl Core {
         &self.stats
     }
 
+    /// Issue-slot accounting totals (see [`IssueSlots`]).
+    pub fn issue_slots(&self) -> IssueSlots {
+        self.slots
+    }
+
+    /// Cycles this core has been ticked.
+    pub fn cycles(&self) -> u64 {
+        self.slots.cycles
+    }
+
+    /// Exports the core's counters, issue-slot accounting, occupancy
+    /// distributions, and per-thread statistics into `reg` under
+    /// `prefix` (e.g. `core0/slots/issued`, `core0/thread1/committed`).
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.counter(&format!("{prefix}/cycles"), self.slots.cycles);
+        let s = self.slots;
+        for (name, v) in [
+            ("issued", s.issued),
+            ("window_empty", s.window_empty),
+            ("data_wait", s.data_wait),
+            ("structural_fu", s.structural_fu),
+            ("structural_iq_half", s.structural_iq_half),
+            ("squash_recovery", s.squash_recovery),
+            ("sphere_wait", s.sphere_wait),
+        ] {
+            reg.counter(&format!("{prefix}/slots/{name}"), v);
+        }
+        for (name, v) in self.stats.iter() {
+            reg.counter(&format!("{prefix}/events/{name}"), v);
+        }
+        reg.histogram(&format!("{prefix}/occupancy/iq_half0"), &self.occ_iq[0]);
+        reg.histogram(&format!("{prefix}/occupancy/iq_half1"), &self.occ_iq[1]);
+        reg.histogram(&format!("{prefix}/occupancy/lq"), &self.occ_lq);
+        reg.histogram(&format!("{prefix}/occupancy/sq"), &self.occ_sq);
+        reg.histogram(&format!("{prefix}/occupancy/rmb"), &self.occ_rmb);
+        for (tid, t) in self.threads.iter().enumerate().filter(|(_, t)| t.active) {
+            let p = format!("{prefix}/thread{tid}");
+            reg.counter(&format!("{p}/committed"), t.committed);
+            reg.counter(&format!("{p}/squashes"), t.squashes);
+            reg.counter(&format!("{p}/loads"), t.loads_committed);
+            reg.counter(&format!("{p}/stores"), t.stores_committed);
+            reg.counter(&format!("{p}/lead_retire_nacks"), t.lead_retire_nacks);
+            reg.histogram(&format!("{p}/sq_lifetime"), &t.sq_lifetime);
+        }
+    }
+
     /// The line predictor (misfetch-rate statistics).
     pub fn line_predictor(&self) -> &LinePredictor {
         &self.line_pred
@@ -468,11 +577,11 @@ impl Core {
         // Write the checkpointed values into the committed mapping,
         // allocating physical registers for architecturals still mapped to
         // the zero register.
-        for i in 1..rmt_isa::inst::NUM_ARCH_REGS {
+        for (i, &val) in regs.iter().enumerate().skip(1) {
             let arch = rmt_isa::Reg::new(i as u8);
             let mut p = self.threads[tid].rename_map.get(arch);
             if p == RegFile::ZERO {
-                if regs[i] == 0 {
+                if val == 0 {
                     continue; // zero value, zero mapping: already correct
                 }
                 p = self
@@ -481,7 +590,7 @@ impl Core {
                     .expect("free physical registers after a full squash");
                 self.threads[tid].rename_map.set(arch, p);
             }
-            self.regfile.write(p, regs[i], now);
+            self.regfile.write(p, val, now);
         }
         let t = &mut self.threads[tid];
         *t.committed_regs = *regs;
@@ -504,6 +613,12 @@ impl Core {
     /// The tracer, if tracing is enabled.
     pub fn tracer(&self) -> Option<&Tracer> {
         self.tracer.as_ref()
+    }
+
+    /// Mutable access to the tracer (e.g. [`Tracer::clear`] between
+    /// measurement windows).
+    pub fn tracer_mut(&mut self) -> Option<&mut Tracer> {
+        self.tracer.as_mut()
     }
 
     /// Records a trace event when tracing is enabled (internal hook).
@@ -541,6 +656,27 @@ impl Core {
         self.rename(now);
         self.fetch(now, hier, env);
         self.watchdog(now);
+        self.sample_occupancy();
+    }
+
+    /// Records per-cycle occupancy of the IQ halves, load/store queues and
+    /// rate-matching buffers (per-box distributions for the metrics layer).
+    fn sample_occupancy(&mut self) {
+        let mut half_live = [0u64; 2];
+        for e in self.iq.iter().filter(|e| !e.dead) {
+            half_live[e.half as usize] += 1;
+        }
+        self.occ_iq[0].record(half_live[0]);
+        self.occ_iq[1].record(half_live[1]);
+        let (mut lq, mut sq, mut rmb) = (0u64, 0u64, 0u64);
+        for t in self.threads.iter().filter(|t| t.active) {
+            lq += t.lq.len() as u64;
+            sq += t.sq.len() as u64;
+            rmb += t.rmb.len() as u64;
+        }
+        self.occ_lq.record(lq);
+        self.occ_sq.record(sq);
+        self.occ_rmb.record(rmb);
     }
 
     fn watchdog(&mut self, now: u64) {

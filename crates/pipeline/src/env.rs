@@ -127,6 +127,7 @@ pub trait CoreEnv {
 
     /// May this leading store leave the sphere? Independent threads always
     /// release.
+    #[allow(clippy::too_many_arguments)]
     fn store_release(
         &mut self,
         _core: usize,
@@ -142,7 +143,13 @@ pub trait CoreEnv {
     }
 
     /// Peeks the line prediction queue at its active head.
-    fn lpq_peek(&mut self, _core: usize, _tid: ThreadId, _now: u64, _pair: PairId) -> Option<RetiredChunk> {
+    fn lpq_peek(
+        &mut self,
+        _core: usize,
+        _tid: ThreadId,
+        _now: u64,
+        _pair: PairId,
+    ) -> Option<RetiredChunk> {
         None
     }
 
@@ -159,7 +166,14 @@ pub trait CoreEnv {
     fn lpq_rollback(&mut self, _core: usize, _tid: ThreadId, _pair: PairId) {}
 
     /// Looks up the load value queue entry with the given tag.
-    fn lvq_lookup(&mut self, _core: usize, _tid: ThreadId, _now: u64, _pair: PairId, _tag: u64) -> LvqResult {
+    fn lvq_lookup(
+        &mut self,
+        _core: usize,
+        _tid: ThreadId,
+        _now: u64,
+        _pair: PairId,
+        _tag: u64,
+    ) -> LvqResult {
         LvqResult::NotReady
     }
 
@@ -168,6 +182,7 @@ pub trait CoreEnv {
 
     /// A trailing store's address and data became available (it "entered
     /// the store queue", §4.2): feed the store comparator.
+    #[allow(clippy::too_many_arguments)]
     fn trailing_store_executed(
         &mut self,
         _core: usize,

@@ -12,9 +12,9 @@
 
 use crate::chunk::FetchChunk;
 use crate::config::{ThreadId, ThreadRole};
-use crate::trace::TraceKind;
 use crate::core::Core;
 use crate::env::CoreEnv;
+use crate::trace::TraceKind;
 use rmt_isa::inst::Op;
 use rmt_mem::MemoryHierarchy;
 
@@ -162,6 +162,7 @@ impl Core {
                 break;
             }
             env.lpq_fetch_done(self.core_id, tid, pair);
+            self.trace(now, tid, entry.start_pc, TraceKind::LpqPop);
             self.threads[tid].rmb.push_back((
                 FetchChunk {
                     start_pc: entry.start_pc,
@@ -173,7 +174,12 @@ impl Core {
                 0,
             ));
             self.stats.inc("trailing_chunks_fetched");
-            self.trace(now, tid, entry.start_pc, TraceKind::FetchChunk { len: entry.len });
+            self.trace(
+                now,
+                tid,
+                entry.start_pc,
+                TraceKind::FetchChunk { len: entry.len },
+            );
             if self.threads[tid].rmb.len() + 1 > self.cfg.rmb_chunks {
                 break;
             }
@@ -196,11 +202,11 @@ impl Core {
             len += 1;
             next_pc = cur + 4;
             match inst.op {
-                Op::Beq | Op::Bne | Op::Blt | Op::Bge => {
-                    if self.branch_pred.predict_direction(cur) {
-                        next_pc = inst.imm as u64;
-                        break;
-                    }
+                Op::Beq | Op::Bne | Op::Blt | Op::Bge
+                    if self.branch_pred.predict_direction(cur) =>
+                {
+                    next_pc = inst.imm as u64;
+                    break;
                 }
                 Op::J => {
                     next_pc = inst.imm as u64;

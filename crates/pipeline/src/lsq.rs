@@ -288,6 +288,11 @@ impl LoadQueue {
         self.entries.len()
     }
 
+    /// Whether the queue holds no loads at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
     /// Allocates an entry at rename time.
     ///
     /// # Panics
@@ -391,7 +396,7 @@ mod tests {
         let mut q = sq();
         q.alloc(1, 0, 0, 0);
         q.fill(1, 0x100, 0xff, 1); // byte store
-        // Word load covering the byte: partial.
+                                   // Word load covering the byte: partial.
         assert_eq!(
             q.forward(0x100, 8, 2),
             ForwardResult::Partial { store_seq: 1 }

@@ -42,9 +42,16 @@ fn dump_stats() {
             cycle += 1;
         }
         let dc = cycle - c0;
-        println!("==== {bench} ==== warm ipc={:.3} cycles={dc}", 50_000.0 / dc as f64);
+        println!(
+            "==== {bench} ==== warm ipc={:.3} cycles={dc}",
+            50_000.0 / dc as f64
+        );
         for (k, v) in core.stats().iter() {
-            let old = snap.iter().find(|(k2, _)| k2 == k).map(|(_, v)| *v).unwrap_or(0);
+            let old = snap
+                .iter()
+                .find(|(k2, _)| k2 == k)
+                .map(|(_, v)| *v)
+                .unwrap_or(0);
             let d = v - old;
             if d > 0 {
                 println!("   {k:<28} {d:>8}  ({:.3}/instr)", d as f64 / 50_000.0);

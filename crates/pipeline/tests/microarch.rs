@@ -42,7 +42,11 @@ impl Rig {
             self.core.tick(self.cycle, &mut self.hier, &mut self.env);
             self.hier.tick(self.cycle);
             self.cycle += 1;
-            assert!(self.cycle < max, "stuck at {} commits", self.core.thread_stats(tid).committed);
+            assert!(
+                self.cycle < max,
+                "stuck at {} commits",
+                self.core.thread_stats(tid).committed
+            );
         }
     }
 }
@@ -66,12 +70,17 @@ fn back_to_back_dependent_adds_sustain_one_per_cycle() {
     rig.run_until_committed(0, 30_000, 200_000);
     let ipc = 30_000.0 / rig.cycle as f64;
     assert!(ipc > 0.85, "dependency chain IPC {ipc} — bypass broken?");
-    assert!(ipc < 1.3, "dependency chain IPC {ipc} — serial chain too fast");
+    assert!(
+        ipc < 1.3,
+        "dependency chain IPC {ipc} — serial chain too fast"
+    );
 }
 
 #[test]
 fn independent_adds_saturate_the_machine() {
-    let body: Vec<Inst> = (0..30).map(|i| Inst::addi(r(1 + i % 24), r(1 + i % 24), 1)).collect();
+    let body: Vec<Inst> = (0..30)
+        .map(|i| Inst::addi(r(1 + i % 24), r(1 + i % 24), 1))
+        .collect();
     let p = spin_loop(body);
     let mut rig = Rig::new(CoreConfig::base(), vec![p]);
     rig.run_until_committed(0, 80_000, 200_000);

@@ -125,8 +125,8 @@ impl BranchPredictor {
 
     fn global_index(&self, pc: u64) -> usize {
         let mask = (1u32 << self.cfg.global_history_bits) - 1;
-        ((Self::pc_hash(pc) ^ (self.global_history & mask) as u64)
-            % self.cfg.global_entries as u64) as usize
+        ((Self::pc_hash(pc) ^ (self.global_history & mask) as u64) % self.cfg.global_entries as u64)
+            as usize
     }
 
     fn chooser_index(&self, pc: u64) -> usize {

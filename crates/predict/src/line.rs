@@ -48,9 +48,7 @@ impl LinePredictor {
     fn index(&self, chunk_pc: u64) -> usize {
         // Chunks are 32-byte aligned fetch groups; hash the chunk number.
         let chunk = chunk_pc >> 2;
-        let h = chunk
-            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-            .rotate_right(17);
+        let h = chunk.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_right(17);
         (h % self.table.len() as u64) as usize
     }
 

@@ -98,8 +98,8 @@ mod tests {
     #[test]
     fn concurrent_hits_agree_bitwise() {
         let c = BaselineCache::new();
-        let values: Vec<f64> = crate::runner::Runner::new(4)
-            .run(8, |_| c.ipc(Benchmark::M88ksim, 1, 400, 1_500));
+        let values: Vec<f64> =
+            crate::runner::Runner::new(4).run(8, |_| c.ipc(Benchmark::M88ksim, 1, 400, 1_500));
         assert_eq!(c.len(), 1, "one key must be simulated exactly once");
         assert!(values.windows(2).all(|w| w[0].to_bits() == w[1].to_bits()));
     }

@@ -6,6 +6,7 @@ use rmt_core::device::{BaseDevice, Device, LogicalThread, SrtDevice, SrtOptions}
 use rmt_core::lockstep::{LockstepDevice, LockstepOptions};
 use rmt_mem::HierarchyConfig;
 use rmt_pipeline::CoreConfig;
+use rmt_stats::{MetricsRegistry, MetricsSnapshot};
 use rmt_workloads::{Benchmark, Workload};
 use std::fmt;
 
@@ -235,10 +236,9 @@ impl Experiment {
                     doubled,
                 ))
             }
-            DeviceKind::Srt
-            | DeviceKind::SrtPtsq
-            | DeviceKind::SrtNosc
-            | DeviceKind::SrtNoPsr => Box::new(SrtDevice::new(self.srt_opts.clone(), threads)),
+            DeviceKind::Srt | DeviceKind::SrtPtsq | DeviceKind::SrtNosc | DeviceKind::SrtNoPsr => {
+                Box::new(SrtDevice::new(self.srt_opts.clone(), threads))
+            }
             DeviceKind::Lock0 => Box::new(LockstepDevice::new(
                 LockstepOptions {
                     core: self.core_cfg.clone(),
@@ -287,7 +287,9 @@ impl Experiment {
                     // Only faults during measurement are reported.
                     faults = 0;
                 }
-                if start_cycle[k].is_some() && end_cycle[k].is_none() && c >= self.warmup + self.measure
+                if start_cycle[k].is_some()
+                    && end_cycle[k].is_none()
+                    && c >= self.warmup + self.measure
                 {
                     end_cycle[k] = Some(device.cycle());
                 }
@@ -313,15 +315,17 @@ impl Experiment {
                 cycles: end_cycle[k].expect("closed") - start_cycle[k].expect("opened"),
             })
             .collect();
+        let mut reg = MetricsRegistry::new();
+        device.export_metrics(&mut reg);
         Ok(RunResult {
             kind: self.kind,
             cycles: total_cycles,
             per_thread,
             faults_detected: faults,
+            metrics: reg.snapshot(),
         })
     }
 }
-
 
 /// Per-logical-thread outcome of a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -356,6 +360,9 @@ pub struct RunResult {
     pub per_thread: Vec<ThreadOutcome>,
     /// Faults detected during measurement (0 in fault-free runs).
     pub faults_detected: usize,
+    /// Whole-run metric snapshot exported by the device at the end of the
+    /// run (cycle accounting, occupancy, RMT queue statistics).
+    pub metrics: MetricsSnapshot,
 }
 
 impl RunResult {
@@ -405,6 +412,14 @@ mod tests {
         assert!(srt.ipc(0) > 0.0);
         assert!(srt.cycles > base.cycles, "SRT must cost cycles");
         assert_eq!(srt.faults_detected(), 0);
+        // Every run carries a metric snapshot from its device.
+        assert!(base.metrics.counter("device/cycles").unwrap_or(0) > 0);
+        assert!(
+            srt.metrics
+                .counter("rmt/pair0/comparator/matches")
+                .unwrap_or(0)
+                > 0
+        );
     }
 
     #[test]

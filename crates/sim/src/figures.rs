@@ -25,7 +25,7 @@ use rmt_faults::{CampaignConfig, FaultKind};
 use rmt_pipeline::CoreConfig;
 use rmt_stats::metrics::{degradation_pct, mean, smt_efficiency};
 use rmt_stats::table::{fmt3, fmt_pct};
-use rmt_stats::Table;
+use rmt_stats::{MetricsSnapshot, Table};
 use rmt_workloads::mix::{four_program_mixes, mix_name, two_program_mixes};
 use rmt_workloads::{Benchmark, Workload};
 use std::collections::BTreeMap;
@@ -115,6 +115,11 @@ pub struct FigureResult {
     pub table: Table,
     /// Named scalar results (averages, deltas) for tests and reports.
     pub summary: BTreeMap<String, f64>,
+    /// Whole-run metric snapshots for the figure's experiments, keyed
+    /// `"mix/variant"` (empty for drivers that do not run full
+    /// [`Experiment`]s). Deterministic: part of the `--jobs` invariance
+    /// the determinism tests assert.
+    pub metrics: BTreeMap<String, MetricsSnapshot>,
 }
 
 impl FigureResult {
@@ -132,11 +137,11 @@ impl FigureResult {
 }
 
 fn run_eff(
+    ctx: &FigureCtx,
     kind: DeviceKind,
     benches: &[Benchmark],
     scale: SimScale,
-    baselines: &BaselineCache,
-) -> f64 {
+) -> (f64, MetricsSnapshot) {
     let r = Experiment::new(kind)
         .benchmarks(benches)
         .seed(scale.seed)
@@ -144,33 +149,46 @@ fn run_eff(
         .measure(scale.measure)
         .run()
         .unwrap_or_else(|e| panic!("{kind} on {benches:?} failed: {e}"));
+    ctx.runner.add_sim_cycles(r.cycles);
     let pairs: Vec<(f64, f64)> = benches
         .iter()
         .enumerate()
         .map(|(i, &b)| {
             (
                 r.ipc(i),
-                baselines.ipc(b, scale.seed, scale.warmup, scale.measure),
+                ctx.baselines
+                    .ipc(b, scale.seed, scale.warmup, scale.measure),
             )
         })
         .collect();
-    smt_efficiency(&pairs)
+    (smt_efficiency(&pairs), r.metrics)
 }
 
 /// Fans `benches × variants` efficiency points across the runner and
 /// returns them grouped per benchmark (variant-major within a bench) —
-/// the access pattern every per-benchmark figure table uses.
+/// the access pattern every per-benchmark figure table uses — plus each
+/// point's metric snapshot keyed `"mix/variant"`.
 fn grid_eff(
     ctx: &FigureCtx,
     scale: SimScale,
     rows: &[Vec<Benchmark>],
     variants: &[DeviceKind],
-) -> Vec<Vec<f64>> {
+) -> (Vec<Vec<f64>>, BTreeMap<String, MetricsSnapshot>) {
     let k = variants.len();
     let flat = ctx.runner.run(rows.len() * k, |i| {
-        run_eff(variants[i % k], &rows[i / k], scale, &ctx.baselines)
+        run_eff(ctx, variants[i % k], &rows[i / k], scale)
     });
-    flat.chunks(k).map(<[f64]>::to_vec).collect()
+    let mut effs: Vec<Vec<f64>> = vec![Vec::with_capacity(k); rows.len()];
+    let mut metrics = BTreeMap::new();
+    for (i, (eff, snap)) in flat.into_iter().enumerate() {
+        let (r, c) = (i / k, i % k);
+        effs[r].push(eff);
+        metrics.insert(
+            format!("{}/{}", mix_name(&rows[r]), variants[c].name()),
+            snap,
+        );
+    }
+    (effs, metrics)
 }
 
 // ====================================================================
@@ -184,24 +202,95 @@ pub fn table1() -> FigureResult {
     let h = rmt_mem::HierarchyConfig::default();
     let mut t = Table::with_columns(&["box", "parameter", "value"]);
     let mut row = |a: &str, b: &str, v: String| t.row(vec![a.into(), b.into(), v]);
-    row("IBOX", "fetch width", format!("{} x {}-instruction chunks", c.fetch_chunks, c.chunk_size));
-    row("IBOX", "line predictor entries", c.line_predictor_entries.to_string());
-    row("IBOX", "L1 I-cache", format!("{} KB, {}-way, {} B blocks, way prediction", h.l1i.size_bytes / 1024, h.l1i.assoc, h.l1i.block_bytes));
-    row("IBOX", "memory dependence predictor", format!("store sets, {} entries", c.store_sets_entries));
-    row("PBOX", "map width", format!("one {}-instruction chunk per cycle", c.chunk_size));
-    row("QBOX", "instruction queue", format!("{} entries (two {}-entry halves)", c.iq_size, c.iq_size / 2));
-    row("QBOX", "issue width", format!("{} per cycle", c.issue_width));
-    row("RBOX", "register file", format!("{} physical registers", c.phys_regs));
-    row("EBOX/FBOX", "functional units", format!("{} int, {} logic, {} mem, {} fp", c.fu_int, c.fu_logic, c.fu_mem, c.fu_fp));
-    row("MBOX", "L1 D-cache", format!("{} KB, {}-way, {} B blocks, {} load ports", h.l1d.size_bytes / 1024, h.l1d.assoc, h.l1d.block_bytes, c.max_loads_per_cycle));
+    row(
+        "IBOX",
+        "fetch width",
+        format!("{} x {}-instruction chunks", c.fetch_chunks, c.chunk_size),
+    );
+    row(
+        "IBOX",
+        "line predictor entries",
+        c.line_predictor_entries.to_string(),
+    );
+    row(
+        "IBOX",
+        "L1 I-cache",
+        format!(
+            "{} KB, {}-way, {} B blocks, way prediction",
+            h.l1i.size_bytes / 1024,
+            h.l1i.assoc,
+            h.l1i.block_bytes
+        ),
+    );
+    row(
+        "IBOX",
+        "memory dependence predictor",
+        format!("store sets, {} entries", c.store_sets_entries),
+    );
+    row(
+        "PBOX",
+        "map width",
+        format!("one {}-instruction chunk per cycle", c.chunk_size),
+    );
+    row(
+        "QBOX",
+        "instruction queue",
+        format!("{} entries (two {}-entry halves)", c.iq_size, c.iq_size / 2),
+    );
+    row(
+        "QBOX",
+        "issue width",
+        format!("{} per cycle", c.issue_width),
+    );
+    row(
+        "RBOX",
+        "register file",
+        format!("{} physical registers", c.phys_regs),
+    );
+    row(
+        "EBOX/FBOX",
+        "functional units",
+        format!(
+            "{} int, {} logic, {} mem, {} fp",
+            c.fu_int, c.fu_logic, c.fu_mem, c.fu_fp
+        ),
+    );
+    row(
+        "MBOX",
+        "L1 D-cache",
+        format!(
+            "{} KB, {}-way, {} B blocks, {} load ports",
+            h.l1d.size_bytes / 1024,
+            h.l1d.assoc,
+            h.l1d.block_bytes,
+            c.max_loads_per_cycle
+        ),
+    );
     row("MBOX", "load queue", format!("{} entries", c.lq_entries));
     row("MBOX", "store queue", format!("{} entries", c.sq_entries));
-    row("system", "L2 cache", format!("{} MB, {}-way, {} B blocks", h.l2.size_bytes / 1024 / 1024, h.l2.assoc, h.l2.block_bytes));
-    row("system", "L2 / memory latency", format!("{} / {} cycles", h.l2_latency, h.mem_latency));
+    row(
+        "system",
+        "L2 cache",
+        format!(
+            "{} MB, {}-way, {} B blocks",
+            h.l2.size_bytes / 1024 / 1024,
+            h.l2.assoc,
+            h.l2.block_bytes
+        ),
+    );
+    row(
+        "system",
+        "L2 / memory latency",
+        format!("{} / {} cycles", h.l2_latency, h.mem_latency),
+    );
     let mut summary = BTreeMap::new();
     summary.insert("iq_size".into(), c.iq_size as f64);
     summary.insert("phys_regs".into(), c.phys_regs as f64);
-    FigureResult { table: t, summary }
+    FigureResult {
+        table: t,
+        summary,
+        metrics: BTreeMap::new(),
+    }
 }
 
 /// Figure 2: the pipeline's stage latencies.
@@ -209,12 +298,20 @@ pub fn fig2_pipeline() -> FigureResult {
     let c = CoreConfig::base();
     let mut t = Table::with_columns(&["segment", "role", "cycles"]);
     for (seg, role, cyc) in [
-        ("I", "IBOX: thread chooser, line prediction, I-cache, rate-matching buffer", c.ibox_latency),
+        (
+            "I",
+            "IBOX: thread chooser, line prediction, I-cache, rate-matching buffer",
+            c.ibox_latency,
+        ),
         ("P", "PBOX: wire delay + register rename", c.pbox_latency),
         ("Q", "QBOX: instruction queue", c.qbox_latency),
         ("R", "RBOX: register read", c.rbox_latency),
         ("E", "EBOX: functional units (base latency)", 1),
-        ("M", "MBOX: data cache / load queue / store queue", c.mbox_latency),
+        (
+            "M",
+            "MBOX: data cache / load queue / store queue",
+            c.mbox_latency,
+        ),
     ] {
         t.row(vec![seg.into(), role.into(), cyc.to_string()]);
     }
@@ -223,7 +320,11 @@ pub fn fig2_pipeline() -> FigureResult {
         "frontend_depth".into(),
         (c.ibox_latency + c.pbox_latency + c.qbox_latency) as f64,
     );
-    FigureResult { table: t, summary }
+    FigureResult {
+        table: t,
+        summary,
+        metrics: BTreeMap::new(),
+    }
 }
 
 // ====================================================================
@@ -240,7 +341,7 @@ pub fn fig6_srt_single(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) 
         DeviceKind::SrtPtsq,
     ];
     let rows: Vec<Vec<Benchmark>> = benches.iter().map(|&b| vec![b]).collect();
-    let effs = grid_eff(ctx, scale, &rows, &kinds);
+    let (effs, metrics) = grid_eff(ctx, scale, &rows, &kinds);
 
     let mut t = Table::with_columns(&["benchmark", "Base2", "SRT+nosc", "SRT", "SRT+ptsq"]);
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
@@ -264,7 +365,11 @@ pub fn fig6_srt_single(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) 
         );
     }
     t.row(avg_cells);
-    FigureResult { table: t, summary }
+    FigureResult {
+        table: t,
+        summary,
+        metrics,
+    }
 }
 
 // ====================================================================
@@ -276,7 +381,10 @@ fn same_fu_fraction(psr_enabled: bool, bench: Benchmark, scale: SimScale) -> (f6
     opts.core.preferential_space_redundancy = psr_enabled;
     let w = Workload::generate(bench, scale.seed);
     let mut dev = SrtDevice::new(opts, vec![LogicalThread::from(&w)]);
-    let ok = dev.run_until_committed(scale.warmup + scale.measure, (scale.warmup + scale.measure) * 100);
+    let ok = dev.run_until_committed(
+        scale.warmup + scale.measure,
+        (scale.warmup + scale.measure) * 100,
+    );
     assert!(ok, "{bench}: PSR run timed out");
     let psr = &dev.env().pair(0).psr;
     (psr.same_fu_fraction(), psr.same_half_fraction())
@@ -321,7 +429,11 @@ pub fn fig7_psr(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> Figu
     let mut summary = BTreeMap::new();
     summary.insert("same_fu_no_psr".into(), mean(&no_psr));
     summary.insert("same_fu_with_psr".into(), mean(&with_psr));
-    FigureResult { table: t, summary }
+    FigureResult {
+        table: t,
+        summary,
+        metrics: BTreeMap::new(),
+    }
 }
 
 // ====================================================================
@@ -333,7 +445,7 @@ pub fn fig7_psr(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> Figu
 pub fn fig8_srt_multi(ctx: &FigureCtx, scale: SimScale) -> FigureResult {
     let kinds = [DeviceKind::Base, DeviceKind::Srt, DeviceKind::SrtPtsq];
     let pairs: Vec<Vec<Benchmark>> = two_program_mixes().iter().map(|m| m.to_vec()).collect();
-    let effs = grid_eff(ctx, scale, &pairs, &kinds);
+    let (effs, metrics) = grid_eff(ctx, scale, &pairs, &kinds);
 
     let mut t = Table::with_columns(&["pair", "Base(2 threads)", "SRT", "SRT+ptsq"]);
     let mut base_col = Vec::new();
@@ -356,7 +468,11 @@ pub fn fig8_srt_multi(ctx: &FigureCtx, scale: SimScale) -> FigureResult {
     summary.insert("base2t_mean_efficiency".into(), mean(&base_col));
     summary.insert("srt_mean_efficiency".into(), mean(&srt_col));
     summary.insert("ptsq_mean_efficiency".into(), mean(&ptsq_col));
-    FigureResult { table: t, summary }
+    FigureResult {
+        table: t,
+        summary,
+        metrics,
+    }
 }
 
 // ====================================================================
@@ -382,20 +498,36 @@ pub fn fig9_storeq(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> F
         let mut srt = SrtDevice::new(SrtOptions::default(), vec![LogicalThread::from(&w)]);
         assert!(srt.run_until_committed(target, target * 100));
         let (lead, _) = srt.pair_tids(0);
-        let srt_life = srt.core().store_lifetime(lead).mean();
-        (base_life, srt_life)
+        let life = srt.core().store_lifetime(lead);
+        (
+            base_life,
+            life.mean(),
+            life.percentile(50.0).unwrap_or(0),
+            life.percentile(95.0).unwrap_or(0),
+        )
     });
 
-    let mut t = Table::with_columns(&["benchmark", "base lifetime", "SRT lead lifetime", "delta"]);
+    let mut t = Table::with_columns(&[
+        "benchmark",
+        "base lifetime",
+        "SRT lead lifetime",
+        "delta",
+        "SRT p50",
+        "SRT p95",
+    ]);
     let mut deltas = Vec::new();
-    for (b, &(base_life, srt_life)) in benches.iter().zip(&lifetimes) {
+    let mut p95s = Vec::new();
+    for (b, &(base_life, srt_life, p50, p95)) in benches.iter().zip(&lifetimes) {
         let delta = srt_life - base_life;
         deltas.push(delta);
+        p95s.push(p95 as f64);
         t.row(vec![
             b.name().into(),
             fmt3(base_life),
             fmt3(srt_life),
             fmt3(delta),
+            p50.to_string(),
+            p95.to_string(),
         ]);
     }
     t.row(vec![
@@ -403,10 +535,17 @@ pub fn fig9_storeq(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> F
         String::new(),
         String::new(),
         fmt3(mean(&deltas)),
+        String::new(),
+        fmt3(mean(&p95s)),
     ]);
     let mut summary = BTreeMap::new();
     summary.insert("mean_lifetime_delta".into(), mean(&deltas));
-    FigureResult { table: t, summary }
+    summary.insert("srt_lifetime_p95_mean".into(), mean(&p95s));
+    FigureResult {
+        table: t,
+        summary,
+        metrics: BTreeMap::new(),
+    }
 }
 
 // ====================================================================
@@ -420,7 +559,7 @@ fn crt_vs_lockstep(
     label: &str,
 ) -> FigureResult {
     let kinds = [DeviceKind::Lock0, DeviceKind::Lock8, DeviceKind::Crt];
-    let effs = grid_eff(ctx, scale, mixes, &kinds);
+    let (effs, metrics) = grid_eff(ctx, scale, mixes, &kinds);
 
     let mut t = Table::with_columns(&[label, "Lock0", "Lock8", "CRT", "CRT vs Lock8"]);
     let mut l0 = Vec::new();
@@ -459,7 +598,11 @@ fn crt_vs_lockstep(
     summary.insert("crt_mean".into(), mean(&crt));
     summary.insert("crt_vs_lock8_pct".into(), gain);
     summary.insert("crt_vs_lock8_max_pct".into(), max_gain);
-    FigureResult { table: t, summary }
+    FigureResult {
+        table: t,
+        summary,
+        metrics,
+    }
 }
 
 /// §7.2 single-thread comparison: CRT performs like lockstepping when only
@@ -488,16 +631,19 @@ pub fn fig12_crt_four(ctx: &FigureCtx, scale: SimScale) -> FigureResult {
 
 /// Runs a `benches × params` sweep on the runner: one SRT/CRT experiment
 /// per point with `tweak` applied, efficiency against the shared baseline.
-/// Returns points grouped per benchmark (param-major within a bench).
-fn sweep_eff<P: Copy + Sync>(
+/// Returns points grouped per benchmark (param-major within a bench) plus
+/// per-point metric snapshots keyed `"bench/label=param"`.
+#[allow(clippy::too_many_arguments)]
+fn sweep_eff<P: Copy + Sync + std::fmt::Display>(
     ctx: &FigureCtx,
     scale: SimScale,
     benches: &[Benchmark],
     kind: DeviceKind,
     params: &[P],
+    param_label: &str,
     max_cycle_factor: u64,
     tweak: impl Fn(&mut SrtOptions, P) + Sync,
-) -> Vec<Vec<f64>> {
+) -> (Vec<Vec<f64>>, BTreeMap<String, MetricsSnapshot>) {
     let k = params.len();
     let flat = ctx.runner.run(benches.len() * k, |i| {
         let b = benches[i / k];
@@ -511,9 +657,21 @@ fn sweep_eff<P: Copy + Sync>(
             .max_cycle_factor(max_cycle_factor)
             .run()
             .expect("sweep run");
-        r.ipc(0) / ctx.baselines.ipc(b, scale.seed, scale.warmup, scale.measure)
+        ctx.runner.add_sim_cycles(r.cycles);
+        let eff = r.ipc(0)
+            / ctx
+                .baselines
+                .ipc(b, scale.seed, scale.warmup, scale.measure);
+        (eff, r.metrics)
     });
-    flat.chunks(k).map(<[f64]>::to_vec).collect()
+    let mut effs: Vec<Vec<f64>> = vec![Vec::with_capacity(k); benches.len()];
+    let mut metrics = BTreeMap::new();
+    for (i, (eff, snap)) in flat.into_iter().enumerate() {
+        let (b, p) = (benches[i / k], params[i % k]);
+        effs[i / k].push(eff);
+        metrics.insert(format!("{}/{param_label}={p}", b.name()), snap);
+    }
+    (effs, metrics)
 }
 
 fn sweep_table<P: Copy + std::fmt::Display>(
@@ -522,6 +680,7 @@ fn sweep_table<P: Copy + std::fmt::Display>(
     param_label: &str,
     summary_prefix: &str,
     per_bench: &[Vec<f64>],
+    metrics: BTreeMap<String, MetricsSnapshot>,
 ) -> FigureResult {
     let mut cols: Vec<String> = vec!["benchmark".into()];
     cols.extend(params.iter().map(|p| format!("{param_label}={p}")));
@@ -536,17 +695,30 @@ fn sweep_table<P: Copy + std::fmt::Display>(
         let col: Vec<f64> = per_bench.iter().map(|row| row[i]).collect();
         summary.insert(format!("{summary_prefix}{p}"), mean(&col));
     }
-    FigureResult { table: t, summary }
+    FigureResult {
+        table: t,
+        summary,
+        metrics,
+    }
 }
 
 /// Store-queue size sweep (the motivation for per-thread store queues,
 /// §4.2): SRT efficiency as the shared store queue grows.
 pub fn abl_sq_size(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> FigureResult {
     let sizes = [16usize, 32, 64, 128, 256];
-    let effs = sweep_eff(ctx, scale, benches, DeviceKind::Srt, &sizes, 120, |o, s| {
-        o.core.sq_entries = s;
-    });
-    sweep_table(benches, &sizes, "SQ", "eff_sq", &effs)
+    let (effs, metrics) = sweep_eff(
+        ctx,
+        scale,
+        benches,
+        DeviceKind::Srt,
+        &sizes,
+        "SQ",
+        120,
+        |o, s| {
+            o.core.sq_entries = s;
+        },
+    );
+    sweep_table(benches, &sizes, "SQ", "eff_sq", &effs, metrics)
 }
 
 /// Trailing-fetch policy ablation (§4.4): the line prediction queue vs
@@ -554,7 +726,7 @@ pub fn abl_sq_size(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> F
 pub fn abl_fetch_policy(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> FigureResult {
     let points = ctx.runner.run(benches.len(), |i| {
         let b = benches[i];
-        let lpq = run_eff(DeviceKind::Srt, &[b], scale, &ctx.baselines);
+        let lpq = run_eff(ctx, DeviceKind::Srt, &[b], scale).0;
         // Shared-line-predictor trailing fetch: trailing threads
         // misspeculate, so comparison must move to retirement.
         let w = Workload::generate(b, scale.seed);
@@ -565,7 +737,10 @@ pub fn abl_fetch_policy(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark])
         opts.env.lpq_enabled = false;
         let mut dev = SrtDevice::new(opts, vec![LogicalThread::from(&w)]);
         let target = scale.warmup + scale.measure;
-        assert!(dev.run_until_committed(target, target * 200), "{b} shared-fetch run timed out");
+        assert!(
+            dev.run_until_committed(target, target * 200),
+            "{b} shared-fetch run timed out"
+        );
         let (lead, trail) = dev.pair_tids(0);
         let eff = {
             let ipc = dev.core().thread_stats(lead).committed as f64 / dev.cycle() as f64;
@@ -606,7 +781,11 @@ pub fn abl_fetch_policy(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark])
     let mut summary = BTreeMap::new();
     summary.insert("lpq_mean".into(), mean(&lpq_col));
     summary.insert("shared_mean".into(), mean(&shared_col));
-    FigureResult { table: t, summary }
+    FigureResult {
+        table: t,
+        summary,
+        metrics: BTreeMap::new(),
+    }
 }
 
 /// Trailing-fetch priority ablation (§4.4's "best performance was achieved
@@ -616,7 +795,7 @@ pub fn abl_slack(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> Fig
     let points = ctx.runner.run(benches.len() * 2, |i| {
         let b = benches[i / 2];
         if i % 2 == 0 {
-            run_eff(DeviceKind::Srt, &[b], scale, &ctx.baselines)
+            run_eff(ctx, DeviceKind::Srt, &[b], scale).0
         } else {
             let r = Experiment::new(DeviceKind::Srt)
                 .benchmark(b)
@@ -627,7 +806,10 @@ pub fn abl_slack(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> Fig
                 .max_cycle_factor(120)
                 .run()
                 .expect("icount run");
-            r.ipc(0) / ctx.baselines.ipc(b, scale.seed, scale.warmup, scale.measure)
+            r.ipc(0)
+                / ctx
+                    .baselines
+                    .ipc(b, scale.seed, scale.warmup, scale.measure)
         }
     });
     let mut t = Table::with_columns(&["benchmark", "trailing priority", "ICOUNT only"]);
@@ -641,7 +823,11 @@ pub fn abl_slack(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> Fig
     let mut summary = BTreeMap::new();
     summary.insert("priority_mean".into(), mean(&pri));
     summary.insert("icount_mean".into(), mean(&icount));
-    FigureResult { table: t, summary }
+    FigureResult {
+        table: t,
+        summary,
+        metrics: BTreeMap::new(),
+    }
 }
 
 /// LVQ size sweep: the load value queue bounds the slack between the
@@ -649,20 +835,38 @@ pub fn abl_slack(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> Fig
 /// retirement, too large buys nothing.
 pub fn abl_lvq_size(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> FigureResult {
     let sizes = [8usize, 16, 32, 64, 128];
-    let effs = sweep_eff(ctx, scale, benches, DeviceKind::Srt, &sizes, 150, |o, sz| {
-        o.env.lvq_entries = sz;
-    });
-    sweep_table(benches, &sizes, "LVQ", "eff_lvq", &effs)
+    let (effs, metrics) = sweep_eff(
+        ctx,
+        scale,
+        benches,
+        DeviceKind::Srt,
+        &sizes,
+        "LVQ",
+        150,
+        |o, sz| {
+            o.env.lvq_entries = sz;
+        },
+    );
+    sweep_table(benches, &sizes, "LVQ", "eff_lvq", &effs, metrics)
 }
 
 /// CRT inter-core forwarding-delay sweep: the paper argues the forwarding
 /// queues decouple the threads, so CRT tolerates cross-core latency (§5).
 pub fn abl_crt_delay(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> FigureResult {
     let delays = [0u64, 2, 4, 8, 16, 32];
-    let effs = sweep_eff(ctx, scale, benches, DeviceKind::Crt, &delays, 150, |o, d| {
-        o.env.cross_core_delay = d;
-    });
-    sweep_table(benches, &delays, "delay", "eff_delay", &effs)
+    let (effs, metrics) = sweep_eff(
+        ctx,
+        scale,
+        benches,
+        DeviceKind::Crt,
+        &delays,
+        "delay",
+        150,
+        |o, d| {
+            o.env.cross_core_delay = d;
+        },
+    );
+    sweep_table(benches, &delays, "delay", "eff_delay", &effs, metrics)
 }
 
 /// Redundant-thread slack distribution under SRT: mean and maximum of
@@ -675,22 +879,37 @@ pub fn slack_profile(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) ->
         let w = Workload::generate(b, scale.seed);
         let mut dev = SrtDevice::new(SrtOptions::default(), vec![LogicalThread::from(&w)]);
         let target = scale.warmup + scale.measure;
-        assert!(dev.run_until_committed(target, target * 120), "{b} timed out");
+        assert!(
+            dev.run_until_committed(target, target * 120),
+            "{b} timed out"
+        );
         let pair = dev.env().pair(0);
         (
             pair.slack.mean(),
+            pair.slack.percentile(95.0).unwrap_or(0),
             pair.slack.max().unwrap_or(0),
             pair.lvq.peak(),
             pair.lpq.peak(),
         )
     });
-    let mut t = Table::with_columns(&["benchmark", "mean slack", "max slack", "lvq peak", "lpq peak"]);
+    let mut t = Table::with_columns(&[
+        "benchmark",
+        "mean slack",
+        "p95 slack",
+        "max slack",
+        "lvq peak",
+        "lpq peak",
+    ]);
     let mut means = Vec::new();
-    for (b, &(slack_mean, slack_max, lvq_peak, lpq_peak)) in benches.iter().zip(&points) {
+    let mut p95s = Vec::new();
+    for (b, &(slack_mean, slack_p95, slack_max, lvq_peak, lpq_peak)) in benches.iter().zip(&points)
+    {
         means.push(slack_mean);
+        p95s.push(slack_p95 as f64);
         t.row(vec![
             b.name().into(),
             fmt3(slack_mean),
+            slack_p95.to_string(),
             slack_max.to_string(),
             lvq_peak.to_string(),
             lpq_peak.to_string(),
@@ -698,7 +917,12 @@ pub fn slack_profile(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) ->
     }
     let mut summary = BTreeMap::new();
     summary.insert("mean_slack".into(), mean(&means));
-    FigureResult { table: t, summary }
+    summary.insert("p95_slack_mean".into(), mean(&p95s));
+    FigureResult {
+        table: t,
+        summary,
+        metrics: BTreeMap::new(),
+    }
 }
 
 /// Workload characterization: instruction mix and machine behaviour per
@@ -726,14 +950,19 @@ pub fn workload_chars(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -
         // Dynamic behaviour on the base machine: IPC from the warm
         // measurement window (the same number every SMT-efficiency in this
         // suite divides by); squash rate over the whole run.
-        let ipc = ctx.baselines.ipc(b, scale.seed, scale.warmup, scale.measure);
+        let ipc = ctx
+            .baselines
+            .ipc(b, scale.seed, scale.warmup, scale.measure);
         let mut dev = rmt_core::device::BaseDevice::new(
             CoreConfig::base(),
             Default::default(),
             vec![LogicalThread::from(&w)],
         );
         let target = scale.warmup + scale.measure;
-        assert!(dev.run_until_committed(target, target * 120), "{b} timed out");
+        assert!(
+            dev.run_until_committed(target, target * 120),
+            "{b} timed out"
+        );
         let committed = dev.committed(0) as f64;
         Chars {
             ipc,
@@ -770,7 +999,11 @@ pub fn workload_chars(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -
             format!("{} KB", c.working_set / 1024),
         ]);
     }
-    FigureResult { table: t, summary }
+    FigureResult {
+        table: t,
+        summary,
+        metrics: BTreeMap::new(),
+    }
 }
 
 /// Next-line L1D prefetch ablation (extension; the paper's machine has no
@@ -779,7 +1012,7 @@ pub fn abl_prefetch(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> 
     // Two jobs per benchmark: prefetch off (even) and on (odd).
     let ipcs = ctx.runner.run(benches.len() * 2, |i| {
         let pf = i % 2 == 1;
-        Experiment::new(DeviceKind::Base)
+        let r = Experiment::new(DeviceKind::Base)
             .benchmark(benches[i / 2])
             .seed(scale.seed)
             .warmup(scale.warmup)
@@ -787,8 +1020,9 @@ pub fn abl_prefetch(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> 
             .tweak_hierarchy(move |h| h.l1d_next_line_prefetch = pf)
             .max_cycle_factor(150)
             .run()
-            .expect("prefetch run")
-            .ipc(0)
+            .expect("prefetch run");
+        ctx.runner.add_sim_cycles(r.cycles);
+        r.ipc(0)
     });
     let mut t = Table::with_columns(&["benchmark", "no prefetch", "next-line prefetch", "speedup"]);
     let mut speedups = Vec::new();
@@ -800,7 +1034,11 @@ pub fn abl_prefetch(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> 
         t.row(vec![b.name().into(), fmt3(off), fmt3(on), fmt3(speedup)]);
     }
     summary.insert("mean_speedup".into(), mean(&speedups));
-    FigureResult { table: t, summary }
+    FigureResult {
+        table: t,
+        summary,
+        metrics: BTreeMap::new(),
+    }
 }
 
 // ====================================================================
@@ -838,7 +1076,10 @@ pub fn fault_coverage(ctx: &FigureCtx, scale: SimScale, bench: Benchmark) -> Fig
             fmt3(r.coverage()),
             fmt3(r.mean_latency()),
         ]);
-        summary.insert(format!("{machine}_{}_coverage", r.kind.name()), r.coverage());
+        summary.insert(
+            format!("{machine}_{}_coverage", r.kind.name()),
+            r.coverage(),
+        );
         summary.insert(
             format!("{machine}_{}_silent", r.kind.name()),
             r.silent as f64,
@@ -893,7 +1134,51 @@ pub fn fault_coverage(ctx: &FigureCtx, scale: SimScale, bench: Benchmark) -> Fig
             par_lockstep_campaign(&ctx.runner, &lock_opts, &w, kind, cfg),
         );
     }
-    FigureResult { table: t, summary }
+    FigureResult {
+        table: t,
+        summary,
+        metrics: BTreeMap::new(),
+    }
+}
+
+// ====================================================================
+// Suite summary (the aggregate JSON artifact)
+// ====================================================================
+
+/// Cross-suite summary for the aggregate JSON report: per-benchmark base
+/// IPC next to the single-thread SRT and CRT efficiencies, with every
+/// run's metric snapshot attached.
+pub fn suite_summary(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> FigureResult {
+    let kinds = [DeviceKind::Srt, DeviceKind::Crt];
+    let rows: Vec<Vec<Benchmark>> = benches.iter().map(|&b| vec![b]).collect();
+    let (effs, metrics) = grid_eff(ctx, scale, &rows, &kinds);
+
+    let mut t = Table::with_columns(&["benchmark", "base IPC", "SRT eff", "CRT eff"]);
+    let mut srt_col = Vec::new();
+    let mut crt_col = Vec::new();
+    let mut summary = BTreeMap::new();
+    for (b, row) in benches.iter().zip(&effs) {
+        let ipc = ctx
+            .baselines
+            .ipc(*b, scale.seed, scale.warmup, scale.measure);
+        srt_col.push(row[0]);
+        crt_col.push(row[1]);
+        summary.insert(format!("{}_base_ipc", b.name()), ipc);
+        t.row(vec![b.name().into(), fmt3(ipc), fmt3(row[0]), fmt3(row[1])]);
+    }
+    t.row(vec![
+        "average".into(),
+        String::new(),
+        fmt3(mean(&srt_col)),
+        fmt3(mean(&crt_col)),
+    ]);
+    summary.insert("srt_mean_efficiency".into(), mean(&srt_col));
+    summary.insert("crt_mean_efficiency".into(), mean(&crt_col));
+    FigureResult {
+        table: t,
+        summary,
+        metrics,
+    }
 }
 
 #[cfg(test)]

@@ -39,5 +39,5 @@ pub mod runner;
 
 pub use baseline::BaselineCache;
 pub use experiment::{DeviceKind, Experiment, RunResult, SimError};
-pub use figures::{FigureCtx, SimScale};
+pub use figures::{FigureCtx, FigureResult, SimScale};
 pub use runner::Runner;

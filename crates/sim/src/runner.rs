@@ -35,8 +35,9 @@ use rmt_faults::{CampaignConfig, CampaignReport, FaultKind};
 use rmt_pipeline::CoreConfig;
 use rmt_workloads::Workload;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// A deterministic parallel job pool.
 ///
@@ -46,6 +47,10 @@ use std::sync::Mutex;
 pub struct Runner {
     jobs: usize,
     executed: AtomicUsize,
+    /// Simulated cycles reported by figure drivers (host throughput gauge).
+    sim_cycles: AtomicU64,
+    /// Wall nanoseconds workers spent inside jobs, summed across workers.
+    busy_nanos: AtomicU64,
 }
 
 impl Runner {
@@ -54,6 +59,8 @@ impl Runner {
         Runner {
             jobs: jobs.max(1),
             executed: AtomicUsize::new(0),
+            sim_cycles: AtomicU64::new(0),
+            busy_nanos: AtomicU64::new(0),
         }
     }
 
@@ -76,6 +83,38 @@ impl Runner {
         self.executed.load(Ordering::Relaxed)
     }
 
+    /// Credits `n` simulated cycles to this runner's throughput gauge.
+    ///
+    /// Figure drivers call this with each experiment's cycle count; the
+    /// total feeds the host `sim cycles/sec` gauge in JSON reports. The
+    /// counter is deterministic (a pure sum over jobs); the wall-time side
+    /// is not, so the two are reported in separate JSON sections.
+    pub fn add_sim_cycles(&self, n: u64) {
+        self.sim_cycles.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Simulated cycles credited so far via [`Runner::add_sim_cycles`].
+    pub fn sim_cycles(&self) -> u64 {
+        self.sim_cycles.load(Ordering::Relaxed)
+    }
+
+    /// Wall seconds workers have spent inside jobs, summed across workers
+    /// (busy time, not elapsed time; non-deterministic).
+    pub fn busy_seconds(&self) -> f64 {
+        self.busy_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Simulated cycles per worker-busy-second — the host-throughput gauge
+    /// reported under `host/` in JSON results (0.0 before any timed job).
+    pub fn sim_rate(&self) -> f64 {
+        let busy = self.busy_seconds();
+        if busy > 0.0 {
+            self.sim_cycles() as f64 / busy
+        } else {
+            0.0
+        }
+    }
+
     /// Runs `job(0..n)` and returns the results ordered by index.
     ///
     /// Jobs must be independent: `job` may not communicate between indices
@@ -92,9 +131,16 @@ impl Runner {
         F: Fn(usize) -> T + Sync,
     {
         self.executed.fetch_add(n, Ordering::Relaxed);
+        let timed = |i: usize| {
+            let t0 = Instant::now();
+            let out = job(i);
+            self.busy_nanos
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            out
+        };
         let workers = self.jobs.min(n);
         if workers <= 1 {
-            return (0..n).map(job).collect();
+            return (0..n).map(timed).collect();
         }
 
         // One deque per worker, seeded with a contiguous block of indices
@@ -118,7 +164,7 @@ impl Runner {
             for w in 0..workers {
                 let queues = &queues;
                 let slots = &slots;
-                let job = &job;
+                let job = &timed;
                 scope.spawn(move || loop {
                     let idx = {
                         let mut own = queues[w].lock().expect("queue poisoned");
@@ -251,6 +297,18 @@ mod tests {
     #[test]
     fn workers_clamped_to_one() {
         assert_eq!(Runner::new(0).jobs(), 1);
+    }
+
+    #[test]
+    fn tracks_sim_cycles_and_busy_time() {
+        let r = Runner::new(2);
+        assert_eq!(r.sim_cycles(), 0);
+        r.add_sim_cycles(10);
+        r.add_sim_cycles(5);
+        assert_eq!(r.sim_cycles(), 15);
+        r.run(4, |i| (0..10_000u64).fold(i as u64, u64::wrapping_add));
+        assert!(r.busy_seconds() > 0.0, "jobs must accrue busy time");
+        assert!(r.sim_rate() > 0.0);
     }
 
     #[test]

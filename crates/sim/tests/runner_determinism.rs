@@ -28,6 +28,19 @@ fn fig6_is_identical_at_any_job_count() {
             "summary `{k}` differs bitwise across --jobs"
         );
     }
+    // The embedded metric snapshots — every counter, gauge and histogram
+    // summary of every run — must also be bitwise identical. Structural
+    // equality first, then the rendered JSON (which is what `--json`
+    // persists) character-for-character.
+    assert_eq!(seq.metrics, par.metrics, "metrics differ across --jobs");
+    assert!(!seq.metrics.is_empty(), "fig6 must embed metric snapshots");
+    for (key, snap) in &seq.metrics {
+        assert_eq!(
+            snap.to_json().encode(),
+            par.metrics[key].to_json().encode(),
+            "metrics JSON for `{key}` differs across --jobs"
+        );
+    }
 }
 
 #[test]

@@ -48,20 +48,13 @@ pub fn cases_from_env(default: u64) -> u64 {
 /// whole property is reproducible from `(base_seed, i)`. On a panic inside
 /// the property, the case index and case seed are printed and the panic is
 /// re-raised, failing the test with its original message.
-pub fn run_cases(
-    name: &str,
-    cases: u64,
-    base_seed: u64,
-    property: impl Fn(&mut Xoshiro256),
-) {
+pub fn run_cases(name: &str, cases: u64, base_seed: u64, property: impl Fn(&mut Xoshiro256)) {
     let cases = cases_from_env(cases);
     for i in 0..cases {
         let case_seed = split_seed(base_seed, i);
         let mut rng = Xoshiro256::seed_from(case_seed);
         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| property(&mut rng))) {
-            eprintln!(
-                "property `{name}` failed at case {i}/{cases} (case seed {case_seed:#x})"
-            );
+            eprintln!("property `{name}` failed at case {i}/{cases} (case seed {case_seed:#x})");
             eprintln!("replay with: Xoshiro256::seed_from({case_seed:#x})");
             resume_unwind(payload);
         }

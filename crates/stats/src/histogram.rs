@@ -112,6 +112,48 @@ impl Histogram {
         self.buckets.len()
     }
 
+    /// The `p`-th percentile (`p` in `[0, 100]`) at bucket granularity, or
+    /// `None` when empty.
+    ///
+    /// Returns the upper bound of the bucket containing the rank-`⌈p/100·n⌉`
+    /// sample, clamped to the recorded `max` (so it is exact for samples in
+    /// the overflow bucket and never exceeds an observed value).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rmt_stats::Histogram;
+    ///
+    /// let mut h = Histogram::new("lat", 1, 128);
+    /// for v in 1..=100 {
+    ///     h.record(v);
+    /// }
+    /// assert_eq!(h.percentile(50.0), Some(50));
+    /// assert_eq!(h.percentile(95.0), Some(95));
+    /// assert_eq!(h.percentile(99.0), Some(99));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let bucket_hi = (i as u64 + 1) * self.bucket_width - 1;
+                return Some(bucket_hi.min(self.max).max(self.min));
+            }
+        }
+        // The rank falls in the overflow bucket.
+        Some(self.max)
+    }
+
     /// Fraction of samples at or below `value` (1.0 when empty).
     pub fn fraction_at_or_below(&self, value: u64) -> f64 {
         if self.count == 0 {
@@ -229,6 +271,51 @@ mod tests {
         }
         assert!((h.fraction_at_or_below(9) - 0.5).abs() < 1e-12);
         assert!((h.fraction_at_or_below(19) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_at_bucket_granularity() {
+        let mut h = Histogram::new("t", 1, 256);
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), Some(1));
+        assert_eq!(h.percentile(50.0), Some(50));
+        assert_eq!(h.percentile(95.0), Some(95));
+        assert_eq!(h.percentile(99.0), Some(99));
+        assert_eq!(h.percentile(100.0), Some(100));
+    }
+
+    #[test]
+    fn percentile_with_wide_buckets_and_overflow() {
+        let mut h = Histogram::new("t", 10, 4); // covers 0..39
+        for v in [1u64, 2, 3, 4, 5, 6, 7, 8] {
+            h.record(v);
+        }
+        h.record(35);
+        h.record(500); // overflow
+                       // 8 of 10 samples are in bucket 0 (upper bound 9, clamped to max).
+        assert_eq!(h.percentile(50.0), Some(9));
+        // Rank 10 lands in the overflow bucket -> exact max.
+        assert_eq!(h.percentile(99.0), Some(500));
+    }
+
+    #[test]
+    fn percentile_of_empty_and_singleton() {
+        let h = Histogram::new("t", 5, 4);
+        assert_eq!(h.percentile(50.0), None);
+        let mut h = Histogram::new("t", 10, 4);
+        h.record(7);
+        // Bucket upper bound (9) clamps to the only observed sample.
+        assert_eq!(h.percentile(50.0), Some(7));
+        assert_eq!(h.percentile(99.0), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_out_of_range_panics() {
+        let h = Histogram::new("t", 1, 1);
+        let _ = h.percentile(101.0);
     }
 
     #[test]

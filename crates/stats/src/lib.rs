@@ -17,6 +17,11 @@
 //!   regeneration binaries.
 //! * [`metrics`] — IPC and SMT-efficiency (weighted speedup) computations,
 //!   the paper's evaluation metric (§6.4).
+//! * [`registry`] — the snapshot-oriented [`registry::MetricsRegistry`]
+//!   with stable hierarchical metric names, the backbone of the
+//!   machine-readable `results/*.json` outputs.
+//! * [`json`] — serde-free JSON value tree, encoder, and parser (the build
+//!   is offline, so no external JSON crate).
 //!
 //! # Examples
 //!
@@ -38,12 +43,16 @@
 pub mod check;
 pub mod counter;
 pub mod histogram;
+pub mod json;
 pub mod metrics;
+pub mod registry;
 pub mod rng;
 pub mod table;
 
 pub use counter::{Counter, CounterSet};
 pub use histogram::Histogram;
+pub use json::Json;
 pub use metrics::{smt_efficiency, ThreadRun};
+pub use registry::{HistogramSummary, MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use rng::Xoshiro256;
 pub use table::Table;

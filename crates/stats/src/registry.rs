@@ -1,0 +1,296 @@
+//! A snapshot-oriented metrics registry with stable hierarchical names.
+//!
+//! Components export their state into a [`MetricsRegistry`] under
+//! `/`-separated names (`core0/slots/issued`, `rmt/pair0/lvq/occupancy`).
+//! Taking a [`MetricsRegistry::snapshot`] freezes the values; snapshots can
+//! be diffed with [`MetricsSnapshot::delta`] to scope counters to a
+//! measurement window, and rendered to JSON with
+//! [`MetricsSnapshot::to_json`] for the `results/*.json` artifacts.
+//!
+//! Three value shapes cover everything the simulator exports:
+//! - **Counter** — monotonically accumulated `u64` event counts,
+//! - **Gauge** — point-in-time `f64` readings (rates, fractions),
+//! - **Histogram** — a [`HistogramSummary`] distilled from a full
+//!   [`Histogram`] (count/mean/min/max plus p50/p95/p99).
+
+use crate::histogram::Histogram;
+use crate::json::Json;
+use std::collections::BTreeMap;
+
+/// Compact distribution summary captured from a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Mean of all samples (0.0 when empty).
+    pub mean: f64,
+    /// Smallest recorded sample (0 when empty).
+    pub min: u64,
+    /// Largest recorded sample (0 when empty).
+    pub max: u64,
+    /// 50th percentile (bucket-granular; 0 when empty).
+    pub p50: u64,
+    /// 95th percentile (bucket-granular; 0 when empty).
+    pub p95: u64,
+    /// 99th percentile (bucket-granular; 0 when empty).
+    pub p99: u64,
+}
+
+impl HistogramSummary {
+    /// Summarizes a histogram's current contents.
+    pub fn of(h: &Histogram) -> HistogramSummary {
+        HistogramSummary {
+            count: h.count(),
+            mean: h.mean(),
+            min: h.min().unwrap_or(0),
+            max: h.max().unwrap_or(0),
+            p50: h.percentile(50.0).unwrap_or(0),
+            p95: h.percentile(95.0).unwrap_or(0),
+            p99: h.percentile(99.0).unwrap_or(0),
+        }
+    }
+}
+
+/// One named metric value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic event count.
+    Counter(u64),
+    /// Point-in-time reading.
+    Gauge(f64),
+    /// Distribution summary.
+    Histogram(HistogramSummary),
+}
+
+/// A mutable collection of named metrics being assembled for a snapshot.
+///
+/// Names are hierarchical, `/`-separated, and must be stable across runs:
+/// the JSON schema of every `results/*.json` file is exactly the set of
+/// names exported here. Re-setting a name overwrites the previous value.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    values: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Sets counter `name` to `value`.
+    pub fn counter(&mut self, name: &str, value: u64) {
+        self.values
+            .insert(name.to_string(), MetricValue::Counter(value));
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        self.values
+            .insert(name.to_string(), MetricValue::Gauge(value));
+    }
+
+    /// Captures a summary of `h` under `name`.
+    pub fn histogram(&mut self, name: &str, h: &Histogram) {
+        self.values.insert(
+            name.to_string(),
+            MetricValue::Histogram(HistogramSummary::of(h)),
+        );
+    }
+
+    /// Number of metrics registered so far.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Freezes the current values into an immutable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            values: self.values.clone(),
+        }
+    }
+}
+
+/// An immutable, ordered view of metrics at one instant.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    values: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a metric by its full hierarchical name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.values.get(name)
+    }
+
+    /// Counter value of `name`, if present and a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value of `name`, if present and a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram summary of `name`, if present and a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        match self.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Iterates metrics in stable (lexicographic name) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of metrics in the snapshot.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the snapshot holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Difference from an `earlier` snapshot: counters subtract
+    /// (saturating), gauges and histogram summaries keep this snapshot's
+    /// value (they are point-in-time readings, not accumulations). Metrics
+    /// absent from `earlier` pass through unchanged.
+    #[must_use]
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut values = BTreeMap::new();
+        for (name, v) in &self.values {
+            let out = match (v, earlier.values.get(name)) {
+                (MetricValue::Counter(now), Some(MetricValue::Counter(then))) => {
+                    MetricValue::Counter(now.saturating_sub(*then))
+                }
+                (v, _) => *v,
+            };
+            values.insert(name.clone(), out);
+        }
+        MetricsSnapshot { values }
+    }
+
+    /// Renders the snapshot as a flat JSON object keyed by metric name.
+    /// Counters become integers, gauges floats, histograms nested objects
+    /// (`count`/`mean`/`min`/`max`/`p50`/`p95`/`p99`).
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        for (name, v) in &self.values {
+            let jv = match v {
+                MetricValue::Counter(c) => Json::U64(*c),
+                MetricValue::Gauge(g) => Json::F64(*g),
+                MetricValue::Histogram(h) => Json::obj()
+                    .with("count", Json::U64(h.count))
+                    .with("mean", Json::F64(h.mean))
+                    .with("min", Json::U64(h.min))
+                    .with("max", Json::U64(h.max))
+                    .with("p50", Json::U64(h.p50))
+                    .with("p95", Json::U64(h.p95))
+                    .with("p99", Json::U64(h.p99)),
+            };
+            obj.set(name, jv);
+        }
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("core0/slots/issued", 100);
+        reg.counter("core0/cycles", 40);
+        reg.gauge("host/sim_cycles_per_sec", 1.5e6);
+        let mut h = Histogram::new("slack", 4, 16);
+        for v in [1, 2, 3, 10, 20] {
+            h.record(v);
+        }
+        reg.histogram("rmt/pair0/slack", &h);
+        reg
+    }
+
+    #[test]
+    fn snapshot_holds_registered_values() {
+        let snap = sample_registry().snapshot();
+        assert_eq!(snap.counter("core0/slots/issued"), Some(100));
+        assert_eq!(snap.gauge("host/sim_cycles_per_sec"), Some(1.5e6));
+        let h = snap.histogram("rmt/pair0/slack").unwrap();
+        assert_eq!(h.count, 5);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 20);
+        assert_eq!(snap.len(), 4);
+        // Names come out sorted.
+        let names: Vec<&str> = snap.iter().map(|(k, _)| k).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn delta_subtracts_counters_only() {
+        let mut reg = sample_registry();
+        let before = reg.snapshot();
+        reg.counter("core0/slots/issued", 180);
+        reg.counter("core0/cycles", 55);
+        reg.gauge("host/sim_cycles_per_sec", 2.0e6);
+        let after = reg.snapshot();
+        let d = after.delta(&before);
+        assert_eq!(d.counter("core0/slots/issued"), Some(80));
+        assert_eq!(d.counter("core0/cycles"), Some(15));
+        // Gauges keep the later reading.
+        assert_eq!(d.gauge("host/sim_cycles_per_sec"), Some(2.0e6));
+        // Histogram summaries pass through.
+        assert_eq!(
+            d.histogram("rmt/pair0/slack"),
+            after.histogram("rmt/pair0/slack")
+        );
+    }
+
+    #[test]
+    fn to_json_is_flat_and_ordered() {
+        let snap = sample_registry().snapshot();
+        let j = snap.to_json();
+        let fields = j.members().unwrap();
+        assert_eq!(fields.len(), 4);
+        assert_eq!(fields[0].0, "core0/cycles");
+        assert_eq!(j.get("core0/slots/issued").unwrap().as_u64(), Some(100));
+        assert_eq!(
+            j.get("rmt/pair0/slack")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_u64(),
+            Some(5)
+        );
+        // Round-trips through our parser.
+        let text = j.encode();
+        assert_eq!(crate::json::parse(&text).unwrap(), j);
+    }
+
+    #[test]
+    fn overwriting_a_name_replaces_the_value() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("x", 1);
+        reg.counter("x", 2);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.snapshot().counter("x"), Some(2));
+    }
+}

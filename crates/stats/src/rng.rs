@@ -53,10 +53,7 @@ impl Xoshiro256 {
 
     /// Returns the next 64 random bits.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -303,7 +300,10 @@ mod tests {
         for seed in 0..8u64 {
             for index in 0..64u64 {
                 assert_eq!(split_seed(seed, index), split_seed(seed, index));
-                assert!(seen.insert(split_seed(seed, index)), "collision at ({seed}, {index})");
+                assert!(
+                    seen.insert(split_seed(seed, index)),
+                    "collision at ({seed}, {index})"
+                );
             }
         }
     }

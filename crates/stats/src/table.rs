@@ -68,7 +68,10 @@ impl Table {
 
     /// The cell at `(row, col)`, if present.
     pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
-        self.rows.get(row).and_then(|r| r.get(col)).map(String::as_str)
+        self.rows
+            .get(row)
+            .and_then(|r| r.get(col))
+            .map(String::as_str)
     }
 
     fn widths(&self) -> Vec<usize> {

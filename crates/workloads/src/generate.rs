@@ -168,7 +168,8 @@ impl<'a> Generator<'a> {
     /// Computes a working-set-relative pointer into `rd`:
     /// `rd = BASE + ((seed_reg + static_off) & mask & ~7)`.
     fn emit_ws_pointer(&mut self, rd: Reg, seed_reg: Reg, static_off: u64) {
-        self.b.push(Inst::addi(rd, seed_reg, (static_off & 0xffff) as i64));
+        self.b
+            .push(Inst::addi(rd, seed_reg, (static_off & 0xffff) as i64));
         self.b.push(Inst::and(rd, rd, MASK_REG));
         self.b.push(Inst::andi(rd, rd, -8));
         self.b.push(Inst::add(rd, rd, BASE_REG));
@@ -267,7 +268,9 @@ impl<'a> Generator<'a> {
             }
             self.b.push(Inst::jalr(Reg::ZERO, Reg::RA));
         }
-        std::mem::take(&mut self.b).build().expect("generated labels are consistent")
+        std::mem::take(&mut self.b)
+            .build()
+            .expect("generated labels are consistent")
     }
 
     /// Unit-stride sweep: load, compute independently per element, store,
@@ -363,7 +366,8 @@ impl<'a> Generator<'a> {
         self.b.push(Inst::lw(CHASE, addr, 0));
         // Data-dependent branch on the low bit of the visited index.
         self.b.push(Inst::andi(t, CHASE, 1));
-        self.b.push_branch(Inst::beq(t, Reg::ZERO, 0), skip_l.clone());
+        self.b
+            .push_branch(Inst::beq(t, Reg::ZERO, 0), skip_l.clone());
         self.emit_arith(t, t, CHASE);
         self.emit_arith(t, t, i);
         self.b.label(skip_l);
@@ -415,7 +419,7 @@ impl<'a> Generator<'a> {
         self.b.push(Inst::lw(t, p, 0));
         self.emit_arith(t, t, HASH);
         self.b.push(Inst::sw(t, p, 0));
-        if self.kernel_idx % 3 == 0 {
+        if self.kernel_idx.is_multiple_of(3) {
             // Byte store followed by a word load of the same location: the
             // load needs partial forwarding, which the base processor
             // resolves by flushing the store (and SRT must chunk-terminate).

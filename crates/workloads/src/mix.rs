@@ -38,9 +38,9 @@ pub const QUAD_POOL: [Benchmark; 5] = [
 /// ```
 pub fn two_program_mixes() -> Vec<[Benchmark; 2]> {
     let mut out = Vec::new();
-    for i in 0..PAIR_POOL.len() {
-        for j in (i + 1)..PAIR_POOL.len() {
-            out.push([PAIR_POOL[i], PAIR_POOL[j]]);
+    for (i, &a) in PAIR_POOL.iter().enumerate() {
+        for &b in &PAIR_POOL[i + 1..] {
+            out.push([a, b]);
         }
     }
     out
@@ -67,9 +67,9 @@ pub fn four_program_mixes() -> Vec<[Benchmark; 4]> {
         out.push([combo[0], combo[1], combo[2], combo[3]]);
     }
     // Doubled pairs.
-    for i in 0..QUAD_POOL.len() {
-        for j in (i + 1)..QUAD_POOL.len() {
-            out.push([QUAD_POOL[i], QUAD_POOL[i], QUAD_POOL[j], QUAD_POOL[j]]);
+    for (i, &a) in QUAD_POOL.iter().enumerate() {
+        for &b in &QUAD_POOL[i + 1..] {
+            out.push([a, a, b, b]);
         }
     }
     out

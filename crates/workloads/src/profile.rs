@@ -303,7 +303,9 @@ mod tests {
         names.dedup();
         assert_eq!(names.len(), 18);
         for n in names {
-            assert!(n.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            assert!(n
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
         }
     }
 

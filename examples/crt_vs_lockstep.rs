@@ -41,7 +41,10 @@ fn main() {
 
     let crt = efficiency(DeviceKind::Crt, &mix, &mut baselines);
     println!("CRT (cross-coupled redundant threads): SMT-efficiency {crt:.3}");
-    println!("  core 0 runs lead({}) + trail({}), core 1 the reverse;", mix[0], mix[1]);
+    println!(
+        "  core 0 runs lead({}) + trail({}), core 1 the reverse;",
+        mix[0], mix[1]
+    );
     println!("  trailing threads never misspeculate and skip the data cache.\n");
 
     println!(

@@ -19,7 +19,10 @@ fn main() {
         seed: 42,
     };
 
-    println!("injecting {} store-queue bit flips into each machine...\n", cfg.injections);
+    println!(
+        "injecting {} store-queue bit flips into each machine...\n",
+        cfg.injections
+    );
 
     let base = run_base_campaign(CoreConfig::base(), &w, FaultKind::TransientSq, cfg);
     println!("base processor (no detection mechanism):");
@@ -47,6 +50,8 @@ fn main() {
     println!("\nSRT + preferential space redundancy vs a stuck-at functional unit:");
     println!(
         "  detected {} of {} injections, mean latency {:.0} cycles",
-        perm.detected, perm.injections, perm.mean_latency()
+        perm.detected,
+        perm.injections,
+        perm.mean_latency()
     );
 }

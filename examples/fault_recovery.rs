@@ -49,7 +49,11 @@ fn main() {
     let equal = interp.mem().digest() == dev.device().image(0).digest();
     println!(
         "\narchitectural state vs fault-free golden model: {}",
-        if equal { "IDENTICAL" } else { "DIVERGED (bug!)" }
+        if equal {
+            "IDENTICAL"
+        } else {
+            "DIVERGED (bug!)"
+        }
     );
     assert!(equal);
 }

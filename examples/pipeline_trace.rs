@@ -1,5 +1,7 @@
 //! Peek inside the machine: disassemble a small program, run it on the
-//! base core with tracing enabled, and print the pipeline's event stream.
+//! base core with tracing enabled, print the pipeline's event stream, and
+//! dump it as a Chrome trace (`target/pipeline_trace.json`) loadable in
+//! chrome://tracing or https://ui.perfetto.dev.
 //!
 //! ```text
 //! cargo run --release --example pipeline_trace
@@ -48,13 +50,22 @@ fn main() {
     }
 
     println!("pipeline events ({} cycles total):", cycle);
-    print!("{}", core.tracer().expect("tracing enabled").render());
+    let tracer = core.tracer().expect("tracing enabled");
+    print!("{}", tracer.render());
+    std::fs::create_dir_all("target").expect("create target/");
+    std::fs::write("target/pipeline_trace.json", tracer.to_chrome_trace())
+        .expect("write chrome trace");
+    println!("\nchrome trace written to target/pipeline_trace.json (load in chrome://tracing or Perfetto)");
     println!(
         "\nfinal state: r1 = {}, committed = {}",
         core.arch_reg(0, r(1)),
         core.thread_stats(0).committed
     );
     for i in 0..5u64 {
-        println!("mem[{:#x}] = {}", 0x20000 + i * 8, env.image(0, 0).read_u64(0x20000 + i * 8));
+        println!(
+            "mem[{:#x}] = {}",
+            0x20000 + i * 8,
+            env.image(0, 0).read_u64(0x20000 + i * 8)
+        );
     }
 }

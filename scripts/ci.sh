@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
-# Tier-1 verification gate plus a parallel-runner smoke test.
+# Tier-1 verification gate plus lint, smoke and JSON-schema checks.
 # Fully offline: the workspace has no external dependencies.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== lint: rustfmt =="
+cargo fmt --check
+
+echo "== lint: clippy =="
+cargo clippy --all-targets -- -D warnings
 
 echo "== tier-1: build =="
 cargo build --release
@@ -12,5 +18,12 @@ cargo test -q
 
 echo "== smoke: parallel figure run (quick scale, 2 workers) =="
 cargo run --release -p rmt-bench --bin fig6_srt_single -- --scale quick --jobs 2
+
+echo "== smoke: machine-readable results (--json round trip) =="
+tmp_json="$(mktemp -t rmt_ci_fig6.XXXXXX.json)"
+trap 'rm -f "$tmp_json"' EXIT
+cargo run --release -p rmt-bench --bin fig6_srt_single -- \
+    --scale quick --jobs 2 --benches m88ksim,ijpeg --json "$tmp_json" > /dev/null
+cargo run --release -p rmt-bench --bin check_json -- "$tmp_json"
 
 echo "== ci.sh: all checks passed =="

@@ -68,7 +68,10 @@ fn run_srt(b: ProgramBuilder, commits: u64) -> SrtDevice {
 #[test]
 fn membar_in_chunk_does_not_deadlock_srt() {
     let dev = run_srt(membar_heavy_program(), 20_000);
-    assert!(dev.core().stats().get("membar_waits") > 0, "barrier never waited");
+    assert!(
+        dev.core().stats().get("membar_waits") > 0,
+        "barrier never waited"
+    );
     assert_eq!(dev.env().pair(0).comparator.mismatches(), 0);
 }
 
@@ -109,10 +112,7 @@ fn store_release_delay_throttles_but_preserves_liveness() {
     let program = Rc::new(membar_heavy_program().build().unwrap());
     let mut opts = LockstepOptions::lock8();
     opts.checker_latency = 32; // far worse than Lock8
-    let mut dev = LockstepDevice::new(
-        opts,
-        vec![LogicalThread::new(program, MemImage::new())],
-    );
+    let mut dev = LockstepDevice::new(opts, vec![LogicalThread::new(program, MemImage::new())]);
     assert!(dev.run_until_committed(10_000, 50_000_000));
     assert!(!dev.desynced());
 }

@@ -23,7 +23,10 @@ fn the_problem_base_machines_corrupt_silently() {
     let w = Workload::generate(Benchmark::Swim, 1);
     let r = run_base_campaign(CoreConfig::base(), &w, FaultKind::TransientSq, cfg(5));
     assert_eq!(r.detected, 0);
-    assert!(r.silent >= 4, "committed store corruption must reach memory: {r:?}");
+    assert!(
+        r.silent >= 4,
+        "committed store corruption must reach memory: {r:?}"
+    );
 }
 
 #[test]

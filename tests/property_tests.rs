@@ -78,68 +78,78 @@ fn mem_image_matches_hashmap_model() {
 
 #[test]
 fn mem_image_digest_is_content_function() {
-    run_cases("mem image digest is a content function", cases(), 0x1004, |rng| {
-        // Writing the same contents in any order produces the same digest.
-        let writes = gen_vec(rng, 1, 49, |r| (r.next_u64() as u16, r.next_u64()));
-        let mut a = MemImage::new();
-        for &(addr, v) in &writes {
-            a.write_u64(addr as u64, v);
-        }
-        let mut b = MemImage::new();
-        for &(addr, v) in writes.iter().rev() {
-            b.write_u64(addr as u64, v);
-        }
-        // Later writes win; replay forward on b to converge.
-        for &(addr, v) in &writes {
-            b.write_u64(addr as u64, v);
-        }
-        assert_eq!(a.digest(), b.digest());
-    });
+    run_cases(
+        "mem image digest is a content function",
+        cases(),
+        0x1004,
+        |rng| {
+            // Writing the same contents in any order produces the same digest.
+            let writes = gen_vec(rng, 1, 49, |r| (r.next_u64() as u16, r.next_u64()));
+            let mut a = MemImage::new();
+            for &(addr, v) in &writes {
+                a.write_u64(addr as u64, v);
+            }
+            let mut b = MemImage::new();
+            for &(addr, v) in writes.iter().rev() {
+                b.write_u64(addr as u64, v);
+            }
+            // Later writes win; replay forward on b to converge.
+            for &(addr, v) in &writes {
+                b.write_u64(addr as u64, v);
+            }
+            assert_eq!(a.digest(), b.digest());
+        },
+    );
 }
 
 #[test]
 fn chunk_aggregator_reconstructs_the_commit_stream() {
-    run_cases("chunk aggregator partitions the stream", cases(), 0x1005, |rng| {
-        // A random walk of (block length 1..=11, taken target) pairs.
-        let blocks = gen_vec(rng, 1, 39, |r| (r.range(1, 11), r.next_u64() as u16));
-        // Build the retired (pc, next_pc) stream.
-        let mut stream = Vec::new();
-        let mut pc = 0u64;
-        for &(len, target) in &blocks {
-            for i in 0..len {
-                let next = if i == len - 1 {
-                    (target as u64) * 4
-                } else {
-                    pc + 4
-                };
-                stream.push((pc, next));
-                pc = next;
+    run_cases(
+        "chunk aggregator partitions the stream",
+        cases(),
+        0x1005,
+        |rng| {
+            // A random walk of (block length 1..=11, taken target) pairs.
+            let blocks = gen_vec(rng, 1, 39, |r| (r.range(1, 11), r.next_u64() as u16));
+            // Build the retired (pc, next_pc) stream.
+            let mut stream = Vec::new();
+            let mut pc = 0u64;
+            for &(len, target) in &blocks {
+                for i in 0..len {
+                    let next = if i == len - 1 {
+                        (target as u64) * 4
+                    } else {
+                        pc + 4
+                    };
+                    stream.push((pc, next));
+                    pc = next;
+                }
             }
-        }
-        let mut agg = ChunkAggregator::new(8);
-        let mut chunks = Vec::new();
-        for &(pc, next) in &stream {
-            agg.push(pc, next, 0, &mut chunks);
-        }
-        agg.force_terminate(&mut chunks);
-        // Invariant 1: chunks partition the stream exactly.
-        let total: usize = chunks.iter().map(|c| c.len).sum();
-        assert_eq!(total, stream.len());
-        // Invariant 2: every chunk is contiguous and at most 8 long.
-        let mut idx = 0;
-        for c in &chunks {
-            assert!(c.len >= 1 && c.len <= 8);
-            for k in 0..c.len {
-                assert_eq!(stream[idx].0, c.start_pc + 4 * k as u64);
-                idx += 1;
+            let mut agg = ChunkAggregator::new(8);
+            let mut chunks = Vec::new();
+            for &(pc, next) in &stream {
+                agg.push(pc, next, 0, &mut chunks);
             }
-            // Invariant 3: a chunk never continues across a taken branch.
-            for k in 0..c.len - 1 {
-                let within = c.start_pc + 4 * k as u64;
-                assert_eq!(stream[idx - c.len + k].1, within + 4);
+            agg.force_terminate(&mut chunks);
+            // Invariant 1: chunks partition the stream exactly.
+            let total: usize = chunks.iter().map(|c| c.len).sum();
+            assert_eq!(total, stream.len());
+            // Invariant 2: every chunk is contiguous and at most 8 long.
+            let mut idx = 0;
+            for c in &chunks {
+                assert!(c.len >= 1 && c.len <= 8);
+                for k in 0..c.len {
+                    assert_eq!(stream[idx].0, c.start_pc + 4 * k as u64);
+                    idx += 1;
+                }
+                // Invariant 3: a chunk never continues across a taken branch.
+                for k in 0..c.len - 1 {
+                    let within = c.start_pc + 4 * k as u64;
+                    assert_eq!(stream[idx - c.len + k].1, within + 4);
+                }
             }
-        }
-    });
+        },
+    );
 }
 
 #[test]
@@ -204,42 +214,50 @@ fn lpq_protocol_never_loses_or_reorders() {
 
 #[test]
 fn comparator_matches_iff_streams_equal() {
-    run_cases("comparator matches iff streams equal", cases(), 0x1008, |rng| {
-        let stores = gen_vec(rng, 1, 39, |r| {
-            (r.next_u64(), r.next_u64(), r.chance(0.5))
-        });
-        let mut cmp = StoreComparator::new();
-        for (i, &(addr, value, corrupt)) in stores.iter().enumerate() {
-            let tag = i as u64;
-            cmp.record_trailing(tag, addr, value, 8, 0);
-            let lead_value = if corrupt { value ^ 1 } else { value };
-            let out = cmp.check(tag, addr, lead_value, 8, 0);
-            if corrupt {
-                assert_eq!(out, CompareOutcome::Mismatch);
-            } else {
-                assert_eq!(out, CompareOutcome::Match);
+    run_cases(
+        "comparator matches iff streams equal",
+        cases(),
+        0x1008,
+        |rng| {
+            let stores = gen_vec(rng, 1, 39, |r| (r.next_u64(), r.next_u64(), r.chance(0.5)));
+            let mut cmp = StoreComparator::new();
+            for (i, &(addr, value, corrupt)) in stores.iter().enumerate() {
+                let tag = i as u64;
+                cmp.record_trailing(tag, addr, value, 8, 0);
+                let lead_value = if corrupt { value ^ 1 } else { value };
+                let out = cmp.check(tag, addr, lead_value, 8, 0);
+                if corrupt {
+                    assert_eq!(out, CompareOutcome::Mismatch);
+                } else {
+                    assert_eq!(out, CompareOutcome::Match);
+                }
             }
-        }
-        let corrupted = stores.iter().filter(|s| s.2).count() as u64;
-        assert_eq!(cmp.mismatches(), corrupted);
-        assert_eq!(cmp.matches(), stores.len() as u64 - corrupted);
-    });
+            let corrupted = stores.iter().filter(|s| s.2).count() as u64;
+            assert_eq!(cmp.mismatches(), corrupted);
+            assert_eq!(cmp.matches(), stores.len() as u64 - corrupted);
+        },
+    );
 }
 
 #[test]
 fn histogram_mean_matches_naive_mean() {
-    run_cases("histogram mean matches naive mean", cases(), 0x1009, |rng| {
-        let samples = gen_vec(rng, 1, 99, |r| r.below(10_000));
-        let mut h = Histogram::new("t", 64, 32);
-        for &s in &samples {
-            h.record(s);
-        }
-        let naive = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
-        assert!((h.mean() - naive).abs() < 1e-9);
-        assert_eq!(h.count(), samples.len() as u64);
-        assert_eq!(h.min(), samples.iter().min().copied());
-        assert_eq!(h.max(), samples.iter().max().copied());
-    });
+    run_cases(
+        "histogram mean matches naive mean",
+        cases(),
+        0x1009,
+        |rng| {
+            let samples = gen_vec(rng, 1, 99, |r| r.below(10_000));
+            let mut h = Histogram::new("t", 64, 32);
+            for &s in &samples {
+                h.record(s);
+            }
+            let naive = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+            assert!((h.mean() - naive).abs() < 1e-9);
+            assert_eq!(h.count(), samples.len() as u64);
+            assert_eq!(h.min(), samples.iter().min().copied());
+            assert_eq!(h.max(), samples.iter().max().copied());
+        },
+    );
 }
 
 /// Disassemble → reassemble round trip for arbitrary non-control
@@ -247,31 +265,36 @@ fn histogram_mean_matches_naive_mean() {
 /// unit tests in `rmt_isa::asm`).
 #[test]
 fn disasm_asm_roundtrip() {
-    run_cases("disasm/asm roundtrip (non-control)", cases(), 0x100a, |rng| {
-        let inst = loop {
-            let i = gen_inst(rng);
-            if !i.op.is_control() {
-                break i;
+    run_cases(
+        "disasm/asm roundtrip (non-control)",
+        cases(),
+        0x100a,
+        |rng| {
+            let inst = loop {
+                let i = gen_inst(rng);
+                if !i.op.is_control() {
+                    break i;
+                }
+            };
+            // Clamp the immediate to the 32-bit range `encode` guarantees.
+            let inst = Inst::new(inst.op, inst.rd, inst.rs1, inst.rs2, inst.imm as i32 as i64);
+            let text = rmt::isa::disasm::disassemble(&inst);
+            let p = rmt::isa::asm::assemble(&text).unwrap();
+            let got = p.fetch(0).unwrap();
+            assert_eq!(got.op, inst.op, "{text}");
+            // Operand fields that the op actually uses must survive.
+            if inst.writes_reg() {
+                assert_eq!(got.rd, inst.rd, "{text}");
             }
-        };
-        // Clamp the immediate to the 32-bit range `encode` guarantees.
-        let inst = Inst::new(inst.op, inst.rd, inst.rs1, inst.rs2, inst.imm as i32 as i64);
-        let text = rmt::isa::disasm::disassemble(&inst);
-        let p = rmt::isa::asm::assemble(&text).unwrap();
-        let got = p.fetch(0).unwrap();
-        assert_eq!(got.op, inst.op, "{text}");
-        // Operand fields that the op actually uses must survive.
-        if inst.writes_reg() {
-            assert_eq!(got.rd, inst.rd, "{text}");
-        }
-        let (s1, s2) = inst.sources();
-        if let Some(r) = s1 {
-            assert_eq!(got.rs1, r, "{text}");
-        }
-        if let Some(r) = s2 {
-            assert_eq!(got.rs2, r, "{text}");
-        }
-    });
+            let (s1, s2) = inst.sources();
+            if let Some(r) = s1 {
+                assert_eq!(got.rs1, r, "{text}");
+            }
+            if let Some(r) = s2 {
+                assert_eq!(got.rs2, r, "{text}");
+            }
+        },
+    );
 }
 
 /// Differential: random *structured* programs (straight-line blocks with
@@ -279,58 +302,63 @@ fn disasm_asm_roundtrip() {
 /// interpreter. Heavier than the structural properties, so fewer cases.
 #[test]
 fn pipeline_matches_interpreter_on_random_programs() {
-    run_cases("pipeline matches interpreter", cases_from_env(16), 0x100b, |rng| {
-        use rmt::isa::program::ProgramBuilder;
-        let mut b = ProgramBuilder::new();
-        let r = |i: u64| Reg::new(1 + (i % 20) as u8);
-        // Prologue: seed registers.
-        for i in 0..8 {
-            b.push(Inst::addi(r(i), Reg::ZERO, rng.range(0, 1000) as i64));
-        }
-        // A bounded loop with a random body.
-        b.push(Inst::addi(Reg::new(30), Reg::ZERO, 0));
-        b.push(Inst::addi(Reg::new(31), Reg::ZERO, 40));
-        b.label("loop");
-        for _ in 0..rng.range(4, 20) {
-            let (d, s1, s2) = (r(rng.below(20)), r(rng.below(20)), r(rng.below(20)));
-            match rng.below(6) {
-                0 => b.push(Inst::add(d, s1, s2)),
-                1 => b.push(Inst::mul(d, s1, s2)),
-                2 => b.push(Inst::xor(d, s1, s2)),
-                3 => b.push(Inst::sw(s1, Reg::ZERO, 0x20000 + 8 * rng.below(32) as i64)),
-                4 => b.push(Inst::lw(d, Reg::ZERO, 0x20000 + 8 * rng.below(32) as i64)),
-                _ => b.push(Inst::slli(d, s1, rng.below(8) as i64)),
+    run_cases(
+        "pipeline matches interpreter",
+        cases_from_env(16),
+        0x100b,
+        |rng| {
+            use rmt::isa::program::ProgramBuilder;
+            let mut b = ProgramBuilder::new();
+            let r = |i: u64| Reg::new(1 + (i % 20) as u8);
+            // Prologue: seed registers.
+            for i in 0..8 {
+                b.push(Inst::addi(r(i), Reg::ZERO, rng.range(0, 1000) as i64));
             }
-        }
-        b.push(Inst::addi(Reg::new(30), Reg::new(30), 1));
-        b.push_branch(Inst::blt(Reg::new(30), Reg::new(31), 0), "loop");
-        b.push(Inst::halt());
-        let program = b.build().unwrap();
+            // A bounded loop with a random body.
+            b.push(Inst::addi(Reg::new(30), Reg::ZERO, 0));
+            b.push(Inst::addi(Reg::new(31), Reg::ZERO, 40));
+            b.label("loop");
+            for _ in 0..rng.range(4, 20) {
+                let (d, s1, s2) = (r(rng.below(20)), r(rng.below(20)), r(rng.below(20)));
+                match rng.below(6) {
+                    0 => b.push(Inst::add(d, s1, s2)),
+                    1 => b.push(Inst::mul(d, s1, s2)),
+                    2 => b.push(Inst::xor(d, s1, s2)),
+                    3 => b.push(Inst::sw(s1, Reg::ZERO, 0x20000 + 8 * rng.below(32) as i64)),
+                    4 => b.push(Inst::lw(d, Reg::ZERO, 0x20000 + 8 * rng.below(32) as i64)),
+                    _ => b.push(Inst::slli(d, s1, rng.below(8) as i64)),
+                }
+            }
+            b.push(Inst::addi(Reg::new(30), Reg::new(30), 1));
+            b.push_branch(Inst::blt(Reg::new(30), Reg::new(31), 0), "loop");
+            b.push(Inst::halt());
+            let program = b.build().unwrap();
 
-        let mut interp = rmt::isa::interp::Interpreter::new(&program, MemImage::new());
-        interp.run(1_000_000).unwrap();
+            let mut interp = rmt::isa::interp::Interpreter::new(&program, MemImage::new());
+            interp.run(1_000_000).unwrap();
 
-        use rmt::pipeline::env::IndependentEnv;
-        let mut env = IndependentEnv::new(vec![MemImage::new()]);
-        let mut core = rmt::pipeline::Core::new(rmt::pipeline::CoreConfig::base(), 0);
-        core.attach_thread(std::rc::Rc::new(program.clone()), 0);
-        core.finalize_partitions();
-        let mut hier = rmt::mem::MemoryHierarchy::new(Default::default(), 1);
-        let mut cycle = 0u64;
-        while !(core.all_halted() && core.in_flight(0) == 0) {
-            core.tick(cycle, &mut hier, &mut env);
-            hier.tick(cycle);
-            cycle += 1;
-            assert!(cycle < 2_000_000, "pipeline did not finish");
-        }
-        for c in cycle..cycle + 2_000 {
-            core.tick(c, &mut hier, &mut env);
-            hier.tick(c);
-        }
-        assert_eq!(core.thread_stats(0).committed, interp.committed());
-        assert_eq!(env.image(0, 0).digest(), interp.mem().digest());
-        for i in 0..20 {
-            assert_eq!(core.arch_reg(0, r(i)), interp.state().reg(r(i)));
-        }
-    });
+            use rmt::pipeline::env::IndependentEnv;
+            let mut env = IndependentEnv::new(vec![MemImage::new()]);
+            let mut core = rmt::pipeline::Core::new(rmt::pipeline::CoreConfig::base(), 0);
+            core.attach_thread(std::rc::Rc::new(program.clone()), 0);
+            core.finalize_partitions();
+            let mut hier = rmt::mem::MemoryHierarchy::new(Default::default(), 1);
+            let mut cycle = 0u64;
+            while !(core.all_halted() && core.in_flight(0) == 0) {
+                core.tick(cycle, &mut hier, &mut env);
+                hier.tick(cycle);
+                cycle += 1;
+                assert!(cycle < 2_000_000, "pipeline did not finish");
+            }
+            for c in cycle..cycle + 2_000 {
+                core.tick(c, &mut hier, &mut env);
+                hier.tick(c);
+            }
+            assert_eq!(core.thread_stats(0).committed, interp.committed());
+            assert_eq!(env.image(0, 0).digest(), interp.mem().digest());
+            for i in 0..20 {
+                assert_eq!(core.arch_reg(0, r(i)), interp.state().reg(r(i)));
+            }
+        },
+    );
 }

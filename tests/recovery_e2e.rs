@@ -40,7 +40,11 @@ fn store_strike_is_recovered_exactly() {
     assert!(dev.run_until_committed(6_000, 30_000_000));
     dev.device_mut().core_mut().arm_sq_strike(0, 1 << 11);
     assert!(dev.run_until_committed(40_000, 120_000_000));
-    assert_eq!(dev.recoveries(), 1, "the strike must be detected and recovered");
+    assert_eq!(
+        dev.recoveries(),
+        1,
+        "the strike must be detected and recovered"
+    );
     // The acid test: memory equals the golden prefix as if nothing happened.
     assert_eq!(
         dev.device().image(0).digest(),

@@ -52,10 +52,7 @@ fn crt_released_stores_equal_golden_prefix() {
     assert!(dev.run_until_committed(15_000, 20_000_000));
     for (i, w) in [&a, &b].into_iter().enumerate() {
         let p = dev.placement(i);
-        let released: u64 = dev
-            .core(p.lead_core)
-            .store_lifetime(p.lead_tid)
-            .count();
+        let released: u64 = dev.core(p.lead_core).store_lifetime(p.lead_tid).count();
         assert!(released > 50, "pair {i}: too few stores");
         assert_eq!(
             dev.image(i).digest(),
@@ -87,8 +84,14 @@ fn base_and_srt_memories_agree_at_equal_store_counts() {
         golden_digest_at_stores(&w, common)
     );
     // Both equal the same golden prefix at their own release counts.
-    assert_eq!(base.image(0).digest(), golden_digest_at_stores(&w, base_released));
-    assert_eq!(srt.image(0).digest(), golden_digest_at_stores(&w, srt_released));
+    assert_eq!(
+        base.image(0).digest(),
+        golden_digest_at_stores(&w, base_released)
+    );
+    assert_eq!(
+        srt.image(0).digest(),
+        golden_digest_at_stores(&w, srt_released)
+    );
 }
 
 #[test]
@@ -100,12 +103,18 @@ fn trailing_thread_is_sheltered() {
     assert!(dev.run_until_committed(15_000, 10_000_000));
     let (lead, trail) = dev.pair_tids(0);
     assert_eq!(dev.core().thread_stats(trail).squashes, 0);
-    assert!(dev.core().thread_stats(lead).squashes > 0, "go must mispredict");
+    assert!(
+        dev.core().thread_stats(lead).squashes > 0,
+        "go must mispredict"
+    );
     // Trailing commits track leading commits.
     let lead_n = dev.core().thread_stats(lead).committed;
     let trail_n = dev.core().thread_stats(trail).committed;
     assert!(trail_n <= lead_n);
-    assert!(lead_n - trail_n < 2_000, "slack unbounded: {lead_n} vs {trail_n}");
+    assert!(
+        lead_n - trail_n < 2_000,
+        "slack unbounded: {lead_n} vs {trail_n}"
+    );
 }
 
 #[test]
@@ -119,7 +128,10 @@ fn lockstep_cores_stay_bit_identical() {
         dev.core(0).thread_stats(0).committed,
         dev.core(1).thread_stats(0).committed
     );
-    assert_eq!(dev.core(0).stats().get("squashes"), dev.core(1).stats().get("squashes"));
+    assert_eq!(
+        dev.core(0).stats().get("squashes"),
+        dev.core(1).stats().get("squashes")
+    );
 }
 
 #[test]
@@ -211,7 +223,11 @@ fn crt_slack_is_bounded_by_queue_capacities() {
     let pair = dev.env().pair(0);
     // The LVQ (64 loads) bounds slack: with ~27% loads the ceiling is a few
     // hundred instructions.
-    assert!(pair.slack.max().unwrap_or(0) < 1_000, "slack {:?}", pair.slack.max());
+    assert!(
+        pair.slack.max().unwrap_or(0) < 1_000,
+        "slack {:?}",
+        pair.slack.max()
+    );
     assert!(pair.lvq.peak() <= 64);
     assert!(pair.slack.mean() > 1.0, "threads suspiciously lock-stepped");
 }
