@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! check_json FILE [FILE...]
+//! check_json --compare GOLDEN CANDIDATE
 //! ```
 //!
 //! Checks each document against the schema in [`rmt_bench::figure_json`]
@@ -9,6 +10,11 @@
 //! embedded metric snapshot (each core's attributed slots must total
 //! exactly `8 × cycles`). Exits nonzero on the first invalid file —
 //! `scripts/ci.sh` uses this as the `--json` smoke check.
+//!
+//! With `--compare`, additionally requires the candidate to reproduce the
+//! committed golden bitwise, top-level key by key, ignoring only `host`
+//! (wall time and worker count legitimately vary between machines). This
+//! is the CI gate that makes golden-neutrality machine-enforced.
 
 use rmt_stats::json::parse;
 use rmt_stats::Json;
@@ -113,13 +119,69 @@ fn check_file(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    parse(&text).map_err(|e| format!("invalid JSON: {e}"))
+}
+
+/// Key-by-key bitwise comparison of two figure documents, ignoring
+/// `host`. Returns the first drifting key.
+fn compare_files(golden_path: &str, candidate_path: &str) -> Result<(), String> {
+    let golden = load(golden_path)?;
+    let candidate = load(candidate_path)?;
+    let gm = golden.members().ok_or("golden document is not an object")?;
+    let cm = candidate
+        .members()
+        .ok_or("candidate document is not an object")?;
+    for (key, expected) in gm {
+        if key == "host" {
+            continue;
+        }
+        match candidate.get(key) {
+            None => return Err(format!("`{key}` missing from {candidate_path}")),
+            Some(got) if got != expected => {
+                return Err(format!(
+                    "`{key}` drifted from the committed golden {golden_path}"
+                ))
+            }
+            Some(_) => {}
+        }
+    }
+    for (key, _) in cm {
+        if key != "host" && golden.get(key).is_none() {
+            return Err(format!("`{key}` absent from the golden {golden_path}"));
+        }
+    }
+    Ok(())
+}
+
 fn main() {
-    let files: Vec<String> = std::env::args().skip(1).collect();
-    if files.is_empty() {
-        eprintln!("usage: check_json FILE [FILE...]");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(rest) = args.strip_prefix(&["--compare".to_string()]) {
+        let [golden, candidate] = rest else {
+            eprintln!("usage: check_json --compare GOLDEN CANDIDATE");
+            std::process::exit(2);
+        };
+        for f in [golden, candidate] {
+            if let Err(e) = check_file(f) {
+                eprintln!("error: {f}: {e}");
+                std::process::exit(1);
+            }
+        }
+        match compare_files(golden, candidate) {
+            Ok(()) => println!("{candidate}: matches {golden}"),
+            Err(e) => {
+                eprintln!("error: golden drift: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if args.is_empty() {
+        eprintln!("usage: check_json FILE [FILE...] | --compare GOLDEN CANDIDATE");
         std::process::exit(2);
     }
-    for f in &files {
+    for f in &args {
         match check_file(f) {
             Ok(()) => println!("{f}: ok"),
             Err(e) => {

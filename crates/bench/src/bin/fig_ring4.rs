@@ -1,0 +1,17 @@
+//! Regenerates the fabric-extension figure: the two-core cross-coupled
+//! CRT vs the same four-program mixes spread around a four-core CRT ring.
+fn main() {
+    let args = rmt_bench::FigureArgs::parse();
+    rmt_bench::run_and_print(
+        "CRT (2 cores) vs CRT ring-4, four logical threads",
+        "Extension: Topology::Ring(4) through the redundancy fabric",
+        &args,
+        |ctx| {
+            let mixes: Vec<Vec<_>> = rmt_workloads::mix::four_program_mixes()
+                .iter()
+                .map(|m| m.to_vec())
+                .collect();
+            rmt_sim::figures::fig_ring4(ctx, args.scale, &mixes)
+        },
+    );
+}

@@ -1,0 +1,39 @@
+//! Regenerates `results/refactor_guard_quick.json`: the refactor-guard
+//! reference records for every `DeviceKind` at `--quick` scale.
+//!
+//! ```text
+//! guard_golden [--out PATH]
+//! ```
+//!
+//! `tests/refactor_guard.rs` re-runs the same points and asserts bitwise
+//! equality, so this file must only be regenerated deliberately (new
+//! device kinds, intentional model changes) — never to paper over drift.
+
+use rmt_sim::guard::{golden_to_json, guard_points, run_point};
+
+fn main() {
+    let mut out = "results/refactor_guard_quick.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument `{other}`; usage: guard_golden [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let records: Vec<_> = guard_points()
+        .iter()
+        .map(|p| {
+            let r = run_point(p);
+            println!(
+                "{}: cycles={} fnv={:#018x}",
+                r.name, r.cycles, r.metrics_fnv
+            );
+            r
+        })
+        .collect();
+    std::fs::write(&out, golden_to_json(&records).encode_pretty()).expect("write golden");
+    println!("wrote {out}");
+}

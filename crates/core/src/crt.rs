@@ -13,12 +13,11 @@
 //! program's resource-hungry leading thread.
 
 use crate::device::{Device, LogicalThread, SrtOptions};
+use crate::machine::{delegate_device, Machine};
 use crate::rmt_env::RmtEnv;
+use crate::schemes::{RmtScheme, Topology};
 use rmt_isa::mem_image::MemImage;
-use rmt_mem::MemoryHierarchy;
-use rmt_pipeline::core::DetectedFault;
-use rmt_pipeline::{Core, ThreadRole};
-use rmt_stats::MetricsRegistry;
+use rmt_pipeline::Core;
 
 /// Placement of one redundant pair on the two cores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,13 +32,11 @@ pub struct PairPlacement {
     pub trail_tid: usize,
 }
 
-/// A chip-level redundantly threaded processor: two cores over a shared L2.
+/// A chip-level redundantly threaded processor: two cores over a shared
+/// L2 — a facade over [`Machine`]`<`[`RmtScheme`]`>` with
+/// [`Topology::CrossCoupled`].
 pub struct CrtDevice {
-    cores: [Core; 2],
-    hier: MemoryHierarchy,
-    env: RmtEnv,
-    cycle: u64,
-    placement: Vec<PairPlacement>,
+    m: Machine<RmtScheme>,
 }
 
 impl CrtDevice {
@@ -55,47 +52,8 @@ impl CrtDevice {
     ///
     /// Panics if the threads do not fit the two cores' contexts.
     pub fn new(opts: SrtOptions, threads: Vec<LogicalThread>) -> Self {
-        let n = threads.len();
-        assert!(n >= 1, "need at least one logical thread");
-        assert!(
-            2 * n <= 2 * opts.core.max_threads,
-            "threads do not fit two cores"
-        );
-        let mut env = RmtEnv::new(opts.env, threads.iter().map(|t| t.memory.clone()).collect());
-        let mut cores = [Core::new(opts.core.clone(), 0), Core::new(opts.core, 1)];
-        let mut placement = Vec::new();
-        // Leading threads: first half on core 0, second half on core 1.
-        let split = n.div_ceil(2);
-        for (i, t) in threads.iter().enumerate() {
-            let lead_core = usize::from(i >= split);
-            let trail_core = 1 - lead_core;
-            let lead_tid = cores[lead_core].attach_thread_with_role(
-                t.program.clone(),
-                0,
-                ThreadRole::Leading(i),
-            );
-            let trail_tid = cores[trail_core].attach_thread_with_role(
-                t.program.clone(),
-                0,
-                ThreadRole::Trailing(i),
-            );
-            env.map_thread(lead_core, lead_tid, i);
-            env.map_thread(trail_core, trail_tid, i);
-            placement.push(PairPlacement {
-                lead_core,
-                lead_tid,
-                trail_core,
-                trail_tid,
-            });
-        }
-        cores[0].finalize_partitions();
-        cores[1].finalize_partitions();
         CrtDevice {
-            cores,
-            hier: MemoryHierarchy::new(opts.hierarchy, 2),
-            env,
-            cycle: 0,
-            placement,
+            m: Machine::redundant(opts, threads, Topology::CrossCoupled),
         }
     }
 
@@ -112,65 +70,31 @@ impl CrtDevice {
 
     /// Core `i` of the chip.
     pub fn core(&self, i: usize) -> &Core {
-        &self.cores[i]
+        self.m.substrate().core(i)
     }
 
     /// Mutable access to core `i` (fault injection).
     pub fn core_mut(&mut self, i: usize) -> &mut Core {
-        &mut self.cores[i]
+        self.m.substrate_mut().core_mut(i)
     }
 
     /// The RMT environment.
     pub fn env(&self) -> &RmtEnv {
-        &self.env
+        self.m.scheme().env()
     }
 
     /// Placement of logical thread `i`.
     pub fn placement(&self, i: usize) -> PairPlacement {
-        self.placement[i]
+        self.m.scheme().placement(i)
     }
 
     /// The memory image of logical thread `i`.
     pub fn image(&self, i: usize) -> &MemImage {
-        &self.env.pair(i).image
+        Device::image(&self.m, i)
     }
 }
 
-impl Device for CrtDevice {
-    fn tick(&mut self) {
-        self.cores[0].tick(self.cycle, &mut self.hier, &mut self.env);
-        self.cores[1].tick(self.cycle, &mut self.hier, &mut self.env);
-        self.hier.tick(self.cycle);
-        self.env.sample_occupancy();
-        self.cycle += 1;
-    }
-
-    fn cycle(&self) -> u64 {
-        self.cycle
-    }
-
-    fn num_logical(&self) -> usize {
-        self.placement.len()
-    }
-
-    fn committed(&self, logical: usize) -> u64 {
-        let p = self.placement[logical];
-        self.cores[p.lead_core].thread_stats(p.lead_tid).committed
-    }
-
-    fn drain_detected_faults(&mut self) -> Vec<DetectedFault> {
-        let mut out = self.cores[0].drain_detected_faults();
-        out.extend(self.cores[1].drain_detected_faults());
-        out
-    }
-
-    fn export_metrics(&self, reg: &mut MetricsRegistry) {
-        reg.counter("device/cycles", self.cycle);
-        self.cores[0].export_metrics(reg, "core0");
-        self.cores[1].export_metrics(reg, "core1");
-        self.env.export_metrics(reg, "rmt");
-    }
-}
+delegate_device!(CrtDevice, m);
 
 #[cfg(test)]
 mod tests {

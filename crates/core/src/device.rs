@@ -10,13 +10,14 @@
 //! The CRT and lockstep devices live in [`crate::crt`] and
 //! [`crate::lockstep`].
 
+use crate::machine::{delegate_device, Machine};
 use crate::rmt_env::{RmtEnv, RmtEnvConfig};
+use crate::schemes::{IndependentScheme, RmtScheme, Topology};
 use rmt_isa::mem_image::MemImage;
 use rmt_isa::program::Program;
-use rmt_mem::{HierarchyConfig, MemoryHierarchy};
+use rmt_mem::HierarchyConfig;
 use rmt_pipeline::core::DetectedFault;
-use rmt_pipeline::env::IndependentEnv;
-use rmt_pipeline::{Core, CoreConfig, ThreadRole};
+use rmt_pipeline::{Core, CoreConfig};
 use rmt_stats::MetricsRegistry;
 use std::rc::Rc;
 
@@ -71,6 +72,11 @@ pub trait Device {
     /// state. Names are stable across runs (`core0/...`, `rmt/pair0/...`).
     fn export_metrics(&self, reg: &mut MetricsRegistry);
 
+    /// The architectural memory image of logical thread `i` — the state
+    /// outside the sphere of replication, compared against the golden
+    /// model by fault-injection campaigns.
+    fn image(&self, logical: usize) -> &MemImage;
+
     /// Runs until every logical thread has committed at least `per_thread`
     /// instructions (absolute count) or `max_cycles` elapse. Returns whether
     /// the target was reached.
@@ -96,12 +102,10 @@ pub trait Device {
 // Base device
 // ====================================================================
 
-/// The unmodified base processor: one SMT core, independent threads.
+/// The unmodified base processor: one SMT core, independent threads — a
+/// facade over [`Machine`]`<`[`IndependentScheme`]`>`.
 pub struct BaseDevice {
-    core: Core,
-    hier: MemoryHierarchy,
-    env: IndependentEnv,
-    cycle: u64,
+    m: Machine<IndependentScheme>,
 }
 
 impl BaseDevice {
@@ -115,69 +119,28 @@ impl BaseDevice {
         hier_cfg: HierarchyConfig,
         threads: Vec<LogicalThread>,
     ) -> Self {
-        assert!(
-            threads.len() <= core_cfg.max_threads,
-            "too many logical threads for one core"
-        );
-        let mut env = IndependentEnv::new(threads.iter().map(|t| t.memory.clone()).collect());
-        let mut core = Core::new(core_cfg, 0);
-        for (i, t) in threads.iter().enumerate() {
-            let tid = core.attach_thread(t.program.clone(), 0);
-            env.assign(0, tid, i);
-        }
-        core.finalize_partitions();
         BaseDevice {
-            core,
-            hier: MemoryHierarchy::new(hier_cfg, 1),
-            env,
-            cycle: 0,
+            m: Machine::independent(core_cfg, hier_cfg, threads),
         }
     }
 
     /// The core (statistics, fault hooks).
     pub fn core(&self) -> &Core {
-        &self.core
+        self.m.substrate().core(0)
     }
 
     /// Mutable core access (fault injection).
     pub fn core_mut(&mut self) -> &mut Core {
-        &mut self.core
+        self.m.substrate_mut().core_mut(0)
     }
 
     /// The memory image of logical thread `i`.
     pub fn image(&self, i: usize) -> &MemImage {
-        self.env.image(0, i)
+        Device::image(&self.m, i)
     }
 }
 
-impl Device for BaseDevice {
-    fn tick(&mut self) {
-        self.core.tick(self.cycle, &mut self.hier, &mut self.env);
-        self.hier.tick(self.cycle);
-        self.cycle += 1;
-    }
-
-    fn cycle(&self) -> u64 {
-        self.cycle
-    }
-
-    fn num_logical(&self) -> usize {
-        self.core.active_threads()
-    }
-
-    fn committed(&self, logical: usize) -> u64 {
-        self.core.thread_stats(logical).committed
-    }
-
-    fn drain_detected_faults(&mut self) -> Vec<DetectedFault> {
-        self.core.drain_detected_faults()
-    }
-
-    fn export_metrics(&self, reg: &mut MetricsRegistry) {
-        reg.counter("device/cycles", self.cycle);
-        self.core.export_metrics(reg, "core0");
-    }
-}
+delegate_device!(BaseDevice, m);
 
 // ====================================================================
 // SRT device
@@ -205,14 +168,10 @@ impl Default for SrtOptions {
 }
 
 /// A simultaneous and redundantly threaded (SRT) processor: one SMT core
-/// running each logical thread as two redundant hardware threads.
+/// running each logical thread as two redundant hardware threads — a
+/// facade over [`Machine`]`<`[`RmtScheme`]`>` with [`Topology::Smt`].
 pub struct SrtDevice {
-    core: Core,
-    hier: MemoryHierarchy,
-    env: RmtEnv,
-    cycle: u64,
-    /// `(leading tid, trailing tid)` per logical thread.
-    pair_tids: Vec<(usize, usize)>,
+    m: Machine<RmtScheme>,
 }
 
 impl SrtDevice {
@@ -223,91 +182,44 @@ impl SrtDevice {
     ///
     /// Panics if `2 * threads.len()` exceeds the core's contexts.
     pub fn new(opts: SrtOptions, threads: Vec<LogicalThread>) -> Self {
-        assert!(
-            2 * threads.len() <= opts.core.max_threads,
-            "each redundant pair needs two hardware contexts"
-        );
-        let mut env = RmtEnv::new(opts.env, threads.iter().map(|t| t.memory.clone()).collect());
-        let mut core = Core::new(opts.core, 0);
-        let mut pair_tids = Vec::new();
-        for (i, t) in threads.iter().enumerate() {
-            let lead = core.attach_thread_with_role(t.program.clone(), 0, ThreadRole::Leading(i));
-            let trail = core.attach_thread_with_role(t.program.clone(), 0, ThreadRole::Trailing(i));
-            env.map_thread(0, lead, i);
-            env.map_thread(0, trail, i);
-            pair_tids.push((lead, trail));
-        }
-        core.finalize_partitions();
         SrtDevice {
-            core,
-            hier: MemoryHierarchy::new(opts.hierarchy, 1),
-            env,
-            cycle: 0,
-            pair_tids,
+            m: Machine::redundant(opts, threads, Topology::Smt),
         }
     }
 
     /// The core.
     pub fn core(&self) -> &Core {
-        &self.core
+        self.m.substrate().core(0)
     }
 
     /// Mutable core access (fault injection).
     pub fn core_mut(&mut self) -> &mut Core {
-        &mut self.core
+        self.m.substrate_mut().core_mut(0)
     }
 
     /// The RMT environment (queues, comparator, PSR statistics).
     pub fn env(&self) -> &RmtEnv {
-        &self.env
+        self.m.scheme().env()
     }
 
     /// Mutable environment access (LVQ fault injection).
     pub fn env_mut(&mut self) -> &mut RmtEnv {
-        &mut self.env
+        self.m.scheme_mut().env_mut()
     }
 
     /// `(leading, trailing)` hardware thread ids of logical thread `i`.
     pub fn pair_tids(&self, i: usize) -> (usize, usize) {
-        self.pair_tids[i]
+        let p = self.m.scheme().placement(i);
+        (p.lead_tid, p.trail_tid)
     }
 
     /// The memory image of logical thread `i`.
     pub fn image(&self, i: usize) -> &MemImage {
-        &self.env.pair(i).image
+        Device::image(&self.m, i)
     }
 }
 
-impl Device for SrtDevice {
-    fn tick(&mut self) {
-        self.core.tick(self.cycle, &mut self.hier, &mut self.env);
-        self.hier.tick(self.cycle);
-        self.env.sample_occupancy();
-        self.cycle += 1;
-    }
-
-    fn cycle(&self) -> u64 {
-        self.cycle
-    }
-
-    fn num_logical(&self) -> usize {
-        self.pair_tids.len()
-    }
-
-    fn committed(&self, logical: usize) -> u64 {
-        self.core.thread_stats(self.pair_tids[logical].0).committed
-    }
-
-    fn drain_detected_faults(&mut self) -> Vec<DetectedFault> {
-        self.core.drain_detected_faults()
-    }
-
-    fn export_metrics(&self, reg: &mut MetricsRegistry) {
-        reg.counter("device/cycles", self.cycle);
-        self.core.export_metrics(reg, "core0");
-        self.env.export_metrics(reg, "rmt");
-    }
-}
+delegate_device!(SrtDevice, m);
 
 #[cfg(test)]
 mod tests {

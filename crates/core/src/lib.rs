@@ -52,15 +52,19 @@ pub mod device;
 pub mod lockstep;
 pub mod lpq;
 pub mod lvq;
+pub mod machine;
 pub mod psr;
 pub mod recovery;
 pub mod rmt_env;
+pub mod schemes;
 
 pub use comparator::StoreComparator;
-pub use crt::CrtDevice;
+pub use crt::{CrtDevice, PairPlacement};
 pub use device::{BaseDevice, Device, LogicalThread, SrtDevice, SrtOptions};
 pub use lockstep::{LockstepDevice, LockstepOptions};
 pub use lpq::LinePredictionQueue;
 pub use lvq::LoadValueQueue;
-pub use recovery::RecoverableSrt;
+pub use machine::{Machine, RedundancyScheme, Substrate};
+pub use recovery::{RecoverableSrt, RecoveringScheme};
 pub use rmt_env::RmtEnv;
+pub use schemes::{IndependentScheme, LockstepScheme, RmtScheme, Topology};

@@ -24,13 +24,11 @@
 //! lockstep desynchronization (also a detection).
 
 use crate::device::{Device, LogicalThread};
+use crate::machine::{delegate_device, Machine};
+use crate::schemes::LockstepScheme;
 use rmt_isa::mem_image::MemImage;
-use rmt_mem::{HierarchyConfig, MemoryHierarchy};
-use rmt_pipeline::core::{DetectedFault, FaultDetector};
-use rmt_pipeline::env::CoreEnv;
-use rmt_pipeline::{Core, CoreConfig, ThreadId};
-use rmt_stats::MetricsRegistry;
-use std::collections::VecDeque;
+use rmt_mem::HierarchyConfig;
+use rmt_pipeline::{Core, CoreConfig};
 
 /// Options for [`LockstepDevice`].
 #[derive(Debug, Clone)]
@@ -67,52 +65,10 @@ impl LockstepOptions {
     }
 }
 
-/// One record in a core's outbound store stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct StoreRec {
-    cycle: u64,
-    tid: ThreadId,
-    addr: u64,
-    value: u64,
-    bytes: u64,
-}
-
-/// Environment for one lockstepped core: private images plus store logging
-/// for the checker.
-struct LockstepEnv {
-    images: Vec<MemImage>,
-    log: VecDeque<StoreRec>,
-    now: u64,
-}
-
-impl CoreEnv for LockstepEnv {
-    fn read_mem(&mut self, _core: usize, tid: ThreadId, addr: u64, bytes: u64) -> u64 {
-        self.images[tid].read(addr, bytes)
-    }
-
-    fn write_mem(&mut self, _core: usize, tid: ThreadId, addr: u64, value: u64, bytes: u64) {
-        self.images[tid].write(addr, value, bytes);
-        self.log.push_back(StoreRec {
-            cycle: self.now,
-            tid,
-            addr,
-            value,
-            bytes,
-        });
-    }
-}
-
-/// A pair of lockstepped cores with an output checker.
+/// A pair of lockstepped cores with an output checker — a facade over
+/// [`Machine`]`<`[`LockstepScheme`]`>`.
 pub struct LockstepDevice {
-    cores: [Core; 2],
-    hiers: [MemoryHierarchy; 2],
-    envs: [LockstepEnv; 2],
-    cycle: u64,
-    num_logical: usize,
-    desync_window: u64,
-    checker_faults: Vec<DetectedFault>,
-    compared_stores: u64,
-    desynced: bool,
+    m: Machine<LockstepScheme>,
 }
 
 impl LockstepDevice {
@@ -123,150 +79,45 @@ impl LockstepDevice {
     ///
     /// Panics if more threads are supplied than one core's contexts.
     pub fn new(opts: LockstepOptions, threads: Vec<LogicalThread>) -> Self {
-        assert!(
-            threads.len() <= opts.core.max_threads,
-            "too many logical threads for one core"
-        );
-        let mut hier_cfg = opts.hierarchy;
-        hier_cfg.checker_penalty = opts.checker_latency;
-        let mut core_cfg = opts.core;
-        // Every output signal crosses the checker — stores included (§5).
-        core_cfg.store_release_delay = opts.checker_latency;
-        let build_env = || LockstepEnv {
-            images: threads.iter().map(|t| t.memory.clone()).collect(),
-            log: VecDeque::new(),
-            now: 0,
-        };
-        // Each core owns a private single-core hierarchy, so both use local
-        // core index 0 for cache accesses.
-        let mut cores = [Core::new(core_cfg.clone(), 0), Core::new(core_cfg, 0)];
-        for core in &mut cores {
-            for t in &threads {
-                core.attach_thread(t.program.clone(), 0);
-            }
-            core.finalize_partitions();
-        }
         LockstepDevice {
-            cores,
-            hiers: [
-                MemoryHierarchy::new(hier_cfg, 1),
-                MemoryHierarchy::new(hier_cfg, 1),
-            ],
-            envs: [build_env(), build_env()],
-            cycle: 0,
-            num_logical: threads.len(),
-            desync_window: opts.desync_window,
-            checker_faults: Vec::new(),
-            compared_stores: 0,
-            desynced: false,
-        }
-    }
-
-    fn check_outputs(&mut self) {
-        // Compare matching heads of the two store streams.
-        loop {
-            let (a, b) = (self.envs[0].log.front(), self.envs[1].log.front());
-            match (a, b) {
-                (Some(x), Some(y)) => {
-                    if x.tid != y.tid
-                        || x.addr != y.addr
-                        || x.value != y.value
-                        || x.bytes != y.bytes
-                    {
-                        self.checker_faults.push(DetectedFault {
-                            cycle: self.cycle,
-                            tid: x.tid,
-                            kind: FaultDetector::StoreMismatch,
-                        });
-                    }
-                    self.compared_stores += 1;
-                    self.envs[0].log.pop_front();
-                    self.envs[1].log.pop_front();
-                }
-                (Some(x), None) | (None, Some(x)) => {
-                    // One stream is ahead; tolerate brief skew (the paper
-                    // notes checkers absorb minor synchronization slips),
-                    // flag a desync beyond the window.
-                    if self.cycle.saturating_sub(x.cycle) > self.desync_window && !self.desynced {
-                        self.desynced = true;
-                        self.checker_faults.push(DetectedFault {
-                            cycle: self.cycle,
-                            tid: x.tid,
-                            kind: FaultDetector::StoreMismatch,
-                        });
-                    }
-                    break;
-                }
-                (None, None) => break,
-            }
+            m: Machine::lockstep(opts, threads),
         }
     }
 
     /// Core `i`.
     pub fn core(&self, i: usize) -> &Core {
-        &self.cores[i]
+        self.m.substrate().core(i)
     }
 
     /// Mutable access to core `i` (fault injection).
     pub fn core_mut(&mut self, i: usize) -> &mut Core {
-        &mut self.cores[i]
+        self.m.substrate_mut().core_mut(i)
     }
 
     /// Stores compared (and matched or flagged) so far.
     pub fn compared_stores(&self) -> u64 {
-        self.compared_stores
+        self.m.scheme().compared_stores()
     }
 
     /// Whether the cores have desynchronized.
     pub fn desynced(&self) -> bool {
-        self.desynced
+        self.m.scheme().desynced()
     }
 
     /// The memory image of logical thread `i` on core 0 (the canonical
     /// copy).
     pub fn image(&self, i: usize) -> &MemImage {
-        &self.envs[0].images[i]
+        Device::image(&self.m, i)
+    }
+
+    /// The memory image of logical thread `i` as seen by core `core` —
+    /// the two stay identical in fault-free operation.
+    pub fn image_on(&self, core: usize, i: usize) -> &MemImage {
+        self.m.scheme().image_on(core, i)
     }
 }
 
-impl Device for LockstepDevice {
-    fn tick(&mut self) {
-        for i in 0..2 {
-            self.envs[i].now = self.cycle;
-            self.cores[i].tick(self.cycle, &mut self.hiers[i], &mut self.envs[i]);
-            self.hiers[i].tick(self.cycle);
-        }
-        self.check_outputs();
-        self.cycle += 1;
-    }
-
-    fn cycle(&self) -> u64 {
-        self.cycle
-    }
-
-    fn num_logical(&self) -> usize {
-        self.num_logical
-    }
-
-    fn committed(&self, logical: usize) -> u64 {
-        self.cores[0].thread_stats(logical).committed
-    }
-
-    fn drain_detected_faults(&mut self) -> Vec<DetectedFault> {
-        let mut out = std::mem::take(&mut self.checker_faults);
-        out.extend(self.cores[0].drain_detected_faults());
-        out.extend(self.cores[1].drain_detected_faults());
-        out
-    }
-
-    fn export_metrics(&self, reg: &mut MetricsRegistry) {
-        reg.counter("device/cycles", self.cycle);
-        self.cores[0].export_metrics(reg, "core0");
-        self.cores[1].export_metrics(reg, "core1");
-        reg.counter("checker/compared_stores", self.compared_stores);
-        reg.counter("checker/desynced", u64::from(self.desynced));
-    }
-}
+delegate_device!(LockstepDevice, m);
 
 #[cfg(test)]
 mod tests {
@@ -286,7 +137,7 @@ mod tests {
             d.core(0).thread_stats(0).committed,
             d.core(1).thread_stats(0).committed
         );
-        assert_eq!(d.envs[0].images[0].digest(), d.envs[1].images[0].digest());
+        assert_eq!(d.image_on(0, 0).digest(), d.image_on(1, 0).digest());
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! The redundancy fabric: one generic [`Machine`] — N cores, memory
+//! hierarchies and shared metric/fault plumbing — composed with a
+//! pluggable [`RedundancyScheme`] that owns only what actually differs
+//! between the paper's arrangements.
+//!
+//! The split follows the sphere-of-replication argument (§2): the base
+//! pipeline and memory system are identical across Base, SRT, CRT,
+//! lockstep and recoverable-SRT machines; an arrangement is defined by
+//! *where* redundant threads are placed, *which* structures carry values
+//! across the sphere boundary (LVQ/LPQ/store comparator vs a lockstep
+//! output checker), and *what* happens on a detection. Those concerns —
+//! and only those — live in the scheme:
+//!
+//! * [`Substrate`] — the cores, the (shared or per-core) memory
+//!   hierarchies and the cycle counter, with per-component tick
+//!   primitives the scheme sequences.
+//! * [`RedundancyScheme`] — placement, sphere coupling, per-cycle tick
+//!   order, fault-detection draining, metric export.
+//! * [`Machine`] — the composition; it implements [`Device`] so every
+//!   arrangement is driven uniformly by the experiment harness.
+//!
+//! The concrete schemes live in [`crate::schemes`]; the historical device
+//! types ([`crate::device::SrtDevice`], [`crate::crt::CrtDevice`], …) are
+//! thin facades over `Machine` instantiations.
+
+use crate::device::Device;
+use rmt_mem::{HierarchyConfig, MemoryHierarchy};
+use rmt_pipeline::core::DetectedFault;
+use rmt_pipeline::env::CoreEnv;
+use rmt_pipeline::Core;
+use rmt_stats::MetricsRegistry;
+
+/// The arrangement-independent hardware: cores, memory hierarchies and
+/// the global cycle counter.
+///
+/// A substrate owns either one hierarchy shared by every core (SMT and
+/// CMP devices over a common L2) or one private hierarchy per core
+/// (lockstepped cores, whose identical request streams make private
+/// hierarchies equivalent and bit-deterministic — see DESIGN.md). The
+/// scheme decides the per-cycle sequencing by calling the tick
+/// primitives; the substrate only guards indexing.
+pub struct Substrate {
+    cores: Vec<Core>,
+    hiers: Vec<MemoryHierarchy>,
+    cycle: u64,
+}
+
+impl Substrate {
+    /// A substrate whose cores share one memory hierarchy.
+    pub fn shared(cores: Vec<Core>, hier_cfg: HierarchyConfig) -> Self {
+        let n = cores.len();
+        assert!(n >= 1, "a substrate needs at least one core");
+        Substrate {
+            cores,
+            hiers: vec![MemoryHierarchy::new(hier_cfg, n)],
+            cycle: 0,
+        }
+    }
+
+    /// A substrate with one private single-port hierarchy per core.
+    pub fn private(cores: Vec<Core>, hier_cfg: HierarchyConfig) -> Self {
+        let n = cores.len();
+        assert!(n >= 1, "a substrate needs at least one core");
+        Substrate {
+            hiers: (0..n).map(|_| MemoryHierarchy::new(hier_cfg, 1)).collect(),
+            cores,
+            cycle: 0,
+        }
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Core `i`.
+    pub fn core(&self, i: usize) -> &Core {
+        &self.cores[i]
+    }
+
+    /// Mutable core `i` (fault injection, checkpoint restore).
+    pub fn core_mut(&mut self, i: usize) -> &mut Core {
+        &mut self.cores[i]
+    }
+
+    /// Ticks core `i` against its hierarchy within the current cycle.
+    pub fn tick_core(&mut self, i: usize, env: &mut dyn CoreEnv) {
+        let hier = if self.hiers.len() == 1 {
+            &mut self.hiers[0]
+        } else {
+            &mut self.hiers[i]
+        };
+        self.cores[i].tick(self.cycle, hier, env);
+    }
+
+    /// Ticks hierarchy `i` (index 0 when shared).
+    pub fn tick_hier(&mut self, i: usize) {
+        self.hiers[i].tick(self.cycle);
+    }
+
+    /// Ends the cycle.
+    pub fn advance(&mut self) {
+        self.cycle += 1;
+    }
+
+    /// Drains core-detected faults, cores in index order.
+    pub fn drain_detected_faults(&mut self) -> Vec<DetectedFault> {
+        let mut out = Vec::new();
+        for core in &mut self.cores {
+            out.extend(core.drain_detected_faults());
+        }
+        out
+    }
+
+    /// Exports `device/cycles` plus every core's metric tree under
+    /// `core{i}` — the shared prefix layout of all arrangements.
+    pub fn export_cores(&self, reg: &mut MetricsRegistry) {
+        reg.counter("device/cycles", self.cycle);
+        for (i, core) in self.cores.iter().enumerate() {
+            core.export_metrics(reg, &format!("core{i}"));
+        }
+    }
+}
+
+/// What differs between redundancy arrangements: thread placement, the
+/// sphere-of-replication structures, per-cycle coupling, fault hooks and
+/// recovery policy.
+///
+/// The scheme *drives* the substrate each cycle — it receives `&mut
+/// Substrate` and sequences the tick primitives itself (ending with
+/// [`Substrate::advance`]). This inversion is what lets a recovery
+/// scheme re-enter the per-cycle tick while draining a pair to a
+/// quiescent checkpoint.
+pub trait RedundancyScheme {
+    /// Advances the machine by one cycle: tick cores/hierarchies in the
+    /// arrangement's order, couple the sphere structures, and call
+    /// [`Substrate::advance`].
+    fn tick(&mut self, s: &mut Substrate);
+
+    /// Number of logical (program-level) threads.
+    fn num_logical(&self, s: &Substrate) -> usize;
+
+    /// Instructions committed by logical thread `i` (the leading copy's
+    /// count on redundant arrangements).
+    fn committed(&self, s: &Substrate, logical: usize) -> u64;
+
+    /// Faults detected since the last call; the default drains every
+    /// core in index order.
+    fn drain_detected_faults(&mut self, s: &mut Substrate) -> Vec<DetectedFault> {
+        s.drain_detected_faults()
+    }
+
+    /// Exports the arrangement's full metric tree (stable names).
+    fn export_metrics(&self, s: &Substrate, reg: &mut MetricsRegistry);
+
+    /// The architectural memory image of logical thread `i`.
+    fn image<'a>(&'a self, s: &'a Substrate, logical: usize) -> &'a rmt_isa::MemImage;
+}
+
+/// A complete machine: an arrangement-independent [`Substrate`] driven
+/// by one [`RedundancyScheme`].
+pub struct Machine<S: RedundancyScheme> {
+    substrate: Substrate,
+    scheme: S,
+}
+
+impl<S: RedundancyScheme> Machine<S> {
+    /// Composes a substrate with a scheme.
+    pub fn assemble(substrate: Substrate, scheme: S) -> Self {
+        Machine { substrate, scheme }
+    }
+
+    /// The substrate (cores, hierarchies, cycle).
+    pub fn substrate(&self) -> &Substrate {
+        &self.substrate
+    }
+
+    /// Mutable substrate access (fault injection).
+    pub fn substrate_mut(&mut self) -> &mut Substrate {
+        &mut self.substrate
+    }
+
+    /// The scheme.
+    pub fn scheme(&self) -> &S {
+        &self.scheme
+    }
+
+    /// Mutable scheme access (sphere-structure fault injection).
+    pub fn scheme_mut(&mut self) -> &mut S {
+        &mut self.scheme
+    }
+
+    /// Both halves at once (for callers that must thread substrate access
+    /// through scheme state).
+    pub fn parts_mut(&mut self) -> (&mut Substrate, &mut S) {
+        (&mut self.substrate, &mut self.scheme)
+    }
+}
+
+impl<S: RedundancyScheme> Device for Machine<S> {
+    fn tick(&mut self) {
+        self.scheme.tick(&mut self.substrate);
+    }
+
+    fn cycle(&self) -> u64 {
+        self.substrate.cycle
+    }
+
+    fn num_logical(&self) -> usize {
+        self.scheme.num_logical(&self.substrate)
+    }
+
+    fn committed(&self, logical: usize) -> u64 {
+        self.scheme.committed(&self.substrate, logical)
+    }
+
+    fn drain_detected_faults(&mut self) -> Vec<DetectedFault> {
+        self.scheme.drain_detected_faults(&mut self.substrate)
+    }
+
+    fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        self.scheme.export_metrics(&self.substrate, reg);
+    }
+
+    fn image(&self, logical: usize) -> &rmt_isa::MemImage {
+        self.scheme.image(&self.substrate, logical)
+    }
+}
+
+/// Delegates the full [`Device`] interface of a facade newtype to its
+/// inner `Machine` field.
+macro_rules! delegate_device {
+    ($ty:ty, $field:ident) => {
+        impl crate::device::Device for $ty {
+            fn tick(&mut self) {
+                self.$field.tick()
+            }
+            fn cycle(&self) -> u64 {
+                crate::device::Device::cycle(&self.$field)
+            }
+            fn num_logical(&self) -> usize {
+                self.$field.num_logical()
+            }
+            fn committed(&self, logical: usize) -> u64 {
+                self.$field.committed(logical)
+            }
+            fn drain_detected_faults(&mut self) -> Vec<rmt_pipeline::core::DetectedFault> {
+                self.$field.drain_detected_faults()
+            }
+            fn export_metrics(&self, reg: &mut rmt_stats::MetricsRegistry) {
+                self.$field.export_metrics(reg)
+            }
+            fn image(&self, logical: usize) -> &rmt_isa::MemImage {
+                crate::device::Device::image(&self.$field, logical)
+            }
+        }
+    };
+}
+pub(crate) use delegate_device;

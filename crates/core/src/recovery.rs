@@ -2,8 +2,8 @@
 //! sequence" the paper's introduction points to (§1: "the checker flags an
 //! error and initiates a hardware or software recovery sequence").
 //!
-//! [`RecoverableSrt`] wraps an [`SrtDevice`] with periodic *quiesced
-//! checkpoints* and detection-triggered rollback-and-replay:
+//! [`RecoveringScheme`] layers periodic *quiesced checkpoints* and
+//! detection-triggered rollback-and-replay over an [`RmtScheme`]:
 //!
 //! 1. Every `checkpoint_interval` leading commits, fetch for the pair is
 //!    paused and the machine drains: no in-flight instructions, store
@@ -16,6 +16,11 @@
 //!    the pair's queues (LVQ/LPQ/comparator) reset, memory restored, and
 //!    execution replays.
 //!
+//! The recovery policy is a [`RedundancyScheme`] in its own right: its
+//! per-cycle `tick` re-enters the inner scheme's tick while draining a
+//! pair to a quiescent point, which is exactly the composition the
+//! scheme-drives-substrate inversion exists for.
+//!
 //! Coverage note (also in DESIGN.md): a corrupted register value that
 //! crosses a checkpoint *before* influencing any store is baked into the
 //! checkpoint; full pre-commit checking (SRTR, Vijaykumar et al. 2002)
@@ -24,11 +29,15 @@
 //! against epochs of thousands of instructions — recovery is exact, which
 //! the integration tests verify against the golden model.
 
-use crate::device::{Device, LogicalThread, SrtDevice, SrtOptions};
+use crate::device::{Device, LogicalThread, SrtOptions};
+use crate::machine::{delegate_device, Machine, RedundancyScheme, Substrate};
+use crate::rmt_env::RmtEnv;
+use crate::schemes::{RmtScheme, Topology};
 use rmt_isa::inst::NUM_ARCH_REGS;
 use rmt_isa::mem_image::MemImage;
 use rmt_pipeline::core::DetectedFault;
 use rmt_pipeline::env::CoreEnv as _;
+use rmt_pipeline::Core;
 
 /// A clean, verified snapshot of one redundant pair.
 #[derive(Clone)]
@@ -41,14 +50,9 @@ struct Checkpoint {
     releases: u64,
 }
 
-/// An SRT processor with checkpoint-based transient-fault recovery.
-///
-/// # Examples
-///
-/// See `examples/fault_recovery.rs` and the integration tests in
-/// `tests/recovery_e2e.rs`.
-pub struct RecoverableSrt {
-    dev: SrtDevice,
+/// Checkpoint/rollback recovery layered over an inner [`RmtScheme`].
+pub struct RecoveringScheme {
+    inner: RmtScheme,
     interval: u64,
     /// Last clean checkpoint per pair.
     checkpoints: Vec<Checkpoint>,
@@ -61,14 +65,150 @@ pub struct RecoverableSrt {
     quiesce_budget: u64,
 }
 
-impl RecoverableSrt {
-    /// Builds a recoverable SRT machine checkpointing every
+impl RecoveringScheme {
+    /// Drains pair `i` to a quiescent point and snapshots it.
+    fn take_checkpoint(&mut self, s: &mut Substrate, i: usize) {
+        let p = self.inner.placement(i);
+        // Pause only the leading thread: the trailing thread must keep
+        // consuming the line prediction queue to drain the pair.
+        s.core_mut(p.lead_core).set_fetch_paused(p.lead_tid, true);
+        let start = s.cycle();
+        loop {
+            let quiesced = s.core(p.lead_core).is_quiesced(p.lead_tid)
+                && s.core(p.trail_core).is_quiesced(p.trail_tid)
+                && self.inner.env().pair(i).comparator.pending() == 0
+                && self.inner.env().pair(i).lvq.is_empty();
+            if quiesced {
+                break;
+            }
+            // The leading thread's final instructions may sit in the line
+            // prediction queue's *open* chunk; flush it so the trailing
+            // thread can finish consuming the stream.
+            let now = s.cycle();
+            self.inner
+                .env_mut()
+                .lead_retire_blocked(p.lead_core, p.lead_tid, now, i);
+            self.inner.tick(s);
+            assert!(
+                s.cycle() - start < self.quiesce_budget,
+                "pair {i} failed to quiesce for a checkpoint"
+            );
+        }
+        let (regs, pc) = s.core(p.lead_core).snapshot_arch(p.lead_tid);
+        // Sanity: once the trailing thread has consumed the whole line
+        // prediction stream, a quiesced fault-free pair has identical
+        // committed state. The trail may instead still hold unfetched LPQ
+        // chunks — a store-free stretch the lead already retired (the lead
+        // SQ is empty and the comparator idle, so every released store was
+        // verified) — in which case only the lead state is snapshotted and
+        // recovery restores both threads to it.
+        debug_assert!(
+            !self.inner.env().pair(i).lpq.is_empty()
+                || pc == s.core(p.trail_core).snapshot_arch(p.trail_tid).1,
+            "quiesced pair {i} with drained LPQ has diverged committed PCs"
+        );
+        self.checkpoints[i] = Checkpoint {
+            regs,
+            pc,
+            memory: self.inner.env().pair(i).image.clone(),
+            releases: s.core(p.lead_core).store_lifetime(p.lead_tid).count(),
+        };
+        self.checkpoints_taken += 1;
+        s.core_mut(p.lead_core).set_fetch_paused(p.lead_tid, false);
+        self.next_checkpoint_at[i] = self.inner.committed(s, i) + self.interval;
+    }
+
+    /// Rolls pair `i` back to its last checkpoint and replays.
+    fn recover(&mut self, s: &mut Substrate, i: usize) {
+        let p = self.inner.placement(i);
+        let cp = self.checkpoints[i].clone();
+        let now = s.cycle();
+        // Releases since the checkpoint are undone by restoring its memory.
+        self.discarded_releases[i] += s
+            .core(p.lead_core)
+            .store_lifetime(p.lead_tid)
+            .count()
+            .saturating_sub(cp.releases);
+        // Clear any permanent-fault configuration the campaign may have
+        // armed is the *caller's* business; recovery only restores state.
+        self.inner.env_mut().reset_pair(i, cp.memory);
+        s.core_mut(p.lead_core)
+            .restore_thread(p.lead_tid, &cp.regs, cp.pc, now);
+        s.core_mut(p.trail_core)
+            .restore_thread(p.trail_tid, &cp.regs, cp.pc, now);
+        self.recoveries += 1;
+        // Replay will re-reach (and re-pass) the next checkpoint mark.
+        self.next_checkpoint_at[i] = self.inner.committed(s, i) + self.interval;
+    }
+}
+
+impl RedundancyScheme for RecoveringScheme {
+    fn tick(&mut self, s: &mut Substrate) {
+        self.inner.tick(s);
+        // Detection triggers recovery for the affected pair(s).
+        let faults = self.inner.drain_detected_faults(s);
+        if !faults.is_empty() {
+            let n = self.inner.num_logical(s);
+            let mut hit: Vec<usize> = faults
+                .iter()
+                .filter_map(|f| {
+                    (0..n).find(|&i| {
+                        let p = self.inner.placement(i);
+                        f.tid == p.lead_tid || f.tid == p.trail_tid
+                    })
+                })
+                .collect();
+            hit.sort_unstable();
+            hit.dedup();
+            for i in hit {
+                self.recover(s, i);
+            }
+            return;
+        }
+        // Periodic checkpoints.
+        for i in 0..self.inner.num_logical(s) {
+            if self.inner.committed(s, i) >= self.next_checkpoint_at[i] {
+                self.take_checkpoint(s, i);
+            }
+        }
+    }
+
+    fn num_logical(&self, s: &Substrate) -> usize {
+        self.inner.num_logical(s)
+    }
+
+    fn committed(&self, s: &Substrate, logical: usize) -> u64 {
+        self.inner.committed(s, logical)
+    }
+
+    fn drain_detected_faults(&mut self, _s: &mut Substrate) -> Vec<DetectedFault> {
+        // Detections are consumed internally by recovery; report none.
+        Vec::new()
+    }
+
+    fn export_metrics(&self, s: &Substrate, reg: &mut rmt_stats::MetricsRegistry) {
+        self.inner.export_metrics(s, reg);
+        reg.counter("recovery/checkpoints_taken", self.checkpoints_taken);
+        reg.counter("recovery/recoveries", self.recoveries);
+    }
+
+    fn image<'a>(&'a self, s: &'a Substrate, logical: usize) -> &'a MemImage {
+        self.inner.image(s, logical)
+    }
+}
+
+impl Machine<RecoveringScheme> {
+    /// Assembles a recoverable SRT machine checkpointing every
     /// `checkpoint_interval` leading commits.
     ///
     /// # Panics
     ///
     /// Panics if `checkpoint_interval` is zero.
-    pub fn new(opts: SrtOptions, threads: Vec<LogicalThread>, checkpoint_interval: u64) -> Self {
+    pub fn recoverable(
+        opts: SrtOptions,
+        threads: Vec<LogicalThread>,
+        checkpoint_interval: u64,
+    ) -> Self {
         assert!(
             checkpoint_interval > 0,
             "checkpoint interval must be non-zero"
@@ -85,165 +225,103 @@ impl RecoverableSrt {
                 releases: 0,
             })
             .collect();
+        let (cores, inner) = RmtScheme::build(&opts, &threads, Topology::Smt);
+        Machine::assemble(
+            Substrate::shared(cores, opts.hierarchy),
+            RecoveringScheme {
+                inner,
+                interval: checkpoint_interval,
+                checkpoints,
+                next_checkpoint_at: vec![checkpoint_interval; n],
+                recoveries: 0,
+                checkpoints_taken: 0,
+                discarded_releases: vec![0; n],
+                quiesce_budget: 200_000,
+            },
+        )
+    }
+}
+
+/// An SRT processor with checkpoint-based transient-fault recovery — a
+/// facade over [`Machine`]`<`[`RecoveringScheme`]`>`.
+///
+/// # Examples
+///
+/// See `examples/fault_recovery.rs` and the integration tests in
+/// `tests/recovery_e2e.rs`.
+pub struct RecoverableSrt {
+    m: Machine<RecoveringScheme>,
+}
+
+impl RecoverableSrt {
+    /// Builds a recoverable SRT machine checkpointing every
+    /// `checkpoint_interval` leading commits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `checkpoint_interval` is zero.
+    pub fn new(opts: SrtOptions, threads: Vec<LogicalThread>, checkpoint_interval: u64) -> Self {
         RecoverableSrt {
-            dev: SrtDevice::new(opts, threads),
-            interval: checkpoint_interval,
-            checkpoints,
-            next_checkpoint_at: vec![checkpoint_interval; n],
-            recoveries: 0,
-            checkpoints_taken: 0,
-            discarded_releases: vec![0; n],
-            quiesce_budget: 200_000,
+            m: Machine::recoverable(opts, threads, checkpoint_interval),
         }
     }
 
-    /// The wrapped device.
-    pub fn device(&self) -> &SrtDevice {
-        &self.dev
+    /// The core.
+    pub fn core(&self) -> &Core {
+        self.m.substrate().core(0)
     }
 
-    /// Mutable access to the wrapped device (fault injection).
-    pub fn device_mut(&mut self) -> &mut SrtDevice {
-        &mut self.dev
+    /// Mutable core access (fault injection).
+    pub fn core_mut(&mut self) -> &mut Core {
+        self.m.substrate_mut().core_mut(0)
+    }
+
+    /// The RMT environment (queues, comparator, PSR statistics).
+    pub fn env(&self) -> &RmtEnv {
+        self.m.scheme().inner.env()
+    }
+
+    /// Mutable environment access (LVQ fault injection).
+    pub fn env_mut(&mut self) -> &mut RmtEnv {
+        self.m.scheme_mut().inner.env_mut()
+    }
+
+    /// `(leading, trailing)` hardware thread ids of logical thread `i`.
+    pub fn pair_tids(&self, i: usize) -> (usize, usize) {
+        let p = self.m.scheme().inner.placement(i);
+        (p.lead_tid, p.trail_tid)
+    }
+
+    /// The memory image of logical thread `i`.
+    pub fn image(&self, i: usize) -> &MemImage {
+        Device::image(&self.m, i)
     }
 
     /// Recoveries performed so far.
     pub fn recoveries(&self) -> u64 {
-        self.recoveries
+        self.m.scheme().recoveries
     }
 
     /// Checkpoints taken so far (excluding the initial one).
     pub fn checkpoints_taken(&self) -> u64 {
-        self.checkpoints_taken
+        self.m.scheme().checkpoints_taken
     }
 
     /// Stores currently reflected in pair `i`'s memory image: total
     /// releases minus those undone by recoveries. This is the index to
     /// compare against the golden model's store stream.
     pub fn effective_releases(&self, i: usize) -> u64 {
-        let (lead, _) = self.dev.pair_tids(i);
-        self.dev.core().store_lifetime(lead).count() - self.discarded_releases[i]
-    }
-
-    /// Drains pair `i` to a quiescent point and snapshots it.
-    fn take_checkpoint(&mut self, i: usize) {
-        let (lead, trail) = self.dev.pair_tids(i);
-        // Pause only the leading thread: the trailing thread must keep
-        // consuming the line prediction queue to drain the pair.
-        self.dev.core_mut().set_fetch_paused(lead, true);
-        let start = self.dev.cycle();
-        loop {
-            let quiesced = self.dev.core().is_quiesced(lead)
-                && self.dev.core().is_quiesced(trail)
-                && self.dev.env().pair(i).comparator.pending() == 0
-                && self.dev.env().pair(i).lvq.is_empty();
-            if quiesced {
-                break;
-            }
-            // The leading thread's final instructions may sit in the line
-            // prediction queue's *open* chunk; flush it so the trailing
-            // thread can finish consuming the stream.
-            let now = self.dev.cycle();
-            self.dev.env_mut().lead_retire_blocked(0, lead, now, i);
-            self.dev.tick();
-            assert!(
-                self.dev.cycle() - start < self.quiesce_budget,
-                "pair {i} failed to quiesce for a checkpoint"
-            );
-        }
-        let (regs, pc) = self.dev.core().snapshot_arch(lead);
-        // Sanity: a quiesced, fault-free pair has identical committed state
-        // in both threads.
-        debug_assert_eq!(pc, self.dev.core().snapshot_arch(trail).1);
-        let (lead_tid, _) = self.dev.pair_tids(i);
-        self.checkpoints[i] = Checkpoint {
-            regs,
-            pc,
-            memory: self.dev.image(i).clone(),
-            releases: self.dev.core().store_lifetime(lead_tid).count(),
-        };
-        self.checkpoints_taken += 1;
-        self.dev.core_mut().set_fetch_paused(lead, false);
-        self.next_checkpoint_at[i] = self.dev.committed(i) + self.interval;
-    }
-
-    /// Rolls pair `i` back to its last checkpoint and replays.
-    fn recover(&mut self, i: usize) {
-        let (lead, trail) = self.dev.pair_tids(i);
-        let cp = self.checkpoints[i].clone();
-        let now = self.dev.cycle();
-        // Releases since the checkpoint are undone by restoring its memory.
-        self.discarded_releases[i] += self
-            .dev
-            .core()
-            .store_lifetime(lead)
+        let p = self.m.scheme().inner.placement(i);
+        self.m
+            .substrate()
+            .core(p.lead_core)
+            .store_lifetime(p.lead_tid)
             .count()
-            .saturating_sub(cp.releases);
-        // Clear any permanent-fault configuration the campaign may have
-        // armed is the *caller's* business; recovery only restores state.
-        self.dev.env_mut().reset_pair(i, cp.memory);
-        let core = self.dev.core_mut();
-        core.restore_thread(lead, &cp.regs, cp.pc, now);
-        core.restore_thread(trail, &cp.regs, cp.pc, now);
-        self.recoveries += 1;
-        // Replay will re-reach (and re-pass) the next checkpoint mark.
-        self.next_checkpoint_at[i] = self.dev.committed(i) + self.interval;
+            - self.m.scheme().discarded_releases[i]
     }
 }
 
-impl Device for RecoverableSrt {
-    fn tick(&mut self) {
-        self.dev.tick();
-        // Detection triggers recovery for the affected pair(s).
-        let faults = self.dev.drain_detected_faults();
-        if !faults.is_empty() {
-            let mut hit: Vec<usize> = faults
-                .iter()
-                .filter_map(|f| {
-                    (0..self.dev.num_logical()).find(|&i| {
-                        let (lead, trail) = self.dev.pair_tids(i);
-                        f.tid == lead || f.tid == trail
-                    })
-                })
-                .collect();
-            hit.sort_unstable();
-            hit.dedup();
-            for i in hit {
-                self.recover(i);
-            }
-            return;
-        }
-        // Periodic checkpoints.
-        for i in 0..self.dev.num_logical() {
-            if self.dev.committed(i) >= self.next_checkpoint_at[i] {
-                self.take_checkpoint(i);
-            }
-        }
-    }
-
-    fn cycle(&self) -> u64 {
-        self.dev.cycle()
-    }
-
-    fn num_logical(&self) -> usize {
-        self.dev.num_logical()
-    }
-
-    fn committed(&self, logical: usize) -> u64 {
-        self.dev.committed(logical)
-    }
-
-    fn drain_detected_faults(&mut self) -> Vec<DetectedFault> {
-        // Detections are consumed internally by recovery; report none.
-        Vec::new()
-    }
-
-    fn export_metrics(&self, reg: &mut rmt_stats::MetricsRegistry) {
-        self.dev.export_metrics(reg);
-        reg.counter("recovery/checkpoints_taken", self.checkpoints_taken);
-        reg.counter("recovery/recoveries", self.recoveries);
-    }
-}
+delegate_device!(RecoverableSrt, m);
 
 #[cfg(test)]
 mod tests {
@@ -267,7 +345,7 @@ mod tests {
             RecoverableSrt::new(SrtOptions::default(), vec![LogicalThread::from(&w)], 4_000);
         assert!(dev.run_until_committed(6_000, 20_000_000));
         // Strike the store path: detection then recovery.
-        dev.device_mut().core_mut().arm_sq_strike(0, 1 << 13);
+        dev.core_mut().arm_sq_strike(0, 1 << 13);
         assert!(dev.run_until_committed(30_000, 60_000_000));
         assert_eq!(dev.recoveries(), 1);
     }

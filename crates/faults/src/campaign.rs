@@ -200,6 +200,113 @@ fn inject_into_core(
     }
 }
 
+/// A logical thread running `workload`'s program on its memory image.
+fn thread(workload: &Workload) -> LogicalThread {
+    LogicalThread::new(workload.program.clone().into(), workload.memory.clone())
+}
+
+/// What the unified observation engine checks each cycle and how it
+/// classifies the endings the architectures disagree on.
+#[derive(Debug, Clone, Copy)]
+struct ObservePolicy {
+    /// Poll the device's detection hardware every cycle (the redundant
+    /// machines); the base processor has none to poll.
+    poll_detection: bool,
+    /// Whether a forward-progress hang is a fail-stop *detection* (the
+    /// redundant machines time out their checkers) or an unsignaled
+    /// failure counted with the silent corruptions (the base machine).
+    hang_is_detection: bool,
+    /// Run the rolling golden model against released stores; without it an
+    /// uneventful window classifies as masked (lockstep: the checker
+    /// already compared every released store).
+    golden_compare: bool,
+}
+
+/// Keeps injecting until a suitable fault site exists, ticking between
+/// attempts: a strike site (an occupied queue entry, a live register) may
+/// not exist at the exact injection cycle.
+fn inject_with_retry<D: Device + ?Sized>(
+    dev: &mut D,
+    rng: &mut Xoshiro256,
+    mut inject: impl FnMut(&mut D, &mut Xoshiro256) -> bool,
+) -> bool {
+    for _ in 0..2_000 {
+        if inject(dev, rng) {
+            return true;
+        }
+        dev.tick();
+    }
+    false
+}
+
+/// The one observation/classification engine every campaign runs after
+/// its injection landed: tick until `window_commits` more instructions
+/// commit, checking (in this order, each cycle) the detection hardware,
+/// the forward-progress watchdog, and the golden model at released-store
+/// checkpoints — then classify the uneventful remainder.
+fn observe_window<D: Device + ?Sized>(
+    dev: &mut D,
+    workload: &Workload,
+    cfg: CampaignConfig,
+    inject_cycle: u64,
+    released: impl Fn(&D) -> u64,
+    policy: ObservePolicy,
+) -> FaultOutcome {
+    let target = dev.committed(0) + cfg.window_commits;
+    let mut golden = policy.golden_compare.then(|| GoldenTracker::new(workload));
+    let mut outcome = None;
+    let mut next_checkpoint = dev.committed(0) + 200;
+    let mut progress = (dev.committed(0), dev.cycle());
+    while dev.committed(0) < target {
+        dev.tick();
+        if policy.poll_detection && !dev.drain_detected_faults().is_empty() {
+            outcome = Some(FaultOutcome::Detected {
+                latency: dev.cycle() - inject_cycle,
+            });
+            break;
+        }
+        match dev.committed(0) {
+            c if c != progress.0 => progress = (c, dev.cycle()),
+            _ if dev.cycle() - progress.1 > WATCHDOG_CYCLES => {
+                outcome = Some(if policy.hang_is_detection {
+                    // The machine stopped committing: fail-stop watchdog.
+                    FaultOutcome::Detected {
+                        latency: dev.cycle() - inject_cycle,
+                    }
+                } else {
+                    // Hung with no detection hardware to notice: an
+                    // unsignaled failure, bucketed with the silent ones.
+                    FaultOutcome::Silent
+                });
+                break;
+            }
+            _ => {}
+        }
+        if let Some(golden) = &mut golden {
+            if dev.committed(0) >= next_checkpoint {
+                next_checkpoint += 200;
+                if golden.digest_at(released(dev)) != dev.image(0).digest() {
+                    outcome = Some(FaultOutcome::Silent);
+                    break;
+                }
+            }
+        }
+    }
+    if !policy.poll_detection {
+        debug_assert!(dev.drain_detected_faults().is_empty());
+    }
+    outcome.unwrap_or_else(|| match &mut golden {
+        Some(golden) => {
+            if golden.digest_at(released(dev)) == dev.image(0).digest() {
+                FaultOutcome::Masked
+            } else {
+                FaultOutcome::Silent
+            }
+        }
+        None => FaultOutcome::Masked,
+    })
+}
+
 /// Runs a fault-injection campaign on an SRT processor running `workload`.
 ///
 /// # Examples
@@ -241,92 +348,47 @@ pub fn srt_injection(
     index: usize,
 ) -> FaultOutcome {
     let mut rng = Xoshiro256::for_job(cfg.seed, index as u64);
-    let mut dev = SrtDevice::new(
-        opts.clone(),
-        vec![LogicalThread::new(
-            workload.program.clone().into(),
-            workload.memory.clone(),
-        )],
-    );
-    // `Rc<Program>` clone above: build from the workload's parts.
+    let mut dev = SrtDevice::new(opts.clone(), vec![thread(workload)]);
     if !dev.run_until_committed(cfg.warmup_commits, 50_000_000) {
         panic!("warmup did not complete");
     }
     dev.drain_detected_faults();
-    // A strike site (an occupied queue entry) may not exist at this
-    // exact cycle; keep running briefly until one appears.
-    let mut injected = false;
-    for _ in 0..2_000 {
-        injected = match kind {
-            FaultKind::TransientLvq => {
-                let occ = dev.env().pair(0).lvq.len();
-                if occ == 0 {
-                    false
-                } else {
-                    let idx = rng.below(occ.max(1) as u64) as usize;
-                    let bit = rng.below(64);
-                    dev.env_mut()
-                        .pair_mut(0)
-                        .lvq
-                        .corrupt_nth(idx, 1 << bit)
-                        .is_some()
-                }
+    let injected = inject_with_retry(&mut dev, &mut rng, |dev, rng| match kind {
+        FaultKind::TransientLvq => {
+            let occ = dev.env().pair(0).lvq.len();
+            if occ == 0 {
+                false
+            } else {
+                let idx = rng.below(occ.max(1) as u64) as usize;
+                let bit = rng.below(64);
+                dev.env_mut()
+                    .pair_mut(0)
+                    .lvq
+                    .corrupt_nth(idx, 1 << bit)
+                    .is_some()
             }
-            _ => {
-                let (lead, _) = dev.pair_tids(0);
-                inject_into_core(dev.core_mut(), lead, kind, &mut rng)
-            }
-        };
-        if injected {
-            break;
         }
-        dev.tick();
-    }
+        _ => {
+            let (lead, _) = dev.pair_tids(0);
+            inject_into_core(dev.core_mut(), lead, kind, rng)
+        }
+    });
     if !injected {
         return FaultOutcome::Masked;
     }
     let inject_cycle = dev.cycle();
-    let target = dev.committed(0) + cfg.window_commits;
-    let mut golden = GoldenTracker::new(workload);
-    let mut outcome = None;
-    let mut next_checkpoint = dev.committed(0) + 200;
-    let mut progress = (dev.committed(0), dev.cycle());
-    while dev.committed(0) < target {
-        dev.tick();
-        if !dev.drain_detected_faults().is_empty() {
-            outcome = Some(FaultOutcome::Detected {
-                latency: dev.cycle() - inject_cycle,
-            });
-            break;
-        }
-        match dev.committed(0) {
-            c if c != progress.0 => progress = (c, dev.cycle()),
-            _ if dev.cycle() - progress.1 > WATCHDOG_CYCLES => {
-                // The pair stopped committing: fail-stop watchdog fires.
-                outcome = Some(FaultOutcome::Detected {
-                    latency: dev.cycle() - inject_cycle,
-                });
-                break;
-            }
-            _ => {}
-        }
-        if dev.committed(0) >= next_checkpoint {
-            next_checkpoint += 200;
-            let released = dev.core().stats().get("stores_released");
-            if golden.digest_at(released) != dev.image(0).digest() {
-                outcome = Some(FaultOutcome::Silent);
-                break;
-            }
-        }
-    }
-    outcome.unwrap_or_else(|| {
-        let released = dev.core().stats().get("stores_released");
-        if golden.digest_at(released) == dev.image(0).digest() {
-            FaultOutcome::Masked
-        } else {
-            FaultOutcome::Silent
-        }
-    })
+    observe_window(
+        &mut dev,
+        workload,
+        cfg,
+        inject_cycle,
+        |dev| dev.core().stats().get("stores_released"),
+        ObservePolicy {
+            poll_detection: true,
+            hang_is_detection: true,
+            golden_compare: true,
+        },
+    )
 }
 
 /// Runs a campaign on the *base* processor: no detection mechanism exists,
@@ -357,63 +419,29 @@ pub fn base_injection(
         "the base processor has no LVQ"
     );
     let mut rng = Xoshiro256::for_job(cfg.seed, index as u64);
-    let mut dev = BaseDevice::new(
-        core_cfg.clone(),
-        Default::default(),
-        vec![LogicalThread::new(
-            workload.program.clone().into(),
-            workload.memory.clone(),
-        )],
-    );
+    let mut dev = BaseDevice::new(core_cfg.clone(), Default::default(), vec![thread(workload)]);
     if !dev.run_until_committed(cfg.warmup_commits, 50_000_000) {
         panic!("warmup did not complete");
     }
-    let mut injected = false;
-    for _ in 0..2_000 {
-        injected = inject_into_core(dev.core_mut(), 0, kind, &mut rng);
-        if injected {
-            break;
-        }
-        dev.tick();
-    }
+    let injected = inject_with_retry(&mut dev, &mut rng, |dev, rng| {
+        inject_into_core(dev.core_mut(), 0, kind, rng)
+    });
     if !injected {
         return FaultOutcome::Masked;
     }
-    let target = dev.committed(0) + cfg.window_commits;
-    let mut golden = GoldenTracker::new(workload);
-    let mut outcome = None;
-    let mut next_checkpoint = dev.committed(0) + 200;
-    let mut progress = (dev.committed(0), dev.cycle());
-    while dev.committed(0) < target {
-        dev.tick();
-        match dev.committed(0) {
-            c if c != progress.0 => progress = (c, dev.cycle()),
-            _ if dev.cycle() - progress.1 > WATCHDOG_CYCLES => {
-                // Hung with no detection hardware to notice: an
-                // unsignaled failure, bucketed with the silent ones.
-                outcome = Some(FaultOutcome::Silent);
-                break;
-            }
-            _ => {}
-        }
-        if dev.committed(0) >= next_checkpoint {
-            next_checkpoint += 200;
-            let released = dev.core().stats().get("stores_released");
-            if golden.digest_at(released) != dev.image(0).digest() {
-                outcome = Some(FaultOutcome::Silent);
-                break;
-            }
-        }
-    }
-    debug_assert!(dev.drain_detected_faults().is_empty());
-    outcome.unwrap_or_else(|| {
-        let released = dev.core().stats().get("stores_released");
-        if golden.digest_at(released) == dev.image(0).digest() {
-            FaultOutcome::Masked
-        } else {
-            FaultOutcome::Silent
-        }
-    })
+    let inject_cycle = dev.cycle();
+    observe_window(
+        &mut dev,
+        workload,
+        cfg,
+        inject_cycle,
+        |dev| dev.core().stats().get("stores_released"),
+        ObservePolicy {
+            poll_detection: false,
+            hang_is_detection: false,
+            golden_compare: true,
+        },
+    )
 }
 
 /// Runs a campaign on a lockstepped machine; faults are injected into core
@@ -444,53 +472,32 @@ pub fn lockstep_injection(
         "lockstepped machines have no LVQ"
     );
     let mut rng = Xoshiro256::for_job(cfg.seed, index as u64);
-    let mut dev = LockstepDevice::new(
-        opts.clone(),
-        vec![LogicalThread::new(
-            workload.program.clone().into(),
-            workload.memory.clone(),
-        )],
-    );
+    let mut dev = LockstepDevice::new(opts.clone(), vec![thread(workload)]);
     if !dev.run_until_committed(cfg.warmup_commits, 50_000_000) {
         panic!("warmup did not complete");
     }
     dev.drain_detected_faults();
-    let mut injected = false;
-    for _ in 0..2_000 {
-        injected = inject_into_core(dev.core_mut(1), 0, kind, &mut rng);
-        if injected {
-            break;
-        }
-        dev.tick();
-    }
+    let injected = inject_with_retry(&mut dev, &mut rng, |dev, rng| {
+        inject_into_core(dev.core_mut(1), 0, kind, rng)
+    });
     if !injected {
         return FaultOutcome::Masked;
     }
     let inject_cycle = dev.cycle();
-    let target = dev.committed(0) + cfg.window_commits;
-    let mut progress = (dev.committed(0), dev.cycle());
-    while dev.committed(0) < target {
-        dev.tick();
-        if !dev.drain_detected_faults().is_empty() {
-            return FaultOutcome::Detected {
-                latency: dev.cycle() - inject_cycle,
-            };
-        }
-        match dev.committed(0) {
-            c if c != progress.0 => progress = (c, dev.cycle()),
-            _ if dev.cycle() - progress.1 > WATCHDOG_CYCLES => {
-                // Both cores stopped: the checker pipeline stalled and the
-                // fail-stop watchdog fires.
-                return FaultOutcome::Detected {
-                    latency: dev.cycle() - inject_cycle,
-                };
-            }
-            _ => {}
-        }
-    }
-    // The checker compares every released store, so an undetected fault
-    // cannot have escaped: classify as masked.
-    FaultOutcome::Masked
+    observe_window(
+        &mut dev,
+        workload,
+        cfg,
+        inject_cycle,
+        // The checker compares every released store, so no golden model
+        // runs and the released count is never consulted.
+        |_| 0,
+        ObservePolicy {
+            poll_detection: true,
+            hang_is_detection: true,
+            golden_compare: false,
+        },
+    )
 }
 
 #[cfg(test)]

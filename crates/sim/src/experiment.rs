@@ -4,6 +4,8 @@
 use rmt_core::crt::CrtDevice;
 use rmt_core::device::{BaseDevice, Device, LogicalThread, SrtDevice, SrtOptions};
 use rmt_core::lockstep::{LockstepDevice, LockstepOptions};
+use rmt_core::machine::Machine;
+use rmt_core::schemes::Topology;
 use rmt_mem::HierarchyConfig;
 use rmt_pipeline::CoreConfig;
 use rmt_stats::{MetricsRegistry, MetricsSnapshot};
@@ -33,9 +35,29 @@ pub enum DeviceKind {
     Lock8,
     /// Chip-level redundant threading (the paper's contribution, §5).
     Crt,
+    /// CRT's cross-coupling generalised to a four-core ring: program `i`
+    /// leads on core `i % 4` and trails on core `(i + 1) % 4`, so every
+    /// core mixes one program's leading thread with a *different*
+    /// program's trailing thread — an arrangement the pre-fabric device
+    /// layer could not express.
+    CrtRing4,
 }
 
 impl DeviceKind {
+    /// Every kind, in display order.
+    pub const ALL: &'static [DeviceKind] = &[
+        DeviceKind::Base,
+        DeviceKind::Base2,
+        DeviceKind::Srt,
+        DeviceKind::SrtPtsq,
+        DeviceKind::SrtNosc,
+        DeviceKind::SrtNoPsr,
+        DeviceKind::Lock0,
+        DeviceKind::Lock8,
+        DeviceKind::Crt,
+        DeviceKind::CrtRing4,
+    ];
+
     /// Display name matching the paper's figures.
     pub fn name(self) -> &'static str {
         match self {
@@ -48,6 +70,7 @@ impl DeviceKind {
             DeviceKind::Lock0 => "Lock0",
             DeviceKind::Lock8 => "Lock8",
             DeviceKind::Crt => "CRT",
+            DeviceKind::CrtRing4 => "CRT-ring4",
         }
     }
 }
@@ -93,48 +116,51 @@ pub struct Experiment {
     seed: u64,
     warmup: u64,
     measure: u64,
-    core_cfg: CoreConfig,
-    hier_cfg: HierarchyConfig,
-    srt_opts: SrtOptions,
+    /// The one device configuration: every kind reads the pieces it needs
+    /// (`core`, `hierarchy`, and — for redundant kinds — `env`).
+    opts: SrtOptions,
+    checker_latency: u64,
+    desync_window: u64,
     max_cycle_factor: u64,
 }
 
 impl Experiment {
     /// Starts an experiment on the given machine kind.
     pub fn new(kind: DeviceKind) -> Self {
-        let mut core_cfg = CoreConfig::base();
-        let mut srt_opts = SrtOptions::default();
+        let mut opts = SrtOptions::default();
         match kind {
-            DeviceKind::Srt | DeviceKind::SrtNosc | DeviceKind::Crt => {
-                srt_opts.core.preferential_space_redundancy = true;
+            DeviceKind::Srt | DeviceKind::SrtNosc => {
+                opts.core.preferential_space_redundancy = true;
             }
             DeviceKind::SrtPtsq => {
-                srt_opts.core.preferential_space_redundancy = true;
-                srt_opts.core.per_thread_store_queues = true;
+                opts.core.preferential_space_redundancy = true;
+                opts.core.per_thread_store_queues = true;
             }
-            DeviceKind::SrtNoPsr => {}
+            DeviceKind::Crt | DeviceKind::CrtRing4 => {
+                opts.core.preferential_space_redundancy = true;
+                opts.env.cross_core_delay = 4;
+                // §4.2: the cross-core verification latency makes the shared
+                // store-queue partitioning the binding constraint; CRT uses
+                // the paper's per-thread store queues.
+                opts.core.per_thread_store_queues = true;
+            }
             _ => {}
         }
         if kind == DeviceKind::SrtNosc {
-            srt_opts.env.store_comparison = false;
+            opts.env.store_comparison = false;
         }
-        if kind == DeviceKind::Crt {
-            srt_opts.env.cross_core_delay = 4;
-            // §4.2: the cross-core verification latency makes the shared
-            // store-queue partitioning the binding constraint; CRT uses the
-            // paper's per-thread store queues.
-            srt_opts.core.per_thread_store_queues = true;
-        }
-        core_cfg.preferential_space_redundancy = false;
         Experiment {
             kind,
             benchmarks: Vec::new(),
             seed: 1,
             warmup: 20_000,
             measure: 100_000,
-            core_cfg,
-            hier_cfg: HierarchyConfig::default(),
-            srt_opts,
+            opts,
+            checker_latency: match kind {
+                DeviceKind::Lock8 => 8,
+                _ => 0,
+            },
+            desync_window: 2_000,
             max_cycle_factor: 60,
         }
     }
@@ -172,25 +198,35 @@ impl Experiment {
 
     /// Applies a closure to the core configuration of whichever device this
     /// experiment builds (sweeps and ablations).
-    pub fn tweak_core(mut self, f: impl Fn(&mut CoreConfig)) -> Self {
-        f(&mut self.core_cfg);
-        f(&mut self.srt_opts.core);
+    ///
+    /// Tweaks are applied immediately and in call order, so repeated calls
+    /// compose: a later tweak sees (and may overwrite) an earlier one's
+    /// values.
+    pub fn tweak_core(mut self, f: impl FnOnce(&mut CoreConfig)) -> Self {
+        f(&mut self.opts.core);
         self
     }
 
     /// Applies a closure to the full SRT/CRT options (store-queue sweeps,
-    /// forwarding-delay sweeps, fetch-policy ablations).
+    /// forwarding-delay sweeps, fetch-policy ablations). Composes like
+    /// [`Experiment::tweak_core`].
     pub fn tweak_srt(mut self, f: impl FnOnce(&mut SrtOptions)) -> Self {
-        f(&mut self.srt_opts);
+        f(&mut self.opts);
         self
     }
 
     /// Applies a closure to the memory-hierarchy configuration of whichever
-    /// device this experiment builds (prefetch/latency sweeps).
-    pub fn tweak_hierarchy(mut self, f: impl Fn(&mut HierarchyConfig)) -> Self {
-        f(&mut self.hier_cfg);
-        f(&mut self.srt_opts.hierarchy);
+    /// device this experiment builds (prefetch/latency sweeps). Composes
+    /// like [`Experiment::tweak_core`].
+    pub fn tweak_hierarchy(mut self, f: impl FnOnce(&mut HierarchyConfig)) -> Self {
+        f(&mut self.opts.hierarchy);
         self
+    }
+
+    /// The experiment's current device configuration (inspection and
+    /// tweak-composition tests).
+    pub fn options(&self) -> &SrtOptions {
+        &self.opts
     }
 
     /// Raises the cycle-budget multiplier (slow configurations).
@@ -206,21 +242,22 @@ impl Experiment {
             .collect()
     }
 
-    /// Runs the experiment.
+    /// Builds the device this experiment is configured for — the one
+    /// construction path for every [`DeviceKind`] (`run` uses it, and the
+    /// refactor-guard test pins its output).
     ///
     /// # Errors
     ///
-    /// [`SimError::NoBenchmarks`] if no benchmark was added;
-    /// [`SimError::Timeout`] if the run exceeds the cycle budget.
-    pub fn run(self) -> Result<RunResult, SimError> {
+    /// [`SimError::NoBenchmarks`] if no benchmark was added.
+    pub fn build_device(&self) -> Result<Box<dyn Device>, SimError> {
         if self.benchmarks.is_empty() {
             return Err(SimError::NoBenchmarks);
         }
         let threads = self.logical_threads();
-        let mut device: Box<dyn Device> = match self.kind {
+        Ok(match self.kind {
             DeviceKind::Base => Box::new(BaseDevice::new(
-                self.core_cfg.clone(),
-                self.hier_cfg,
+                self.opts.core.clone(),
+                self.opts.hierarchy,
                 threads,
             )),
             DeviceKind::Base2 => {
@@ -231,32 +268,40 @@ impl Experiment {
                     .flat_map(|t| [t.clone(), t.clone()])
                     .collect();
                 Box::new(BaseDevice::new(
-                    self.core_cfg.clone(),
-                    self.hier_cfg,
+                    self.opts.core.clone(),
+                    self.opts.hierarchy,
                     doubled,
                 ))
             }
             DeviceKind::Srt | DeviceKind::SrtPtsq | DeviceKind::SrtNosc | DeviceKind::SrtNoPsr => {
-                Box::new(SrtDevice::new(self.srt_opts.clone(), threads))
+                Box::new(SrtDevice::new(self.opts.clone(), threads))
             }
-            DeviceKind::Lock0 => Box::new(LockstepDevice::new(
+            DeviceKind::Lock0 | DeviceKind::Lock8 => Box::new(LockstepDevice::new(
                 LockstepOptions {
-                    core: self.core_cfg.clone(),
-                    hierarchy: self.hier_cfg,
-                    ..LockstepOptions::lock0()
+                    core: self.opts.core.clone(),
+                    hierarchy: self.opts.hierarchy,
+                    checker_latency: self.checker_latency,
+                    desync_window: self.desync_window,
                 },
                 threads,
             )),
-            DeviceKind::Lock8 => Box::new(LockstepDevice::new(
-                LockstepOptions {
-                    core: self.core_cfg.clone(),
-                    hierarchy: self.hier_cfg,
-                    ..LockstepOptions::lock8()
-                },
+            DeviceKind::Crt => Box::new(CrtDevice::new(self.opts.clone(), threads)),
+            DeviceKind::CrtRing4 => Box::new(Machine::redundant(
+                self.opts.clone(),
                 threads,
+                Topology::Ring(4),
             )),
-            DeviceKind::Crt => Box::new(CrtDevice::new(self.srt_opts.clone(), threads)),
-        };
+        })
+    }
+
+    /// Runs the experiment.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NoBenchmarks`] if no benchmark was added;
+    /// [`SimError::Timeout`] if the run exceeds the cycle budget.
+    pub fn run(self) -> Result<RunResult, SimError> {
+        let mut device = self.build_device()?;
         let logical_idx: Vec<usize> = match self.kind {
             DeviceKind::Base2 => (0..self.benchmarks.len()).map(|i| 2 * i).collect(),
             _ => (0..self.benchmarks.len()).collect(),
@@ -455,6 +500,44 @@ mod tests {
         let b = quick(DeviceKind::Srt, Benchmark::Go);
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.total_committed(), b.total_committed());
+    }
+
+    #[test]
+    fn tweaks_compose_in_call_order() {
+        let e = Experiment::new(DeviceKind::Srt)
+            .tweak_core(|c| c.sq_entries = 16)
+            .tweak_core(|c| c.sq_entries *= 4)
+            .tweak_hierarchy(|h| h.l1d_next_line_prefetch = true)
+            .tweak_srt(|o| o.env.lvq_entries = 99);
+        assert_eq!(
+            e.options().core.sq_entries,
+            64,
+            "later tweaks must see earlier tweaks' values"
+        );
+        assert!(e.options().hierarchy.l1d_next_line_prefetch);
+        assert_eq!(e.options().env.lvq_entries, 99);
+    }
+
+    #[test]
+    fn crt_ring4_runs_four_programs() {
+        let r = Experiment::new(DeviceKind::CrtRing4)
+            .benchmarks(&[
+                Benchmark::Gcc,
+                Benchmark::Go,
+                Benchmark::Ijpeg,
+                Benchmark::Swim,
+            ])
+            .warmup(1_000)
+            .measure(2_000)
+            .run()
+            .unwrap();
+        assert_eq!(r.per_thread.len(), 4);
+        for i in 0..4 {
+            assert!(r.ipc(i) > 0.0, "thread {i} made no progress");
+        }
+        assert_eq!(r.faults_detected(), 0);
+        // Four cores exported their metric trees.
+        assert!(r.metrics.counter("core3/cycles").is_some());
     }
 
     #[test]

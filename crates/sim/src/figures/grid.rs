@@ -1,0 +1,194 @@
+//! The declarative experiment grid.
+//!
+//! Every efficiency figure is the same shape: a grid of benchmark-mix
+//! rows × device-variant columns, one [`Experiment`] per cell, each
+//! cell's SMT efficiency taken against the shared baseline cache. A
+//! [`Variant`] names the column: a [`DeviceKind`] plus an optional
+//! options tweak (that is how sweeps express their parameter axis).
+//!
+//! [`eff_grid`] fans the cells across the runner row-major with the
+//! variant index innermost — the job-index order every `--jobs`
+//! invariance golden was recorded under, so it must not change.
+
+use super::{FigureCtx, FigureResult, SimScale};
+use crate::experiment::{DeviceKind, Experiment};
+use rmt_core::device::SrtOptions;
+use rmt_stats::metrics::{mean, smt_efficiency};
+use rmt_stats::table::fmt3;
+use rmt_stats::{MetricsSnapshot, Table};
+use rmt_workloads::mix::mix_name;
+use rmt_workloads::Benchmark;
+use std::collections::BTreeMap;
+
+/// An options tweak a [`Variant`] applies on top of its kind's defaults.
+pub(crate) type Tweak<'a> = Box<dyn Fn(&mut SrtOptions) + Sync + 'a>;
+
+/// One column of an efficiency grid: which device to build and how to
+/// label the cell's metric snapshot.
+pub(crate) struct Variant<'a> {
+    /// The device kind the cell's experiment constructs.
+    pub kind: DeviceKind,
+    /// Metric-snapshot key suffix (`"mix/label"`).
+    pub label: String,
+    /// Cycle-budget multiplier override for slow configurations.
+    pub max_cycle_factor: Option<u64>,
+    /// Options tweak applied on top of the kind's defaults.
+    pub tweak: Option<Tweak<'a>>,
+}
+
+impl Variant<'_> {
+    /// A plain column: the kind with its default options, labelled by
+    /// the kind's name.
+    pub fn plain(kind: DeviceKind) -> Self {
+        Variant {
+            kind,
+            label: kind.name().to_string(),
+            max_cycle_factor: None,
+            tweak: None,
+        }
+    }
+}
+
+/// One grid cell: run `variant` on `benches` and return the SMT
+/// efficiency against the shared baselines plus the run's metrics.
+fn eff_cell(
+    ctx: &FigureCtx,
+    variant: &Variant,
+    benches: &[Benchmark],
+    scale: SimScale,
+) -> (f64, MetricsSnapshot) {
+    let mut e = Experiment::new(variant.kind)
+        .benchmarks(benches)
+        .seed(scale.seed)
+        .warmup(scale.warmup)
+        .measure(scale.measure);
+    if let Some(factor) = variant.max_cycle_factor {
+        e = e.max_cycle_factor(factor);
+    }
+    if let Some(tweak) = &variant.tweak {
+        e = e.tweak_srt(|o| tweak(o));
+    }
+    let r = e
+        .run()
+        .unwrap_or_else(|e| panic!("{} on {benches:?} failed: {e}", variant.kind));
+    ctx.runner.add_sim_cycles(r.cycles);
+    let pairs: Vec<(f64, f64)> = benches
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| {
+            (
+                r.ipc(i),
+                ctx.baselines
+                    .ipc(b, scale.seed, scale.warmup, scale.measure),
+            )
+        })
+        .collect();
+    (smt_efficiency(&pairs), r.metrics)
+}
+
+/// Fans `rows × variants` efficiency cells across the runner and returns
+/// them grouped per row (variant-major within a row) — the access pattern
+/// every per-benchmark figure table uses — plus each cell's metric
+/// snapshot keyed `"mix/label"`.
+pub(crate) fn eff_grid(
+    ctx: &FigureCtx,
+    scale: SimScale,
+    rows: &[Vec<Benchmark>],
+    variants: &[Variant],
+) -> (Vec<Vec<f64>>, BTreeMap<String, MetricsSnapshot>) {
+    let k = variants.len();
+    let flat = ctx.runner.run(rows.len() * k, |i| {
+        eff_cell(ctx, &variants[i % k], &rows[i / k], scale)
+    });
+    let mut effs: Vec<Vec<f64>> = vec![Vec::with_capacity(k); rows.len()];
+    let mut metrics = BTreeMap::new();
+    for (i, (eff, snap)) in flat.into_iter().enumerate() {
+        let (r, c) = (i / k, i % k);
+        effs[r].push(eff);
+        metrics.insert(
+            format!("{}/{}", mix_name(&rows[r]), variants[c].label),
+            snap,
+        );
+    }
+    (effs, metrics)
+}
+
+/// A single efficiency point — [`eff_grid`] with one plain cell, for
+/// drivers that interleave grid points with hand-rolled runs.
+pub(crate) fn run_eff(
+    ctx: &FigureCtx,
+    kind: DeviceKind,
+    benches: &[Benchmark],
+    scale: SimScale,
+) -> (f64, MetricsSnapshot) {
+    eff_cell(ctx, &Variant::plain(kind), benches, scale)
+}
+
+/// [`eff_grid`] over plain kind columns: `benches-mix rows × kinds`.
+pub(crate) fn grid_eff(
+    ctx: &FigureCtx,
+    scale: SimScale,
+    rows: &[Vec<Benchmark>],
+    kinds: &[DeviceKind],
+) -> (Vec<Vec<f64>>, BTreeMap<String, MetricsSnapshot>) {
+    let variants: Vec<Variant> = kinds.iter().map(|&k| Variant::plain(k)).collect();
+    eff_grid(ctx, scale, rows, &variants)
+}
+
+/// [`eff_grid`] over a parameter axis: single-benchmark rows × one
+/// tweaked variant per parameter value, metric snapshots keyed
+/// `"bench/label=param"`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sweep_eff<P: Copy + Sync + std::fmt::Display>(
+    ctx: &FigureCtx,
+    scale: SimScale,
+    benches: &[Benchmark],
+    kind: DeviceKind,
+    params: &[P],
+    param_label: &str,
+    max_cycle_factor: u64,
+    tweak: impl Fn(&mut SrtOptions, P) + Sync,
+) -> (Vec<Vec<f64>>, BTreeMap<String, MetricsSnapshot>) {
+    let rows: Vec<Vec<Benchmark>> = benches.iter().map(|&b| vec![b]).collect();
+    let tweak = &tweak;
+    let variants: Vec<Variant> = params
+        .iter()
+        .map(|&p| Variant {
+            kind,
+            label: format!("{param_label}={p}"),
+            max_cycle_factor: Some(max_cycle_factor),
+            tweak: Some(Box::new(move |o: &mut SrtOptions| tweak(o, p))),
+        })
+        .collect();
+    eff_grid(ctx, scale, &rows, &variants)
+}
+
+/// Renders a sweep's per-benchmark points as a table with one column per
+/// parameter value and per-column means in the summary.
+pub(crate) fn sweep_table<P: Copy + std::fmt::Display>(
+    benches: &[Benchmark],
+    params: &[P],
+    param_label: &str,
+    summary_prefix: &str,
+    per_bench: &[Vec<f64>],
+    metrics: BTreeMap<String, MetricsSnapshot>,
+) -> FigureResult {
+    let mut cols: Vec<String> = vec!["benchmark".into()];
+    cols.extend(params.iter().map(|p| format!("{param_label}={p}")));
+    let mut t = Table::new(cols);
+    for (b, row) in benches.iter().zip(per_bench) {
+        let mut cells = vec![b.name().to_string()];
+        cells.extend(row.iter().map(|&e| fmt3(e)));
+        t.row(cells);
+    }
+    let mut summary = BTreeMap::new();
+    for (i, p) in params.iter().enumerate() {
+        let col: Vec<f64> = per_bench.iter().map(|row| row[i]).collect();
+        summary.insert(format!("{summary_prefix}{p}"), mean(&col));
+    }
+    FigureResult {
+        table: t,
+        summary,
+        metrics,
+    }
+}

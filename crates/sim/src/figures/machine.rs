@@ -1,0 +1,158 @@
+//! Table 1 and Figure 2: the machine description, read back from the
+//! live configuration structures so the tables cannot drift from the
+//! model.
+
+use super::FigureResult;
+use rmt_pipeline::CoreConfig;
+use rmt_stats::Table;
+use std::collections::BTreeMap;
+
+/// Table 1: the base processor's parameters.
+pub fn table1() -> FigureResult {
+    let c = CoreConfig::base();
+    let h = rmt_mem::HierarchyConfig::default();
+    let mut t = Table::with_columns(&["box", "parameter", "value"]);
+    let mut row = |a: &str, b: &str, v: String| t.row(vec![a.into(), b.into(), v]);
+    row(
+        "IBOX",
+        "fetch width",
+        format!("{} x {}-instruction chunks", c.fetch_chunks, c.chunk_size),
+    );
+    row(
+        "IBOX",
+        "line predictor entries",
+        c.line_predictor_entries.to_string(),
+    );
+    row(
+        "IBOX",
+        "L1 I-cache",
+        format!(
+            "{} KB, {}-way, {} B blocks, way prediction",
+            h.l1i.size_bytes / 1024,
+            h.l1i.assoc,
+            h.l1i.block_bytes
+        ),
+    );
+    row(
+        "IBOX",
+        "memory dependence predictor",
+        format!("store sets, {} entries", c.store_sets_entries),
+    );
+    row(
+        "PBOX",
+        "map width",
+        format!("one {}-instruction chunk per cycle", c.chunk_size),
+    );
+    row(
+        "QBOX",
+        "instruction queue",
+        format!("{} entries (two {}-entry halves)", c.iq_size, c.iq_size / 2),
+    );
+    row(
+        "QBOX",
+        "issue width",
+        format!("{} per cycle", c.issue_width),
+    );
+    row(
+        "RBOX",
+        "register file",
+        format!("{} physical registers", c.phys_regs),
+    );
+    row(
+        "EBOX/FBOX",
+        "functional units",
+        format!(
+            "{} int, {} logic, {} mem, {} fp",
+            c.fu_int, c.fu_logic, c.fu_mem, c.fu_fp
+        ),
+    );
+    row(
+        "MBOX",
+        "L1 D-cache",
+        format!(
+            "{} KB, {}-way, {} B blocks, {} load ports",
+            h.l1d.size_bytes / 1024,
+            h.l1d.assoc,
+            h.l1d.block_bytes,
+            c.max_loads_per_cycle
+        ),
+    );
+    row("MBOX", "load queue", format!("{} entries", c.lq_entries));
+    row("MBOX", "store queue", format!("{} entries", c.sq_entries));
+    row(
+        "system",
+        "L2 cache",
+        format!(
+            "{} MB, {}-way, {} B blocks",
+            h.l2.size_bytes / 1024 / 1024,
+            h.l2.assoc,
+            h.l2.block_bytes
+        ),
+    );
+    row(
+        "system",
+        "L2 / memory latency",
+        format!("{} / {} cycles", h.l2_latency, h.mem_latency),
+    );
+    let mut summary = BTreeMap::new();
+    summary.insert("iq_size".into(), c.iq_size as f64);
+    summary.insert("phys_regs".into(), c.phys_regs as f64);
+    FigureResult {
+        table: t,
+        summary,
+        metrics: BTreeMap::new(),
+    }
+}
+
+/// Figure 2: the pipeline's stage latencies.
+pub fn fig2_pipeline() -> FigureResult {
+    let c = CoreConfig::base();
+    let mut t = Table::with_columns(&["segment", "role", "cycles"]);
+    for (seg, role, cyc) in [
+        (
+            "I",
+            "IBOX: thread chooser, line prediction, I-cache, rate-matching buffer",
+            c.ibox_latency,
+        ),
+        ("P", "PBOX: wire delay + register rename", c.pbox_latency),
+        ("Q", "QBOX: instruction queue", c.qbox_latency),
+        ("R", "RBOX: register read", c.rbox_latency),
+        ("E", "EBOX: functional units (base latency)", 1),
+        (
+            "M",
+            "MBOX: data cache / load queue / store queue",
+            c.mbox_latency,
+        ),
+    ] {
+        t.row(vec![seg.into(), role.into(), cyc.to_string()]);
+    }
+    let mut summary = BTreeMap::new();
+    summary.insert(
+        "frontend_depth".into(),
+        (c.ibox_latency + c.pbox_latency + c.qbox_latency) as f64,
+    );
+    FigureResult {
+        table: t,
+        summary,
+        metrics: BTreeMap::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reflects_config() {
+        let r = table1();
+        assert_eq!(r.value("iq_size"), 128.0);
+        assert_eq!(r.value("phys_regs"), 512.0);
+        assert!(r.table.num_rows() >= 10);
+    }
+
+    #[test]
+    fn fig2_depth() {
+        let r = fig2_pipeline();
+        assert_eq!(r.value("frontend_depth"), 10.0);
+    }
+}

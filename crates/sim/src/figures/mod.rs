@@ -1,0 +1,162 @@
+//! One driver per reproduced table/figure.
+//!
+//! Every function returns a [`FigureResult`]: a printable table whose rows
+//! mirror the paper's artifact, plus a machine-readable summary used by
+//! tests and EXPERIMENTS.md. The `rmt-bench` binaries are thin wrappers
+//! that print these.
+//!
+//! Each driver takes a [`FigureCtx`] and submits its independent data
+//! points — `(device kind, benchmark/mix, scale)` experiments, or
+//! per-injection fault-campaign jobs — to the context's [`Runner`].
+//! Results are gathered by job index and baselines are memoized once per
+//! key, so a figure is **bitwise identical** at any `--jobs` level (the
+//! determinism tests assert this).
+//!
+//! The module is organised by topic, with every driver re-exported flat
+//! so callers keep writing `figures::fig6_srt_single`:
+//!
+//! * `grid` — the declarative experiment grid all efficiency figures fan
+//!   out through: benchmark-mix rows × device `Variant` columns (a
+//!   `DeviceKind` plus an optional options tweak), one job per cell.
+//! * `machine` — Table 1 and Figure 2, read back from the live config.
+//! * `srt` — Figures 6–9: one-thread SRT, PSR, multi-thread SRT, stores.
+//! * `crt` — Figures 10–12 (lockstep vs CRT) and the four-core CRT ring.
+//! * `ablations` — sizing and policy sweeps.
+//! * `workloads` — slack profiles and workload characterization.
+//! * `faults` — fault-injection coverage.
+//! * `suite` — the aggregate JSON artifact.
+//!
+//! The paper's runs are 15M instructions per program on a hardware-grade
+//! simulator; ours default to smaller intervals (see [`SimScale`]) — the
+//! *shape* of each result is the reproduction target, not absolute
+//! magnitudes (DESIGN.md §5).
+
+mod ablations;
+mod crt;
+mod faults;
+mod grid;
+mod machine;
+mod srt;
+mod suite;
+mod workloads;
+
+pub use ablations::{
+    abl_crt_delay, abl_fetch_policy, abl_lvq_size, abl_prefetch, abl_slack, abl_sq_size,
+};
+pub use crt::{fig10_crt_single, fig11_crt_two, fig12_crt_four, fig_ring4};
+pub use faults::fault_coverage;
+pub use machine::{fig2_pipeline, table1};
+pub use srt::{fig6_srt_single, fig7_psr, fig8_srt_multi, fig9_storeq};
+pub use suite::suite_summary;
+pub use workloads::{slack_profile, workload_chars};
+
+use crate::baseline::BaselineCache;
+use crate::runner::Runner;
+use rmt_stats::{MetricsSnapshot, Table};
+use std::collections::BTreeMap;
+
+/// How much simulation to spend per data point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimScale {
+    /// Instructions committed per logical thread before measurement.
+    pub warmup: u64,
+    /// Instructions committed per logical thread in the measured interval.
+    pub measure: u64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl SimScale {
+    /// Small runs for CI (~seconds per figure). Caches and predictors are
+    /// still partially cold at this scale; use it for shape checks, not
+    /// recorded numbers.
+    pub fn quick() -> Self {
+        SimScale {
+            warmup: 2_000,
+            measure: 10_000,
+            seed: 1,
+        }
+    }
+
+    /// The default scale used by the figure binaries: long enough for the
+    /// pointer-chase rings, predictors and caches to reach steady state.
+    pub fn standard() -> Self {
+        SimScale {
+            warmup: 40_000,
+            measure: 80_000,
+            seed: 1,
+        }
+    }
+
+    /// Long runs for the recorded EXPERIMENTS.md numbers.
+    pub fn full() -> Self {
+        SimScale {
+            warmup: 60_000,
+            measure: 150_000,
+            seed: 1,
+        }
+    }
+}
+
+/// Shared execution context for a figure suite: the parallel [`Runner`]
+/// and the [`BaselineCache`] whose base-IPC denominators are computed
+/// exactly once per `(bench, seed, warmup, measure)` across every figure
+/// run through it.
+#[derive(Debug, Default)]
+pub struct FigureCtx {
+    /// The job pool figures fan their data points across.
+    pub runner: Runner,
+    /// Memoized single-thread base IPCs shared by all drivers and workers.
+    pub baselines: BaselineCache,
+}
+
+impl FigureCtx {
+    /// A context with `jobs` worker threads.
+    pub fn new(jobs: usize) -> Self {
+        FigureCtx {
+            runner: Runner::new(jobs),
+            baselines: BaselineCache::new(),
+        }
+    }
+
+    /// A context sized to the host's available parallelism.
+    pub fn available() -> Self {
+        FigureCtx {
+            runner: Runner::available(),
+            baselines: BaselineCache::new(),
+        }
+    }
+
+    /// A single-worker context (the sequential reference).
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+}
+
+/// A printable artifact plus machine-readable summary values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureResult {
+    /// The paper-style rows.
+    pub table: Table,
+    /// Named scalar results (averages, deltas) for tests and reports.
+    pub summary: BTreeMap<String, f64>,
+    /// Whole-run metric snapshots for the figure's experiments, keyed
+    /// `"mix/variant"` (empty for drivers that do not run full
+    /// [`Experiment`](crate::experiment::Experiment)s). Deterministic:
+    /// part of the `--jobs` invariance the determinism tests assert.
+    pub metrics: BTreeMap<String, MetricsSnapshot>,
+}
+
+impl FigureResult {
+    /// A summary value by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is absent (a test programming error).
+    pub fn value(&self, key: &str) -> f64 {
+        *self
+            .summary
+            .get(key)
+            .unwrap_or_else(|| panic!("missing summary key `{key}`"))
+    }
+}

@@ -35,6 +35,7 @@
 pub mod baseline;
 pub mod experiment;
 pub mod figures;
+pub mod guard;
 pub mod runner;
 
 pub use baseline::BaselineCache;

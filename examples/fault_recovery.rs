@@ -28,7 +28,7 @@ fn main() {
     );
 
     println!("\nstriking bit 11 of the next store to pass the commit point...");
-    dev.device_mut().core_mut().arm_sq_strike(0, 1 << 11);
+    dev.core_mut().arm_sq_strike(0, 1 << 11);
     dev.run_until_committed(40_000, 200_000_000);
     println!(
         "  detection+rollback happened {} time(s); execution continued to {} commits",
@@ -46,7 +46,7 @@ fn main() {
             stores += 1;
         }
     }
-    let equal = interp.mem().digest() == dev.device().image(0).digest();
+    let equal = interp.mem().digest() == dev.image(0).digest();
     println!(
         "\narchitectural state vs fault-free golden model: {}",
         if equal {

@@ -5,6 +5,8 @@
 
 use rmt::core::crt::CrtDevice;
 use rmt::core::device::{BaseDevice, Device, LogicalThread, SrtDevice, SrtOptions};
+use rmt::core::lockstep::{LockstepDevice, LockstepOptions};
+use rmt::core::recovery::RecoverableSrt;
 use rmt::pipeline::CoreConfig;
 use rmt::stats::{MetricsRegistry, MetricsSnapshot};
 use rmt::workloads::{Benchmark, Workload};
@@ -89,6 +91,32 @@ fn crt_device_conserves_issue_slots_on_both_cores() {
     let snap = snapshot(&dev);
     assert_conservation(&snap, &["core0", "core1"]);
     assert!(snap.counter("rmt/pair0/comparator/matches").unwrap() > 0);
+}
+
+#[test]
+fn lockstep_device_conserves_issue_slots_on_both_cores() {
+    let w = Workload::generate(Benchmark::Ijpeg, 5);
+    let mut dev = LockstepDevice::new(LockstepOptions::lock8(), vec![LogicalThread::from(&w)]);
+    assert!(dev.run_until_committed(6_000, 6_000_000));
+    let snap = snapshot(&dev);
+    assert_conservation(&snap, &["core0", "core1"]);
+    // The checker compared outputs and the cores never drifted apart.
+    assert!(snap.counter("checker/compared_stores").unwrap() > 0);
+    assert_eq!(snap.counter("checker/desynced"), Some(0));
+}
+
+#[test]
+fn recoverable_srt_conserves_issue_slots_and_exports_recovery_state() {
+    let w = Workload::generate(Benchmark::M88ksim, 5);
+    let mut dev = RecoverableSrt::new(SrtOptions::default(), vec![LogicalThread::from(&w)], 3_000);
+    assert!(dev.run_until_committed(8_000, 6_000_000));
+    let snap = snapshot(&dev);
+    // Conservation must survive the checkpoint quiesce windows, where
+    // fetch is paused but cycles keep ticking.
+    assert_conservation(&snap, &["core0"]);
+    assert!(snap.counter("rmt/pair0/comparator/matches").unwrap() > 0);
+    assert!(snap.counter("recovery/checkpoints_taken").unwrap() >= 1);
+    assert_eq!(snap.counter("recovery/recoveries"), Some(0));
 }
 
 #[test]

@@ -38,7 +38,7 @@ fn released(dev: &RecoverableSrt) -> u64 {
 fn store_strike_is_recovered_exactly() {
     let (w, mut dev) = recoverable(Benchmark::Swim, 3, 4_000);
     assert!(dev.run_until_committed(6_000, 30_000_000));
-    dev.device_mut().core_mut().arm_sq_strike(0, 1 << 11);
+    dev.core_mut().arm_sq_strike(0, 1 << 11);
     assert!(dev.run_until_committed(40_000, 120_000_000));
     assert_eq!(
         dev.recoveries(),
@@ -47,7 +47,7 @@ fn store_strike_is_recovered_exactly() {
     );
     // The acid test: memory equals the golden prefix as if nothing happened.
     assert_eq!(
-        dev.device().image(0).digest(),
+        dev.image(0).digest(),
         golden_digest_at_stores(&w, released(&dev)),
         "recovery left an architectural trace"
     );
@@ -62,11 +62,9 @@ fn register_strikes_are_recovered_exactly() {
     let mut recovered = 0;
     for round in 0..4 {
         // Strike a live register each round.
-        let live = dev.device().core().live_phys_regs();
+        let live = dev.core().live_phys_regs();
         let reg = live[rng.below(live.len() as u64) as usize];
-        dev.device_mut()
-            .core_mut()
-            .corrupt_phys_reg(reg, 1 << rng.below(64));
+        dev.core_mut().corrupt_phys_reg(reg, 1 << rng.below(64));
         let target = dev.committed(0) + 10_000;
         assert!(
             dev.run_until_committed(target, 200_000_000),
@@ -77,7 +75,7 @@ fn register_strikes_are_recovered_exactly() {
     // Some strikes mask; any that were detected must have recovered with
     // golden-equivalent state.
     assert_eq!(
-        dev.device().image(0).digest(),
+        dev.image(0).digest(),
         golden_digest_at_stores(&w, released(&dev)),
         "after {recovered} recoveries the state diverged"
     );
@@ -88,13 +86,13 @@ fn repeated_strikes_keep_recovering() {
     let (w, mut dev) = recoverable(Benchmark::Compress, 7, 3_000);
     assert!(dev.run_until_committed(4_000, 30_000_000));
     for _ in 0..3 {
-        dev.device_mut().core_mut().arm_sq_strike(0, 1 << 21);
+        dev.core_mut().arm_sq_strike(0, 1 << 21);
         let target = dev.committed(0) + 8_000;
         assert!(dev.run_until_committed(target, 200_000_000));
     }
     assert_eq!(dev.recoveries(), 3);
     assert_eq!(
-        dev.device().image(0).digest(),
+        dev.image(0).digest(),
         golden_digest_at_stores(&w, released(&dev))
     );
 }
@@ -106,7 +104,7 @@ fn fault_free_recoverable_srt_matches_plain_srt_architecturally() {
     assert_eq!(dev.recoveries(), 0);
     assert!(dev.checkpoints_taken() >= 3);
     assert_eq!(
-        dev.device().image(0).digest(),
+        dev.image(0).digest(),
         golden_digest_at_stores(&w, released(&dev))
     );
 }

@@ -1,0 +1,53 @@
+//! Refactor guard: every [`rmt_sim::DeviceKind`], constructed through the
+//! one experiment factory, must reproduce the committed golden records
+//! bitwise — measured cycles, per-thread outcomes, fault counts and the
+//! FNV digest of the full metric snapshot.
+//!
+//! The golden (`results/refactor_guard_quick.json`) was captured from the
+//! pre-fabric device layer, so this test proves the Machine/
+//! RedundancyScheme refactor is behaviourally neutral at `--quick` scale.
+//! Regenerate deliberately with the `guard_golden` binary.
+
+use rmt_sim::guard::{guard_points, parse_golden, run_point};
+
+#[test]
+fn every_device_kind_matches_the_committed_golden() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/results/refactor_guard_quick.json"
+    ))
+    .expect("read committed golden");
+    let doc = rmt_stats::json::parse(&text).expect("golden parses");
+    let golden = parse_golden(&doc).expect("golden is well-formed");
+    let points = guard_points();
+    assert_eq!(
+        golden.len(),
+        points.len(),
+        "golden entry count must match guard points; regenerate with guard_golden"
+    );
+    let mut failures = Vec::new();
+    for expected in &golden {
+        let point = points
+            .iter()
+            .find(|p| p.name == expected.name)
+            .unwrap_or_else(|| panic!("golden entry {} has no guard point", expected.name));
+        let got = run_point(point);
+        if got != *expected {
+            failures.push(format!(
+                "{}: got cycles={} faults={} fnv={:#018x}, golden cycles={} faults={} fnv={:#018x}",
+                expected.name,
+                got.cycles,
+                got.faults,
+                got.metrics_fnv,
+                expected.cycles,
+                expected.faults,
+                expected.metrics_fnv
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "refactor guard drift:\n{}",
+        failures.join("\n")
+    );
+}
