@@ -12,9 +12,12 @@
 //! `scripts/ci.sh` uses this as the `--json` smoke check.
 //!
 //! With `--compare`, additionally requires the candidate to reproduce the
-//! committed golden bitwise, top-level key by key, ignoring only `host`
-//! (wall time and worker count legitimately vary between machines). This
-//! is the CI gate that makes golden-neutrality machine-enforced.
+//! committed golden bitwise, key by key, ignoring only `host` (wall time
+//! and worker count legitimately vary between machines). Every drifting
+//! key is reported — recursing into objects so the exact leaf (e.g.
+//! `summary.SRT_mean_efficiency`) is named — and the run exits with a
+//! drift count instead of stopping at the first mismatch. This is the CI
+//! gate that makes golden-neutrality machine-enforced.
 
 use rmt_stats::json::parse;
 use rmt_stats::Json;
@@ -124,35 +127,59 @@ fn load(path: &str) -> Result<Json, String> {
     parse(&text).map_err(|e| format!("invalid JSON: {e}"))
 }
 
+/// Records every difference between two values under `path`, recursing
+/// into objects so a drifted document names the exact leaf keys (e.g.
+/// `summary.SRT_mean_efficiency`), not just the top-level section.
+/// Arrays (table rows) and scalars compare atomically.
+fn diff_value(path: &str, expected: &Json, got: &Json, drifts: &mut Vec<String>) {
+    match (expected.members(), got.members()) {
+        (Some(em), Some(gm)) => {
+            for (key, ev) in em {
+                match got.get(key) {
+                    None => drifts.push(format!("`{path}.{key}` missing from the candidate")),
+                    Some(gv) => diff_value(&format!("{path}.{key}"), ev, gv, drifts),
+                }
+            }
+            for (key, _) in gm {
+                if expected.get(key).is_none() {
+                    drifts.push(format!("`{path}.{key}` absent from the golden"));
+                }
+            }
+        }
+        _ => {
+            if expected != got {
+                drifts.push(format!("`{path}` drifted"));
+            }
+        }
+    }
+}
+
 /// Key-by-key bitwise comparison of two figure documents, ignoring
-/// `host`. Returns the first drifting key.
-fn compare_files(golden_path: &str, candidate_path: &str) -> Result<(), String> {
+/// `host`. Returns **every** drifting key (recursing into objects), so a
+/// single run shows the full extent of a drift.
+fn compare_files(golden_path: &str, candidate_path: &str) -> Result<Vec<String>, String> {
     let golden = load(golden_path)?;
     let candidate = load(candidate_path)?;
     let gm = golden.members().ok_or("golden document is not an object")?;
     let cm = candidate
         .members()
         .ok_or("candidate document is not an object")?;
+    let mut drifts = Vec::new();
     for (key, expected) in gm {
         if key == "host" {
             continue;
         }
         match candidate.get(key) {
-            None => return Err(format!("`{key}` missing from {candidate_path}")),
-            Some(got) if got != expected => {
-                return Err(format!(
-                    "`{key}` drifted from the committed golden {golden_path}"
-                ))
-            }
-            Some(_) => {}
+            None => drifts.push(format!("`{key}` missing from {candidate_path}")),
+            Some(got) => diff_value(key, expected, got, &mut drifts),
         }
     }
     for (key, _) in cm {
         if key != "host" && golden.get(key).is_none() {
-            return Err(format!("`{key}` absent from the golden {golden_path}"));
+            drifts.push(format!("`{key}` absent from the golden {golden_path}"));
         }
     }
-    Ok(())
+    Ok(drifts)
 }
 
 fn main() {
@@ -169,7 +196,17 @@ fn main() {
             }
         }
         match compare_files(golden, candidate) {
-            Ok(()) => println!("{candidate}: matches {golden}"),
+            Ok(drifts) if drifts.is_empty() => println!("{candidate}: matches {golden}"),
+            Ok(drifts) => {
+                for d in &drifts {
+                    eprintln!("error: golden drift: {d}");
+                }
+                eprintln!(
+                    "error: {} key(s) drifted from the committed golden {golden}",
+                    drifts.len()
+                );
+                std::process::exit(1);
+            }
             Err(e) => {
                 eprintln!("error: golden drift: {e}");
                 std::process::exit(1);

@@ -1,11 +1,31 @@
 //! Regenerates Figure 6: SMT-efficiency for one logical thread under
 //! Base2 / SRT+nosc / SRT / SRT+ptsq.
+//!
+//! With `--sample`, estimates the same grid from SMARTS-style detailed
+//! windows (default [`rmt_sample::SamplePlan`]) with paired sampled-Base
+//! denominators, at a fraction of the full run's detailed instructions.
 fn main() {
     let args = rmt_bench::FigureArgs::parse();
-    rmt_bench::run_and_print(
-        "Figure 6: SRT SMT-efficiency, one logical thread",
-        "Figure 6 (paper: SRT degrades ~32% vs base; ptsq recovers ~2%)",
-        &args,
-        |ctx| rmt_sim::figures::fig6_srt_single(ctx, args.scale, &args.benches),
-    );
+    if args.sample {
+        rmt_bench::run_and_print(
+            "Figure 6 (sampled): SRT SMT-efficiency, one logical thread",
+            "Figure 6 (paper: SRT degrades ~32% vs base; ptsq recovers ~2%)",
+            &args,
+            |ctx| {
+                rmt_sim::figures::fig6_srt_single_sampled(
+                    ctx,
+                    args.scale,
+                    &args.plan,
+                    &args.benches,
+                )
+            },
+        );
+    } else {
+        rmt_bench::run_and_print(
+            "Figure 6: SRT SMT-efficiency, one logical thread",
+            "Figure 6 (paper: SRT degrades ~32% vs base; ptsq recovers ~2%)",
+            &args,
+            |ctx| rmt_sim::figures::fig6_srt_single(ctx, args.scale, &args.benches),
+        );
+    }
 }

@@ -9,6 +9,7 @@
 //! --seed N                          workload seed (default: 1)
 //! --jobs N                          worker threads (default: all cores)
 //! --json PATH                       also write the result as JSON
+//! --sample                          sampled run (binaries that support it)
 //! ```
 //!
 //! and prints a paper-style table plus its summary values, the wall-clock
@@ -22,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use rmt_sample::SamplePlan;
 use rmt_sim::figures::FigureResult;
 use rmt_sim::{FigureCtx, Runner, SimScale};
 use rmt_stats::Json;
@@ -40,6 +42,14 @@ pub struct FigureArgs {
     pub jobs: usize,
     /// Path to also write the result to as JSON (`--json PATH`).
     pub json: Option<String>,
+    /// Sampled mode (`--sample`): binaries that support it estimate their
+    /// figure from SMARTS-style detailed windows instead of one long
+    /// interval; others ignore the flag.
+    pub sample: bool,
+    /// The sampling plan (defaults to [`SamplePlan::default`]); tuned by
+    /// `--sample-windows`, `--sample-warmup`, `--sample-measure` and
+    /// `--sample-warm`.
+    pub plan: SamplePlan,
 }
 
 impl FigureArgs {
@@ -54,6 +64,8 @@ impl FigureArgs {
         let mut benches: Vec<Benchmark> = ALL_BENCHMARKS.to_vec();
         let mut jobs = Runner::available().jobs();
         let mut json = None;
+        let mut sample = false;
+        let mut plan = SamplePlan::default();
         let mut it = args.into_iter();
         let set_scale = |scale: &mut SimScale, name: &str| {
             let seed = scale.seed;
@@ -103,6 +115,33 @@ impl FigureArgs {
                 "--json" => {
                     json = Some(it.next().unwrap_or_else(|| usage("--json needs a path")));
                 }
+                "--sample" => sample = true,
+                "--sample-windows" => {
+                    plan.windows = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage("--sample-windows needs a positive number"))
+                }
+                "--sample-warmup" => {
+                    plan.warmup = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--sample-warmup needs a number"))
+                }
+                "--sample-measure" => {
+                    plan.measure = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage("--sample-measure needs a positive number"))
+                }
+                "--sample-warm" => {
+                    plan.warm_window = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--sample-warm needs a number"))
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown argument `{other}`")),
             }
@@ -112,6 +151,8 @@ impl FigureArgs {
             benches,
             jobs,
             json,
+            sample,
+            plan,
         }
     }
 
@@ -127,7 +168,8 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: <figure-binary> [--quick|--standard|--full|--scale S] [--seed N] \
-         [--benches a,b,c] [--jobs N] [--json PATH]"
+         [--benches a,b,c] [--jobs N] [--json PATH] [--sample] \
+         [--sample-windows N] [--sample-warmup N] [--sample-measure N] [--sample-warm N]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 })
 }

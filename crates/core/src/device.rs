@@ -10,9 +10,10 @@
 //! The CRT and lockstep devices live in [`crate::crt`] and
 //! [`crate::lockstep`].
 
-use crate::machine::{delegate_device, Machine};
+use crate::machine::{delegate_device, Machine, WarmEvent};
 use crate::rmt_env::{RmtEnv, RmtEnvConfig};
 use crate::schemes::{IndependentScheme, RmtScheme, Topology};
+use rmt_isa::inst::NUM_ARCH_REGS;
 use rmt_isa::mem_image::MemImage;
 use rmt_isa::program::Program;
 use rmt_mem::HierarchyConfig;
@@ -76,6 +77,26 @@ pub trait Device {
     /// outside the sphere of replication, compared against the golden
     /// model by fault-injection campaigns.
     fn image(&self, logical: usize) -> &MemImage;
+
+    /// Seeds logical thread `i`'s detailed state from a sampling
+    /// checkpoint: the committed registers and PC are restored on every
+    /// hardware copy the arrangement runs. The checkpoint's memory image
+    /// must have been supplied at machine construction or re-installed
+    /// with [`Device::install_image`].
+    fn restore_arch(&mut self, logical: usize, regs: &[u64; NUM_ARCH_REGS], pc: u64);
+
+    /// Replaces logical thread `i`'s architectural memory with `image` on
+    /// every hardware copy, discarding any sphere-crossing state (LVQ,
+    /// LPQ, comparator, checker logs) built against the old memory. Used
+    /// by sampled simulation to move one machine to a later checkpoint
+    /// between detailed windows — timing structures (caches, predictors)
+    /// deliberately stay warm.
+    fn install_image(&mut self, logical: usize, image: &MemImage);
+
+    /// Replays one functional-warming event for logical thread `i` into
+    /// the machine's caches and predictors without moving any measured
+    /// counter (sampled-simulation warmup).
+    fn warm(&mut self, logical: usize, ev: WarmEvent);
 
     /// Runs until every logical thread has committed at least `per_thread`
     /// instructions (absolute count) or `max_cycles` elapse. Returns whether

@@ -64,7 +64,7 @@ pub use device::{BaseDevice, Device, LogicalThread, SrtDevice, SrtOptions};
 pub use lockstep::{LockstepDevice, LockstepOptions};
 pub use lpq::LinePredictionQueue;
 pub use lvq::LoadValueQueue;
-pub use machine::{Machine, RedundancyScheme, Substrate};
+pub use machine::{Machine, RedundancyScheme, Substrate, WarmEvent};
 pub use recovery::{RecoverableSrt, RecoveringScheme};
 pub use rmt_env::RmtEnv;
 pub use schemes::{IndependentScheme, LockstepScheme, RmtScheme, Topology};

@@ -24,11 +24,54 @@
 //! thin facades over `Machine` instantiations.
 
 use crate::device::Device;
+use rmt_isa::inst::NUM_ARCH_REGS;
 use rmt_mem::{HierarchyConfig, MemoryHierarchy};
 use rmt_pipeline::core::DetectedFault;
 use rmt_pipeline::env::CoreEnv;
 use rmt_pipeline::Core;
 use rmt_stats::MetricsRegistry;
+
+/// One functional-warming event: a record of something the workload did
+/// between detailed windows that left residue in a timing structure.
+///
+/// Sampled simulation (SMARTS-style) fast-forwards a workload with the
+/// functional interpreter and replays the most recent of these events into
+/// the caches and predictors before opening a detailed window, so the
+/// window does not start against pathologically cold structures. Warm
+/// replays never move measured counters — see the stat-free `warm_*`
+/// methods on [`rmt_mem::MemoryHierarchy`] and the predictors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarmEvent {
+    /// An instruction fetch touched the block containing `addr`.
+    IFetch {
+        /// Fetched instruction address.
+        addr: u64,
+    },
+    /// A load read `addr`.
+    Load {
+        /// Effective address.
+        addr: u64,
+    },
+    /// A retired store wrote `addr`.
+    Store {
+        /// Effective address.
+        addr: u64,
+    },
+    /// A conditional branch at `pc` resolved `taken`.
+    Branch {
+        /// Branch PC.
+        pc: u64,
+        /// Resolved direction.
+        taken: bool,
+    },
+    /// An indirect jump at `pc` resolved to `target`.
+    Jump {
+        /// Jump PC.
+        pc: u64,
+        /// Resolved target.
+        target: u64,
+    },
+}
 
 /// The arrangement-independent hardware: cores, memory hierarchies and
 /// the global cycle counter.
@@ -108,6 +151,35 @@ impl Substrate {
         self.cycle += 1;
     }
 
+    /// The hierarchy serving `core` plus the core index to address it with
+    /// (global for a shared hierarchy, 0 for a private one).
+    fn warm_hier(&mut self, core: usize) -> (&mut MemoryHierarchy, usize) {
+        if self.hiers.len() == 1 {
+            (&mut self.hiers[0], core)
+        } else {
+            (&mut self.hiers[core], 0)
+        }
+    }
+
+    /// Functionally warms core `core`'s instruction-fetch path (stat-free;
+    /// resolves shared-vs-private hierarchy indexing).
+    pub fn warm_ifetch(&mut self, core: usize, addr: u64) {
+        let (h, c) = self.warm_hier(core);
+        h.warm_ifetch(c, addr);
+    }
+
+    /// Functionally warms core `core`'s data-load path (stat-free).
+    pub fn warm_dload(&mut self, core: usize, addr: u64) {
+        let (h, c) = self.warm_hier(core);
+        h.warm_dload(c, addr);
+    }
+
+    /// Functionally warms a retired store on core `core` (stat-free).
+    pub fn warm_store(&mut self, core: usize, addr: u64) {
+        let (h, c) = self.warm_hier(core);
+        h.warm_store(c, addr);
+    }
+
     /// Drains core-detected faults, cores in index order.
     pub fn drain_detected_faults(&mut self) -> Vec<DetectedFault> {
         let mut out = Vec::new();
@@ -160,6 +232,32 @@ pub trait RedundancyScheme {
 
     /// The architectural memory image of logical thread `i`.
     fn image<'a>(&'a self, s: &'a Substrate, logical: usize) -> &'a rmt_isa::MemImage;
+
+    /// Restores logical thread `logical`'s committed architectural
+    /// register state and PC on *every* hardware copy the arrangement runs
+    /// (both threads of a redundant pair, both lockstepped cores). Used to
+    /// seed detailed state from a sampling checkpoint; the memory image is
+    /// supplied at machine construction.
+    fn restore_arch(
+        &mut self,
+        s: &mut Substrate,
+        logical: usize,
+        regs: &[u64; NUM_ARCH_REGS],
+        pc: u64,
+    );
+
+    /// Replaces logical thread `logical`'s architectural memory with
+    /// `image` on every hardware copy, discarding sphere-crossing state
+    /// (forwarding queues, comparators, checker logs) built against the
+    /// old memory. Timing structures deliberately stay warm — sampled
+    /// simulation relies on state accumulating across detailed windows.
+    fn install_image(&mut self, s: &mut Substrate, logical: usize, image: &rmt_isa::MemImage);
+
+    /// Replays one functional-warming event for logical thread `logical`
+    /// into the arrangement's timing structures (caches on every core the
+    /// thread touches, the leading copy's predictors). Never moves
+    /// measured counters.
+    fn warm(&mut self, s: &mut Substrate, logical: usize, ev: WarmEvent);
 }
 
 /// A complete machine: an arrangement-independent [`Substrate`] driven
@@ -230,6 +328,20 @@ impl<S: RedundancyScheme> Device for Machine<S> {
     fn image(&self, logical: usize) -> &rmt_isa::MemImage {
         self.scheme.image(&self.substrate, logical)
     }
+
+    fn restore_arch(&mut self, logical: usize, regs: &[u64; NUM_ARCH_REGS], pc: u64) {
+        self.scheme
+            .restore_arch(&mut self.substrate, logical, regs, pc);
+    }
+
+    fn install_image(&mut self, logical: usize, image: &rmt_isa::MemImage) {
+        self.scheme
+            .install_image(&mut self.substrate, logical, image);
+    }
+
+    fn warm(&mut self, logical: usize, ev: WarmEvent) {
+        self.scheme.warm(&mut self.substrate, logical, ev);
+    }
 }
 
 /// Delegates the full [`Device`] interface of a facade newtype to its
@@ -257,6 +369,20 @@ macro_rules! delegate_device {
             }
             fn image(&self, logical: usize) -> &rmt_isa::MemImage {
                 crate::device::Device::image(&self.$field, logical)
+            }
+            fn restore_arch(
+                &mut self,
+                logical: usize,
+                regs: &[u64; rmt_isa::inst::NUM_ARCH_REGS],
+                pc: u64,
+            ) {
+                self.$field.restore_arch(logical, regs, pc)
+            }
+            fn install_image(&mut self, logical: usize, image: &rmt_isa::MemImage) {
+                self.$field.install_image(logical, image)
+            }
+            fn warm(&mut self, logical: usize, ev: crate::machine::WarmEvent) {
+                self.$field.warm(logical, ev)
             }
         }
     };

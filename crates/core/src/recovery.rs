@@ -195,6 +195,24 @@ impl RedundancyScheme for RecoveringScheme {
     fn image<'a>(&'a self, s: &'a Substrate, logical: usize) -> &'a MemImage {
         self.inner.image(s, logical)
     }
+
+    fn restore_arch(
+        &mut self,
+        s: &mut Substrate,
+        logical: usize,
+        regs: &[u64; NUM_ARCH_REGS],
+        pc: u64,
+    ) {
+        self.inner.restore_arch(s, logical, regs, pc);
+    }
+
+    fn install_image(&mut self, s: &mut Substrate, logical: usize, image: &MemImage) {
+        self.inner.install_image(s, logical, image);
+    }
+
+    fn warm(&mut self, s: &mut Substrate, logical: usize, ev: crate::machine::WarmEvent) {
+        self.inner.warm(s, logical, ev);
+    }
 }
 
 impl Machine<RecoveringScheme> {

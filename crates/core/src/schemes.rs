@@ -19,8 +19,9 @@
 use crate::crt::PairPlacement;
 use crate::device::{LogicalThread, SrtOptions};
 use crate::lockstep::LockstepOptions;
-use crate::machine::{Machine, RedundancyScheme, Substrate};
+use crate::machine::{Machine, RedundancyScheme, Substrate, WarmEvent};
 use crate::rmt_env::RmtEnv;
+use rmt_isa::inst::NUM_ARCH_REGS;
 use rmt_isa::mem_image::MemImage;
 use rmt_pipeline::core::{DetectedFault, FaultDetector};
 use rmt_pipeline::env::{CoreEnv, IndependentEnv};
@@ -88,6 +89,31 @@ impl RedundancyScheme for IndependentScheme {
 
     fn image<'a>(&'a self, _s: &'a Substrate, logical: usize) -> &'a MemImage {
         self.env.image(0, logical)
+    }
+
+    fn restore_arch(
+        &mut self,
+        s: &mut Substrate,
+        logical: usize,
+        regs: &[u64; NUM_ARCH_REGS],
+        pc: u64,
+    ) {
+        let now = s.cycle();
+        s.core_mut(0).restore_thread(logical, regs, pc, now);
+    }
+
+    fn install_image(&mut self, _s: &mut Substrate, logical: usize, image: &MemImage) {
+        *self.env.image_mut(0, logical) = image.clone();
+    }
+
+    fn warm(&mut self, s: &mut Substrate, _logical: usize, ev: WarmEvent) {
+        match ev {
+            WarmEvent::IFetch { addr } => s.warm_ifetch(0, addr),
+            WarmEvent::Load { addr } => s.warm_dload(0, addr),
+            WarmEvent::Store { addr } => s.warm_store(0, addr),
+            WarmEvent::Branch { pc, taken } => s.core_mut(0).warm_direction(pc, taken),
+            WarmEvent::Jump { pc, target } => s.core_mut(0).warm_jump_target(pc, target),
+        }
     }
 }
 
@@ -259,6 +285,46 @@ impl RedundancyScheme for RmtScheme {
 
     fn image<'a>(&'a self, _s: &'a Substrate, logical: usize) -> &'a MemImage {
         &self.env.pair(logical).image
+    }
+
+    fn restore_arch(
+        &mut self,
+        s: &mut Substrate,
+        logical: usize,
+        regs: &[u64; NUM_ARCH_REGS],
+        pc: u64,
+    ) {
+        let p = self.placement[logical];
+        let now = s.cycle();
+        s.core_mut(p.lead_core)
+            .restore_thread(p.lead_tid, regs, pc, now);
+        s.core_mut(p.trail_core)
+            .restore_thread(p.trail_tid, regs, pc, now);
+    }
+
+    fn install_image(&mut self, _s: &mut Substrate, logical: usize, image: &MemImage) {
+        // A pristine pair around the new memory: the LVQ/LPQ/comparator
+        // entries were produced against the discarded epoch.
+        self.env.reset_pair(logical, image.clone());
+    }
+
+    fn warm(&mut self, s: &mut Substrate, logical: usize, ev: WarmEvent) {
+        let p = self.placement[logical];
+        match ev {
+            // Both copies fetch instructions; data and control residue only
+            // matters on the leading copy (the trailing thread loads via
+            // the LVQ and fetches down the LPQ-predicted committed path).
+            WarmEvent::IFetch { addr } => {
+                s.warm_ifetch(p.lead_core, addr);
+                if p.trail_core != p.lead_core {
+                    s.warm_ifetch(p.trail_core, addr);
+                }
+            }
+            WarmEvent::Load { addr } => s.warm_dload(p.lead_core, addr),
+            WarmEvent::Store { addr } => s.warm_store(p.lead_core, addr),
+            WarmEvent::Branch { pc, taken } => s.core_mut(p.lead_core).warm_direction(pc, taken),
+            WarmEvent::Jump { pc, target } => s.core_mut(p.lead_core).warm_jump_target(pc, target),
+        }
     }
 }
 
@@ -449,5 +515,39 @@ impl RedundancyScheme for LockstepScheme {
 
     fn image<'a>(&'a self, _s: &'a Substrate, logical: usize) -> &'a MemImage {
         &self.envs[0].images[logical]
+    }
+
+    fn restore_arch(
+        &mut self,
+        s: &mut Substrate,
+        logical: usize,
+        regs: &[u64; NUM_ARCH_REGS],
+        pc: u64,
+    ) {
+        let now = s.cycle();
+        s.core_mut(0).restore_thread(logical, regs, pc, now);
+        s.core_mut(1).restore_thread(logical, regs, pc, now);
+    }
+
+    fn install_image(&mut self, _s: &mut Substrate, logical: usize, image: &MemImage) {
+        // Both private copies move to the new memory together; in-flight
+        // checker comparisons belong to the discarded epoch.
+        for env in &mut self.envs {
+            env.images[logical] = image.clone();
+            env.log.clear();
+        }
+    }
+
+    fn warm(&mut self, s: &mut Substrate, _logical: usize, ev: WarmEvent) {
+        // Lockstepped cores see identical request streams: warm both.
+        for c in 0..2 {
+            match ev {
+                WarmEvent::IFetch { addr } => s.warm_ifetch(c, addr),
+                WarmEvent::Load { addr } => s.warm_dload(c, addr),
+                WarmEvent::Store { addr } => s.warm_store(c, addr),
+                WarmEvent::Branch { pc, taken } => s.core_mut(c).warm_direction(pc, taken),
+                WarmEvent::Jump { pc, target } => s.core_mut(c).warm_jump_target(pc, target),
+            }
+        }
     }
 }

@@ -59,6 +59,19 @@ impl ArchState {
         self.pc = pc;
     }
 
+    /// The raw register file (index 0 is the hardwired zero register).
+    pub fn regs(&self) -> &[u64; NUM_ARCH_REGS] {
+        &self.regs
+    }
+
+    /// Rebuilds a state from a raw register file and PC (checkpoint
+    /// restore). Register 0 is forced back to zero.
+    pub fn from_parts(regs: [u64; NUM_ARCH_REGS], pc: u64) -> Self {
+        let mut s = ArchState { regs, pc };
+        s.regs[0] = 0;
+        s
+    }
+
     /// A digest of all registers, for cheap state comparison.
     pub fn reg_digest(&self) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -128,6 +141,20 @@ impl<'p> Interpreter<'p> {
             state: ArchState::new(),
             mem,
             committed: 0,
+            halted: false,
+        }
+    }
+
+    /// Re-enters a program at a previously captured architectural state
+    /// (checkpoint restore): registers/PC from `state`, memory from `mem`,
+    /// and the committed-instruction counter continued at `committed` so
+    /// sample-point positions stay absolute across restores.
+    pub fn resume(program: &'p Program, mem: MemImage, state: ArchState, committed: u64) -> Self {
+        Interpreter {
+            program,
+            state,
+            mem,
+            committed,
             halted: false,
         }
     }

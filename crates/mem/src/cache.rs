@@ -189,6 +189,33 @@ impl Cache {
         }
     }
 
+    /// Warms the cache exactly as [`Self::access`] would — same hit/miss
+    /// decision, LRU touch, way-predictor update and miss allocation — but
+    /// counts nothing, so functional warming between sampled windows leaves
+    /// the measured `hits`/`misses`/`way_mispredicts` counters untouched.
+    ///
+    /// Returns whether the block was already resident.
+    pub fn warm(&mut self, addr: u64) -> bool {
+        self.use_clock += 1;
+        let (set_idx, tag) = self.index_tag(addr);
+        let set = &mut self.sets[set_idx];
+        if let Some(way) = set.iter().position(|l| l.valid && l.tag == tag) {
+            set[way].lru = self.use_clock;
+            self.way_pred[set_idx] = way;
+            return true;
+        }
+        let victim = (0..set.len())
+            .min_by_key(|&w| if set[w].valid { set[w].lru } else { 0 })
+            .expect("non-empty set");
+        set[victim] = Line {
+            tag,
+            valid: true,
+            lru: self.use_clock,
+        };
+        self.way_pred[set_idx] = victim;
+        false
+    }
+
     /// Probes without updating replacement state or allocating.
     pub fn peek(&self, addr: u64) -> bool {
         let (set_idx, tag) = self.index_tag(addr);

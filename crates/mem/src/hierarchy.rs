@@ -217,6 +217,33 @@ impl MemoryHierarchy {
         accepted
     }
 
+    /// Functionally warms the instruction-fetch path for `core`: the L1I
+    /// block is touched/allocated, and on an L1I miss the L2 as well. No
+    /// MSHRs are reserved and no counters move — warming replays an
+    /// address trace into the tags without perturbing measured stats.
+    pub fn warm_ifetch(&mut self, core: usize, addr: u64) {
+        if !self.cores[core].l1i.warm(addr) {
+            self.l2.warm(addr);
+        }
+    }
+
+    /// Functionally warms the data-load path for `core` (L1D, then L2 on
+    /// an L1D miss). Stat-free; see [`Self::warm_ifetch`].
+    pub fn warm_dload(&mut self, core: usize, addr: u64) {
+        if !self.cores[core].l1d.warm(addr) {
+            self.l2.warm(addr);
+        }
+    }
+
+    /// Functionally warms a retired store for `core`: write-allocates into
+    /// the L1D (as [`Self::store_retire`] does), filling the L2 on a miss.
+    /// The merge buffer carries no state worth warming across a window.
+    pub fn warm_store(&mut self, core: usize, addr: u64) {
+        if !self.cores[core].l1d.warm(addr) {
+            self.l2.warm(addr);
+        }
+    }
+
     /// Per-cycle background work (merge-buffer trickle drain).
     pub fn tick(&mut self, now: u64) {
         for c in &mut self.cores {

@@ -517,6 +517,18 @@ impl Core {
         &self.branch_pred
     }
 
+    /// Functionally warms the direction predictor with a resolved branch
+    /// outcome (sampled-simulation warmup; no counters move).
+    pub fn warm_direction(&mut self, pc: u64, taken: bool) {
+        self.branch_pred.warm_direction(pc, taken);
+    }
+
+    /// Functionally warms the jump-target table (sampled-simulation
+    /// warmup; no counters move).
+    pub fn warm_jump_target(&mut self, pc: u64, target: u64) {
+        self.branch_pred.warm_jump_target(pc, target);
+    }
+
     /// The store-lifetime histogram of thread `tid` (§7.1's store-queue
     /// occupancy analysis).
     pub fn store_lifetime(&self, tid: ThreadId) -> &Histogram {

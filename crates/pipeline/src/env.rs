@@ -262,6 +262,13 @@ impl IndependentEnv {
         &self.images[self.image_idx(core, tid)]
     }
 
+    /// Mutable access to the image used by `(core, tid)` (sampled
+    /// simulation re-installs checkpointed memory between windows).
+    pub fn image_mut(&mut self, core: usize, tid: ThreadId) -> &mut MemImage {
+        let idx = self.image_idx(core, tid);
+        &mut self.images[idx]
+    }
+
     /// All images.
     pub fn images(&self) -> &[MemImage] {
         &self.images

@@ -152,6 +152,17 @@ impl BranchPredictor {
         if predicted != taken {
             self.stats.inc("direction_mispredictions");
         }
+        self.update_direction_tables(pc, taken);
+    }
+
+    /// Functionally warms the direction tables with a resolved outcome —
+    /// identical table/history updates to [`Self::train_direction`], but no
+    /// prediction is scored so the misprediction counters stay untouched.
+    pub fn warm_direction(&mut self, pc: u64, taken: bool) {
+        self.update_direction_tables(pc, taken);
+    }
+
+    fn update_direction_tables(&mut self, pc: u64, taken: bool) {
         let li = self.local_index(pc);
         let gi = self.global_index(pc);
         let local_correct = predicts_taken(self.local_counters[li]) == taken;
@@ -185,6 +196,12 @@ impl BranchPredictor {
         if self.jump_targets[idx] != (pc, target) {
             self.stats.inc("jump_retrains");
         }
+        self.jump_targets[idx] = (pc, target);
+    }
+
+    /// Functionally warms the jump-target table (no retrain counting).
+    pub fn warm_jump_target(&mut self, pc: u64, target: u64) {
+        let idx = (Self::pc_hash(pc) % self.cfg.jump_entries as u64) as usize;
         self.jump_targets[idx] = (pc, target);
     }
 

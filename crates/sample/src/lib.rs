@@ -1,0 +1,63 @@
+//! SMARTS-style sampled simulation over the redundancy fabric.
+//!
+//! Full cycle-accurate runs of every figure grow linearly with each new
+//! arrangement the fabric makes cheap to add. Classic sampled-simulation
+//! methodology (SMARTS; see PAPERS.md) cuts that cost by an order of
+//! magnitude: fast-forward the workload *functionally*, open a handful of
+//! short *detailed windows* at planned positions, and report the window
+//! mean with an explicit confidence interval.
+//!
+//! This crate supplies the three sampling-specific pieces; the experiment
+//! harness in `rmt-sim` composes them with the existing `Machine` fabric:
+//!
+//! * [`checkpoint::Checkpoint`] — a serializable architectural snapshot
+//!   (registers + PC + memory image + a bounded functional-warming log),
+//!   written and read through the `rmt-stats` JSON codec so a workload is
+//!   fast-forwarded once and re-entered at any sample point by any
+//!   device kind.
+//! * [`fastfwd::FastForward`] — the functional fast-forward engine: it
+//!   drives the `rmt-isa` reference interpreter between detailed windows
+//!   while recording the recent instruction/data/branch activity that
+//!   warms caches and predictors at window entry.
+//! * [`plan::SamplePlan`] — the sampling controller's configuration:
+//!   periodic or seeded-random window positions, detailed warmup and
+//!   measure lengths, and the warming-log depth.
+//!
+//! # Examples
+//!
+//! ```
+//! use rmt_sample::{Checkpoint, FastForward, SamplePlan};
+//! use rmt_isa::{MemImage, Program, ProgramBuilder};
+//! use rmt_isa::inst::{Inst, Reg};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.label("spin");
+//! b.push(Inst::addi(Reg::new(1), Reg::new(1), 1));
+//! b.push_branch(Inst::j(0), "spin");
+//! let p = b.build().unwrap();
+//!
+//! let mut ff = FastForward::new(&p, MemImage::new(), 64);
+//! ff.run_to(100).unwrap();
+//! let cp = ff.checkpoint();
+//! assert_eq!(cp.committed, 100);
+//!
+//! // Round-trip through the JSON codec: the restored checkpoint is the
+//! // one that was saved.
+//! let restored = Checkpoint::decode(&cp.encode()).unwrap();
+//! assert_eq!(restored, cp);
+//!
+//! let plan = SamplePlan::default();
+//! let positions = plan.positions(1_000, 8_000);
+//! assert_eq!(positions.len(), plan.windows);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod fastfwd;
+pub mod plan;
+
+pub use checkpoint::Checkpoint;
+pub use fastfwd::FastForward;
+pub use plan::{SampleMode, SamplePlan};

@@ -111,17 +111,17 @@ impl std::error::Error for SimError {}
 /// See the crate-level example.
 #[derive(Debug, Clone)]
 pub struct Experiment {
-    kind: DeviceKind,
-    benchmarks: Vec<Benchmark>,
-    seed: u64,
-    warmup: u64,
-    measure: u64,
+    pub(crate) kind: DeviceKind,
+    pub(crate) benchmarks: Vec<Benchmark>,
+    pub(crate) seed: u64,
+    pub(crate) warmup: u64,
+    pub(crate) measure: u64,
     /// The one device configuration: every kind reads the pieces it needs
     /// (`core`, `hierarchy`, and — for redundant kinds — `env`).
     opts: SrtOptions,
     checker_latency: u64,
     desync_window: u64,
-    max_cycle_factor: u64,
+    pub(crate) max_cycle_factor: u64,
 }
 
 impl Experiment {
@@ -253,7 +253,25 @@ impl Experiment {
         if self.benchmarks.is_empty() {
             return Err(SimError::NoBenchmarks);
         }
-        let threads = self.logical_threads();
+        self.build_device_with(self.logical_threads())
+    }
+
+    /// Builds this experiment's device kind around explicit logical
+    /// threads instead of freshly generated workloads — the re-entry path
+    /// of sampled simulation, where each thread's memory image comes from
+    /// an architectural checkpoint. `Base2` doubling is applied here, so
+    /// callers pass exactly one thread per benchmark for every kind.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NoBenchmarks`] if `threads` is empty.
+    pub fn build_device_with(
+        &self,
+        threads: Vec<LogicalThread>,
+    ) -> Result<Box<dyn Device>, SimError> {
+        if threads.is_empty() {
+            return Err(SimError::NoBenchmarks);
+        }
         Ok(match self.kind {
             DeviceKind::Base => Box::new(BaseDevice::new(
                 self.opts.core.clone(),

@@ -19,6 +19,8 @@
 //!   out through: benchmark-mix rows × device `Variant` columns (a
 //!   `DeviceKind` plus an optional options tweak), one job per cell.
 //! * `machine` — Table 1 and Figure 2, read back from the live config.
+//! * `sampling` — the sampled Figure 6 grid (SMARTS-style windows with
+//!   paired Base denominators) and the sampled-vs-full error validation.
 //! * `srt` — Figures 6–9: one-thread SRT, PSR, multi-thread SRT, stores.
 //! * `crt` — Figures 10–12 (lockstep vs CRT) and the four-core CRT ring.
 //! * `ablations` — sizing and policy sweeps.
@@ -36,6 +38,7 @@ mod crt;
 mod faults;
 mod grid;
 mod machine;
+mod sampling;
 mod srt;
 mod suite;
 mod workloads;
@@ -46,6 +49,9 @@ pub use ablations::{
 pub use crt::{fig10_crt_single, fig11_crt_two, fig12_crt_four, fig_ring4};
 pub use faults::fault_coverage;
 pub use machine::{fig2_pipeline, table1};
+pub use sampling::{
+    fig6_full_grid, fig6_sampled_grid, fig6_srt_single_sampled, sampling_validation, SampledGrid,
+};
 pub use srt::{fig6_srt_single, fig7_psr, fig8_srt_multi, fig9_storeq};
 pub use suite::suite_summary;
 pub use workloads::{slack_profile, workload_chars};

@@ -12,6 +12,9 @@
 //!   figure's independent data points (experiments, fault injections)
 //!   across worker threads with bitwise-identical results at any
 //!   `--jobs` level.
+//! * [`sampled`] — SMARTS-style sampled runs: functional fast-forward,
+//!   checkpointed window re-entry, and per-window IPC estimators with
+//!   confidence intervals.
 //!
 //! # Examples
 //!
@@ -37,8 +40,10 @@ pub mod experiment;
 pub mod figures;
 pub mod guard;
 pub mod runner;
+pub mod sampled;
 
 pub use baseline::BaselineCache;
 pub use experiment::{DeviceKind, Experiment, RunResult, SimError};
 pub use figures::{FigureCtx, FigureResult, SimScale};
 pub use runner::Runner;
+pub use sampled::{CheckpointLadder, SampledResult};

@@ -6,6 +6,7 @@
 
 use rmt_core::device::SrtOptions;
 use rmt_faults::{run_srt_campaign, CampaignConfig, FaultKind};
+use rmt_sample::SamplePlan;
 use rmt_sim::figures::{self, FigureCtx};
 use rmt_sim::runner::par_srt_campaign;
 use rmt_sim::{Runner, SimScale};
@@ -39,6 +40,36 @@ fn fig6_is_identical_at_any_job_count() {
             snap.to_json().encode(),
             par.metrics[key].to_json().encode(),
             "metrics JSON for `{key}` differs across --jobs"
+        );
+    }
+}
+
+#[test]
+fn sampled_fig6_is_identical_at_any_job_count() {
+    // The sampled figure fans checkpoint ladders and window runs across
+    // the runner in two phases; both must honour the same bitwise
+    // `--jobs` contract as the full figure.
+    let benches = [Benchmark::M88ksim, Benchmark::Ijpeg];
+    let scale = SimScale::quick();
+    let plan = SamplePlan {
+        windows: 3,
+        warmup: 300,
+        measure: 800,
+        warm_window: 1_024,
+        ..SamplePlan::default()
+    };
+    let seq = figures::fig6_srt_single_sampled(&FigureCtx::sequential(), scale, &plan, &benches);
+    let par = figures::fig6_srt_single_sampled(&FigureCtx::new(8), scale, &plan, &benches);
+    assert_eq!(
+        seq.table, par.table,
+        "sampled fig6 table differs across --jobs"
+    );
+    assert_eq!(seq.summary.len(), par.summary.len());
+    for (k, v) in &seq.summary {
+        assert_eq!(
+            v.to_bits(),
+            par.summary[k].to_bits(),
+            "sampled summary `{k}` differs bitwise across --jobs"
         );
     }
 }

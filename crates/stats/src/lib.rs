@@ -42,6 +42,7 @@
 
 pub mod check;
 pub mod counter;
+pub mod estimate;
 pub mod histogram;
 pub mod json;
 pub mod metrics;
@@ -50,6 +51,7 @@ pub mod rng;
 pub mod table;
 
 pub use counter::{Counter, CounterSet};
+pub use estimate::{mean_ci95, Estimate};
 pub use histogram::Histogram;
 pub use json::Json;
 pub use metrics::{smt_efficiency, ThreadRun};

@@ -43,6 +43,19 @@ cargo test -q
 echo "== smoke: parallel figure run (quick scale, 2 workers) =="
 cargo run --release -p rmt-bench --bin fig6_srt_single -- --scale quick --jobs 2
 
+echo "== smoke: sampled figure run (quick scale, 2 workers) =="
+# The sampled path exercises checkpointing, functional fast-forward and
+# warm replay end to end; a blow-up in any of them shows first as runtime.
+sample_start=$SECONDS
+cargo run --release -p rmt-bench --bin fig6_srt_single -- \
+    --scale quick --jobs 2 --sample
+sample_elapsed=$((SECONDS - sample_start))
+echo "  [sampled smoke took ${sample_elapsed}s; budget 120s]"
+if [ "$sample_elapsed" -gt 120 ]; then
+    echo "error: sampled smoke exceeded its 120s wall-clock budget" >&2
+    exit 1
+fi
+
 echo "== smoke: machine-readable results (--json round trip) =="
 tmp_json="$(mktemp -t rmt_ci_fig6.XXXXXX.json)"
 tmp_fig6="$(mktemp -t rmt_ci_fig6_golden.XXXXXX.json)"
@@ -61,5 +74,16 @@ cargo run --release -p rmt-bench --bin aggregate -- \
     --scale standard --json "$tmp_agg" > /dev/null
 cargo run --release -p rmt-bench --bin check_json -- \
     --compare BENCH_PR2.json "$tmp_agg"
+
+echo "== golden: fault-coverage table must regenerate bitwise (sans timing) =="
+tmp_fc="$(mktemp -t rmt_ci_fault_coverage.XXXXXX.txt)"
+trap 'rm -f "$tmp_json" "$tmp_fig6" "$tmp_agg" "$tmp_fc"' EXIT
+cargo run --release -p rmt-bench --bin fault_coverage -- --standard \
+    | grep -v '^  \[' > "$tmp_fc"
+if ! diff -u results/fault_coverage.txt "$tmp_fc"; then
+    echo "error: results/fault_coverage.txt is stale; regenerate with:" >&2
+    echo "  cargo run --release -p rmt-bench --bin fault_coverage -- --standard | grep -v '^  \[' > results/fault_coverage.txt" >&2
+    exit 1
+fi
 
 echo "== ci.sh: all checks passed =="

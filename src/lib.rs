@@ -15,6 +15,8 @@
 //! * [`pipeline`] — the base SMT core (IBOX/PBOX/QBOX/RBOX/EBOX/MBOX).
 //! * [`core`] — **the paper's contribution**: SRT, CRT and lockstepping.
 //! * [`faults`] — fault injection and coverage campaigns.
+//! * [`sample`] — SMARTS-style sampled simulation: checkpoints,
+//!   functional fast-forward and sampling plans.
 //! * [`sim`] — experiment harness and metric collection.
 //! * [`stats`] — counters, histograms, tables, deterministic RNG.
 //!
@@ -42,6 +44,7 @@ pub use rmt_isa as isa;
 pub use rmt_mem as mem;
 pub use rmt_pipeline as pipeline;
 pub use rmt_predict as predict;
+pub use rmt_sample as sample;
 pub use rmt_sim as sim;
 pub use rmt_stats as stats;
 pub use rmt_workloads as workloads;
