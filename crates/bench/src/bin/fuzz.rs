@@ -1,0 +1,107 @@
+//! Differential fuzzer front-end: random programs from the seeded
+//! generator, each run on a redundancy arrangement in lockstep with the
+//! reference interpreter.
+//!
+//! ```text
+//! fuzz [--seeds LO..HI] [--arrangement NAME|all] [--commits N] [--budget-secs S]
+//! ```
+//!
+//! Every seed/arrangement pair either verifies cleanly or yields a
+//! divergence, which is greedily shrunk and printed as a ready-to-commit
+//! `tests/corpus/*.rmt` reproducer; any finding exits nonzero. The
+//! pipeline is sound, so a finding is a real bug — CI runs a fixed seed
+//! block as a smoke test (see `scripts/ci.sh`) and expects silence.
+//!
+//! `--budget-secs` stops cleanly (exit 0) once the wall-clock budget is
+//! spent, so a CI smoke run covers as many seeds as its slot allows
+//! without ever timing out; seeds are deterministic, so interrupted
+//! coverage resumes identically next run.
+
+use rmt_pipeline::CoreConfig;
+use rmt_verify::{harness, shrink, Arrangement, FuzzConfig};
+use std::time::Instant;
+
+fn parse_seed_range(text: &str) -> Option<(u64, u64)> {
+    let (lo, hi) = text.split_once("..")?;
+    Some((lo.parse().ok()?, hi.parse().ok()?))
+}
+
+fn main() {
+    let mut seeds = (0u64, 32u64);
+    let mut arrangements: Vec<Arrangement> = vec![Arrangement::Srt];
+    let mut commits = 2_000u64;
+    let mut budget_secs: Option<u64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage(&a));
+        match a.as_str() {
+            "--seeds" => {
+                seeds = parse_seed_range(&value()).unwrap_or_else(|| usage("--seeds"));
+            }
+            "--arrangement" => {
+                let v = value();
+                arrangements = if v == "all" {
+                    Arrangement::ALL.to_vec()
+                } else {
+                    vec![*Arrangement::ALL
+                        .iter()
+                        .find(|x| x.name() == v)
+                        .unwrap_or_else(|| usage("--arrangement"))]
+                };
+            }
+            "--commits" => commits = value().parse().unwrap_or_else(|_| usage("--commits")),
+            "--budget-secs" => {
+                budget_secs = Some(value().parse().unwrap_or_else(|_| usage("--budget-secs")));
+            }
+            other => usage(other),
+        }
+    }
+
+    let cfg = FuzzConfig::default();
+    let start = Instant::now();
+    let mut ran = 0u64;
+    let mut findings = 0u64;
+    'outer: for seed in seeds.0..seeds.1 {
+        for &arr in &arrangements {
+            if budget_secs.is_some_and(|b| start.elapsed().as_secs() >= b) {
+                println!("budget reached after {ran} runs; stopping at seed {seed}");
+                break 'outer;
+            }
+            ran += 1;
+            match harness::fuzz_one(arr, CoreConfig::base(), &cfg, seed, commits) {
+                None => {}
+                Some(f) => {
+                    findings += 1;
+                    eprintln!(
+                        "seed {seed} on {}: {}\n\nminimized reproducer \
+                         ({} live instructions) — save as tests/corpus/*.rmt:\n{}",
+                        arr.name(),
+                        f.divergence.render(),
+                        shrink::live_insts(&f.shrunk),
+                        shrink::to_asm(&f.shrunk),
+                    );
+                }
+            }
+        }
+    }
+    println!(
+        "fuzz: {ran} runs ({} arrangement(s), seeds {}..{}), {findings} divergence(s), {:.1}s",
+        arrangements.len(),
+        seeds.0,
+        seeds.1,
+        start.elapsed().as_secs_f64()
+    );
+    if findings > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn usage(arg: &str) -> ! {
+    eprintln!(
+        "bad or incomplete argument `{arg}`\n\
+         usage: fuzz [--seeds LO..HI] [--arrangement NAME|all] [--commits N] [--budget-secs S]\n\
+         arrangements: all, {}",
+        Arrangement::ALL.map(|a| a.name()).join(", ")
+    );
+    std::process::exit(2)
+}

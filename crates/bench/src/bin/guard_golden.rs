@@ -1,39 +1,74 @@
-//! Regenerates `results/refactor_guard_quick.json`: the refactor-guard
-//! reference records for every `DeviceKind` at `--quick` scale.
+//! Regenerates the refactor-guard reference records.
 //!
 //! ```text
-//! guard_golden [--out PATH]
+//! guard_golden [--standard] [--out PATH]
 //! ```
 //!
+//! Default (quick scale): `results/refactor_guard_quick.json`, every
+//! `DeviceKind` plus a multithreaded CRT point.
+//!
+//! `--standard`: `results/refactor_guard_standard.json`, one standard-
+//! scale cell per `DeviceKind`, each run under the co-simulation oracle
+//! (generation aborts on any divergence from the reference interpreter).
+//!
 //! `tests/refactor_guard.rs` re-runs the same points and asserts bitwise
-//! equality, so this file must only be regenerated deliberately (new
+//! equality, so these files must only be regenerated deliberately (new
 //! device kinds, intentional model changes) — never to paper over drift.
 
-use rmt_sim::guard::{golden_to_json, guard_points, run_point};
+use rmt_sim::guard::{
+    golden_to_json, golden_to_json_at, guard_points, run_point, run_standard_point,
+    standard_points, STANDARD_MEASURE, STANDARD_WARMUP,
+};
 
 fn main() {
-    let mut out = "results/refactor_guard_quick.json".to_string();
+    let mut out: Option<String> = None;
+    let mut standard = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--out" => out = args.next().expect("--out needs a path"),
+            "--out" => out = Some(args.next().expect("--out needs a path")),
+            "--standard" => standard = true,
             other => {
-                eprintln!("unknown argument `{other}`; usage: guard_golden [--out PATH]");
+                eprintln!(
+                    "unknown argument `{other}`; usage: guard_golden [--standard] [--out PATH]"
+                );
                 std::process::exit(2);
             }
         }
     }
-    let records: Vec<_> = guard_points()
-        .iter()
-        .map(|p| {
-            let r = run_point(p);
-            println!(
-                "{}: cycles={} fnv={:#018x}",
-                r.name, r.cycles, r.metrics_fnv
-            );
-            r
-        })
-        .collect();
-    std::fs::write(&out, golden_to_json(&records).encode_pretty()).expect("write golden");
+    let (doc, out) = if standard {
+        let records: Vec<_> = standard_points()
+            .iter()
+            .map(|p| {
+                let (r, checked) = run_standard_point(p);
+                println!(
+                    "{}: cycles={} fnv={:#018x} oracle-checked={checked}",
+                    r.name, r.cycles, r.metrics_fnv
+                );
+                r
+            })
+            .collect();
+        (
+            golden_to_json_at(&records, STANDARD_WARMUP, STANDARD_MEASURE),
+            out.unwrap_or_else(|| "results/refactor_guard_standard.json".into()),
+        )
+    } else {
+        let records: Vec<_> = guard_points()
+            .iter()
+            .map(|p| {
+                let r = run_point(p);
+                println!(
+                    "{}: cycles={} fnv={:#018x}",
+                    r.name, r.cycles, r.metrics_fnv
+                );
+                r
+            })
+            .collect();
+        (
+            golden_to_json(&records),
+            out.unwrap_or_else(|| "results/refactor_guard_quick.json".into()),
+        )
+    };
+    std::fs::write(&out, doc.encode_pretty()).expect("write golden");
     println!("wrote {out}");
 }

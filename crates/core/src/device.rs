@@ -98,6 +98,17 @@ pub trait Device {
     /// counter (sampled-simulation warmup).
     fn warm(&mut self, logical: usize, ev: WarmEvent);
 
+    /// Enables the commit log on the copy whose retirement stream defines
+    /// logical thread `i`'s architectural execution (the leading thread of
+    /// a redundant pair). The differential oracle in `rmt-verify` drains
+    /// this stream every cycle and cross-checks it against the `rmt-isa`
+    /// interpreter.
+    fn enable_commit_log(&mut self, logical: usize);
+
+    /// Takes the commit records logged for logical thread `i` since the
+    /// last call (empty unless [`Device::enable_commit_log`] was called).
+    fn drain_commits(&mut self, logical: usize) -> Vec<rmt_pipeline::CommitRecord>;
+
     /// Runs until every logical thread has committed at least `per_thread`
     /// instructions (absolute count) or `max_cycles` elapse. Returns whether
     /// the target was reached.

@@ -258,6 +258,13 @@ pub trait RedundancyScheme {
     /// thread touches, the leading copy's predictors). Never moves
     /// measured counters.
     fn warm(&mut self, s: &mut Substrate, logical: usize, ev: WarmEvent);
+
+    /// `(core index, hardware thread id)` of the copy whose commit stream
+    /// defines logical thread `logical`'s architectural execution: the
+    /// leading thread of a redundant pair, core 0 of a lockstep machine,
+    /// the thread itself on an independent machine. Differential
+    /// verification attaches its commit log here.
+    fn lead_location(&self, logical: usize) -> (usize, usize);
 }
 
 /// A complete machine: an arrangement-independent [`Substrate`] driven
@@ -342,6 +349,16 @@ impl<S: RedundancyScheme> Device for Machine<S> {
     fn warm(&mut self, logical: usize, ev: WarmEvent) {
         self.scheme.warm(&mut self.substrate, logical, ev);
     }
+
+    fn enable_commit_log(&mut self, logical: usize) {
+        let (core, tid) = self.scheme.lead_location(logical);
+        self.substrate.core_mut(core).enable_commit_log(tid);
+    }
+
+    fn drain_commits(&mut self, logical: usize) -> Vec<rmt_pipeline::CommitRecord> {
+        let (core, tid) = self.scheme.lead_location(logical);
+        self.substrate.core_mut(core).drain_commits(tid)
+    }
 }
 
 /// Delegates the full [`Device`] interface of a facade newtype to its
@@ -383,6 +400,12 @@ macro_rules! delegate_device {
             }
             fn warm(&mut self, logical: usize, ev: crate::machine::WarmEvent) {
                 self.$field.warm(logical, ev)
+            }
+            fn enable_commit_log(&mut self, logical: usize) {
+                self.$field.enable_commit_log(logical)
+            }
+            fn drain_commits(&mut self, logical: usize) -> Vec<rmt_pipeline::CommitRecord> {
+                self.$field.drain_commits(logical)
             }
         }
     };

@@ -213,6 +213,10 @@ impl RedundancyScheme for RecoveringScheme {
     fn warm(&mut self, s: &mut Substrate, logical: usize, ev: crate::machine::WarmEvent) {
         self.inner.warm(s, logical, ev);
     }
+
+    fn lead_location(&self, logical: usize) -> (usize, usize) {
+        self.inner.lead_location(logical)
+    }
 }
 
 impl Machine<RecoveringScheme> {

@@ -115,6 +115,10 @@ impl RedundancyScheme for IndependentScheme {
             WarmEvent::Jump { pc, target } => s.core_mut(0).warm_jump_target(pc, target),
         }
     }
+
+    fn lead_location(&self, logical: usize) -> (usize, usize) {
+        (0, logical)
+    }
 }
 
 // ====================================================================
@@ -325,6 +329,11 @@ impl RedundancyScheme for RmtScheme {
             WarmEvent::Branch { pc, taken } => s.core_mut(p.lead_core).warm_direction(pc, taken),
             WarmEvent::Jump { pc, target } => s.core_mut(p.lead_core).warm_jump_target(pc, target),
         }
+    }
+
+    fn lead_location(&self, logical: usize) -> (usize, usize) {
+        let p = self.placement[logical];
+        (p.lead_core, p.lead_tid)
     }
 }
 
@@ -549,5 +558,10 @@ impl RedundancyScheme for LockstepScheme {
                 WarmEvent::Jump { pc, target } => s.core_mut(c).warm_jump_target(pc, target),
             }
         }
+    }
+
+    fn lead_location(&self, logical: usize) -> (usize, usize) {
+        // Commits are measured on core 0; core 1 mirrors it in lockstep.
+        (0, logical)
     }
 }

@@ -6,6 +6,7 @@ use rmt_core::device::{BaseDevice, Device, LogicalThread, SrtDevice, SrtOptions}
 use rmt_core::lockstep::{LockstepDevice, LockstepOptions};
 use rmt_isa::interp::Interpreter;
 use rmt_stats::{Histogram, Xoshiro256};
+use rmt_verify::Oracle;
 use rmt_workloads::Workload;
 
 /// Campaign parameters.
@@ -242,8 +243,20 @@ fn inject_with_retry<D: Device + ?Sized>(
 /// The one observation/classification engine every campaign runs after
 /// its injection landed: tick until `window_commits` more instructions
 /// commit, checking (in this order, each cycle) the detection hardware,
-/// the forward-progress watchdog, and the golden model at released-store
-/// checkpoints — then classify the uneventful remainder.
+/// the commit-stream oracle, the forward-progress watchdog, and the
+/// golden model at released-store checkpoints — then classify the
+/// uneventful remainder.
+///
+/// `oracle` is the precise SDC detector for machines whose commit stream
+/// *is* the architectural output (the base processor): the first commit
+/// that disagrees with the reference interpreter is silent corruption,
+/// caught at the exact instruction instead of at the next 200-commit
+/// memory-digest checkpoint. Redundant machines must not pass one — their
+/// leading thread commits unverified state *inside* the sphere of
+/// replication, so a post-injection divergence there is expected and is
+/// precisely what the comparators exist to catch at store release. The
+/// golden digest stays on as the backstop for corruption the commit
+/// stream cannot see (a store-queue strike after the commit point).
 fn observe_window<D: Device + ?Sized>(
     dev: &mut D,
     workload: &Workload,
@@ -251,6 +264,7 @@ fn observe_window<D: Device + ?Sized>(
     inject_cycle: u64,
     released: impl Fn(&D) -> u64,
     policy: ObservePolicy,
+    mut oracle: Option<&mut Oracle>,
 ) -> FaultOutcome {
     let target = dev.committed(0) + cfg.window_commits;
     let mut golden = policy.golden_compare.then(|| GoldenTracker::new(workload));
@@ -264,6 +278,16 @@ fn observe_window<D: Device + ?Sized>(
                 latency: dev.cycle() - inject_cycle,
             });
             break;
+        }
+        if let Some(o) = oracle.as_deref_mut() {
+            if o.observe(dev).is_err() {
+                // The committed stream left the reference execution on a
+                // machine with no detection hardware: architecturally
+                // visible corruption, i.e. silent data corruption —
+                // whether or not the memory digest later masks it.
+                outcome = Some(FaultOutcome::Silent);
+                break;
+            }
         }
         match dev.committed(0) {
             c if c != progress.0 => progress = (c, dev.cycle()),
@@ -388,6 +412,7 @@ pub fn srt_injection(
             hang_is_detection: true,
             golden_compare: true,
         },
+        None,
     )
 }
 
@@ -420,6 +445,15 @@ pub fn base_injection(
     );
     let mut rng = Xoshiro256::for_job(cfg.seed, index as u64);
     let mut dev = BaseDevice::new(core_cfg.clone(), Default::default(), vec![thread(workload)]);
+    // The base machine's commit stream is its architectural output, so
+    // the co-simulation oracle is SDC ground truth: attach it before
+    // warmup and validate the fault-free prefix, then any divergence in
+    // the observation window is the injected fault escaping.
+    let mut oracle = Oracle::new(vec![(
+        workload.program.clone().into(),
+        workload.memory.clone(),
+    )]);
+    oracle.attach(&mut dev);
     if !dev.run_until_committed(cfg.warmup_commits, 50_000_000) {
         panic!("warmup did not complete");
     }
@@ -441,6 +475,7 @@ pub fn base_injection(
             hang_is_detection: false,
             golden_compare: true,
         },
+        Some(&mut oracle),
     )
 }
 
@@ -497,6 +532,7 @@ pub fn lockstep_injection(
             hang_is_detection: true,
             golden_compare: false,
         },
+        None,
     )
 }
 
@@ -562,6 +598,28 @@ mod tests {
         // Store-queue corruption lands in memory as silent data corruption.
         assert!(r.silent >= 4, "expected SDC on the base machine: {r:?}");
         assert!(r.silent_rate() > 0.5);
+    }
+
+    #[test]
+    fn base_reg_strikes_are_oracle_ground_truthed() {
+        // Register strikes never touch post-commit store data, so the
+        // memory-digest backstop alone would only see them once a
+        // corrupted value reaches a released store; the commit-stream
+        // oracle classifies them at the first wrong commit. The base
+        // machine still detects nothing — corruption is silent or masked.
+        let w = Workload::generate(Benchmark::M88ksim, 1);
+        let r = run_base_campaign(
+            rmt_pipeline::CoreConfig::base(),
+            &w,
+            FaultKind::TransientReg,
+            quick_cfg(6, 13),
+        );
+        assert_eq!(r.detected, 0, "the base machine has nothing to detect with");
+        assert_eq!(r.masked + r.silent, 6);
+        assert!(
+            r.silent >= 1,
+            "live-register strikes must show up as SDC: {r:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Property tests for the ISA layer, on the in-repo `rmt_stats::check`
+//! harness: assembler/disassembler round-trips over every opcode, and
+//! interpreter edge cases the pipeline's differential oracle relies on
+//! being well-defined (address wraparound, branch-to-self spins, writes
+//! to the hardwired zero register).
+
+use rmt_isa::asm::assemble;
+use rmt_isa::inst::{ALL_OPS, NUM_ARCH_REGS};
+use rmt_isa::interp::{ArchState, Interpreter, StopReason};
+use rmt_isa::{disasm, Inst, MemImage, Op, Program, Reg};
+use rmt_stats::check::run_cases;
+use rmt_stats::rng::Xoshiro256;
+
+fn reg(rng: &mut Xoshiro256) -> Reg {
+    Reg::new(rng.below(NUM_ARCH_REGS as u64) as u8)
+}
+
+/// Signed immediate that survives the decimal text round-trip.
+fn alu_imm(rng: &mut Xoshiro256) -> i64 {
+    rng.next_u64() as i32 as i64
+}
+
+/// Branch/jump target: non-negative (the disassembler prints targets in
+/// two's-complement hex, so a negative target would not re-parse).
+fn target(rng: &mut Xoshiro256) -> i64 {
+    (rng.below(1 << 20) * 4) as i64
+}
+
+/// A random instruction built through the canonical per-op constructor,
+/// so unused operand fields hold their canonical values (what the
+/// assembler reconstructs).
+fn inst(rng: &mut Xoshiro256) -> Inst {
+    let op = *rng.pick(ALL_OPS);
+    let (d, s1, s2) = (reg(rng), reg(rng), reg(rng));
+    let imm = alu_imm(rng);
+    let disp = (rng.next_u64() as i32 as i64) % 4096;
+    use Op::*;
+    match op {
+        Add => Inst::add(d, s1, s2),
+        Sub => Inst::sub(d, s1, s2),
+        Mul => Inst::mul(d, s1, s2),
+        Div => Inst::div(d, s1, s2),
+        Slt => Inst::slt(d, s1, s2),
+        Addi => Inst::addi(d, s1, imm),
+        Slti => Inst::slti(d, s1, imm),
+        Lui => Inst::lui(d, imm),
+        And => Inst::and(d, s1, s2),
+        Or => Inst::or(d, s1, s2),
+        Xor => Inst::xor(d, s1, s2),
+        Sll => Inst::sll(d, s1, s2),
+        Srl => Inst::srl(d, s1, s2),
+        Andi => Inst::andi(d, s1, imm),
+        Ori => Inst::ori(d, s1, imm),
+        Xori => Inst::xori(d, s1, imm),
+        Slli => Inst::slli(d, s1, imm),
+        Srli => Inst::srli(d, s1, imm),
+        Lw => Inst::lw(d, s1, disp),
+        Lb => Inst::lb(d, s1, disp),
+        Sw => Inst::sw(s2, s1, disp),
+        Sb => Inst::sb(s2, s1, disp),
+        MemBar => Inst::membar(),
+        Beq => Inst::beq(s1, s2, target(rng)),
+        Bne => Inst::bne(s1, s2, target(rng)),
+        Blt => Inst::blt(s1, s2, target(rng)),
+        Bge => Inst::bge(s1, s2, target(rng)),
+        J => Inst::j(target(rng)),
+        Jal => Inst::jal(d, target(rng)),
+        Jalr => Inst::jalr(d, s1),
+        Fadd => Inst::fadd(d, s1, s2),
+        Fsub => Inst::fsub(d, s1, s2),
+        Fmul => Inst::fmul(d, s1, s2),
+        Fdiv => Inst::fdiv(d, s1, s2),
+        Nop => Inst::nop(),
+        Halt => Inst::halt(),
+    }
+}
+
+#[test]
+fn disassembly_reassembles_to_the_same_instruction() {
+    run_cases("asm/disasm round-trip", 256, 0x15a_0001, |rng| {
+        let original = inst(rng);
+        let text = disasm::disassemble(&original);
+        let program = assemble(&text).unwrap_or_else(|e| panic!("`{text}` does not assemble: {e}"));
+        assert_eq!(
+            program.insts(),
+            &[original],
+            "`{text}` re-assembled differently"
+        );
+    });
+}
+
+#[test]
+fn whole_programs_round_trip_through_comments_and_blank_lines() {
+    run_cases("program round-trip", 32, 0x15a_0002, |rng| {
+        let insts: Vec<Inst> = (0..rng.range(1, 40)).map(|_| inst(rng)).collect();
+        let text: String = insts
+            .iter()
+            .map(|i| format!("  {} ; trailing comment\n\n", disasm::disassemble(i)))
+            .collect();
+        let program = assemble(&text).expect("program assembles");
+        assert_eq!(program.insts(), insts.as_slice());
+    });
+}
+
+#[test]
+fn effective_addresses_wrap_around_the_address_space() {
+    // `rs1 + imm` wraps modulo 2^64: a base just below u64::MAX plus a
+    // small positive displacement lands at a small address, and a
+    // store/load pair through the wrapped address round-trips the value.
+    run_cases("address wraparound", 128, 0x15a_0003, |rng| {
+        let back = rng.range(1, 64);
+        let landing = rng.below(1 << 20);
+        let base = u64::MAX - back + 1; // base + back wraps to exactly 0
+        let disp = (back + landing) as i64;
+        let value = rng.next_u64();
+
+        let program = Program::from_insts(vec![
+            Inst::sw(Reg::new(2), Reg::new(1), disp),
+            Inst::lw(Reg::new(3), Reg::new(1), disp),
+            Inst::lb(Reg::new(4), Reg::new(1), disp),
+            Inst::halt(),
+        ]);
+        let mut regs = [0u64; NUM_ARCH_REGS];
+        regs[1] = base;
+        regs[2] = value;
+        let mut it =
+            Interpreter::resume(&program, MemImage::new(), ArchState::from_parts(regs, 0), 0);
+
+        let store = it.step().expect("sw steps").store.expect("sw stores");
+        assert_eq!(store, (landing, value, 8), "store address must wrap");
+        let load = it.step().expect("lw steps").load.expect("lw loads");
+        assert_eq!(load, (landing, value, 8));
+        assert_eq!(it.state().reg(Reg::new(3)), value);
+        it.step().expect("lb steps");
+        assert_eq!(it.state().reg(Reg::new(4)), value & 0xff);
+        assert_eq!(it.run(4), Ok(StopReason::Halted));
+    });
+}
+
+#[test]
+fn branch_to_self_spins_exactly_to_the_step_budget() {
+    run_cases("branch-to-self", 64, 0x15a_0004, |rng| {
+        // nop* then an always-taken branch back to itself.
+        let lead = rng.below(16) as usize;
+        let self_pc = (lead * 4) as i64;
+        let mut insts = vec![Inst::nop(); lead];
+        insts.push(Inst::beq(Reg::ZERO, Reg::ZERO, self_pc));
+        let program = Program::from_insts(insts);
+        let mut it = Interpreter::new(&program, MemImage::new());
+
+        let budget = rng.range(20, 200);
+        assert_eq!(it.run(budget), Ok(StopReason::BudgetExhausted));
+        assert_eq!(it.committed(), budget, "every step must commit");
+        assert_eq!(it.state().pc(), self_pc as u64, "pc pinned at the spin");
+        assert!(!it.is_halted());
+    });
+}
+
+#[test]
+fn never_taken_self_branch_falls_off_the_end() {
+    // The dual edge case: `bne r0, r0, self` never fires, so the PC walks
+    // past it and leaves the program.
+    let program = Program::from_insts(vec![Inst::bne(Reg::ZERO, Reg::ZERO, 0)]);
+    let mut it = Interpreter::new(&program, MemImage::new());
+    assert!(it.step().is_ok());
+    assert_eq!(it.step(), Err(StopReason::PcOutOfRange(4)));
+}
+
+#[test]
+fn writes_to_r0_are_discarded() {
+    run_cases("r0 sink writes", 128, 0x15a_0005, |rng| {
+        // Any value-producing instruction targeting r0 — ALU result, load
+        // data, or a jal link address — leaves r0 reading as zero.
+        let s1 = Reg::new(rng.range(1, 63) as u8);
+        let sink = match rng.below(4) {
+            0 => Inst::addi(Reg::ZERO, s1, alu_imm(rng)),
+            1 => Inst::add(Reg::ZERO, s1, s1),
+            2 => Inst::lw(Reg::ZERO, s1, 0),
+            _ => Inst::jal(Reg::ZERO, 4),
+        };
+        let program = Program::from_insts(vec![sink, Inst::halt()]);
+        let mut regs = [0u64; NUM_ARCH_REGS];
+        regs[s1.index() as usize] = rng.next_u64() >> 1;
+        let mut mem = MemImage::new();
+        mem.write_u64(regs[s1.index() as usize], rng.next_u64());
+        let mut it = Interpreter::resume(&program, mem, ArchState::from_parts(regs, 0), 0);
+
+        it.step().expect("sink instruction steps");
+        assert_eq!(it.state().reg(Reg::ZERO), 0, "r0 must stay zero");
+        assert_eq!(it.state().regs()[0], 0, "raw register file slot 0 too");
+        assert_eq!(it.run(2), Ok(StopReason::Halted));
+    });
+}

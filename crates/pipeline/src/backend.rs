@@ -525,7 +525,12 @@ impl Core {
                                 self.stats.inc("store_set_waits");
                                 return IssueOutcome::DataWait;
                             }
-                            let v = env.read_mem(self.core_id, tid, addr, bytes);
+                            let v = env.read_mem(
+                                self.core_id,
+                                tid,
+                                addr,
+                                self.load_read_bytes(inst.op, bytes),
+                            );
                             let timing = hier.dload(self.core_id, addr, now);
                             let extra = timing.ready_at.saturating_sub(now);
                             if !timing.l1_hit {
@@ -639,6 +644,27 @@ impl Core {
         self.stats.inc("issued");
         self.trace(now, tid, pc, TraceKind::Issue { fu: fu_id });
         IssueOutcome::Issued
+    }
+
+    /// Access size used for the architectural read of a cached load.
+    ///
+    /// With the `chaos` feature's [`CoreConfig::chaos_lb_unmasked`] knob a
+    /// byte load reads a full word — a deliberately planted partial-masking
+    /// bug. Both copies of a redundant pair load the same wrong value, so
+    /// the hardware comparators are blind to it; it exists to prove the
+    /// differential oracle catches real architectural defects.
+    #[cfg(feature = "chaos")]
+    fn load_read_bytes(&self, op: Op, bytes: u64) -> u64 {
+        if self.cfg.chaos_lb_unmasked && op == Op::Lb {
+            8
+        } else {
+            bytes
+        }
+    }
+
+    #[cfg(not(feature = "chaos"))]
+    fn load_read_bytes(&self, _op: Op, bytes: u64) -> u64 {
+        bytes
     }
 
     // ==================================================================
@@ -773,6 +799,31 @@ impl Core {
             self.threads[tid].committed_regs[d.inst.rd.index() as usize] = self.regfile.value(prd);
         }
         self.threads[tid].committed_pc = d.actual_next;
+        if self.threads[tid].commit_log.is_some() {
+            let rec = crate::commit::CommitRecord {
+                cycle: now,
+                pc: d.pc,
+                next_pc: d.actual_next,
+                inst: d.inst,
+                commit_index: self.threads[tid].committed,
+                write: d.prd.map(|prd| (d.inst.rd, self.regfile.value(prd))),
+                store: if op.is_store() {
+                    Some((d.mem_addr, d.mem_value, d.mem_bytes))
+                } else {
+                    None
+                },
+                load: if op.is_load() {
+                    Some((d.mem_addr, d.mem_value, d.mem_bytes))
+                } else {
+                    None
+                },
+            };
+            self.threads[tid]
+                .commit_log
+                .as_mut()
+                .expect("checked")
+                .push(rec);
+        }
         if d.prd.is_some() && d.old_prd != RegFile::ZERO {
             self.regfile.release(d.old_prd);
         }

@@ -1,0 +1,60 @@
+//! Opt-in per-thread commit log: the raw material of differential
+//! verification.
+//!
+//! When enabled for a thread, every retirement appends a [`CommitRecord`]
+//! capturing the architectural effect of the instruction — its PC, the
+//! computed next PC, the destination-register write, and the memory
+//! access — exactly as the completion unit saw it. `rmt-verify` steps the
+//! `rmt-isa` interpreter in lockstep with this stream and cross-checks
+//! every tuple, so any silent divergence between the out-of-order pipeline
+//! and the ISA semantics surfaces at the first wrong commit instead of as
+//! a corrupted figure.
+//!
+//! The log is off by default and costs nothing when disabled (one
+//! `Option` check per retirement).
+
+use crate::config::ThreadId;
+use crate::core::Core;
+use rmt_isa::{Inst, Reg};
+
+/// The architectural effect of one committed instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitRecord {
+    /// Cycle the instruction retired.
+    pub cycle: u64,
+    /// PC of the committed instruction.
+    pub pc: u64,
+    /// Architectural next PC (branch target if taken).
+    pub next_pc: u64,
+    /// The instruction itself.
+    pub inst: Inst,
+    /// Zero-based index of this instruction in the thread's commit stream.
+    pub commit_index: u64,
+    /// Destination-register write `(rd, value)`, if the instruction
+    /// architecturally writes a register.
+    pub write: Option<(Reg, u64)>,
+    /// Store `(addr, value, bytes)`, if the instruction is a store. The
+    /// value is the pre-release store-queue data (post-execution, before
+    /// any injected store-queue strike).
+    pub store: Option<(u64, u64, u64)>,
+    /// Load `(addr, value, bytes)`, if the instruction is a load.
+    pub load: Option<(u64, u64, u64)>,
+}
+
+impl Core {
+    /// Enables the commit log for thread `tid`. Records accumulate until
+    /// drained with [`Core::drain_commits`]; the caller is expected to
+    /// drain every cycle (or at least often enough to bound memory).
+    pub fn enable_commit_log(&mut self, tid: ThreadId) {
+        self.threads[tid].commit_log.get_or_insert_with(Vec::new);
+    }
+
+    /// Takes all commit records logged for `tid` since the last drain.
+    /// Returns an empty vector when the log is not enabled.
+    pub fn drain_commits(&mut self, tid: ThreadId) -> Vec<CommitRecord> {
+        match &mut self.threads[tid].commit_log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+}

@@ -130,6 +130,13 @@ pub struct CoreConfig {
     /// threads fetch through the shared line predictor like any other
     /// thread, misspeculate, and verify their own branches.
     pub trailing_uses_lpq: bool,
+    /// Deliberately planted architectural bug (compiled in only under the
+    /// `chaos` feature, default off): cached `Lb` loads read a full 8-byte
+    /// word, skipping the byte mask. Exists solely to validate that the
+    /// differential oracle catches pipeline defects the redundant-pair
+    /// comparators cannot see (both copies load the same wrong value).
+    #[cfg(feature = "chaos")]
+    pub chaos_lb_unmasked: bool,
 }
 
 impl CoreConfig {
@@ -169,6 +176,8 @@ impl CoreConfig {
             uncached_below: 0x1_0000,
             trailing_fetch_priority: true,
             trailing_uses_lpq: true,
+            #[cfg(feature = "chaos")]
+            chaos_lb_unmasked: false,
         }
     }
 

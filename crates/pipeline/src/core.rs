@@ -192,6 +192,9 @@ pub(crate) struct Thread {
     pub committed_pc: u64,
     /// Fetch suspended by the device (checkpoint quiesce).
     pub fetch_paused: bool,
+    /// Opt-in commit log for differential verification (see
+    /// [`crate::commit`]); `None` keeps retirement free of logging cost.
+    pub commit_log: Option<Vec<crate::commit::CommitRecord>>,
 }
 
 impl Thread {
@@ -327,6 +330,7 @@ impl Core {
                 committed_regs: Box::new([0; rmt_isa::inst::NUM_ARCH_REGS]),
                 committed_pc: 0,
                 fetch_paused: false,
+                commit_log: None,
             })
             .collect();
         let mut fault_state = FaultState::default();

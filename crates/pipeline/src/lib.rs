@@ -54,6 +54,7 @@
 
 pub mod backend;
 pub mod chunk;
+pub mod commit;
 pub mod config;
 pub mod core;
 pub mod env;
@@ -64,5 +65,6 @@ pub mod trace;
 
 pub use crate::core::{Core, ThreadStats};
 pub use chunk::{ChunkAggregator, FetchChunk, RetiredChunk};
+pub use commit::CommitRecord;
 pub use config::{CoreConfig, ThreadId, ThreadRole};
 pub use env::{CoreEnv, RetireInfo};

@@ -106,6 +106,39 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// Errors from [`Experiment::run_verified`]: either the simulation itself
+/// failed, or the device's commit stream disagreed with the reference
+/// interpreter.
+#[derive(Debug)]
+pub enum VerifyError {
+    /// The underlying simulation failed.
+    Sim(SimError),
+    /// The device committed state the ISA reference model disagrees with.
+    Divergence(Box<rmt_verify::Divergence>),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Sim(e) => e.fmt(f),
+            VerifyError::Divergence(d) => d.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// A [`RunResult`] whose every commit was cross-checked by the
+/// co-simulation oracle.
+#[derive(Debug, Clone)]
+pub struct VerifiedRun {
+    /// The ordinary run result.
+    pub result: RunResult,
+    /// Commits the oracle cross-checked (warmup included — the oracle is
+    /// attached from cycle 0).
+    pub commits_checked: u64,
+}
+
 /// Builder for one simulation run.
 ///
 /// See the crate-level example.
@@ -319,7 +352,53 @@ impl Experiment {
     /// [`SimError::NoBenchmarks`] if no benchmark was added;
     /// [`SimError::Timeout`] if the run exceeds the cycle budget.
     pub fn run(self) -> Result<RunResult, SimError> {
-        let mut device = self.build_device()?;
+        match self.run_inner(None) {
+            Ok((result, _)) => Ok(result),
+            Err(VerifyError::Sim(e)) => Err(e),
+            Err(VerifyError::Divergence(_)) => unreachable!("no oracle attached"),
+        }
+    }
+
+    /// Runs the experiment with the differential co-simulation oracle
+    /// cross-checking every committed instruction (from cycle 0, warmup
+    /// included) against the `rmt-isa` reference interpreter.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::Sim`] wraps the ordinary [`SimError`]s;
+    /// [`VerifyError::Divergence`] reports the first commit whose
+    /// `(pc, register write, load, store)` tuple disagrees with the
+    /// reference model, with a trail of the preceding commits.
+    pub fn run_verified(self) -> Result<VerifiedRun, VerifyError> {
+        if self.benchmarks.is_empty() {
+            return Err(VerifyError::Sim(SimError::NoBenchmarks));
+        }
+        // Mirror `build_device_with`'s Base2 doubling: the oracle keeps
+        // one lane per *hardware* logical thread, so on Base2 both
+        // copies are independently cross-checked.
+        let mut threads = self.logical_threads();
+        if self.kind == DeviceKind::Base2 {
+            threads = threads
+                .iter()
+                .flat_map(|t| [t.clone(), t.clone()])
+                .collect();
+        }
+        let mut oracle = rmt_verify::Oracle::for_threads(&threads);
+        let (result, commits_checked) = self.run_inner(Some(&mut oracle))?;
+        Ok(VerifiedRun {
+            result,
+            commits_checked,
+        })
+    }
+
+    fn run_inner(
+        self,
+        mut oracle: Option<&mut rmt_verify::Oracle>,
+    ) -> Result<(RunResult, u64), VerifyError> {
+        let mut device = self.build_device().map_err(VerifyError::Sim)?;
+        if let Some(o) = oracle.as_deref_mut() {
+            o.attach(device.as_mut());
+        }
         let logical_idx: Vec<usize> = match self.kind {
             DeviceKind::Base2 => (0..self.benchmarks.len()).map(|i| 2 * i).collect(),
             _ => (0..self.benchmarks.len()).collect(),
@@ -338,10 +417,14 @@ impl Experiment {
         let mut faults = 0usize;
         while end_cycle.iter().any(Option::is_none) {
             device.tick();
+            if let Some(o) = oracle.as_deref_mut() {
+                o.observe(device.as_mut())
+                    .map_err(VerifyError::Divergence)?;
+            }
             if device.cycle() > budget {
-                return Err(SimError::Timeout {
+                return Err(VerifyError::Sim(SimError::Timeout {
                     cycles: device.cycle(),
-                });
+                }));
             }
             for (k, &i) in logical_idx.iter().enumerate() {
                 let c = device.committed(i);
@@ -380,13 +463,17 @@ impl Experiment {
             .collect();
         let mut reg = MetricsRegistry::new();
         device.export_metrics(&mut reg);
-        Ok(RunResult {
-            kind: self.kind,
-            cycles: total_cycles,
-            per_thread,
-            faults_detected: faults,
-            metrics: reg.snapshot(),
-        })
+        let checked = oracle.map_or(0, |o| o.checked());
+        Ok((
+            RunResult {
+                kind: self.kind,
+                cycles: total_cycles,
+                per_thread,
+                faults_detected: faults,
+                metrics: reg.snapshot(),
+            },
+            checked,
+        ))
     }
 }
 
@@ -556,6 +643,29 @@ mod tests {
         assert_eq!(r.faults_detected(), 0);
         // Four cores exported their metric trees.
         assert!(r.metrics.counter("core3/cycles").is_some());
+    }
+
+    #[test]
+    fn verified_runs_cross_check_every_commit() {
+        let v = Experiment::new(DeviceKind::Srt)
+            .benchmark(Benchmark::M88ksim)
+            .warmup(500)
+            .measure(2_000)
+            .seed(3)
+            .run_verified()
+            .expect("SRT diverged from the reference model");
+        assert!(v.commits_checked >= 2_500, "{}", v.commits_checked);
+        assert!(v.result.ipc(0) > 0.0);
+
+        // Base2 doubles each thread; the oracle follows both copies.
+        let v2 = Experiment::new(DeviceKind::Base2)
+            .benchmark(Benchmark::Li)
+            .warmup(500)
+            .measure(2_000)
+            .seed(3)
+            .run_verified()
+            .expect("Base2 diverged from the reference model");
+        assert!(v2.commits_checked >= 4_000, "{}", v2.commits_checked);
     }
 
     #[test]

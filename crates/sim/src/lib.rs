@@ -43,7 +43,7 @@ pub mod runner;
 pub mod sampled;
 
 pub use baseline::BaselineCache;
-pub use experiment::{DeviceKind, Experiment, RunResult, SimError};
+pub use experiment::{DeviceKind, Experiment, RunResult, SimError, VerifiedRun, VerifyError};
 pub use figures::{FigureCtx, FigureResult, SimScale};
 pub use runner::Runner;
 pub use sampled::{CheckpointLadder, SampledResult};

@@ -26,11 +26,12 @@
 //! reproduces the full run's cycles exactly (the sampled determinism
 //! tests assert both).
 
-use crate::experiment::{DeviceKind, Experiment, SimError};
+use crate::experiment::{DeviceKind, Experiment, SimError, VerifyError};
 use rmt_core::device::LogicalThread;
 use rmt_isa::Program;
 use rmt_sample::{Checkpoint, FastForward, SamplePlan};
 use rmt_stats::{mean_ci95, Estimate};
+use rmt_verify::Oracle;
 use rmt_workloads::Workload;
 use std::rc::Rc;
 
@@ -154,8 +155,44 @@ impl Experiment {
         plan: &SamplePlan,
         ladder: &CheckpointLadder,
     ) -> Result<SampledResult, SimError> {
+        match self.run_sampled_inner(plan, ladder, false) {
+            Ok((result, _)) => Ok(result),
+            Err(VerifyError::Sim(e)) => Err(e),
+            Err(VerifyError::Divergence(_)) => unreachable!("no oracle attached"),
+        }
+    }
+
+    /// Runs this experiment under `plan` with the co-simulation oracle
+    /// cross-checking every detailed commit — including across sampled
+    /// window re-entries, where the oracle's reference lanes are re-seeded
+    /// from the same architectural checkpoints the device restores to.
+    /// Returns the sampled result and the number of commits checked.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::Sim`] wraps the ordinary [`SimError`]s;
+    /// [`VerifyError::Divergence`] reports the first commit that disagrees
+    /// with the reference interpreter.
+    ///
+    /// # Panics
+    ///
+    /// As [`Experiment::run_sampled`].
+    pub fn run_sampled_verified(
+        &self,
+        plan: &SamplePlan,
+    ) -> Result<(SampledResult, u64), VerifyError> {
+        let ladder = self.sample_checkpoints(plan).map_err(VerifyError::Sim)?;
+        self.run_sampled_inner(plan, &ladder, true)
+    }
+
+    fn run_sampled_inner(
+        &self,
+        plan: &SamplePlan,
+        ladder: &CheckpointLadder,
+        verify: bool,
+    ) -> Result<(SampledResult, u64), VerifyError> {
         if self.benchmarks.is_empty() {
-            return Err(SimError::NoBenchmarks);
+            return Err(VerifyError::Sim(SimError::NoBenchmarks));
         }
         let positions = plan.positions(self.warmup, self.measure);
         let cps = &ladder.windows;
@@ -173,12 +210,33 @@ impl Experiment {
             .zip(&programs)
             .map(|(cp, p)| LogicalThread::new(p.clone(), cp.memory.clone()))
             .collect();
-        let mut device = self.build_device_with(threads)?;
+        let mut device = self.build_device_with(threads).map_err(VerifyError::Sim)?;
+        // One oracle lane per hardware logical thread (Base2 copies each
+        // get their own), seeded like the device itself.
+        let mut oracle = verify.then(|| {
+            let programs = &programs;
+            let entry = &cps[0];
+            let lanes = (0..n)
+                .flat_map(|t| {
+                    (0..copies).map(move |_| (programs[t].clone(), entry[t].memory.clone()))
+                })
+                .collect();
+            let o = Oracle::new(lanes);
+            o.attach(device.as_mut());
+            o
+        });
         let mut window_ipc: Vec<Vec<f64>> = vec![Vec::with_capacity(positions.len()); n];
         for (wi, cps_w) in cps.iter().enumerate() {
             for (t, cp) in cps_w.iter().enumerate() {
                 for c in 0..copies {
                     let logical = t * copies + c;
+                    if let Some(o) = oracle.as_mut() {
+                        // The reference lane moves to the same checkpoint
+                        // the device re-enters (at window 0 this is the
+                        // state the device was just built from, so the
+                        // reseed is the identity there).
+                        o.reseed(logical, cp.memory.clone(), &cp.regs, cp.pc, cp.committed);
+                    }
                     if wi > 0 {
                         // Move this copy to the window's checkpoint: new
                         // memory (sphere-crossing queues dropped), then
@@ -211,10 +269,14 @@ impl Experiment {
             let mut end_cycle: Vec<Option<u64>> = vec![None; n];
             while end_cycle.iter().any(Option::is_none) {
                 device.tick();
+                if let Some(o) = oracle.as_mut() {
+                    o.observe(device.as_mut())
+                        .map_err(VerifyError::Divergence)?;
+                }
                 if device.cycle() - entry_cycle > budget {
-                    return Err(SimError::Timeout {
+                    return Err(VerifyError::Sim(SimError::Timeout {
                         cycles: device.cycle(),
-                    });
+                    }));
                 }
                 for t in 0..n {
                     let warm = positions[wi] - cps_w[t].committed;
@@ -240,14 +302,18 @@ impl Experiment {
             }
         }
         let cycles = device.cycle();
-        Ok(SampledResult {
-            kind: self.kind,
-            ipc: window_ipc.iter().map(|w| mean_ci95(w)).collect(),
-            window_ipc,
-            cycles,
-            detailed_instructions: positions.len() as u64 * plan.window_len() * n as u64,
-            fastforward_instructions: ff_insts,
-        })
+        let checked = oracle.map_or(0, |o| o.checked());
+        Ok((
+            SampledResult {
+                kind: self.kind,
+                ipc: window_ipc.iter().map(|w| mean_ci95(w)).collect(),
+                window_ipc,
+                cycles,
+                detailed_instructions: positions.len() as u64 * plan.window_len() * n as u64,
+                fastforward_instructions: ff_insts,
+            },
+            checked,
+        ))
     }
 }
 
@@ -348,6 +414,53 @@ mod tests {
             assert_eq!(
                 direct, replayed,
                 "{kind}: codec round trip changed a window"
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_windows_verify_across_reentry() {
+        // Multi-window sampled runs re-enter the machine through
+        // `install_image`/`restore_arch`; the oracle's reference lanes
+        // re-seed from the same checkpoints and must stay commit-for-
+        // commit clean through every window.
+        for kind in [DeviceKind::Base, DeviceKind::Srt, DeviceKind::Base2] {
+            let (r, checked) = exp(kind, Benchmark::M88ksim)
+                .run_sampled_verified(&small_plan())
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert_eq!(r.window_ipc[0].len(), 3);
+            assert!(
+                checked >= 3 * 800,
+                "{kind}: only {checked} commits cross-checked"
+            );
+        }
+    }
+
+    #[test]
+    fn one_window_verified_run_is_divergence_free_and_bitwise_equal() {
+        // A single window coinciding with the full measured interval,
+        // with the oracle enabled: zero divergences, and bitwise the same
+        // window the unverified run produces (the oracle is an observer —
+        // it must not perturb timing).
+        for kind in [DeviceKind::Base, DeviceKind::Srt] {
+            let plan = SamplePlan {
+                windows: 1,
+                warmup: 1_000,
+                measure: 6_000,
+                warm_window: 0,
+                mode: SampleMode::Periodic,
+            };
+            let plain = exp(kind, Benchmark::Ijpeg).run_sampled(&plan).unwrap();
+            let (verified, checked) = exp(kind, Benchmark::Ijpeg)
+                .run_sampled_verified(&plan)
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert_eq!(plain, verified, "{kind}: oracle perturbed the run");
+            assert!(checked >= 7_000, "{kind}: only {checked} checked");
+            let full = exp(kind, Benchmark::Ijpeg).run().unwrap();
+            assert_eq!(
+                verified.ipc[0].mean.to_bits(),
+                full.ipc(0).to_bits(),
+                "{kind}: verified sampled window != full run"
             );
         }
     }

@@ -1,0 +1,298 @@
+//! Seeded program generator: adversarial inputs for the co-simulation
+//! oracle.
+//!
+//! Programs are generated over the `rmt-isa` instruction set with the
+//! shapes that historically break out-of-order pipelines: dense
+//! conditional branches (wrong-path commit bugs), alias-heavy mixed-size
+//! loads and stores over a few overlapping address pools (forwarding and
+//! memory-order bugs), mixed-latency functional-unit chains (writeback
+//! and completion-time bugs), and a self-checking loop skeleton that
+//! keeps committing forever so any window length can be verified.
+//!
+//! Generation is fully deterministic from `(config, seed)` via the
+//! in-repo [`Xoshiro256`] stream; a finding is reproducible from its seed
+//! alone, and the committed corpus stores shrunk programs as assembler
+//! text (see [`crate::shrink`]).
+//!
+//! Structure: a fixed prologue materializes the data-pool base registers,
+//! then `blocks` basic blocks of random straight-line bodies, each ending
+//! in a control transfer whose target is always a block start. The last
+//! block jumps back to block 0, so generated programs never halt and the
+//! PC can never leave the program.
+
+use rmt_isa::{Inst, Program, Reg};
+use rmt_stats::rng::Xoshiro256;
+
+/// Shape of a generated program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzConfig {
+    /// Number of basic blocks.
+    pub blocks: usize,
+    /// Body instructions per block (the block terminator is extra).
+    pub block_insts: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            blocks: 12,
+            block_insts: 7,
+        }
+    }
+}
+
+/// Base of the overlapping data pools — above the uncached device window
+/// so every generated load and store takes the cached (speculative) path.
+const POOL_BASE_LUI: i64 = 2; // lui => 0x2_0000
+
+/// Registers reserved by the generator skeleton; block bodies never
+/// write them.
+const BASE_REGS: [u8; 4] = [50, 51, 52, 53];
+const JALR_TARGET: u8 = 54;
+const SCRATCH_ADDR: u8 = 55;
+const INDEX_MASK: u8 = 56;
+const LINK: u8 = 59;
+const COUNTER: u8 = 60;
+
+/// Highest register a block body may write (destinations r1..=r31).
+const MAX_BODY_REG: u8 = 31;
+
+fn prologue(cfg: &FuzzConfig) -> Vec<Inst> {
+    let r = Reg::new;
+    let mut p = vec![
+        Inst::lui(r(BASE_REGS[0]), POOL_BASE_LUI),
+        // Overlapping, partly unaligned pools: classic store-forward and
+        // memory-order corner cases.
+        Inst::addi(r(BASE_REGS[1]), r(BASE_REGS[0]), 5),
+        Inst::addi(r(BASE_REGS[2]), r(BASE_REGS[0]), 64),
+        Inst::addi(r(BASE_REGS[3]), r(BASE_REGS[0]), 3),
+        Inst::addi(r(COUNTER), Reg::ZERO, 0),
+        // Mask for dynamically indexed accesses: keeps computed addresses
+        // inside the pools (and inside the cached address range).
+        Inst::addi(r(INDEX_MASK), Reg::ZERO, 63),
+    ];
+    // The indirect-jump target: the middle block's start address.
+    let mid = cfg.blocks / 2;
+    p.push(Inst::addi(
+        r(JALR_TARGET),
+        Reg::ZERO,
+        block_addr(cfg, mid) as i64,
+    ));
+    debug_assert_eq!(p.len(), PROLOGUE_LEN, "block_addr layout out of sync");
+    p
+}
+
+/// Number of prologue instructions ([`prologue`] asserts this).
+const PROLOGUE_LEN: usize = 7;
+
+/// Byte address of block `k`'s first instruction.
+pub fn block_addr(cfg: &FuzzConfig, k: usize) -> u64 {
+    ((PROLOGUE_LEN + k * (cfg.block_insts + 1)) * 4) as u64
+}
+
+fn body_dest(rng: &mut Xoshiro256) -> Reg {
+    Reg::new(rng.range(1, MAX_BODY_REG as u64) as u8)
+}
+
+fn body_src(rng: &mut Xoshiro256) -> Reg {
+    // Sources draw from the body registers, r0, and the loop counter.
+    // The counter is deliberately over-weighted: it is the one register
+    // guaranteed to keep changing, so values (and the addresses and
+    // stored data derived from them) stay coupled to control flow
+    // instead of collapsing to a zero fixpoint.
+    match rng.below(8) {
+        0 => Reg::ZERO,
+        1 | 2 => Reg::new(COUNTER),
+        _ => Reg::new(rng.range(1, MAX_BODY_REG as u64) as u8),
+    }
+}
+
+fn pool_base(rng: &mut Xoshiro256) -> Reg {
+    Reg::new(*rng.pick(&BASE_REGS))
+}
+
+fn body_inst(rng: &mut Xoshiro256) -> Inst {
+    let (d, a, b) = (body_dest(rng), body_src(rng), body_src(rng));
+    match rng.below(20) {
+        0 | 1 => Inst::add(d, a, b),
+        2 => Inst::sub(d, a, b),
+        3 => Inst::mul(d, a, b),
+        4 => Inst::div(d, a, b),
+        5 => Inst::and(d, a, b),
+        6 => Inst::or(d, a, b),
+        7 => Inst::xor(d, a, b),
+        8 => Inst::sll(d, a, b),
+        9 => Inst::srl(d, a, b),
+        10 => Inst::addi(d, a, rng.range(0, 255) as i64 - 128),
+        11 => Inst::slt(d, a, b),
+        12 => match rng.below(4) {
+            0 => Inst::fadd(d, a, b),
+            1 => Inst::fsub(d, a, b),
+            2 => Inst::fmul(d, a, b),
+            _ => Inst::fdiv(d, a, b),
+        },
+        13..=15 => {
+            let off = rng.range(0, 96) as i64;
+            if rng.chance(0.5) {
+                Inst::lw(d, pool_base(rng), off)
+            } else {
+                Inst::lb(d, pool_base(rng), off)
+            }
+        }
+        16..=18 => {
+            let off = rng.range(0, 96) as i64;
+            if rng.chance(0.5) {
+                Inst::sw(a, pool_base(rng), off)
+            } else {
+                Inst::sb(a, pool_base(rng), off)
+            }
+        }
+        _ => {
+            if rng.chance(0.15) {
+                Inst::membar()
+            } else {
+                Inst::lui(d, rng.range(0, 32) as i64)
+            }
+        }
+    }
+}
+
+/// A dynamically indexed memory access. Unlike the plain load/store
+/// cases — whose `base + imm` address is fixed for the life of the
+/// program — the address here depends on a runtime register value, so
+/// successive executions of the same static instruction walk the pools
+/// and collide with data other instructions wrote.
+fn indexed_access(rng: &mut Xoshiro256) -> Vec<Inst> {
+    let r = Reg::new;
+    // Half the idioms index by the loop counter so their addresses are
+    // guaranteed to sweep the pool rather than freeze on one slot.
+    let idx = if rng.chance(0.5) {
+        Reg::new(COUNTER)
+    } else {
+        body_src(rng)
+    };
+    let off = rng.range(0, 8) as i64;
+    let access = match rng.below(4) {
+        0 => Inst::lw(body_dest(rng), r(SCRATCH_ADDR), off),
+        1 => Inst::lb(body_dest(rng), r(SCRATCH_ADDR), off),
+        2 => Inst::sw(body_src(rng), r(SCRATCH_ADDR), off),
+        _ => Inst::sb(body_src(rng), r(SCRATCH_ADDR), off),
+    };
+    vec![
+        Inst::and(r(SCRATCH_ADDR), idx, r(INDEX_MASK)),
+        Inst::add(r(SCRATCH_ADDR), r(SCRATCH_ADDR), pool_base(rng)),
+        access,
+    ]
+}
+
+fn terminator(cfg: &FuzzConfig, rng: &mut Xoshiro256, block: usize) -> Inst {
+    if block == cfg.blocks - 1 {
+        // The last block closes the outer loop unconditionally so the
+        // program never falls off the end.
+        return Inst::j(block_addr(cfg, 0) as i64);
+    }
+    // Conditional branches may target any block; their conditions couple
+    // to the counter often enough that a backward loop eventually flips
+    // and escapes. Unconditional jumps only go *forward*: a random
+    // backward `j` forms an absorbing cycle that starves the rest of the
+    // program forever.
+    let target = block_addr(cfg, rng.below(cfg.blocks as u64) as usize) as i64;
+    let fwd = block_addr(
+        cfg,
+        rng.range(block as u64 + 1, cfg.blocks as u64 - 1) as usize,
+    ) as i64;
+    let a = if rng.chance(0.4) {
+        Reg::new(COUNTER)
+    } else {
+        body_src(rng)
+    };
+    let b = body_src(rng);
+    match rng.below(8) {
+        0 => Inst::beq(a, b, target),
+        1 => Inst::bne(a, b, target),
+        2 => Inst::blt(a, b, target),
+        3 => Inst::bge(a, b, target),
+        4 => Inst::j(fwd),
+        5 => Inst::jal(Reg::new(LINK), fwd),
+        6 => Inst::jalr(Reg::ZERO, Reg::new(JALR_TARGET)),
+        // Never-taken branch-to-self: exercises the branch-to-self
+        // predictor/commit edge and the fall-through block shape without
+        // trapping execution in a one-block spin (an always-taken
+        // self-branch would starve every other block forever).
+        _ => Inst::bne(a, a, block_addr(cfg, block) as i64),
+    }
+}
+
+/// Generates a program from `seed` with the default shape.
+pub fn generate(seed: u64) -> Program {
+    generate_with(&FuzzConfig::default(), seed)
+}
+
+/// Generates a program from `(cfg, seed)`. Deterministic: the same pair
+/// always yields the same program.
+pub fn generate_with(cfg: &FuzzConfig, seed: u64) -> Program {
+    let mut rng = Xoshiro256::seed_from(seed);
+    let mut insts = prologue(cfg);
+    for block in 0..cfg.blocks {
+        let mut slot = 0;
+        while slot < cfg.block_insts {
+            if slot == 0 {
+                // Self-checking skeleton: every block bumps the counter,
+                // so forward progress is architecturally visible along
+                // *any* cycle the control flow settles into — without
+                // this, steady-state register values freeze and every
+                // branch, address and stored value becomes static.
+                insts.push(Inst::addi(Reg::new(COUNTER), Reg::new(COUNTER), 1));
+                slot += 1;
+            } else if cfg.block_insts - slot >= 3 && (slot == 1 || rng.chance(0.25)) {
+                // Every block carries at least one dynamically indexed
+                // access (when it fits), so whatever cycle the control
+                // flow settles into keeps sweeping the data pools.
+                let seq = indexed_access(&mut rng);
+                slot += seq.len();
+                insts.extend(seq);
+            } else {
+                insts.push(body_inst(&mut rng));
+                slot += 1;
+            }
+        }
+        insts.push(terminator(cfg, &mut rng, block));
+    }
+    Program::from_insts(insts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmt_isa::interp::Interpreter;
+    use rmt_isa::MemImage;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(7);
+        let b = generate(7);
+        assert_eq!(a.insts(), b.insts());
+        assert_ne!(a.insts(), generate(8).insts());
+    }
+
+    #[test]
+    fn generated_programs_run_forever_in_bounds() {
+        for seed in 0..24 {
+            let p = generate(seed);
+            let mut it = Interpreter::new(&p, MemImage::new());
+            let stop = it
+                .run(20_000)
+                .unwrap_or_else(|e| panic!("seed {seed}: reference execution failed: {e}"));
+            assert_eq!(stop, rmt_isa::interp::StopReason::BudgetExhausted);
+            assert_eq!(it.committed(), 20_000);
+        }
+    }
+
+    #[test]
+    fn corpus_round_trips_through_the_assembler() {
+        let p = generate(3);
+        let text = crate::shrink::to_asm(&p);
+        let q = rmt_isa::asm::assemble(&text).expect("corpus text assembles");
+        assert_eq!(p.insts(), q.insts());
+    }
+}

@@ -1,0 +1,48 @@
+//! Differential verification for the RMT fabric: a co-simulation oracle
+//! plus a seeded program fuzzer.
+//!
+//! The paper's evaluation is only as trustworthy as the timing
+//! simulator's architectural behavior — a silent divergence between the
+//! out-of-order pipeline and the ISA semantics corrupts every figure and
+//! every coverage number. This crate wires the reference interpreter
+//! (`rmt-isa`) to the timing machine's retire stream:
+//!
+//! * [`oracle`] — the [`Oracle`]: steps the interpreter in lockstep with
+//!   the leading thread's commits and cross-checks every
+//!   `(pc, next_pc, register write, load, store)` tuple, reporting the
+//!   first [`Divergence`] with a bounded commit trail.
+//! * [`fuzz`] — deterministic seeded generator of branch-dense,
+//!   alias-heavy, mixed-latency programs that never halt.
+//! * [`shrink`] — greedy layout-preserving minimizer turning a divergent
+//!   program into a committable regression, and the textual corpus
+//!   format.
+//! * [`harness`] — builders for all six redundancy [`Arrangement`]s and
+//!   the fuzz-find-shrink loop.
+//!
+//! # Examples
+//!
+//! Verify a fuzzed program on an SRT machine:
+//!
+//! ```
+//! use rmt_pipeline::CoreConfig;
+//! use rmt_verify::{fuzz, harness, Arrangement};
+//! use std::rc::Rc;
+//!
+//! let program = Rc::new(fuzz::generate(1));
+//! let checked =
+//!     harness::verify_arrangement(Arrangement::Srt, CoreConfig::base(), &program, 2_000)
+//!         .expect("no divergence");
+//! assert!(checked >= 2_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fuzz;
+pub mod harness;
+pub mod oracle;
+pub mod shrink;
+
+pub use fuzz::FuzzConfig;
+pub use harness::{Arrangement, Finding};
+pub use oracle::{Divergence, DivergenceKind, Oracle};

@@ -1,0 +1,113 @@
+//! Greedy program shrinker and the textual corpus format.
+//!
+//! A fuzz finding is only useful once it is small enough to read. The
+//! shrinker minimizes a divergent program by repeatedly replacing chunks
+//! of instructions with `nop` — halving the chunk size down to single
+//! instructions and restarting until a fixpoint — keeping a replacement
+//! only if the caller's predicate still reproduces the failure. Layout
+//! never changes (every instruction keeps its address), so control-flow
+//! targets stay valid throughout; the final instruction is never
+//! replaced, so the program keeps its closing back-jump and cannot run
+//! off the end.
+//!
+//! Minimized programs are committed to `tests/corpus/` as the assembler
+//! text [`to_asm`] emits, which [`rmt_isa::asm::assemble`] parses back
+//! bit-identically.
+
+use rmt_isa::{disasm, Inst, Op, Program};
+
+/// Serializes a program as assembler text (one instruction per line),
+/// the committed-corpus format.
+pub fn to_asm(program: &Program) -> String {
+    let mut out = String::new();
+    for inst in program.insts() {
+        out.push_str(&disasm::disassemble(inst));
+        out.push('\n');
+    }
+    out
+}
+
+/// Minimizes `program` while `still_fails` keeps reproducing the failure.
+///
+/// `still_fails` must be deterministic; it is first consulted on the
+/// input itself.
+///
+/// # Panics
+///
+/// Panics if `still_fails(program)` is false — shrinking needs a failing
+/// input to start from.
+pub fn shrink(program: &Program, mut still_fails: impl FnMut(&Program) -> bool) -> Program {
+    assert!(
+        still_fails(program),
+        "shrink needs a failing input to start from"
+    );
+    let mut insts: Vec<Inst> = program.insts().to_vec();
+    if insts.len() <= 1 {
+        return Program::from_insts(insts);
+    }
+    loop {
+        let mut changed = false;
+        let mut chunk = (insts.len() / 2).max(1);
+        loop {
+            let mut start = 0;
+            while start < insts.len() {
+                // Never touch the final instruction: it is the program's
+                // closing unconditional jump.
+                let end = (start + chunk).min(insts.len() - 1);
+                if start < end && insts[start..end].iter().any(|i| i.op != Op::Nop) {
+                    let mut candidate = insts.clone();
+                    for i in &mut candidate[start..end] {
+                        *i = Inst::nop();
+                    }
+                    if still_fails(&Program::from_insts(candidate.clone())) {
+                        insts = candidate;
+                        changed = true;
+                    }
+                }
+                start += chunk;
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        if !changed {
+            return Program::from_insts(insts);
+        }
+    }
+}
+
+/// Number of instructions that are not `nop` (the shrinker's size
+/// metric).
+pub fn live_insts(program: &Program) -> usize {
+    program.insts().iter().filter(|i| i.op != Op::Nop).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmt_isa::Reg;
+
+    #[test]
+    fn shrink_isolates_the_failing_instruction() {
+        // A straight-line program where only the mul at index 5 matters.
+        let r = Reg::new;
+        let mut insts: Vec<Inst> = (0..16).map(|i| Inst::addi(r(1), r(1), i)).collect();
+        insts[5] = Inst::mul(r(2), r(1), r(1));
+        insts.push(Inst::j(0));
+        let p = Program::from_insts(insts);
+        let small = shrink(&p, |q| q.insts().iter().any(|i| i.op == Op::Mul));
+        // Everything except the mul and the protected final jump nops out.
+        assert_eq!(live_insts(&small), 2);
+        assert_eq!(small.insts()[5].op, Op::Mul);
+        assert_eq!(small.insts().last().unwrap().op, Op::J);
+        assert_eq!(small.len(), p.len(), "layout is preserved");
+    }
+
+    #[test]
+    #[should_panic(expected = "failing input")]
+    fn shrink_rejects_passing_input() {
+        let p = Program::from_insts(vec![Inst::nop(), Inst::j(0)]);
+        shrink(&p, |_| false);
+    }
+}

@@ -1,0 +1,20 @@
+//! Every redundancy arrangement, driven over generated programs with the
+//! co-simulation oracle cross-checking each commit.
+
+use rmt_pipeline::CoreConfig;
+use rmt_verify::{fuzz, harness, Arrangement};
+use std::rc::Rc;
+
+#[test]
+fn all_arrangements_verify_fuzzed_programs() {
+    for seed in [1, 2] {
+        let program = Rc::new(fuzz::generate(seed));
+        for arr in Arrangement::ALL {
+            let checked = harness::verify_arrangement(arr, CoreConfig::base(), &program, 1_500)
+                .unwrap_or_else(|d| {
+                    panic!("seed {seed} diverged on {}:\n{}", arr.name(), d.render())
+                });
+            assert!(checked >= 1_500, "{}: too few commits checked", arr.name());
+        }
+    }
+}

@@ -86,4 +86,14 @@ if ! diff -u results/fault_coverage.txt "$tmp_fc"; then
     exit 1
 fi
 
+echo "== verify: differential fuzz smoke (fixed seed block, ~60s budget) =="
+# A fixed, deterministic seed block through the co-simulation oracle on
+# the two arrangements with the richest commit plumbing. Any divergence
+# exits nonzero and prints a minimized reproducer to save under
+# tests/corpus/ (which tests/fuzz_regressions.rs then replays forever).
+cargo run --release -p rmt-bench --bin fuzz -- \
+    --seeds 0..48 --arrangement srt --commits 2000 --budget-secs 45
+cargo run --release -p rmt-bench --bin fuzz -- \
+    --seeds 0..16 --arrangement all --commits 1000 --budget-secs 15
+
 echo "== ci.sh: all checks passed =="

@@ -19,6 +19,7 @@
 //!   functional fast-forward and sampling plans.
 //! * [`sim`] — experiment harness and metric collection.
 //! * [`stats`] — counters, histograms, tables, deterministic RNG.
+//! * [`verify`] — differential co-simulation oracle and program fuzzer.
 //!
 //! # Quickstart
 //!
@@ -47,4 +48,5 @@ pub use rmt_predict as predict;
 pub use rmt_sample as sample;
 pub use rmt_sim as sim;
 pub use rmt_stats as stats;
+pub use rmt_verify as verify;
 pub use rmt_workloads as workloads;

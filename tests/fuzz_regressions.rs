@@ -1,0 +1,64 @@
+//! Replays the committed fuzz corpus (`tests/corpus/*.rmt`) — minimized
+//! reproducers the fuzzer once shrank from real divergences — on every
+//! redundancy arrangement under the co-simulation oracle.
+//!
+//! Two properties are pinned:
+//!
+//! 1. With the default (sound) core configuration, every corpus program
+//!    verifies cleanly on all six arrangements: the bugs they reproduce
+//!    stay fixed (or, for the chaos-planted one, stay gated off).
+//! 2. With the planted `chaos_lb_unmasked` bug re-enabled, each corpus
+//!    program still trips the oracle on the arrangement it was found on —
+//!    the regression files remain live reproducers, not dead weight.
+
+use rmt::pipeline::CoreConfig;
+use rmt::verify::{harness, Arrangement};
+use std::rc::Rc;
+
+const COMMITS: u64 = 2_000;
+
+fn corpus() -> Vec<(String, Rc<rmt::isa::Program>)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("read tests/corpus")
+        .map(|e| e.expect("corpus entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rmt"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "tests/corpus holds no .rmt files");
+    files
+        .into_iter()
+        .map(|path| {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&path).expect("read corpus file");
+            let program = rmt::isa::asm::assemble(&text)
+                .unwrap_or_else(|e| panic!("{name} does not assemble: {e}"));
+            (name, Rc::new(program))
+        })
+        .collect()
+}
+
+#[test]
+fn corpus_replays_clean_on_every_arrangement() {
+    for (name, program) in corpus() {
+        for arr in Arrangement::ALL {
+            if let Err(d) = harness::verify_arrangement(arr, CoreConfig::base(), &program, COMMITS)
+            {
+                panic!("{name} diverged on {}:\n{}", arr.name(), d.render());
+            }
+        }
+    }
+}
+
+#[test]
+fn corpus_still_trips_the_planted_bug() {
+    let mut chaos = CoreConfig::base();
+    chaos.chaos_lb_unmasked = true;
+    for (name, program) in corpus() {
+        assert!(
+            harness::verify_arrangement(Arrangement::Srt, chaos.clone(), &program, COMMITS)
+                .is_err(),
+            "{name} no longer reproduces under chaos_lb_unmasked; regenerate the corpus"
+        );
+    }
+}

@@ -8,7 +8,7 @@
 //! RedundancyScheme refactor is behaviourally neutral at `--quick` scale.
 //! Regenerate deliberately with the `guard_golden` binary.
 
-use rmt_sim::guard::{guard_points, parse_golden, run_point};
+use rmt_sim::guard::{guard_points, parse_golden, run_point, run_standard_point, standard_points};
 
 #[test]
 fn every_device_kind_matches_the_committed_golden() {
@@ -48,6 +48,51 @@ fn every_device_kind_matches_the_committed_golden() {
     assert!(
         failures.is_empty(),
         "refactor guard drift:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn every_device_kind_verifies_at_standard_scale() {
+    // One full `--standard` cell per kind, replayed bitwise against
+    // `results/refactor_guard_standard.json` *with the co-simulation
+    // oracle attached*: `run_standard_point` panics on the first commit
+    // that disagrees with the reference interpreter, so a green run is
+    // both a drift guard and a proof that every kind's standard-scale
+    // commit stream is divergence-free end to end.
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/results/refactor_guard_standard.json"
+    ))
+    .expect("read committed standard golden");
+    let doc = rmt_stats::json::parse(&text).expect("golden parses");
+    let golden = parse_golden(&doc).expect("golden is well-formed");
+    let points = standard_points();
+    assert_eq!(
+        golden.len(),
+        points.len(),
+        "golden entry count must match standard points; regenerate with guard_golden --standard"
+    );
+    let mut failures = Vec::new();
+    for (expected, point) in golden.iter().zip(&points) {
+        assert_eq!(expected.name, point.name, "golden order drifted");
+        let (got, checked) = run_standard_point(point);
+        let need = rmt_sim::guard::STANDARD_WARMUP + rmt_sim::guard::STANDARD_MEASURE;
+        assert!(
+            checked >= need,
+            "{}: oracle checked only {checked} of {need} commits",
+            point.name
+        );
+        if got != *expected {
+            failures.push(format!(
+                "{}: got cycles={} fnv={:#018x}, golden cycles={} fnv={:#018x}",
+                expected.name, got.cycles, got.metrics_fnv, expected.cycles, expected.metrics_fnv
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "standard refactor guard drift:\n{}",
         failures.join("\n")
     );
 }
