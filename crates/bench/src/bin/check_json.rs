@@ -68,11 +68,58 @@ fn check_snapshot(key: &str, snap: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// A time series is `{"every": u64 >= 1, "epochs": [snapshot, ...]}`.
+/// Each epoch delta is a snapshot object whose members are numbers
+/// (counters, gauges) or histogram-summary objects; every epoch must
+/// cover exactly `every` device cycles — the cycle alignment that makes
+/// the series `--jobs`-invariant.
+fn check_timeseries(key: &str, series: &Json) -> Result<(), String> {
+    let every = series
+        .get("every")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("timeseries[{key}]: missing `every`"))?;
+    if every == 0 {
+        return Err(format!("timeseries[{key}]: `every` must be >= 1"));
+    }
+    let epochs = series
+        .get("epochs")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("timeseries[{key}]: `epochs` is not an array"))?;
+    for (i, epoch) in epochs.iter().enumerate() {
+        let members = epoch
+            .members()
+            .ok_or_else(|| format!("timeseries[{key}]: epoch {i} is not an object"))?;
+        for (metric, v) in members {
+            if v.as_f64().is_none() && v.members().is_none() {
+                return Err(format!(
+                    "timeseries[{key}]: epoch {i} metric `{metric}` is neither \
+                     a number nor a histogram summary"
+                ));
+            }
+        }
+        let cycles = epoch.get("device/cycles").and_then(Json::as_u64);
+        if cycles != Some(every) {
+            return Err(format!(
+                "timeseries[{key}]: epoch {i} covers {cycles:?} device cycles, want {every}"
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn check_file(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     let doc = parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
     for key in [
-        "title", "paper", "scale", "benches", "table", "summary", "metrics", "host",
+        "title",
+        "paper",
+        "scale",
+        "benches",
+        "table",
+        "summary",
+        "metrics",
+        "timeseries",
+        "host",
     ] {
         doc.get(key).ok_or_else(|| format!("missing `{key}`"))?;
     }
@@ -111,6 +158,13 @@ fn check_file(path: &str) -> Result<(), String> {
         .ok_or("`metrics` is not an object")?
     {
         check_snapshot(k, snap)?;
+    }
+    for (k, series) in doc
+        .get("timeseries")
+        .and_then(Json::members)
+        .ok_or("`timeseries` is not an object")?
+    {
+        check_timeseries(k, series)?;
     }
     let host = doc.get("host").expect("checked");
     host.get("wall_seconds")

@@ -10,6 +10,11 @@
 //! --jobs N                          worker threads (default: all cores)
 //! --json PATH                       also write the result as JSON
 //! --sample                          sampled run (binaries that support it)
+//! --epoch N                         sample metrics every N cycles into
+//!                                   per-epoch deltas (figure binaries
+//!                                   that run full experiments)
+//! --progress                        periodic jobs-done/ETA lines on
+//!                                   stderr (payload stays deterministic)
 //! ```
 //!
 //! and prints a paper-style table plus its summary values, the wall-clock
@@ -50,6 +55,12 @@ pub struct FigureArgs {
     /// `--sample-windows`, `--sample-warmup`, `--sample-measure` and
     /// `--sample-warm`.
     pub plan: SamplePlan,
+    /// Epoch width in cycles for time-series telemetry (`--epoch N`);
+    /// `None` leaves sampling off and the `timeseries` section empty.
+    pub epoch: Option<u64>,
+    /// Print periodic jobs-done/ETA lines to stderr (`--progress`).
+    /// Observation only: the result payload stays bitwise identical.
+    pub progress: bool,
 }
 
 impl FigureArgs {
@@ -66,6 +77,8 @@ impl FigureArgs {
         let mut json = None;
         let mut sample = false;
         let mut plan = SamplePlan::default();
+        let mut epoch = None;
+        let mut progress = false;
         let mut it = args.into_iter();
         let set_scale = |scale: &mut SimScale, name: &str| {
             let seed = scale.seed;
@@ -116,6 +129,15 @@ impl FigureArgs {
                     json = Some(it.next().unwrap_or_else(|| usage("--json needs a path")));
                 }
                 "--sample" => sample = true,
+                "--epoch" => {
+                    epoch = Some(
+                        it.next()
+                            .and_then(|s| s.parse().ok())
+                            .filter(|&n| n >= 1)
+                            .unwrap_or_else(|| usage("--epoch needs a positive cycle count")),
+                    )
+                }
+                "--progress" => progress = true,
                 "--sample-windows" => {
                     plan.windows = it
                         .next()
@@ -153,12 +175,20 @@ impl FigureArgs {
             json,
             sample,
             plan,
+            epoch,
+            progress,
         }
     }
 
-    /// A figure context sized to the parsed `--jobs`.
+    /// A figure context sized to the parsed `--jobs`, with `--epoch`
+    /// sampling and `--progress` reporting applied.
     pub fn ctx(&self) -> FigureCtx {
-        FigureCtx::new(self.jobs)
+        let mut ctx = FigureCtx::new(self.jobs);
+        if let Some(every) = self.epoch {
+            ctx = ctx.with_epoch(every);
+        }
+        ctx.runner.set_progress(self.progress);
+        ctx
     }
 }
 
@@ -169,7 +199,8 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: <figure-binary> [--quick|--standard|--full|--scale S] [--seed N] \
          [--benches a,b,c] [--jobs N] [--json PATH] [--sample] \
-         [--sample-windows N] [--sample-warmup N] [--sample-measure N] [--sample-warm N]"
+         [--sample-windows N] [--sample-warmup N] [--sample-measure N] [--sample-warm N] \
+         [--epoch N] [--progress]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 })
 }
@@ -215,10 +246,15 @@ pub struct HostStats {
 ///   "table": {"columns": [str, ...], "rows": [[str, ...], ...]},
 ///   "summary": {name: f64, ...},
 ///   "metrics": {"mix/variant": {metric: value, ...}, ...},
+///   "timeseries": {"mix/variant": {"every": u64,
+///                                  "epochs": [{metric: value, ...}, ...]},
+///                  ...},
 ///   "host": {"wall_seconds": f64, "sim_cycles": u64,
 ///            "sim_cycles_per_sec": f64, "jobs": u64, "jobs_executed": u64}
 /// }
 /// ```
+///
+/// `timeseries` is empty unless the run enabled `--epoch N` sampling.
 pub fn figure_json(
     title: &str,
     paper_reference: &str,
@@ -262,6 +298,10 @@ pub fn figure_json(
     for (k, snap) in &r.metrics {
         metrics.set(k, snap.to_json());
     }
+    let mut timeseries = Json::obj();
+    for (k, series) in &r.timeseries {
+        timeseries.set(k, series.to_json());
+    }
     let rate = if host.wall_seconds > 0.0 {
         host.sim_cycles as f64 / host.wall_seconds
     } else {
@@ -284,6 +324,7 @@ pub fn figure_json(
         )
         .with("summary", summary)
         .with("metrics", metrics)
+        .with("timeseries", timeseries)
         .with("host", host_json)
 }
 
@@ -377,6 +418,19 @@ mod tests {
     }
 
     #[test]
+    fn parses_epoch_and_progress() {
+        let a = parse(&["--epoch", "4096", "--progress"]);
+        assert_eq!(a.epoch, Some(4096));
+        assert!(a.progress);
+        let ctx = a.ctx();
+        assert_eq!(ctx.epoch, Some(4096));
+        assert!(ctx.runner.progress());
+        let d = parse(&[]);
+        assert_eq!(d.epoch, None);
+        assert!(!d.progress);
+    }
+
+    #[test]
     fn parses_json_path() {
         let a = parse(&["--json", "results/out.json"]);
         assert_eq!(a.json.as_deref(), Some("results/out.json"));
@@ -396,10 +450,25 @@ mod tests {
         let doc = figure_json("a title", "a ref", &a, &r, &host);
         let parsed = rmt_stats::json::parse(&doc.encode_pretty()).expect("valid JSON");
         for key in [
-            "title", "paper", "scale", "benches", "table", "summary", "metrics", "host",
+            "title",
+            "paper",
+            "scale",
+            "benches",
+            "table",
+            "summary",
+            "metrics",
+            "timeseries",
+            "host",
         ] {
             assert!(parsed.get(key).is_some(), "missing key `{key}`");
         }
+        assert!(
+            parsed
+                .get("timeseries")
+                .and_then(Json::members)
+                .is_some_and(|m| m.is_empty()),
+            "timeseries must be an empty object when sampling is off"
+        );
         let host = parsed.get("host").unwrap();
         assert_eq!(host.get("sim_cycles").unwrap().as_u64(), Some(100));
         assert_eq!(

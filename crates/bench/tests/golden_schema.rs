@@ -11,24 +11,113 @@ const GOLDEN: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/../../results/fig6_srt_single.json"
 );
+const EPOCH_GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/fig6_epoch.json");
+const FORENSICS_GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../results/fault_forensics.json"
+);
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read committed artifact {path}: {e}"));
+    parse(&text).expect("committed artifact is valid JSON")
+}
 
 fn golden() -> Json {
-    let text = std::fs::read_to_string(GOLDEN)
-        .unwrap_or_else(|e| panic!("cannot read committed artifact {GOLDEN}: {e}"));
-    parse(&text).expect("committed artifact is valid JSON")
+    load(GOLDEN)
 }
 
 #[test]
 fn has_all_schema_keys() {
     let doc = golden();
     for key in [
-        "title", "paper", "scale", "benches", "table", "summary", "metrics", "host",
+        "title",
+        "paper",
+        "scale",
+        "benches",
+        "table",
+        "summary",
+        "metrics",
+        "timeseries",
+        "host",
     ] {
         assert!(doc.get(key).is_some(), "missing top-level key `{key}`");
     }
     let scale = doc.get("scale").unwrap();
     for key in ["warmup", "measure", "seed"] {
         assert!(scale.get(key).and_then(Json::as_u64).is_some());
+    }
+    // The canonical figure run samples no epochs; the epoch golden below
+    // is the artifact that pins the populated shape.
+    assert!(doc
+        .get("timeseries")
+        .and_then(Json::members)
+        .is_some_and(|m| m.is_empty()));
+}
+
+#[test]
+fn epoch_golden_carries_cycle_aligned_series() {
+    let doc = load(EPOCH_GOLDEN);
+    let every = doc
+        .get("timeseries")
+        .and_then(Json::members)
+        .expect("timeseries is an object");
+    assert!(!every.is_empty(), "epoch golden embeds no time series");
+    for (key, series) in every {
+        let width = series
+            .get("every")
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("{key}: missing epoch width"));
+        assert!(width >= 1);
+        let epochs = series
+            .get("epochs")
+            .and_then(Json::as_array)
+            .unwrap_or_else(|| panic!("{key}: missing epochs"));
+        assert!(!epochs.is_empty(), "{key}: empty series");
+        for (i, epoch) in epochs.iter().enumerate() {
+            // Every epoch delta covers exactly `every` device cycles —
+            // the cycle alignment that makes the series `--jobs`-proof.
+            assert_eq!(
+                epoch.get("device/cycles").and_then(Json::as_u64),
+                Some(width),
+                "{key}: epoch {i} is not cycle-aligned"
+            );
+        }
+    }
+}
+
+#[test]
+fn forensics_golden_has_causal_records() {
+    let doc = load(FORENSICS_GOLDEN);
+    let records = doc
+        .get("forensics")
+        .and_then(Json::as_array)
+        .expect("forensics records array");
+    assert!(!records.is_empty(), "golden carries no forensic records");
+    for r in records {
+        for key in [
+            "arrangement",
+            "fault",
+            "index",
+            "site",
+            "inject_cycle",
+            "outcome",
+            "mechanism",
+            "latency",
+            "hops",
+            "dropped_events",
+            "events",
+        ] {
+            assert!(r.get(key).is_some(), "record missing `{key}`: {r:?}");
+        }
+        if r.get("outcome").unwrap().as_str() == Some("detected") {
+            assert!(
+                r.get("mechanism").unwrap().as_str().is_some(),
+                "detected record names no mechanism: {r:?}"
+            );
+            assert!(r.get("latency").unwrap().as_u64().is_some());
+            assert!(!r.get("events").unwrap().as_array().unwrap().is_empty());
+        }
     }
 }
 

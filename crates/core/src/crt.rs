@@ -83,6 +83,11 @@ impl CrtDevice {
         self.m.scheme().env()
     }
 
+    /// Mutable environment access (LVQ fault injection).
+    pub fn env_mut(&mut self) -> &mut RmtEnv {
+        self.m.scheme_mut().env_mut()
+    }
+
     /// Placement of logical thread `i`.
     pub fn placement(&self, i: usize) -> PairPlacement {
         self.m.scheme().placement(i)

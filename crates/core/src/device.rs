@@ -109,6 +109,22 @@ pub trait Device {
     /// last call (empty unless [`Device::enable_commit_log`] was called).
     fn drain_commits(&mut self, logical: usize) -> Vec<rmt_pipeline::CommitRecord>;
 
+    /// Starts sampling the full metric tree every `every` cycles into
+    /// per-epoch [`rmt_stats::MetricsSnapshot`] deltas (time-series
+    /// telemetry). Sampling is keyed to the simulated cycle, so the
+    /// resulting series is deterministic. The default implementation is a
+    /// no-op for devices without metric plumbing.
+    fn enable_epoch_sampling(&mut self, every: u64) {
+        let _ = every;
+    }
+
+    /// Takes the epoch time series accumulated since
+    /// [`Device::enable_epoch_sampling`] (an empty series with
+    /// `every() == 0` when sampling was never enabled). Sampling stops.
+    fn take_timeseries(&mut self) -> rmt_stats::TimeSeries {
+        rmt_stats::TimeSeries::new(0)
+    }
+
     /// Runs until every logical thread has committed at least `per_thread`
     /// instructions (absolute count) or `max_cycles` elapse. Returns whether
     /// the target was reached.
@@ -356,6 +372,48 @@ mod tests {
             srt_cycles > base_cycles,
             "SRT ({srt_cycles}) should be slower than base ({base_cycles})"
         );
+    }
+
+    #[test]
+    fn epoch_sampling_collects_cycle_aligned_deltas() {
+        let w = Workload::generate(Benchmark::M88ksim, 6);
+        let mut d = BaseDevice::new(
+            CoreConfig::base(),
+            HierarchyConfig::default(),
+            vec![LogicalThread::from(&w)],
+        );
+        d.enable_epoch_sampling(1_000);
+        d.run_cycles(5_500);
+        let ts = d.take_timeseries();
+        assert_eq!(ts.every(), 1_000);
+        assert_eq!(ts.len(), 5, "5500 cycles cross five 1000-cycle epochs");
+        let mut committed = 0u64;
+        for epoch in ts.epochs() {
+            // Counters are per-epoch deltas, not cumulative totals.
+            assert_eq!(epoch.counter("device/cycles"), Some(1_000));
+            committed += epoch.counter("core0/thread0/committed").unwrap();
+        }
+        // The series accounts for (at least) all work up to the last
+        // boundary; total commit count can only exceed it via the tail.
+        assert!(committed > 0);
+        assert!(committed <= d.committed(0));
+        // Taking the series stops sampling and resets to empty.
+        d.run_cycles(2_000);
+        assert_eq!(d.take_timeseries().len(), 0);
+    }
+
+    #[test]
+    fn epoch_sampling_disabled_yields_empty_series() {
+        let w = Workload::generate(Benchmark::Li, 1);
+        let mut d = BaseDevice::new(
+            CoreConfig::base(),
+            HierarchyConfig::default(),
+            vec![LogicalThread::from(&w)],
+        );
+        d.run_cycles(100);
+        let ts = d.take_timeseries();
+        assert!(ts.is_empty());
+        assert_eq!(ts.every(), 0);
     }
 
     #[test]

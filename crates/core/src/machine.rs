@@ -29,7 +29,7 @@ use rmt_mem::{HierarchyConfig, MemoryHierarchy};
 use rmt_pipeline::core::DetectedFault;
 use rmt_pipeline::env::CoreEnv;
 use rmt_pipeline::Core;
-use rmt_stats::MetricsRegistry;
+use rmt_stats::{MetricsRegistry, MetricsSnapshot, TimeSeries};
 
 /// One functional-warming event: a record of something the workload did
 /// between detailed windows that left residue in a timing structure.
@@ -267,17 +267,37 @@ pub trait RedundancyScheme {
     fn lead_location(&self, logical: usize) -> (usize, usize);
 }
 
+/// Epoch-boundary state for time-series sampling: the previous boundary
+/// snapshot to delta against, and the series being accumulated.
+struct EpochSampler {
+    every: u64,
+    prev: MetricsSnapshot,
+    series: TimeSeries,
+}
+
 /// A complete machine: an arrangement-independent [`Substrate`] driven
 /// by one [`RedundancyScheme`].
 pub struct Machine<S: RedundancyScheme> {
     substrate: Substrate,
     scheme: S,
+    epochs: Option<EpochSampler>,
 }
 
 impl<S: RedundancyScheme> Machine<S> {
     /// Composes a substrate with a scheme.
     pub fn assemble(substrate: Substrate, scheme: S) -> Self {
-        Machine { substrate, scheme }
+        Machine {
+            substrate,
+            scheme,
+            epochs: None,
+        }
+    }
+
+    /// Snapshots the full metric tree right now (epoch sampling helper).
+    fn metrics_now(&self) -> MetricsSnapshot {
+        let mut reg = MetricsRegistry::new();
+        self.scheme.export_metrics(&self.substrate, &mut reg);
+        reg.snapshot()
     }
 
     /// The substrate (cores, hierarchies, cycle).
@@ -310,6 +330,36 @@ impl<S: RedundancyScheme> Machine<S> {
 impl<S: RedundancyScheme> Device for Machine<S> {
     fn tick(&mut self) {
         self.scheme.tick(&mut self.substrate);
+        // Sample at epoch boundaries, keyed to the simulated cycle so the
+        // series is bitwise identical regardless of how the host schedules
+        // the run.
+        let due = self
+            .epochs
+            .as_ref()
+            .is_some_and(|e| self.substrate.cycle.is_multiple_of(e.every));
+        if due {
+            let now = self.metrics_now();
+            let e = self.epochs.as_mut().expect("due implies a sampler");
+            e.series.push(now.delta(&e.prev));
+            e.prev = now;
+        }
+    }
+
+    fn enable_epoch_sampling(&mut self, every: u64) {
+        assert!(every > 0, "epoch width must be non-zero");
+        let prev = self.metrics_now();
+        self.epochs = Some(EpochSampler {
+            every,
+            prev,
+            series: TimeSeries::new(every),
+        });
+    }
+
+    fn take_timeseries(&mut self) -> TimeSeries {
+        match self.epochs.take() {
+            Some(e) => e.series,
+            None => TimeSeries::new(0),
+        }
     }
 
     fn cycle(&self) -> u64 {
@@ -406,6 +456,12 @@ macro_rules! delegate_device {
             }
             fn drain_commits(&mut self, logical: usize) -> Vec<rmt_pipeline::CommitRecord> {
                 self.$field.drain_commits(logical)
+            }
+            fn enable_epoch_sampling(&mut self, every: u64) {
+                self.$field.enable_epoch_sampling(every)
+            }
+            fn take_timeseries(&mut self) -> rmt_stats::TimeSeries {
+                self.$field.take_timeseries()
             }
         }
     };

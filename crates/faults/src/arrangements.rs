@@ -1,0 +1,506 @@
+//! Per-arrangement injection functions: SRT, CRT, base and lockstep.
+//!
+//! Each arrangement contributes one `*_injection_forensic` function — a
+//! pure function of `(options, workload, kind, config, index)` producing
+//! the injection's full [`FaultForensics`] record — plus a thin
+//! `*_injection` wrapper returning just the outcome and a sequential
+//! `run_*_campaign` aggregator. The seeding contract (one RNG stream per
+//! index) makes every campaign order-independent and parallelizable.
+
+use crate::campaign::{CampaignConfig, CampaignReport};
+use crate::forensics::FaultForensics;
+use crate::model::{FaultKind, FaultOutcome};
+use crate::observe::{
+    inject_into_core, inject_with_retry, observe_window, thread, ObservePolicy, Probe,
+};
+use rmt_core::crt::CrtDevice;
+use rmt_core::device::{BaseDevice, Device, SrtDevice, SrtOptions};
+use rmt_core::lockstep::{LockstepDevice, LockstepOptions};
+use rmt_stats::{FlightRecorder, Xoshiro256};
+use rmt_verify::Oracle;
+use rmt_workloads::Workload;
+
+/// Flight-recorder capacity per injection: the engine stamps at most a
+/// handful of first-occurrence events per chain, so this never drops in
+/// practice while still bounding a pathological run.
+const FLIGHT_CAPACITY: usize = 64;
+
+/// Assembles a [`FaultForensics`] record from one finished injection.
+#[allow(clippy::too_many_arguments)]
+fn forensics(
+    arrangement: &'static str,
+    kind: FaultKind,
+    index: usize,
+    site: Option<crate::forensics::FaultSite>,
+    inject_cycle: u64,
+    outcome: FaultOutcome,
+    mechanism: Option<&'static str>,
+    rec: FlightRecorder,
+    chain: u32,
+) -> FaultForensics {
+    let events: Vec<_> = rec.chain_events(chain).copied().collect();
+    // Propagation hops: chain events strictly between the injection stamp
+    // and the terminal classification stamp.
+    let hops = events.len().saturating_sub(2) as u64;
+    FaultForensics {
+        arrangement,
+        kind,
+        index,
+        site,
+        inject_cycle,
+        outcome,
+        mechanism,
+        hops,
+        events,
+        dropped_events: rec.dropped(),
+    }
+}
+
+/// Runs a fault-injection campaign on an SRT processor running `workload`.
+///
+/// # Examples
+///
+/// ```
+/// use rmt_faults::{run_srt_campaign, CampaignConfig, FaultKind};
+/// use rmt_core::device::SrtOptions;
+/// use rmt_workloads::{Benchmark, Workload};
+///
+/// let w = Workload::generate(Benchmark::M88ksim, 1);
+/// let cfg = CampaignConfig { injections: 2, warmup_commits: 500, window_commits: 3_000, seed: 1 };
+/// let report = run_srt_campaign(SrtOptions::default(), &w, FaultKind::TransientSq, cfg);
+/// assert_eq!(report.injections, 2);
+/// ```
+pub fn run_srt_campaign(
+    opts: SrtOptions,
+    workload: &Workload,
+    kind: FaultKind,
+    cfg: CampaignConfig,
+) -> CampaignReport {
+    CampaignReport::from_outcomes(
+        kind,
+        (0..cfg.injections).map(|i| srt_injection(&opts, workload, kind, cfg, i)),
+    )
+}
+
+/// One SRT injection — number `index` of the campaign described by `cfg`.
+///
+/// Pure function of its arguments: the fault site is drawn from a stream
+/// seeded by `split_seed(cfg.seed, index)`, so campaigns may execute their
+/// injections in any order (or in parallel) and aggregate with
+/// [`CampaignReport::from_outcomes`] without changing a single bit of the
+/// report.
+pub fn srt_injection(
+    opts: &SrtOptions,
+    workload: &Workload,
+    kind: FaultKind,
+    cfg: CampaignConfig,
+    index: usize,
+) -> FaultOutcome {
+    srt_injection_forensic(opts, workload, kind, cfg, index).outcome
+}
+
+/// One SRT injection with its full forensic record. See [`srt_injection`]
+/// for the independence/seeding contract.
+pub fn srt_injection_forensic(
+    opts: &SrtOptions,
+    workload: &Workload,
+    kind: FaultKind,
+    cfg: CampaignConfig,
+    index: usize,
+) -> FaultForensics {
+    let mut rng = Xoshiro256::for_job(cfg.seed, index as u64);
+    let mut rec = FlightRecorder::new(FLIGHT_CAPACITY);
+    let chain = rec.begin_chain();
+    let mut dev = SrtDevice::new(opts.clone(), vec![thread(workload)]);
+    if !dev.run_until_committed(cfg.warmup_commits, 50_000_000) {
+        panic!("warmup did not complete");
+    }
+    dev.drain_detected_faults();
+    let site = inject_with_retry(&mut dev, &mut rng, |dev, rng| match kind {
+        FaultKind::TransientLvq => {
+            let occ = dev.env().pair(0).lvq.len();
+            if occ == 0 {
+                None
+            } else {
+                let idx = rng.below(occ.max(1) as u64) as usize;
+                let bit = rng.below(64);
+                dev.env_mut()
+                    .pair_mut(0)
+                    .lvq
+                    .corrupt_nth(idx, 1 << bit)
+                    .map(|_| crate::forensics::FaultSite {
+                        structure: "lvq",
+                        index: idx as u64,
+                        bit: bit as u8,
+                    })
+            }
+        }
+        _ => {
+            let (lead, _) = dev.pair_tids(0);
+            inject_into_core(dev.core_mut(), lead, kind, rng)
+        }
+    });
+    let inject_cycle = dev.cycle();
+    let Some(site) = site else {
+        return forensics(
+            "srt",
+            kind,
+            index,
+            None,
+            inject_cycle,
+            FaultOutcome::Masked,
+            None,
+            rec,
+            chain,
+        );
+    };
+    rec.record(inject_cycle, chain, "inject", site.bit as u64);
+    let (lead, _) = dev.pair_tids(0);
+    let (outcome, mechanism) = observe_window(
+        &mut dev,
+        workload,
+        cfg,
+        inject_cycle,
+        |dev| Probe {
+            released: dev.core().stats().get("stores_released"),
+            squashes: dev.core().thread_stats(lead).squashes,
+            strikes: dev.core().stats().get("sq_strikes_landed"),
+        },
+        ObservePolicy {
+            poll_detection: true,
+            hang_is_detection: true,
+            golden_compare: true,
+        },
+        None,
+        &mut rec,
+        chain,
+    );
+    forensics(
+        "srt",
+        kind,
+        index,
+        Some(site),
+        inject_cycle,
+        outcome,
+        mechanism,
+        rec,
+        chain,
+    )
+}
+
+/// Runs a fault-injection campaign on a CRT processor: the redundant pair
+/// spans two cores, so a strike on the leading core must be caught across
+/// the inter-core forwarding path.
+pub fn run_crt_campaign(
+    opts: SrtOptions,
+    workload: &Workload,
+    kind: FaultKind,
+    cfg: CampaignConfig,
+) -> CampaignReport {
+    CampaignReport::from_outcomes(
+        kind,
+        (0..cfg.injections).map(|i| crt_injection(&opts, workload, kind, cfg, i)),
+    )
+}
+
+/// One CRT injection — number `index` of the campaign. See
+/// [`srt_injection`] for the independence/seeding contract.
+pub fn crt_injection(
+    opts: &SrtOptions,
+    workload: &Workload,
+    kind: FaultKind,
+    cfg: CampaignConfig,
+    index: usize,
+) -> FaultOutcome {
+    crt_injection_forensic(opts, workload, kind, cfg, index).outcome
+}
+
+/// One CRT injection with its full forensic record. Faults land on the
+/// leading core (core 0 for a single logical thread); detection crosses
+/// the 4-cycle inter-core datapath to the trailing core's checkers.
+pub fn crt_injection_forensic(
+    opts: &SrtOptions,
+    workload: &Workload,
+    kind: FaultKind,
+    cfg: CampaignConfig,
+    index: usize,
+) -> FaultForensics {
+    let mut rng = Xoshiro256::for_job(cfg.seed, index as u64);
+    let mut rec = FlightRecorder::new(FLIGHT_CAPACITY);
+    let chain = rec.begin_chain();
+    let mut dev = CrtDevice::new(opts.clone(), vec![thread(workload)]);
+    if !dev.run_until_committed(cfg.warmup_commits, 50_000_000) {
+        panic!("warmup did not complete");
+    }
+    dev.drain_detected_faults();
+    let p = dev.placement(0);
+    let site = inject_with_retry(&mut dev, &mut rng, |dev, rng| match kind {
+        FaultKind::TransientLvq => {
+            let occ = dev.env().pair(0).lvq.len();
+            if occ == 0 {
+                None
+            } else {
+                let idx = rng.below(occ.max(1) as u64) as usize;
+                let bit = rng.below(64);
+                dev.env_mut()
+                    .pair_mut(0)
+                    .lvq
+                    .corrupt_nth(idx, 1 << bit)
+                    .map(|_| crate::forensics::FaultSite {
+                        structure: "lvq",
+                        index: idx as u64,
+                        bit: bit as u8,
+                    })
+            }
+        }
+        _ => inject_into_core(dev.core_mut(p.lead_core), p.lead_tid, kind, rng),
+    });
+    let inject_cycle = dev.cycle();
+    let Some(site) = site else {
+        return forensics(
+            "crt",
+            kind,
+            index,
+            None,
+            inject_cycle,
+            FaultOutcome::Masked,
+            None,
+            rec,
+            chain,
+        );
+    };
+    rec.record(inject_cycle, chain, "inject", site.bit as u64);
+    let (outcome, mechanism) = observe_window(
+        &mut dev,
+        workload,
+        cfg,
+        inject_cycle,
+        |dev| Probe {
+            released: dev.core(p.lead_core).stats().get("stores_released"),
+            squashes: dev.core(p.lead_core).thread_stats(p.lead_tid).squashes,
+            strikes: dev.core(p.lead_core).stats().get("sq_strikes_landed"),
+        },
+        ObservePolicy {
+            poll_detection: true,
+            hang_is_detection: true,
+            golden_compare: true,
+        },
+        None,
+        &mut rec,
+        chain,
+    );
+    forensics(
+        "crt",
+        kind,
+        index,
+        Some(site),
+        inject_cycle,
+        outcome,
+        mechanism,
+        rec,
+        chain,
+    )
+}
+
+/// Runs a campaign on the *base* processor: no detection mechanism exists,
+/// so every unmasked fault is silent data corruption.
+pub fn run_base_campaign(
+    core_cfg: rmt_pipeline::CoreConfig,
+    workload: &Workload,
+    kind: FaultKind,
+    cfg: CampaignConfig,
+) -> CampaignReport {
+    CampaignReport::from_outcomes(
+        kind,
+        (0..cfg.injections).map(|i| base_injection(&core_cfg, workload, kind, cfg, i)),
+    )
+}
+
+/// One base-processor injection — number `index` of the campaign. See
+/// [`srt_injection`] for the independence/seeding contract.
+pub fn base_injection(
+    core_cfg: &rmt_pipeline::CoreConfig,
+    workload: &Workload,
+    kind: FaultKind,
+    cfg: CampaignConfig,
+    index: usize,
+) -> FaultOutcome {
+    base_injection_forensic(core_cfg, workload, kind, cfg, index).outcome
+}
+
+/// One base-processor injection with its full forensic record.
+pub fn base_injection_forensic(
+    core_cfg: &rmt_pipeline::CoreConfig,
+    workload: &Workload,
+    kind: FaultKind,
+    cfg: CampaignConfig,
+    index: usize,
+) -> FaultForensics {
+    assert!(
+        !matches!(kind, FaultKind::TransientLvq),
+        "the base processor has no LVQ"
+    );
+    let mut rng = Xoshiro256::for_job(cfg.seed, index as u64);
+    let mut rec = FlightRecorder::new(FLIGHT_CAPACITY);
+    let chain = rec.begin_chain();
+    let mut dev = BaseDevice::new(core_cfg.clone(), Default::default(), vec![thread(workload)]);
+    // The base machine's commit stream is its architectural output, so
+    // the co-simulation oracle is SDC ground truth: attach it before
+    // warmup and validate the fault-free prefix, then any divergence in
+    // the observation window is the injected fault escaping.
+    let mut oracle = Oracle::new(vec![(
+        workload.program.clone().into(),
+        workload.memory.clone(),
+    )]);
+    oracle.attach(&mut dev);
+    if !dev.run_until_committed(cfg.warmup_commits, 50_000_000) {
+        panic!("warmup did not complete");
+    }
+    let site = inject_with_retry(&mut dev, &mut rng, |dev, rng| {
+        inject_into_core(dev.core_mut(), 0, kind, rng)
+    });
+    let inject_cycle = dev.cycle();
+    let Some(site) = site else {
+        return forensics(
+            "base",
+            kind,
+            index,
+            None,
+            inject_cycle,
+            FaultOutcome::Masked,
+            None,
+            rec,
+            chain,
+        );
+    };
+    rec.record(inject_cycle, chain, "inject", site.bit as u64);
+    let (outcome, mechanism) = observe_window(
+        &mut dev,
+        workload,
+        cfg,
+        inject_cycle,
+        |dev| Probe {
+            released: dev.core().stats().get("stores_released"),
+            squashes: dev.core().thread_stats(0).squashes,
+            strikes: dev.core().stats().get("sq_strikes_landed"),
+        },
+        ObservePolicy {
+            poll_detection: false,
+            hang_is_detection: false,
+            golden_compare: true,
+        },
+        Some(&mut oracle),
+        &mut rec,
+        chain,
+    );
+    forensics(
+        "base",
+        kind,
+        index,
+        Some(site),
+        inject_cycle,
+        outcome,
+        mechanism,
+        rec,
+        chain,
+    )
+}
+
+/// Runs a campaign on a lockstepped machine; faults are injected into core
+/// 1 only (a single-event upset hits one die location).
+pub fn run_lockstep_campaign(
+    opts: LockstepOptions,
+    workload: &Workload,
+    kind: FaultKind,
+    cfg: CampaignConfig,
+) -> CampaignReport {
+    CampaignReport::from_outcomes(
+        kind,
+        (0..cfg.injections).map(|i| lockstep_injection(&opts, workload, kind, cfg, i)),
+    )
+}
+
+/// One lockstep injection — number `index` of the campaign. See
+/// [`srt_injection`] for the independence/seeding contract.
+pub fn lockstep_injection(
+    opts: &LockstepOptions,
+    workload: &Workload,
+    kind: FaultKind,
+    cfg: CampaignConfig,
+    index: usize,
+) -> FaultOutcome {
+    lockstep_injection_forensic(opts, workload, kind, cfg, index).outcome
+}
+
+/// One lockstep injection with its full forensic record.
+pub fn lockstep_injection_forensic(
+    opts: &LockstepOptions,
+    workload: &Workload,
+    kind: FaultKind,
+    cfg: CampaignConfig,
+    index: usize,
+) -> FaultForensics {
+    assert!(
+        !matches!(kind, FaultKind::TransientLvq),
+        "lockstepped machines have no LVQ"
+    );
+    let mut rng = Xoshiro256::for_job(cfg.seed, index as u64);
+    let mut rec = FlightRecorder::new(FLIGHT_CAPACITY);
+    let chain = rec.begin_chain();
+    let mut dev = LockstepDevice::new(opts.clone(), vec![thread(workload)]);
+    if !dev.run_until_committed(cfg.warmup_commits, 50_000_000) {
+        panic!("warmup did not complete");
+    }
+    dev.drain_detected_faults();
+    let site = inject_with_retry(&mut dev, &mut rng, |dev, rng| {
+        inject_into_core(dev.core_mut(1), 0, kind, rng)
+    });
+    let inject_cycle = dev.cycle();
+    let Some(site) = site else {
+        return forensics(
+            "lockstep",
+            kind,
+            index,
+            None,
+            inject_cycle,
+            FaultOutcome::Masked,
+            None,
+            rec,
+            chain,
+        );
+    };
+    rec.record(inject_cycle, chain, "inject", site.bit as u64);
+    let (outcome, mechanism) = observe_window(
+        &mut dev,
+        workload,
+        cfg,
+        inject_cycle,
+        // The checker compares every released store, so no golden model
+        // runs and the released count only feeds the forensic
+        // sphere-crossing stamp (from the struck core).
+        |dev| Probe {
+            released: dev.core(1).stats().get("stores_released"),
+            squashes: dev.core(1).thread_stats(0).squashes,
+            strikes: dev.core(1).stats().get("sq_strikes_landed"),
+        },
+        ObservePolicy {
+            poll_detection: true,
+            hang_is_detection: true,
+            golden_compare: false,
+        },
+        None,
+        &mut rec,
+        chain,
+    );
+    forensics(
+        "lockstep",
+        kind,
+        index,
+        Some(site),
+        inject_cycle,
+        outcome,
+        mechanism,
+        rec,
+        chain,
+    )
+}

@@ -1,13 +1,22 @@
 //! Injection campaigns: plant faults in running devices and classify the
 //! outcomes against the golden model.
+//!
+//! The per-cycle observation engine lives in [`crate::observe`] and the
+//! per-arrangement injection functions in [`crate::arrangements`]
+//! (re-exported here); this module owns the campaign-level API —
+//! configuration and the aggregate [`CampaignReport`]. Every injection
+//! can produce a full [`crate::FaultForensics`] record (the
+//! `*_injection_forensic` functions); the plain `*_injection` functions
+//! are thin wrappers returning just the classified outcome.
 
 use crate::model::{FaultKind, FaultOutcome};
-use rmt_core::device::{BaseDevice, Device, LogicalThread, SrtDevice, SrtOptions};
-use rmt_core::lockstep::{LockstepDevice, LockstepOptions};
-use rmt_isa::interp::Interpreter;
-use rmt_stats::{Histogram, Xoshiro256};
-use rmt_verify::Oracle;
-use rmt_workloads::Workload;
+use rmt_stats::Histogram;
+
+pub use crate::arrangements::{
+    base_injection, base_injection_forensic, crt_injection, crt_injection_forensic,
+    lockstep_injection, lockstep_injection_forensic, run_base_campaign, run_crt_campaign,
+    run_lockstep_campaign, run_srt_campaign, srt_injection, srt_injection_forensic,
+};
 
 /// Campaign parameters.
 #[derive(Debug, Clone, Copy)]
@@ -33,17 +42,6 @@ impl Default for CampaignConfig {
         }
     }
 }
-
-/// Forward-progress watchdog: a fault can stop the machine from ever
-/// committing again (a corrupted branch target steers the committed path
-/// into a halt or off the program, or deadlocks the redundant pair on a
-/// queue dependency). Fault-free commit gaps are bounded by a couple of
-/// memory round-trips, so a window this long without a single commit means
-/// the machine is dead, not slow. On the redundant machines the hang is a
-/// *detection* (real fail-stop designs time out the checker exactly this
-/// way); on the base machine nothing observes it, so it counts with the
-/// silent failures.
-const WATCHDOG_CYCLES: u64 = 50_000;
 
 /// Aggregated campaign results.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -127,419 +125,27 @@ impl CampaignReport {
     pub fn mean_latency(&self) -> f64 {
         self.latencies.mean()
     }
-}
 
-/// Rolling golden model: advances the reference interpreter to any
-/// monotonically increasing released-store count and reports its memory
-/// digest there, so campaigns can compare at checkpoints *during* the
-/// observation window (a corrupted store that is later overwritten is
-/// still silent data corruption — it escaped the sphere).
-struct GoldenTracker<'w> {
-    interp: Interpreter<'w>,
-    stores: u64,
-}
-
-impl<'w> GoldenTracker<'w> {
-    fn new(workload: &'w Workload) -> Self {
-        GoldenTracker {
-            interp: Interpreter::new(&workload.program, workload.memory.clone()),
-            stores: 0,
-        }
+    /// Median detection latency in cycles (bucket-granular; `None` when
+    /// nothing was detected).
+    pub fn p50_latency(&self) -> Option<u64> {
+        self.latencies.percentile(50.0)
     }
 
-    /// Digest after exactly `released` golden stores.
-    ///
-    /// # Panics
-    ///
-    /// Panics if asked to rewind (released counts are monotone).
-    fn digest_at(&mut self, released: u64) -> u64 {
-        assert!(released >= self.stores, "golden tracker cannot rewind");
-        while self.stores < released {
-            let c = self.interp.step().expect("workloads never halt");
-            if c.store.is_some() {
-                self.stores += 1;
-            }
-        }
-        self.interp.mem().digest()
+    /// 95th-percentile detection latency in cycles (bucket-granular;
+    /// `None` when nothing was detected).
+    pub fn p95_latency(&self) -> Option<u64> {
+        self.latencies.percentile(95.0)
     }
-}
-
-/// Injects one fault of `kind` into an SRT/CRT-style core via the generic
-/// hooks. Returns `false` if no suitable site existed (e.g. empty queue).
-fn inject_into_core(
-    core: &mut rmt_pipeline::Core,
-    lead_tid: usize,
-    kind: FaultKind,
-    rng: &mut Xoshiro256,
-) -> bool {
-    let bit = rng.below(64) as u8;
-    match kind {
-        FaultKind::TransientReg => {
-            let live = core.live_phys_regs();
-            if live.is_empty() {
-                return false;
-            }
-            let reg = live[rng.below(live.len() as u64) as usize];
-            core.corrupt_phys_reg(reg, 1 << bit);
-            true
-        }
-        FaultKind::TransientSq => {
-            // Arm a strike on the next store to pass the commit point:
-            // speculative entries shed faults by squash-and-refill, so the
-            // meaningful strike window is post-retirement, pre-release.
-            core.arm_sq_strike(lead_tid, 1 << bit);
-            true
-        }
-        FaultKind::PermanentFu => {
-            let fu = rng.below(core.config().total_fus() as u64) as usize;
-            // Bias to low-order bits so the corruption is architecturally
-            // active on small values.
-            core.set_fu_stuck(fu, (bit % 8) + 1, true);
-            true
-        }
-        FaultKind::TransientLvq => false, // handled at the env level
-    }
-}
-
-/// A logical thread running `workload`'s program on its memory image.
-fn thread(workload: &Workload) -> LogicalThread {
-    LogicalThread::new(workload.program.clone().into(), workload.memory.clone())
-}
-
-/// What the unified observation engine checks each cycle and how it
-/// classifies the endings the architectures disagree on.
-#[derive(Debug, Clone, Copy)]
-struct ObservePolicy {
-    /// Poll the device's detection hardware every cycle (the redundant
-    /// machines); the base processor has none to poll.
-    poll_detection: bool,
-    /// Whether a forward-progress hang is a fail-stop *detection* (the
-    /// redundant machines time out their checkers) or an unsignaled
-    /// failure counted with the silent corruptions (the base machine).
-    hang_is_detection: bool,
-    /// Run the rolling golden model against released stores; without it an
-    /// uneventful window classifies as masked (lockstep: the checker
-    /// already compared every released store).
-    golden_compare: bool,
-}
-
-/// Keeps injecting until a suitable fault site exists, ticking between
-/// attempts: a strike site (an occupied queue entry, a live register) may
-/// not exist at the exact injection cycle.
-fn inject_with_retry<D: Device + ?Sized>(
-    dev: &mut D,
-    rng: &mut Xoshiro256,
-    mut inject: impl FnMut(&mut D, &mut Xoshiro256) -> bool,
-) -> bool {
-    for _ in 0..2_000 {
-        if inject(dev, rng) {
-            return true;
-        }
-        dev.tick();
-    }
-    false
-}
-
-/// The one observation/classification engine every campaign runs after
-/// its injection landed: tick until `window_commits` more instructions
-/// commit, checking (in this order, each cycle) the detection hardware,
-/// the commit-stream oracle, the forward-progress watchdog, and the
-/// golden model at released-store checkpoints — then classify the
-/// uneventful remainder.
-///
-/// `oracle` is the precise SDC detector for machines whose commit stream
-/// *is* the architectural output (the base processor): the first commit
-/// that disagrees with the reference interpreter is silent corruption,
-/// caught at the exact instruction instead of at the next 200-commit
-/// memory-digest checkpoint. Redundant machines must not pass one — their
-/// leading thread commits unverified state *inside* the sphere of
-/// replication, so a post-injection divergence there is expected and is
-/// precisely what the comparators exist to catch at store release. The
-/// golden digest stays on as the backstop for corruption the commit
-/// stream cannot see (a store-queue strike after the commit point).
-fn observe_window<D: Device + ?Sized>(
-    dev: &mut D,
-    workload: &Workload,
-    cfg: CampaignConfig,
-    inject_cycle: u64,
-    released: impl Fn(&D) -> u64,
-    policy: ObservePolicy,
-    mut oracle: Option<&mut Oracle>,
-) -> FaultOutcome {
-    let target = dev.committed(0) + cfg.window_commits;
-    let mut golden = policy.golden_compare.then(|| GoldenTracker::new(workload));
-    let mut outcome = None;
-    let mut next_checkpoint = dev.committed(0) + 200;
-    let mut progress = (dev.committed(0), dev.cycle());
-    while dev.committed(0) < target {
-        dev.tick();
-        if policy.poll_detection && !dev.drain_detected_faults().is_empty() {
-            outcome = Some(FaultOutcome::Detected {
-                latency: dev.cycle() - inject_cycle,
-            });
-            break;
-        }
-        if let Some(o) = oracle.as_deref_mut() {
-            if o.observe(dev).is_err() {
-                // The committed stream left the reference execution on a
-                // machine with no detection hardware: architecturally
-                // visible corruption, i.e. silent data corruption —
-                // whether or not the memory digest later masks it.
-                outcome = Some(FaultOutcome::Silent);
-                break;
-            }
-        }
-        match dev.committed(0) {
-            c if c != progress.0 => progress = (c, dev.cycle()),
-            _ if dev.cycle() - progress.1 > WATCHDOG_CYCLES => {
-                outcome = Some(if policy.hang_is_detection {
-                    // The machine stopped committing: fail-stop watchdog.
-                    FaultOutcome::Detected {
-                        latency: dev.cycle() - inject_cycle,
-                    }
-                } else {
-                    // Hung with no detection hardware to notice: an
-                    // unsignaled failure, bucketed with the silent ones.
-                    FaultOutcome::Silent
-                });
-                break;
-            }
-            _ => {}
-        }
-        if let Some(golden) = &mut golden {
-            if dev.committed(0) >= next_checkpoint {
-                next_checkpoint += 200;
-                if golden.digest_at(released(dev)) != dev.image(0).digest() {
-                    outcome = Some(FaultOutcome::Silent);
-                    break;
-                }
-            }
-        }
-    }
-    if !policy.poll_detection {
-        debug_assert!(dev.drain_detected_faults().is_empty());
-    }
-    outcome.unwrap_or_else(|| match &mut golden {
-        Some(golden) => {
-            if golden.digest_at(released(dev)) == dev.image(0).digest() {
-                FaultOutcome::Masked
-            } else {
-                FaultOutcome::Silent
-            }
-        }
-        None => FaultOutcome::Masked,
-    })
-}
-
-/// Runs a fault-injection campaign on an SRT processor running `workload`.
-///
-/// # Examples
-///
-/// ```
-/// use rmt_faults::{run_srt_campaign, CampaignConfig, FaultKind};
-/// use rmt_core::device::SrtOptions;
-/// use rmt_workloads::{Benchmark, Workload};
-///
-/// let w = Workload::generate(Benchmark::M88ksim, 1);
-/// let cfg = CampaignConfig { injections: 2, warmup_commits: 500, window_commits: 3_000, seed: 1 };
-/// let report = run_srt_campaign(SrtOptions::default(), &w, FaultKind::TransientSq, cfg);
-/// assert_eq!(report.injections, 2);
-/// ```
-pub fn run_srt_campaign(
-    opts: SrtOptions,
-    workload: &Workload,
-    kind: FaultKind,
-    cfg: CampaignConfig,
-) -> CampaignReport {
-    CampaignReport::from_outcomes(
-        kind,
-        (0..cfg.injections).map(|i| srt_injection(&opts, workload, kind, cfg, i)),
-    )
-}
-
-/// One SRT injection — number `index` of the campaign described by `cfg`.
-///
-/// Pure function of its arguments: the fault site is drawn from a stream
-/// seeded by `split_seed(cfg.seed, index)`, so campaigns may execute their
-/// injections in any order (or in parallel) and aggregate with
-/// [`CampaignReport::from_outcomes`] without changing a single bit of the
-/// report.
-pub fn srt_injection(
-    opts: &SrtOptions,
-    workload: &Workload,
-    kind: FaultKind,
-    cfg: CampaignConfig,
-    index: usize,
-) -> FaultOutcome {
-    let mut rng = Xoshiro256::for_job(cfg.seed, index as u64);
-    let mut dev = SrtDevice::new(opts.clone(), vec![thread(workload)]);
-    if !dev.run_until_committed(cfg.warmup_commits, 50_000_000) {
-        panic!("warmup did not complete");
-    }
-    dev.drain_detected_faults();
-    let injected = inject_with_retry(&mut dev, &mut rng, |dev, rng| match kind {
-        FaultKind::TransientLvq => {
-            let occ = dev.env().pair(0).lvq.len();
-            if occ == 0 {
-                false
-            } else {
-                let idx = rng.below(occ.max(1) as u64) as usize;
-                let bit = rng.below(64);
-                dev.env_mut()
-                    .pair_mut(0)
-                    .lvq
-                    .corrupt_nth(idx, 1 << bit)
-                    .is_some()
-            }
-        }
-        _ => {
-            let (lead, _) = dev.pair_tids(0);
-            inject_into_core(dev.core_mut(), lead, kind, rng)
-        }
-    });
-    if !injected {
-        return FaultOutcome::Masked;
-    }
-    let inject_cycle = dev.cycle();
-    observe_window(
-        &mut dev,
-        workload,
-        cfg,
-        inject_cycle,
-        |dev| dev.core().stats().get("stores_released"),
-        ObservePolicy {
-            poll_detection: true,
-            hang_is_detection: true,
-            golden_compare: true,
-        },
-        None,
-    )
-}
-
-/// Runs a campaign on the *base* processor: no detection mechanism exists,
-/// so every unmasked fault is silent data corruption.
-pub fn run_base_campaign(
-    core_cfg: rmt_pipeline::CoreConfig,
-    workload: &Workload,
-    kind: FaultKind,
-    cfg: CampaignConfig,
-) -> CampaignReport {
-    CampaignReport::from_outcomes(
-        kind,
-        (0..cfg.injections).map(|i| base_injection(&core_cfg, workload, kind, cfg, i)),
-    )
-}
-
-/// One base-processor injection — number `index` of the campaign. See
-/// [`srt_injection`] for the independence/seeding contract.
-pub fn base_injection(
-    core_cfg: &rmt_pipeline::CoreConfig,
-    workload: &Workload,
-    kind: FaultKind,
-    cfg: CampaignConfig,
-    index: usize,
-) -> FaultOutcome {
-    assert!(
-        !matches!(kind, FaultKind::TransientLvq),
-        "the base processor has no LVQ"
-    );
-    let mut rng = Xoshiro256::for_job(cfg.seed, index as u64);
-    let mut dev = BaseDevice::new(core_cfg.clone(), Default::default(), vec![thread(workload)]);
-    // The base machine's commit stream is its architectural output, so
-    // the co-simulation oracle is SDC ground truth: attach it before
-    // warmup and validate the fault-free prefix, then any divergence in
-    // the observation window is the injected fault escaping.
-    let mut oracle = Oracle::new(vec![(
-        workload.program.clone().into(),
-        workload.memory.clone(),
-    )]);
-    oracle.attach(&mut dev);
-    if !dev.run_until_committed(cfg.warmup_commits, 50_000_000) {
-        panic!("warmup did not complete");
-    }
-    let injected = inject_with_retry(&mut dev, &mut rng, |dev, rng| {
-        inject_into_core(dev.core_mut(), 0, kind, rng)
-    });
-    if !injected {
-        return FaultOutcome::Masked;
-    }
-    let inject_cycle = dev.cycle();
-    observe_window(
-        &mut dev,
-        workload,
-        cfg,
-        inject_cycle,
-        |dev| dev.core().stats().get("stores_released"),
-        ObservePolicy {
-            poll_detection: false,
-            hang_is_detection: false,
-            golden_compare: true,
-        },
-        Some(&mut oracle),
-    )
-}
-
-/// Runs a campaign on a lockstepped machine; faults are injected into core
-/// 1 only (a single-event upset hits one die location).
-pub fn run_lockstep_campaign(
-    opts: LockstepOptions,
-    workload: &Workload,
-    kind: FaultKind,
-    cfg: CampaignConfig,
-) -> CampaignReport {
-    CampaignReport::from_outcomes(
-        kind,
-        (0..cfg.injections).map(|i| lockstep_injection(&opts, workload, kind, cfg, i)),
-    )
-}
-
-/// One lockstep injection — number `index` of the campaign. See
-/// [`srt_injection`] for the independence/seeding contract.
-pub fn lockstep_injection(
-    opts: &LockstepOptions,
-    workload: &Workload,
-    kind: FaultKind,
-    cfg: CampaignConfig,
-    index: usize,
-) -> FaultOutcome {
-    assert!(
-        !matches!(kind, FaultKind::TransientLvq),
-        "lockstepped machines have no LVQ"
-    );
-    let mut rng = Xoshiro256::for_job(cfg.seed, index as u64);
-    let mut dev = LockstepDevice::new(opts.clone(), vec![thread(workload)]);
-    if !dev.run_until_committed(cfg.warmup_commits, 50_000_000) {
-        panic!("warmup did not complete");
-    }
-    dev.drain_detected_faults();
-    let injected = inject_with_retry(&mut dev, &mut rng, |dev, rng| {
-        inject_into_core(dev.core_mut(1), 0, kind, rng)
-    });
-    if !injected {
-        return FaultOutcome::Masked;
-    }
-    let inject_cycle = dev.cycle();
-    observe_window(
-        &mut dev,
-        workload,
-        cfg,
-        inject_cycle,
-        // The checker compares every released store, so no golden model
-        // runs and the released count is never consulted.
-        |_| 0,
-        ObservePolicy {
-            poll_detection: true,
-            hang_is_detection: true,
-            golden_compare: false,
-        },
-        None,
-    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rmt_workloads::Benchmark;
+    use rmt_core::crt::CrtDevice;
+    use rmt_core::device::SrtOptions;
+    use rmt_core::lockstep::LockstepOptions;
+    use rmt_workloads::{Benchmark, Workload};
 
     fn quick_cfg(n: usize, seed: u64) -> CampaignConfig {
         CampaignConfig {
@@ -581,6 +187,20 @@ mod tests {
         // Register strikes may be masked (dead values), but nothing should
         // escape silently.
         assert_eq!(r.silent, 0, "SRT let a register fault escape");
+    }
+
+    #[test]
+    fn crt_detects_across_the_inter_core_path() {
+        let w = Workload::generate(Benchmark::Compress, 3);
+        let r = run_crt_campaign(
+            CrtDevice::default_options(),
+            &w,
+            FaultKind::TransientSq,
+            quick_cfg(3, 17),
+        );
+        assert_eq!(r.injections, 3);
+        assert_eq!(r.silent, 0, "CRT comparator missed a corrupted store");
+        assert!(r.detected >= 2, "detected only {} of 3", r.detected);
     }
 
     #[test]
@@ -651,7 +271,46 @@ mod tests {
     }
 
     #[test]
-    fn report_arithmetic() {
+    fn forensic_record_narrates_a_detection() {
+        let w = Workload::generate(Benchmark::Compress, 1);
+        let f = srt_injection_forensic(
+            &SrtOptions::default(),
+            &w,
+            FaultKind::TransientSq,
+            quick_cfg(1, 7),
+            0,
+        );
+        assert_eq!(f.arrangement, "srt");
+        assert_eq!(f.kind, FaultKind::TransientSq);
+        let site = f.site.expect("SQ strikes always find a site");
+        assert_eq!(site.structure, "store-queue");
+        // The chain starts with the injection and ends with a terminal
+        // classification stamp.
+        assert!(f.events.len() >= 2, "events: {:?}", f.events);
+        assert_eq!(f.events[0].kind, "inject");
+        let last = f.events.last().unwrap().kind;
+        assert!(
+            matches!(last, "detect" | "watchdog" | "sdc" | "masked"),
+            "unexpected terminal event {last}"
+        );
+        assert_eq!(f.dropped_events, 0);
+        if f.outcome.is_detected() {
+            assert!(f.mechanism.is_some());
+            assert!(f.latency().unwrap() > 0);
+        }
+        // Forensics agree with the aggregate path bit-for-bit.
+        let o = srt_injection(
+            &SrtOptions::default(),
+            &w,
+            FaultKind::TransientSq,
+            quick_cfg(1, 7),
+            0,
+        );
+        assert_eq!(f.outcome, o);
+    }
+
+    #[test]
+    fn report_percentiles_and_arithmetic() {
         let mut r = CampaignReport::new(FaultKind::TransientReg);
         r.record(FaultOutcome::Detected { latency: 100 });
         r.record(FaultOutcome::Masked);
@@ -660,5 +319,11 @@ mod tests {
         assert!((r.coverage() - 0.5).abs() < 1e-12);
         assert!((r.silent_rate() - 1.0 / 3.0).abs() < 1e-12);
         assert!((r.mean_latency() - 100.0).abs() < 1e-12);
+        assert_eq!(r.p50_latency(), Some(100));
+        assert_eq!(r.p95_latency(), Some(100));
+        // Percentiles of an empty latency histogram are absent, not zero.
+        let empty = CampaignReport::new(FaultKind::TransientReg);
+        assert_eq!(empty.p50_latency(), None);
+        assert_eq!(empty.p95_latency(), None);
     }
 }

@@ -1,0 +1,180 @@
+//! Machine-readable per-injection forensics.
+//!
+//! Every injection the campaign engine runs can produce one
+//! [`FaultForensics`] record: where the fault was planted, when, which
+//! structures it propagated through (reconstructed from the flight
+//! recorder's cause chain), which mechanism caught it — or that nothing
+//! did — and at what latency. The records serialize through the
+//! workspace JSON codec into `results/fault_forensics.json`.
+
+use crate::model::{FaultKind, FaultOutcome};
+use rmt_stats::{FlightEvent, Json};
+
+/// The physical location an injection corrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSite {
+    /// Which hardware structure was struck (`"phys-reg"`, `"store-queue"`,
+    /// `"lvq"`, `"fu"`).
+    pub structure: &'static str,
+    /// Structure-specific index: physical register number, striking
+    /// thread id, LVQ slot, functional-unit id.
+    pub index: u64,
+    /// The flipped (or stuck-at) bit position.
+    pub bit: u8,
+}
+
+impl FaultSite {
+    /// Renders as `{"structure": ..., "index": ..., "bit": ...}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("structure", Json::Str(self.structure.to_string()))
+            .with("index", Json::U64(self.index))
+            .with("bit", Json::U64(self.bit as u64))
+    }
+}
+
+/// The causal record of one fault injection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultForensics {
+    /// Arrangement name (`"base"`, `"srt"`, `"crt"`, `"lockstep"`).
+    pub arrangement: &'static str,
+    /// The fault model injected.
+    pub kind: FaultKind,
+    /// Injection index within its campaign (also its RNG stream id).
+    pub index: usize,
+    /// Where the fault landed (`None` when no viable site ever appeared
+    /// and the injection degenerated to masked).
+    pub site: Option<FaultSite>,
+    /// Cycle of the injection.
+    pub inject_cycle: u64,
+    /// Classified outcome.
+    pub outcome: FaultOutcome,
+    /// Which mechanism detected it (`"store-comparator"`,
+    /// `"lvq-address"`, `"control-divergence"`, `"watchdog"`), `None`
+    /// when undetected.
+    pub mechanism: Option<&'static str>,
+    /// Flight-recorder events between injection and the terminal event,
+    /// exclusive — the number of observed propagation steps (first
+    /// corrupted value, sphere crossing, squash) the fault took.
+    pub hops: u64,
+    /// The cause chain's flight events, oldest first.
+    pub events: Vec<FlightEvent>,
+    /// Flight events evicted by the recorder's capacity bound.
+    pub dropped_events: u64,
+}
+
+impl FaultForensics {
+    /// Stable outcome label (`"detected"`, `"masked"`, `"silent"`).
+    pub fn outcome_name(&self) -> &'static str {
+        match self.outcome {
+            FaultOutcome::Detected { .. } => "detected",
+            FaultOutcome::Masked => "masked",
+            FaultOutcome::Silent => "silent",
+        }
+    }
+
+    /// Detection latency in cycles, when detected.
+    pub fn latency(&self) -> Option<u64> {
+        match self.outcome {
+            FaultOutcome::Detected { latency } => Some(latency),
+            _ => None,
+        }
+    }
+
+    /// Renders the full record as one JSON object.
+    pub fn to_json(&self) -> Json {
+        let site = match &self.site {
+            Some(s) => s.to_json(),
+            None => Json::Null,
+        };
+        let mechanism = match self.mechanism {
+            Some(m) => Json::Str(m.to_string()),
+            None => Json::Null,
+        };
+        let latency = match self.latency() {
+            Some(l) => Json::U64(l),
+            None => Json::Null,
+        };
+        Json::obj()
+            .with("arrangement", Json::Str(self.arrangement.to_string()))
+            .with("fault", Json::Str(self.kind.name().to_string()))
+            .with("index", Json::U64(self.index as u64))
+            .with("site", site)
+            .with("inject_cycle", Json::U64(self.inject_cycle))
+            .with("outcome", Json::Str(self.outcome_name().to_string()))
+            .with("mechanism", mechanism)
+            .with("latency", latency)
+            .with("hops", Json::U64(self.hops))
+            .with("dropped_events", Json::U64(self.dropped_events))
+            .with(
+                "events",
+                Json::Arr(self.events.iter().map(|e| e.to_json()).collect()),
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_detected() {
+        let f = FaultForensics {
+            arrangement: "srt",
+            kind: FaultKind::TransientSq,
+            index: 3,
+            site: Some(FaultSite {
+                structure: "store-queue",
+                index: 0,
+                bit: 17,
+            }),
+            inject_cycle: 1234,
+            outcome: FaultOutcome::Detected { latency: 56 },
+            mechanism: Some("store-comparator"),
+            hops: 2,
+            events: vec![FlightEvent {
+                cycle: 1234,
+                chain: 0,
+                kind: "inject",
+                detail: 17,
+            }],
+            dropped_events: 0,
+        };
+        let j = f.to_json();
+        assert_eq!(j.get("arrangement").unwrap().as_str(), Some("srt"));
+        assert_eq!(j.get("fault").unwrap().as_str(), Some("transient-sq"));
+        assert_eq!(j.get("outcome").unwrap().as_str(), Some("detected"));
+        assert_eq!(j.get("latency").unwrap().as_u64(), Some(56));
+        assert_eq!(
+            j.get("site").unwrap().get("structure").unwrap().as_str(),
+            Some("store-queue")
+        );
+        assert_eq!(
+            j.get("mechanism").unwrap().as_str(),
+            Some("store-comparator")
+        );
+        let text = j.encode();
+        assert_eq!(rmt_stats::json::parse(&text).unwrap(), j);
+    }
+
+    #[test]
+    fn json_shape_masked_uses_nulls() {
+        let f = FaultForensics {
+            arrangement: "base",
+            kind: FaultKind::TransientReg,
+            index: 0,
+            site: None,
+            inject_cycle: 10,
+            outcome: FaultOutcome::Masked,
+            mechanism: None,
+            hops: 0,
+            events: vec![],
+            dropped_events: 0,
+        };
+        let j = f.to_json();
+        assert_eq!(j.get("site"), Some(&Json::Null));
+        assert_eq!(j.get("mechanism"), Some(&Json::Null));
+        assert_eq!(j.get("latency"), Some(&Json::Null));
+        assert_eq!(j.get("outcome").unwrap().as_str(), Some("masked"));
+    }
+}

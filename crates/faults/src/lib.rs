@@ -22,11 +22,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrangements;
 pub mod campaign;
+pub mod forensics;
 pub mod model;
+mod observe;
 
 pub use campaign::{
-    base_injection, lockstep_injection, run_base_campaign, run_lockstep_campaign, run_srt_campaign,
-    srt_injection, CampaignConfig, CampaignReport,
+    base_injection, base_injection_forensic, crt_injection, crt_injection_forensic,
+    lockstep_injection, lockstep_injection_forensic, run_base_campaign, run_crt_campaign,
+    run_lockstep_campaign, run_srt_campaign, srt_injection, srt_injection_forensic, CampaignConfig,
+    CampaignReport,
 };
+pub use forensics::{FaultForensics, FaultSite};
 pub use model::{FaultKind, FaultOutcome};

@@ -495,6 +495,11 @@ impl Core {
         for (name, v) in self.stats.iter() {
             reg.counter(&format!("{prefix}/events/{name}"), v);
         }
+        // Only present when tracing is on, so untraced runs (and their
+        // goldens) keep an unchanged metric-name schema.
+        if let Some(t) = &self.tracer {
+            reg.counter(&format!("{prefix}/trace/dropped"), t.dropped());
+        }
         reg.histogram(&format!("{prefix}/occupancy/iq_half0"), &self.occ_iq[0]);
         reg.histogram(&format!("{prefix}/occupancy/iq_half1"), &self.occ_iq[1]);
         reg.histogram(&format!("{prefix}/occupancy/lq"), &self.occ_lq);

@@ -130,6 +130,10 @@ pub struct Tracer {
 }
 
 impl Tracer {
+    /// Default ring capacity: ample for a warm measurement window of a few
+    /// thousand cycles without evicting anything.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
     /// Creates a tracer keeping the most recent `capacity` events.
     ///
     /// # Panics

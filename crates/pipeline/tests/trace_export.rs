@@ -1,0 +1,94 @@
+//! Golden checks on the tracer's machine-readable exports: the Chrome
+//! trace must stay valid JSON with monotone timestamps, and the dropped
+//! count must surface as a metric when tracing is enabled.
+
+use rmt_mem::{HierarchyConfig, MemoryHierarchy};
+use rmt_pipeline::env::IndependentEnv;
+use rmt_pipeline::trace::Tracer;
+use rmt_pipeline::{Core, CoreConfig};
+use rmt_stats::MetricsRegistry;
+use rmt_workloads::{Benchmark, Workload};
+use std::rc::Rc;
+
+/// A traced core that has committed a few hundred instructions.
+fn traced_core() -> Core {
+    let w = Workload::generate(Benchmark::M88ksim, 11);
+    let mut env = IndependentEnv::new(vec![w.memory.clone()]);
+    let mut core = Core::new(CoreConfig::base(), 0);
+    core.attach_thread(Rc::new(w.program.clone()), 0);
+    core.finalize_partitions();
+    core.enable_tracing(Tracer::DEFAULT_CAPACITY);
+    let mut hier = MemoryHierarchy::new(HierarchyConfig::default(), 1);
+    let mut cycle = 0u64;
+    while core.thread_stats(0).committed < 300 {
+        core.tick(cycle, &mut hier, &mut env);
+        hier.tick(cycle);
+        cycle += 1;
+    }
+    core
+}
+
+#[test]
+fn chrome_trace_is_valid_json_with_monotone_ts() {
+    let core = traced_core();
+    let tracer = core.tracer().expect("tracing was enabled");
+    assert!(!tracer.is_empty(), "a 300-commit run must trace something");
+    // At the default capacity a short run must not evict anything.
+    assert_eq!(tracer.dropped(), 0);
+
+    let text = tracer.to_chrome_trace();
+    let doc = rmt_stats::json::parse(&text).expect("chrome trace must be valid JSON");
+    let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+    assert_eq!(events.len(), tracer.len());
+    let mut prev_ts = 0u64;
+    for e in events {
+        let ts = e.get("ts").unwrap().as_u64().expect("ts is an integer");
+        assert!(
+            ts >= prev_ts,
+            "timestamps must be monotone: {ts} < {prev_ts}"
+        );
+        prev_ts = ts;
+        assert_eq!(e.get("ph").unwrap().as_str(), Some("i"));
+        assert!(e.get("name").unwrap().as_str().is_some());
+    }
+}
+
+#[test]
+fn dropped_count_exports_as_metric_only_when_tracing() {
+    let core = traced_core();
+    let mut reg = MetricsRegistry::new();
+    core.export_metrics(&mut reg, "core0");
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("core0/trace/dropped"), Some(0));
+
+    // An untraced core must not grow the metric-name schema.
+    let w = Workload::generate(Benchmark::M88ksim, 11);
+    let mut core = Core::new(CoreConfig::base(), 0);
+    core.attach_thread(Rc::new(w.program.clone()), 0);
+    core.finalize_partitions();
+    let mut reg = MetricsRegistry::new();
+    core.export_metrics(&mut reg, "core0");
+    assert_eq!(reg.snapshot().counter("core0/trace/dropped"), None);
+}
+
+#[test]
+fn dropped_metric_tracks_evictions() {
+    let w = Workload::generate(Benchmark::Ijpeg, 7);
+    let mut env = IndependentEnv::new(vec![w.memory.clone()]);
+    let mut core = Core::new(CoreConfig::base(), 0);
+    core.attach_thread(Rc::new(w.program.clone()), 0);
+    core.finalize_partitions();
+    core.enable_tracing(8); // tiny ring: evictions are guaranteed
+    let mut hier = MemoryHierarchy::new(HierarchyConfig::default(), 1);
+    let mut cycle = 0u64;
+    while core.thread_stats(0).committed < 300 {
+        core.tick(cycle, &mut hier, &mut env);
+        hier.tick(cycle);
+        cycle += 1;
+    }
+    let dropped = core.tracer().unwrap().dropped();
+    assert!(dropped > 0, "a 300-commit run overflows an 8-entry ring");
+    let mut reg = MetricsRegistry::new();
+    core.export_metrics(&mut reg, "c");
+    assert_eq!(reg.snapshot().counter("c/trace/dropped"), Some(dropped));
+}

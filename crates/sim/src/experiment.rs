@@ -8,9 +8,11 @@ use rmt_core::machine::Machine;
 use rmt_core::schemes::Topology;
 use rmt_mem::HierarchyConfig;
 use rmt_pipeline::CoreConfig;
-use rmt_stats::{MetricsRegistry, MetricsSnapshot};
+use rmt_stats::MetricsRegistry;
 use rmt_workloads::{Benchmark, Workload};
 use std::fmt;
+
+pub use crate::outcome::{RunResult, SimError, ThreadOutcome, VerifiedRun, VerifyError};
 
 /// The machine configurations the paper evaluates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -81,64 +83,6 @@ impl fmt::Display for DeviceKind {
     }
 }
 
-/// Errors from [`Experiment::run`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SimError {
-    /// The measurement did not finish within the cycle budget.
-    Timeout {
-        /// Cycles simulated before giving up.
-        cycles: u64,
-    },
-    /// No benchmarks were supplied.
-    NoBenchmarks,
-}
-
-impl fmt::Display for SimError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SimError::Timeout { cycles } => {
-                write!(f, "simulation exceeded its cycle budget ({cycles})")
-            }
-            SimError::NoBenchmarks => write!(f, "experiment has no benchmarks"),
-        }
-    }
-}
-
-impl std::error::Error for SimError {}
-
-/// Errors from [`Experiment::run_verified`]: either the simulation itself
-/// failed, or the device's commit stream disagreed with the reference
-/// interpreter.
-#[derive(Debug)]
-pub enum VerifyError {
-    /// The underlying simulation failed.
-    Sim(SimError),
-    /// The device committed state the ISA reference model disagrees with.
-    Divergence(Box<rmt_verify::Divergence>),
-}
-
-impl fmt::Display for VerifyError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            VerifyError::Sim(e) => e.fmt(f),
-            VerifyError::Divergence(d) => d.fmt(f),
-        }
-    }
-}
-
-impl std::error::Error for VerifyError {}
-
-/// A [`RunResult`] whose every commit was cross-checked by the
-/// co-simulation oracle.
-#[derive(Debug, Clone)]
-pub struct VerifiedRun {
-    /// The ordinary run result.
-    pub result: RunResult,
-    /// Commits the oracle cross-checked (warmup included — the oracle is
-    /// attached from cycle 0).
-    pub commits_checked: u64,
-}
-
 /// Builder for one simulation run.
 ///
 /// See the crate-level example.
@@ -155,6 +99,7 @@ pub struct Experiment {
     checker_latency: u64,
     desync_window: u64,
     pub(crate) max_cycle_factor: u64,
+    epoch: u64,
 }
 
 impl Experiment {
@@ -195,6 +140,7 @@ impl Experiment {
             },
             desync_window: 2_000,
             max_cycle_factor: 60,
+            epoch: 0,
         }
     }
 
@@ -265,6 +211,14 @@ impl Experiment {
     /// Raises the cycle-budget multiplier (slow configurations).
     pub fn max_cycle_factor(mut self, factor: u64) -> Self {
         self.max_cycle_factor = factor;
+        self
+    }
+
+    /// Samples the device's full metric registry every `every` cycles into
+    /// per-epoch deltas, delivered on [`RunResult::timeseries`]. `0` (the
+    /// default) disables sampling and leaves the time series empty.
+    pub fn epoch(mut self, every: u64) -> Self {
+        self.epoch = every;
         self
     }
 
@@ -396,6 +350,9 @@ impl Experiment {
         mut oracle: Option<&mut rmt_verify::Oracle>,
     ) -> Result<(RunResult, u64), VerifyError> {
         let mut device = self.build_device().map_err(VerifyError::Sim)?;
+        if self.epoch > 0 {
+            device.enable_epoch_sampling(self.epoch);
+        }
         if let Some(o) = oracle.as_deref_mut() {
             o.attach(device.as_mut());
         }
@@ -471,64 +428,10 @@ impl Experiment {
                 per_thread,
                 faults_detected: faults,
                 metrics: reg.snapshot(),
+                timeseries: device.take_timeseries(),
             },
             checked,
         ))
-    }
-}
-
-/// Per-logical-thread outcome of a run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ThreadOutcome {
-    /// The benchmark this thread ran.
-    pub benchmark: Benchmark,
-    /// Instructions committed in the measured interval.
-    pub committed: u64,
-    /// Cycles in the measured interval (shared across threads).
-    pub cycles: u64,
-}
-
-impl ThreadOutcome {
-    /// Instructions per cycle.
-    pub fn ipc(&self) -> f64 {
-        if self.cycles == 0 {
-            0.0
-        } else {
-            self.committed as f64 / self.cycles as f64
-        }
-    }
-}
-
-/// The result of one experiment run.
-#[derive(Debug, Clone)]
-pub struct RunResult {
-    /// Machine kind.
-    pub kind: DeviceKind,
-    /// Cycles in the measured interval.
-    pub cycles: u64,
-    /// Per-logical-thread outcomes.
-    pub per_thread: Vec<ThreadOutcome>,
-    /// Faults detected during measurement (0 in fault-free runs).
-    pub faults_detected: usize,
-    /// Whole-run metric snapshot exported by the device at the end of the
-    /// run (cycle accounting, occupancy, RMT queue statistics).
-    pub metrics: MetricsSnapshot,
-}
-
-impl RunResult {
-    /// IPC of logical thread `i` over the measured interval.
-    pub fn ipc(&self, i: usize) -> f64 {
-        self.per_thread[i].ipc()
-    }
-
-    /// Total committed instructions across threads.
-    pub fn total_committed(&self) -> u64 {
-        self.per_thread.iter().map(|t| t.committed).sum()
-    }
-
-    /// Faults detected during the measured interval.
-    pub fn faults_detected(&self) -> usize {
-        self.faults_detected
     }
 }
 
@@ -605,6 +508,36 @@ mod tests {
         let b = quick(DeviceKind::Srt, Benchmark::Go);
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.total_committed(), b.total_committed());
+    }
+
+    #[test]
+    fn epoch_sampling_rides_on_run_result() {
+        let r = Experiment::new(DeviceKind::Srt)
+            .benchmark(Benchmark::M88ksim)
+            .warmup(1_000)
+            .measure(4_000)
+            .seed(3)
+            .epoch(512)
+            .run()
+            .unwrap();
+        assert_eq!(r.timeseries.every(), 512);
+        assert!(
+            r.timeseries.len() >= 2,
+            "a multi-thousand-cycle run crosses several 512-cycle epochs"
+        );
+        // Each epoch is a delta: the device's cycle counter advances by
+        // exactly the epoch length inside every complete epoch.
+        for e in r.timeseries.epochs() {
+            assert_eq!(e.counter("device/cycles"), Some(512));
+        }
+        // Disabled by default — and enabling it must not perturb the run.
+        let plain = quick(DeviceKind::Srt, Benchmark::M88ksim);
+        assert!(plain.timeseries.is_empty());
+        assert_eq!(r.cycles, plain.cycles, "sampling must not perturb");
+        assert_eq!(
+            r.metrics.to_json().encode(),
+            plain.metrics.to_json().encode()
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::collections::BTreeMap;
 /// §4.2): SRT efficiency as the shared store queue grows.
 pub fn abl_sq_size(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> FigureResult {
     let sizes = [16usize, 32, 64, 128, 256];
-    let (effs, metrics) = sweep_eff(
+    let grid = sweep_eff(
         ctx,
         scale,
         benches,
@@ -29,7 +29,7 @@ pub fn abl_sq_size(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> F
             o.core.sq_entries = s;
         },
     );
-    sweep_table(benches, &sizes, "SQ", "eff_sq", &effs, metrics)
+    sweep_table(benches, &sizes, "SQ", "eff_sq", grid)
 }
 
 /// Trailing-fetch policy ablation (§4.4): the line prediction queue vs
@@ -96,6 +96,7 @@ pub fn abl_fetch_policy(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark])
         table: t,
         summary,
         metrics: BTreeMap::new(),
+        timeseries: BTreeMap::new(),
     }
 }
 
@@ -138,6 +139,7 @@ pub fn abl_slack(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> Fig
         table: t,
         summary,
         metrics: BTreeMap::new(),
+        timeseries: BTreeMap::new(),
     }
 }
 
@@ -146,7 +148,7 @@ pub fn abl_slack(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> Fig
 /// retirement, too large buys nothing.
 pub fn abl_lvq_size(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> FigureResult {
     let sizes = [8usize, 16, 32, 64, 128];
-    let (effs, metrics) = sweep_eff(
+    let grid = sweep_eff(
         ctx,
         scale,
         benches,
@@ -158,14 +160,14 @@ pub fn abl_lvq_size(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> 
             o.env.lvq_entries = sz;
         },
     );
-    sweep_table(benches, &sizes, "LVQ", "eff_lvq", &effs, metrics)
+    sweep_table(benches, &sizes, "LVQ", "eff_lvq", grid)
 }
 
 /// CRT inter-core forwarding-delay sweep: the paper argues the forwarding
 /// queues decouple the threads, so CRT tolerates cross-core latency (§5).
 pub fn abl_crt_delay(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> FigureResult {
     let delays = [0u64, 2, 4, 8, 16, 32];
-    let (effs, metrics) = sweep_eff(
+    let grid = sweep_eff(
         ctx,
         scale,
         benches,
@@ -177,7 +179,7 @@ pub fn abl_crt_delay(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) ->
             o.env.cross_core_delay = d;
         },
     );
-    sweep_table(benches, &delays, "delay", "eff_delay", &effs, metrics)
+    sweep_table(benches, &delays, "delay", "eff_delay", grid)
 }
 
 /// Next-line L1D prefetch ablation (extension; the paper's machine has no
@@ -212,5 +214,6 @@ pub fn abl_prefetch(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> 
         table: t,
         summary,
         metrics: BTreeMap::new(),
+        timeseries: BTreeMap::new(),
     }
 }

@@ -19,13 +19,13 @@ fn crt_vs_lockstep(
     label: &str,
 ) -> FigureResult {
     let kinds = [DeviceKind::Lock0, DeviceKind::Lock8, DeviceKind::Crt];
-    let (effs, metrics) = grid_eff(ctx, scale, mixes, &kinds);
+    let grid = grid_eff(ctx, scale, mixes, &kinds);
 
     let mut t = Table::with_columns(&[label, "Lock0", "Lock8", "CRT", "CRT vs Lock8"]);
     let mut l0 = Vec::new();
     let mut l8 = Vec::new();
     let mut crt = Vec::new();
-    for (mix, row) in mixes.iter().zip(&effs) {
+    for (mix, row) in mixes.iter().zip(&grid.effs) {
         let (e0, e8, ec) = (row[0], row[1], row[2]);
         l0.push(e0);
         l8.push(e8);
@@ -61,7 +61,8 @@ fn crt_vs_lockstep(
     FigureResult {
         table: t,
         summary,
-        metrics,
+        metrics: grid.metrics,
+        timeseries: grid.timeseries,
     }
 }
 
@@ -93,12 +94,12 @@ pub fn fig12_crt_four(ctx: &FigureCtx, scale: SimScale) -> FigureResult {
 /// quick checks.
 pub fn fig_ring4(ctx: &FigureCtx, scale: SimScale, mixes: &[Vec<Benchmark>]) -> FigureResult {
     let kinds = [DeviceKind::Crt, DeviceKind::CrtRing4];
-    let (effs, metrics) = grid_eff(ctx, scale, mixes, &kinds);
+    let grid = grid_eff(ctx, scale, mixes, &kinds);
 
     let mut t = Table::with_columns(&["mix", "CRT (2 cores)", "CRT ring-4", "ring vs CRT"]);
     let mut crt = Vec::new();
     let mut ring = Vec::new();
-    for (mix, row) in mixes.iter().zip(&effs) {
+    for (mix, row) in mixes.iter().zip(&grid.effs) {
         let (ec, er) = (row[0], row[1]);
         crt.push(ec);
         ring.push(er);
@@ -123,7 +124,8 @@ pub fn fig_ring4(ctx: &FigureCtx, scale: SimScale, mixes: &[Vec<Benchmark>]) -> 
     FigureResult {
         table: t,
         summary,
-        metrics,
+        metrics: grid.metrics,
+        timeseries: grid.timeseries,
     }
 }
 

@@ -1,17 +1,31 @@
-//! Fault-injection coverage across architectures and fault models.
+//! Fault-injection coverage across architectures and fault models, and
+//! the per-injection forensic timeline driver behind
+//! `results/fault_forensics.json`.
 
 use super::{FigureCtx, FigureResult, SimScale};
-use crate::runner::{par_base_campaign, par_lockstep_campaign, par_srt_campaign};
+use crate::runner::{par_base_campaign, par_crt_campaign, par_lockstep_campaign, par_srt_campaign};
+use rmt_core::crt::CrtDevice;
 use rmt_core::device::SrtOptions;
-use rmt_faults::{CampaignConfig, FaultKind};
+use rmt_faults::campaign::{
+    base_injection_forensic, crt_injection_forensic, lockstep_injection_forensic,
+    srt_injection_forensic,
+};
+use rmt_faults::{CampaignConfig, FaultForensics, FaultKind};
 use rmt_pipeline::CoreConfig;
 use rmt_stats::table::fmt3;
 use rmt_stats::Table;
 use rmt_workloads::{Benchmark, Workload};
 use std::collections::BTreeMap;
 
+/// Renders a bucket-granular latency percentile, `"-"` when nothing was
+/// detected.
+fn fmt_latency(p: Option<u64>) -> String {
+    p.map_or_else(|| "-".to_string(), |v| v.to_string())
+}
+
 /// Fault-detection coverage across architectures and fault models,
-/// including PSR's effect on permanent-fault coverage (§4.5). Each
+/// including PSR's effect on permanent-fault coverage (§4.5) and the
+/// detection-latency tail (p50/p95 of the campaign histogram). Each
 /// campaign's injections are fanned across the runner.
 pub fn fault_coverage(ctx: &FigureCtx, scale: SimScale, bench: Benchmark) -> FigureResult {
     let w = Workload::generate(bench, scale.seed);
@@ -29,6 +43,8 @@ pub fn fault_coverage(ctx: &FigureCtx, scale: SimScale, bench: Benchmark) -> Fig
         "silent",
         "coverage",
         "mean latency",
+        "p50",
+        "p95",
     ]);
     let mut summary = BTreeMap::new();
     let mut add = |t: &mut Table, machine: &str, r: rmt_faults::CampaignReport| {
@@ -40,6 +56,8 @@ pub fn fault_coverage(ctx: &FigureCtx, scale: SimScale, bench: Benchmark) -> Fig
             r.silent.to_string(),
             fmt3(r.coverage()),
             fmt3(r.mean_latency()),
+            fmt_latency(r.p50_latency()),
+            fmt_latency(r.p95_latency()),
         ]);
         summary.insert(
             format!("{machine}_{}_coverage", r.kind.name()),
@@ -49,6 +67,10 @@ pub fn fault_coverage(ctx: &FigureCtx, scale: SimScale, bench: Benchmark) -> Fig
             format!("{machine}_{}_silent", r.kind.name()),
             r.silent as f64,
         );
+        if let (Some(p50), Some(p95)) = (r.p50_latency(), r.p95_latency()) {
+            summary.insert(format!("{machine}_{}_p50", r.kind.name()), p50 as f64);
+            summary.insert(format!("{machine}_{}_p95", r.kind.name()), p95 as f64);
+        }
     };
     // Base machine: no detection at all.
     let base_cfg = CoreConfig::base();
@@ -90,6 +112,16 @@ pub fn fault_coverage(ctx: &FigureCtx, scale: SimScale, bench: Benchmark) -> Fig
         "srt-ecc",
         par_srt_campaign(&ctx.runner, &ecc_opts, &w, FaultKind::TransientLvq, cfg),
     );
+    // CRT: the same strikes detected across the inter-core datapath —
+    // latency includes the cross-core forwarding delay.
+    let crt_opts = CrtDevice::default_options();
+    for kind in [FaultKind::TransientReg, FaultKind::TransientSq] {
+        add(
+            &mut t,
+            "crt",
+            par_crt_campaign(&ctx.runner, &crt_opts, &w, kind, cfg),
+        );
+    }
     // Lockstep: permanent + register faults.
     let lock_opts = rmt_core::lockstep::LockstepOptions::lock8();
     for kind in [FaultKind::TransientReg, FaultKind::PermanentFu] {
@@ -103,7 +135,80 @@ pub fn fault_coverage(ctx: &FigureCtx, scale: SimScale, bench: Benchmark) -> Fig
         table: t,
         summary,
         metrics: BTreeMap::new(),
+        timeseries: BTreeMap::new(),
     }
+}
+
+/// The forensic campaigns: one representative fault model per
+/// arrangement, every injection producing a full [`FaultForensics`]
+/// causal record. Returns the records (in arrangement-then-index order,
+/// deterministic at any `--jobs` level) alongside a figure summarizing
+/// them — the driver behind `results/fault_forensics.json`.
+pub fn fault_forensics(
+    ctx: &FigureCtx,
+    scale: SimScale,
+    bench: Benchmark,
+) -> (FigureResult, Vec<FaultForensics>) {
+    let w = Workload::generate(bench, scale.seed);
+    let cfg = CampaignConfig {
+        injections: 6,
+        warmup_commits: scale.warmup.min(3_000),
+        window_commits: scale.measure.min(15_000),
+        seed: 0xdecaf,
+    };
+    let mut psr_opts = SrtOptions::default();
+    psr_opts.core.preferential_space_redundancy = true;
+    let crt_opts = CrtDevice::default_options();
+    let lock_opts = rmt_core::lockstep::LockstepOptions::lock8();
+    let base_cfg = CoreConfig::base();
+    let n = cfg.injections;
+    // Arrangement-major fan-out: the store-queue strike is the fault the
+    // sphere-of-replication story is about, so SRT/CRT/base all take it;
+    // lockstep takes the permanent FU fault its checker exists to catch.
+    let records = ctx.runner.run(4 * n, |i| match (i / n, i % n) {
+        (0, j) => srt_injection_forensic(&psr_opts, &w, FaultKind::TransientSq, cfg, j),
+        (1, j) => crt_injection_forensic(&crt_opts, &w, FaultKind::TransientSq, cfg, j),
+        (2, j) => lockstep_injection_forensic(&lock_opts, &w, FaultKind::PermanentFu, cfg, j),
+        (3, j) => base_injection_forensic(&base_cfg, &w, FaultKind::TransientSq, cfg, j),
+        _ => unreachable!("i < 4 * n"),
+    });
+
+    let mut t = Table::with_columns(&[
+        "arrangement",
+        "fault",
+        "#",
+        "outcome",
+        "mechanism",
+        "latency",
+        "hops",
+        "events",
+    ]);
+    let mut summary: BTreeMap<String, f64> = BTreeMap::new();
+    for f in &records {
+        t.row(vec![
+            f.arrangement.into(),
+            f.kind.name().into(),
+            f.index.to_string(),
+            f.outcome_name().into(),
+            f.mechanism.unwrap_or("-").into(),
+            fmt_latency(f.latency()),
+            f.hops.to_string(),
+            f.events.len().to_string(),
+        ]);
+        *summary
+            .entry(format!("{}_{}", f.arrangement, f.outcome_name()))
+            .or_default() += 1.0;
+    }
+    summary.insert("injections_per_arrangement".into(), n as f64);
+    (
+        FigureResult {
+            table: t,
+            summary,
+            metrics: BTreeMap::new(),
+            timeseries: BTreeMap::new(),
+        },
+        records,
+    )
 }
 
 #[cfg(test)]
@@ -121,5 +226,39 @@ mod tests {
         assert!(r.value("srt_transient-sq_coverage") > 0.6);
         // SRT never lets a register strike escape silently.
         assert_eq!(r.value("srt_transient-reg_silent"), 0.0);
+        // CRT catches the same strikes across the inter-core path, and
+        // its detections carry latency percentiles.
+        assert!(r.value("crt_transient-sq_coverage") > 0.6);
+        assert!(r.value("crt_transient-sq_p95") >= r.value("crt_transient-sq_p50"));
+        // Detection-latency tails never invert anywhere they exist.
+        for (k, &p50) in r.summary.iter().filter(|(k, _)| k.ends_with("_p50")) {
+            let p95 = r.summary[&k.replace("_p50", "_p95")];
+            assert!(p95 >= p50, "{k}: p95 {p95} < p50 {p50}");
+        }
+    }
+
+    #[test]
+    fn forensics_cover_every_arrangement() {
+        let (r, records) =
+            fault_forensics(&FigureCtx::new(2), SimScale::quick(), Benchmark::Compress);
+        assert_eq!(records.len(), 24);
+        for arr in ["srt", "crt", "lockstep", "base"] {
+            assert_eq!(
+                records.iter().filter(|f| f.arrangement == arr).count(),
+                6,
+                "missing records for {arr}"
+            );
+        }
+        // The redundant arrangements catch store corruption; the base
+        // machine never detects anything.
+        assert!(r.summary.contains_key("srt_detected"));
+        assert!(!r.summary.contains_key("base_detected"));
+        // Every detected record names its mechanism and a causal chain
+        // ending in a terminal stamp.
+        for f in records.iter().filter(|f| f.outcome.is_detected()) {
+            assert!(f.mechanism.is_some(), "{f:?}");
+            assert!(!f.events.is_empty(), "{f:?}");
+        }
+        assert_eq!(r.table.num_rows(), 24);
     }
 }

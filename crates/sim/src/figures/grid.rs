@@ -15,7 +15,7 @@ use crate::experiment::{DeviceKind, Experiment};
 use rmt_core::device::SrtOptions;
 use rmt_stats::metrics::{mean, smt_efficiency};
 use rmt_stats::table::fmt3;
-use rmt_stats::{MetricsSnapshot, Table};
+use rmt_stats::{MetricsSnapshot, Table, TimeSeries};
 use rmt_workloads::mix::mix_name;
 use rmt_workloads::Benchmark;
 use std::collections::BTreeMap;
@@ -56,7 +56,7 @@ fn eff_cell(
     variant: &Variant,
     benches: &[Benchmark],
     scale: SimScale,
-) -> (f64, MetricsSnapshot) {
+) -> (f64, MetricsSnapshot, TimeSeries) {
     let mut e = Experiment::new(variant.kind)
         .benchmarks(benches)
         .seed(scale.seed)
@@ -67,6 +67,9 @@ fn eff_cell(
     }
     if let Some(tweak) = &variant.tweak {
         e = e.tweak_srt(|o| tweak(o));
+    }
+    if let Some(every) = ctx.epoch {
+        e = e.epoch(every);
     }
     let r = e
         .run()
@@ -83,34 +86,51 @@ fn eff_cell(
             )
         })
         .collect();
-    (smt_efficiency(&pairs), r.metrics)
+    (smt_efficiency(&pairs), r.metrics, r.timeseries)
 }
 
-/// Fans `rows × variants` efficiency cells across the runner and returns
-/// them grouped per row (variant-major within a row) — the access pattern
-/// every per-benchmark figure table uses — plus each cell's metric
-/// snapshot keyed `"mix/label"`.
+/// The gathered output of a grid fan-out: efficiencies grouped per row
+/// (variant-major within a row) plus each cell's metric snapshot and —
+/// when the context enables epoch sampling — its time series, both keyed
+/// `"mix/label"`.
+pub(crate) struct GridOut {
+    /// SMT efficiencies, `effs[row][variant]`.
+    pub effs: Vec<Vec<f64>>,
+    /// Whole-run metric snapshot per cell.
+    pub metrics: BTreeMap<String, MetricsSnapshot>,
+    /// Per-epoch metric deltas per cell (empty when sampling is off).
+    pub timeseries: BTreeMap<String, TimeSeries>,
+}
+
+/// Fans `rows × variants` efficiency cells across the runner — the access
+/// pattern every per-benchmark figure table uses.
 pub(crate) fn eff_grid(
     ctx: &FigureCtx,
     scale: SimScale,
     rows: &[Vec<Benchmark>],
     variants: &[Variant],
-) -> (Vec<Vec<f64>>, BTreeMap<String, MetricsSnapshot>) {
+) -> GridOut {
     let k = variants.len();
     let flat = ctx.runner.run(rows.len() * k, |i| {
         eff_cell(ctx, &variants[i % k], &rows[i / k], scale)
     });
     let mut effs: Vec<Vec<f64>> = vec![Vec::with_capacity(k); rows.len()];
     let mut metrics = BTreeMap::new();
-    for (i, (eff, snap)) in flat.into_iter().enumerate() {
+    let mut timeseries = BTreeMap::new();
+    for (i, (eff, snap, series)) in flat.into_iter().enumerate() {
         let (r, c) = (i / k, i % k);
         effs[r].push(eff);
-        metrics.insert(
-            format!("{}/{}", mix_name(&rows[r]), variants[c].label),
-            snap,
-        );
+        let key = format!("{}/{}", mix_name(&rows[r]), variants[c].label);
+        if !series.is_empty() {
+            timeseries.insert(key.clone(), series);
+        }
+        metrics.insert(key, snap);
     }
-    (effs, metrics)
+    GridOut {
+        effs,
+        metrics,
+        timeseries,
+    }
 }
 
 /// A single efficiency point — [`eff_grid`] with one plain cell, for
@@ -120,7 +140,7 @@ pub(crate) fn run_eff(
     kind: DeviceKind,
     benches: &[Benchmark],
     scale: SimScale,
-) -> (f64, MetricsSnapshot) {
+) -> (f64, MetricsSnapshot, TimeSeries) {
     eff_cell(ctx, &Variant::plain(kind), benches, scale)
 }
 
@@ -130,7 +150,7 @@ pub(crate) fn grid_eff(
     scale: SimScale,
     rows: &[Vec<Benchmark>],
     kinds: &[DeviceKind],
-) -> (Vec<Vec<f64>>, BTreeMap<String, MetricsSnapshot>) {
+) -> GridOut {
     let variants: Vec<Variant> = kinds.iter().map(|&k| Variant::plain(k)).collect();
     eff_grid(ctx, scale, rows, &variants)
 }
@@ -148,7 +168,7 @@ pub(crate) fn sweep_eff<P: Copy + Sync + std::fmt::Display>(
     param_label: &str,
     max_cycle_factor: u64,
     tweak: impl Fn(&mut SrtOptions, P) + Sync,
-) -> (Vec<Vec<f64>>, BTreeMap<String, MetricsSnapshot>) {
+) -> GridOut {
     let rows: Vec<Vec<Benchmark>> = benches.iter().map(|&b| vec![b]).collect();
     let tweak = &tweak;
     let variants: Vec<Variant> = params
@@ -170,9 +190,9 @@ pub(crate) fn sweep_table<P: Copy + std::fmt::Display>(
     params: &[P],
     param_label: &str,
     summary_prefix: &str,
-    per_bench: &[Vec<f64>],
-    metrics: BTreeMap<String, MetricsSnapshot>,
+    grid: GridOut,
 ) -> FigureResult {
+    let per_bench = &grid.effs;
     let mut cols: Vec<String> = vec!["benchmark".into()];
     cols.extend(params.iter().map(|p| format!("{param_label}={p}")));
     let mut t = Table::new(cols);
@@ -189,6 +209,7 @@ pub(crate) fn sweep_table<P: Copy + std::fmt::Display>(
     FigureResult {
         table: t,
         summary,
-        metrics,
+        metrics: grid.metrics,
+        timeseries: grid.timeseries,
     }
 }

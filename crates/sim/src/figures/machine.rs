@@ -101,6 +101,7 @@ pub fn table1() -> FigureResult {
         table: t,
         summary,
         metrics: BTreeMap::new(),
+        timeseries: BTreeMap::new(),
     }
 }
 
@@ -135,6 +136,7 @@ pub fn fig2_pipeline() -> FigureResult {
         table: t,
         summary,
         metrics: BTreeMap::new(),
+        timeseries: BTreeMap::new(),
     }
 }
 

@@ -47,7 +47,7 @@ pub use ablations::{
     abl_crt_delay, abl_fetch_policy, abl_lvq_size, abl_prefetch, abl_slack, abl_sq_size,
 };
 pub use crt::{fig10_crt_single, fig11_crt_two, fig12_crt_four, fig_ring4};
-pub use faults::fault_coverage;
+pub use faults::{fault_coverage, fault_forensics};
 pub use machine::{fig2_pipeline, table1};
 pub use sampling::{
     fig6_full_grid, fig6_sampled_grid, fig6_srt_single_sampled, sampling_validation, SampledGrid,
@@ -58,7 +58,7 @@ pub use workloads::{slack_profile, workload_chars};
 
 use crate::baseline::BaselineCache;
 use crate::runner::Runner;
-use rmt_stats::{MetricsSnapshot, Table};
+use rmt_stats::{MetricsSnapshot, Table, TimeSeries};
 use std::collections::BTreeMap;
 
 /// How much simulation to spend per data point.
@@ -114,6 +114,10 @@ pub struct FigureCtx {
     pub runner: Runner,
     /// Memoized single-thread base IPCs shared by all drivers and workers.
     pub baselines: BaselineCache,
+    /// When set, every grid experiment samples its metric registry into
+    /// per-epoch deltas at this cycle interval (the `--epoch` flag), and
+    /// the figure's [`FigureResult::timeseries`] carries them.
+    pub epoch: Option<u64>,
 }
 
 impl FigureCtx {
@@ -122,20 +126,28 @@ impl FigureCtx {
         FigureCtx {
             runner: Runner::new(jobs),
             baselines: BaselineCache::new(),
+            epoch: None,
         }
     }
 
     /// A context sized to the host's available parallelism.
     pub fn available() -> Self {
-        FigureCtx {
-            runner: Runner::available(),
-            baselines: BaselineCache::new(),
-        }
+        Self::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
     }
 
     /// A single-worker context (the sequential reference).
     pub fn sequential() -> Self {
         Self::new(1)
+    }
+
+    /// Enables per-epoch time-series sampling on every grid experiment.
+    pub fn with_epoch(mut self, every: u64) -> Self {
+        self.epoch = Some(every);
+        self
     }
 }
 
@@ -151,6 +163,10 @@ pub struct FigureResult {
     /// [`Experiment`](crate::experiment::Experiment)s). Deterministic:
     /// part of the `--jobs` invariance the determinism tests assert.
     pub metrics: BTreeMap<String, MetricsSnapshot>,
+    /// Per-epoch metric time series, keyed like [`FigureResult::metrics`].
+    /// Empty unless the context enables [`FigureCtx::epoch`] (cycle-aligned
+    /// sampling, so `--jobs`-invariant like everything else here).
+    pub timeseries: BTreeMap<String, TimeSeries>,
 }
 
 impl FigureResult {

@@ -170,6 +170,7 @@ pub fn fig6_srt_single_sampled(
         table: t,
         summary,
         metrics: BTreeMap::new(),
+        timeseries: BTreeMap::new(),
     }
 }
 
@@ -178,7 +179,7 @@ pub fn fig6_srt_single_sampled(
 /// baseline cache.
 pub fn fig6_full_grid(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> Vec<Vec<f64>> {
     let rows: Vec<Vec<Benchmark>> = benches.iter().map(|&b| vec![b]).collect();
-    grid_eff(ctx, scale, &rows, &FIG6_KINDS).0
+    grid_eff(ctx, scale, &rows, &FIG6_KINDS).effs
 }
 
 /// The sampled-vs-full validation table: one row per benchmark × kind
@@ -252,6 +253,7 @@ pub fn sampling_validation(
         table: t,
         summary,
         metrics: BTreeMap::new(),
+        timeseries: BTreeMap::new(),
     }
 }
 

@@ -24,11 +24,11 @@ pub fn fig6_srt_single(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) 
         DeviceKind::SrtPtsq,
     ];
     let rows: Vec<Vec<Benchmark>> = benches.iter().map(|&b| vec![b]).collect();
-    let (effs, metrics) = grid_eff(ctx, scale, &rows, &kinds);
+    let grid = grid_eff(ctx, scale, &rows, &kinds);
 
     let mut t = Table::with_columns(&["benchmark", "Base2", "SRT+nosc", "SRT", "SRT+ptsq"]);
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
-    for (b, row) in benches.iter().zip(&effs) {
+    for (b, row) in benches.iter().zip(&grid.effs) {
         let mut cells = vec![b.name().to_string()];
         for (k, &eff) in row.iter().enumerate() {
             cols[k].push(eff);
@@ -51,7 +51,8 @@ pub fn fig6_srt_single(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) 
     FigureResult {
         table: t,
         summary,
-        metrics,
+        metrics: grid.metrics,
+        timeseries: grid.timeseries,
     }
 }
 
@@ -112,6 +113,7 @@ pub fn fig7_psr(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> Figu
         table: t,
         summary,
         metrics: BTreeMap::new(),
+        timeseries: BTreeMap::new(),
     }
 }
 
@@ -120,13 +122,13 @@ pub fn fig7_psr(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> Figu
 pub fn fig8_srt_multi(ctx: &FigureCtx, scale: SimScale) -> FigureResult {
     let kinds = [DeviceKind::Base, DeviceKind::Srt, DeviceKind::SrtPtsq];
     let pairs: Vec<Vec<Benchmark>> = two_program_mixes().iter().map(|m| m.to_vec()).collect();
-    let (effs, metrics) = grid_eff(ctx, scale, &pairs, &kinds);
+    let grid = grid_eff(ctx, scale, &pairs, &kinds);
 
     let mut t = Table::with_columns(&["pair", "Base(2 threads)", "SRT", "SRT+ptsq"]);
     let mut base_col = Vec::new();
     let mut srt_col = Vec::new();
     let mut ptsq_col = Vec::new();
-    for (pair, row) in pairs.iter().zip(&effs) {
+    for (pair, row) in pairs.iter().zip(&grid.effs) {
         let (base, srt, ptsq) = (row[0], row[1], row[2]);
         base_col.push(base);
         srt_col.push(srt);
@@ -146,7 +148,8 @@ pub fn fig8_srt_multi(ctx: &FigureCtx, scale: SimScale) -> FigureResult {
     FigureResult {
         table: t,
         summary,
-        metrics,
+        metrics: grid.metrics,
+        timeseries: grid.timeseries,
     }
 }
 
@@ -216,6 +219,7 @@ pub fn fig9_storeq(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> F
         table: t,
         summary,
         metrics: BTreeMap::new(),
+        timeseries: BTreeMap::new(),
     }
 }
 

@@ -15,13 +15,13 @@ use std::collections::BTreeMap;
 pub fn suite_summary(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> FigureResult {
     let kinds = [DeviceKind::Srt, DeviceKind::Crt];
     let rows: Vec<Vec<Benchmark>> = benches.iter().map(|&b| vec![b]).collect();
-    let (effs, metrics) = grid_eff(ctx, scale, &rows, &kinds);
+    let grid = grid_eff(ctx, scale, &rows, &kinds);
 
     let mut t = Table::with_columns(&["benchmark", "base IPC", "SRT eff", "CRT eff"]);
     let mut srt_col = Vec::new();
     let mut crt_col = Vec::new();
     let mut summary = BTreeMap::new();
-    for (b, row) in benches.iter().zip(&effs) {
+    for (b, row) in benches.iter().zip(&grid.effs) {
         let ipc = ctx
             .baselines
             .ipc(*b, scale.seed, scale.warmup, scale.measure);
@@ -41,6 +41,7 @@ pub fn suite_summary(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) ->
     FigureResult {
         table: t,
         summary,
-        metrics,
+        metrics: grid.metrics,
+        timeseries: grid.timeseries,
     }
 }

@@ -63,6 +63,7 @@ pub fn slack_profile(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) ->
         table: t,
         summary,
         metrics: BTreeMap::new(),
+        timeseries: BTreeMap::new(),
     }
 }
 
@@ -144,5 +145,6 @@ pub fn workload_chars(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -
         table: t,
         summary,
         metrics: BTreeMap::new(),
+        timeseries: BTreeMap::new(),
     }
 }

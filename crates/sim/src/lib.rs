@@ -39,6 +39,7 @@ pub mod baseline;
 pub mod experiment;
 pub mod figures;
 pub mod guard;
+pub mod outcome;
 pub mod runner;
 pub mod sampled;
 

@@ -30,12 +30,14 @@
 
 use rmt_core::device::SrtOptions;
 use rmt_core::lockstep::LockstepOptions;
-use rmt_faults::campaign::{base_injection, lockstep_injection, srt_injection};
-use rmt_faults::{CampaignConfig, CampaignReport, FaultKind};
+use rmt_faults::campaign::{
+    base_injection, crt_injection, lockstep_injection, srt_injection, srt_injection_forensic,
+};
+use rmt_faults::{CampaignConfig, CampaignReport, FaultForensics, FaultKind};
 use rmt_pipeline::CoreConfig;
 use rmt_workloads::Workload;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -51,6 +53,9 @@ pub struct Runner {
     sim_cycles: AtomicU64,
     /// Wall nanoseconds workers spent inside jobs, summed across workers.
     busy_nanos: AtomicU64,
+    /// Print jobs-completed/ETA lines to stderr (the `--progress` flag).
+    /// Stderr only — the deterministic payload never sees it.
+    progress: AtomicBool,
 }
 
 impl Runner {
@@ -61,7 +66,20 @@ impl Runner {
             executed: AtomicUsize::new(0),
             sim_cycles: AtomicU64::new(0),
             busy_nanos: AtomicU64::new(0),
+            progress: AtomicBool::new(false),
         }
+    }
+
+    /// Enables (or disables) periodic progress lines on stderr. Progress
+    /// reporting is pure observation: job results are bit-for-bit the same
+    /// with it on or off.
+    pub fn set_progress(&mut self, enabled: bool) {
+        *self.progress.get_mut() = enabled;
+    }
+
+    /// Whether progress reporting is on.
+    pub fn progress(&self) -> bool {
+        self.progress.load(Ordering::Relaxed)
     }
 
     /// A runner sized to the host's available parallelism.
@@ -131,11 +149,25 @@ impl Runner {
         F: Fn(usize) -> T + Sync,
     {
         self.executed.fetch_add(n, Ordering::Relaxed);
+        let started = Instant::now();
+        let done = AtomicUsize::new(0);
+        let report = self.progress.load(Ordering::Relaxed) && n > 0;
         let timed = |i: usize| {
             let t0 = Instant::now();
             let out = job(i);
             self.busy_nanos
                 .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            if report {
+                // Roughly ten lines per run (always the final one), on
+                // stderr only: the deterministic payload is untouched.
+                let c = done.fetch_add(1, Ordering::Relaxed) + 1;
+                let step = (n / 10).max(1);
+                if c.is_multiple_of(step) || c == n {
+                    let elapsed = started.elapsed().as_secs_f64();
+                    let eta = elapsed / c as f64 * (n - c) as f64;
+                    eprintln!("[runner] {c}/{n} jobs done, {elapsed:.1}s elapsed, ~{eta:.1}s left");
+                }
+            }
             out
         };
         let workers = self.jobs.min(n);
@@ -249,6 +281,20 @@ pub fn par_base_campaign(
     CampaignReport::from_outcomes(kind, outcomes)
 }
 
+/// [`rmt_faults::run_crt_campaign`] fanned across the runner.
+pub fn par_crt_campaign(
+    runner: &Runner,
+    opts: &SrtOptions,
+    workload: &Workload,
+    kind: FaultKind,
+    cfg: CampaignConfig,
+) -> CampaignReport {
+    let outcomes = runner.run(cfg.injections, |i| {
+        crt_injection(opts, workload, kind, cfg, i)
+    });
+    CampaignReport::from_outcomes(kind, outcomes)
+}
+
 /// [`rmt_faults::run_lockstep_campaign`] fanned across the runner.
 pub fn par_lockstep_campaign(
     runner: &Runner,
@@ -261,6 +307,21 @@ pub fn par_lockstep_campaign(
         lockstep_injection(opts, workload, kind, cfg, i)
     });
     CampaignReport::from_outcomes(kind, outcomes)
+}
+
+/// A full forensic SRT campaign fanned across the runner: one
+/// [`FaultForensics`] record per injection, ordered by injection index —
+/// bitwise identical at any worker count, like the aggregate campaigns.
+pub fn par_srt_forensics(
+    runner: &Runner,
+    opts: &SrtOptions,
+    workload: &Workload,
+    kind: FaultKind,
+    cfg: CampaignConfig,
+) -> Vec<FaultForensics> {
+    runner.run(cfg.injections, |i| {
+        srt_injection_forensic(opts, workload, kind, cfg, i)
+    })
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@ use rmt_core::device::SrtOptions;
 use rmt_faults::{run_srt_campaign, CampaignConfig, FaultKind};
 use rmt_sample::SamplePlan;
 use rmt_sim::figures::{self, FigureCtx};
-use rmt_sim::runner::par_srt_campaign;
+use rmt_sim::runner::{par_srt_campaign, par_srt_forensics};
 use rmt_sim::{Runner, SimScale};
 use rmt_workloads::{Benchmark, Workload};
 
@@ -89,4 +89,57 @@ fn srt_campaign_is_identical_sequential_and_parallel() {
     // `CampaignReport` equality covers the outcome counts *and* the
     // detection-latency histogram bin-by-bin.
     assert_eq!(seq, par, "campaign report differs across worker counts");
+}
+
+#[test]
+fn epoch_timeseries_is_identical_at_any_job_count() {
+    // `RunResult::timeseries` is cycle-aligned, so the per-epoch deltas a
+    // figure embeds must be bitwise identical at `--jobs 1` and `--jobs 8`
+    // — every counter of every epoch of every cell.
+    let benches = [Benchmark::M88ksim, Benchmark::Ijpeg];
+    let scale = SimScale::quick();
+    let seq = figures::fig6_srt_single(&FigureCtx::sequential().with_epoch(1_024), scale, &benches);
+    let par = figures::fig6_srt_single(&FigureCtx::new(8).with_epoch(1_024), scale, &benches);
+    assert!(
+        !seq.timeseries.is_empty(),
+        "epoch sampling must populate the figure's time series"
+    );
+    assert_eq!(
+        seq.timeseries.keys().collect::<Vec<_>>(),
+        par.timeseries.keys().collect::<Vec<_>>(),
+        "time-series keys differ across --jobs"
+    );
+    for (key, series) in &seq.timeseries {
+        assert_eq!(
+            series.to_json().encode(),
+            par.timeseries[key].to_json().encode(),
+            "time series for `{key}` differs across --jobs"
+        );
+    }
+    // Sampling must not perturb the figure itself.
+    let plain = figures::fig6_srt_single(&FigureCtx::new(8), scale, &benches);
+    assert_eq!(seq.table, plain.table, "epoch sampling perturbed the run");
+    assert!(plain.timeseries.is_empty());
+}
+
+#[test]
+fn forensic_campaign_is_identical_sequential_and_parallel() {
+    let w = Workload::generate(Benchmark::Compress, 2);
+    let cfg = CampaignConfig {
+        injections: 4,
+        warmup_commits: 800,
+        window_commits: 5_000,
+        seed: 21,
+    };
+    let kind = FaultKind::TransientSq;
+    let opts = SrtOptions::default();
+    let seq = par_srt_forensics(&Runner::new(1), &opts, &w, kind, cfg);
+    let par = par_srt_forensics(&Runner::new(8), &opts, &w, kind, cfg);
+    assert_eq!(seq.len(), par.len());
+    for (a, b) in seq.iter().zip(&par) {
+        // Structural equality plus the serialized record — the bytes that
+        // land in results/fault_forensics.json.
+        assert_eq!(a, b, "forensic record differs across worker counts");
+        assert_eq!(a.to_json().encode(), b.to_json().encode());
+    }
 }

@@ -319,6 +319,41 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_negative_panics() {
+        let h = Histogram::new("t", 1, 1);
+        let _ = h.percentile(-0.5);
+    }
+
+    #[test]
+    fn percentile_extremes_on_empty_are_none() {
+        let h = Histogram::new("t", 1, 8);
+        assert_eq!(h.percentile(0.0), None);
+        assert_eq!(h.percentile(1.0), None);
+        assert_eq!(h.percentile(100.0), None);
+    }
+
+    #[test]
+    fn percentile_low_tail_hits_min() {
+        let mut h = Histogram::new("t", 1, 256);
+        for v in 10..=100u64 {
+            h.record(v);
+        }
+        // p=0 and p=1 both resolve to rank 1, clamped up to the min.
+        assert_eq!(h.percentile(0.0), Some(10));
+        assert_eq!(h.percentile(1.0), Some(10));
+    }
+
+    #[test]
+    fn percentile_singleton_all_p_agree() {
+        let mut h = Histogram::new("t", 100, 4);
+        h.record(42);
+        for p in [0.0, 1.0, 50.0, 95.0, 100.0] {
+            assert_eq!(h.percentile(p), Some(42), "p={p}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "bucket_width")]
     fn zero_width_panics() {
         Histogram::new("t", 0, 1);

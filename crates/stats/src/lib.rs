@@ -22,6 +22,10 @@
 //!   machine-readable `results/*.json` outputs.
 //! * [`json`] — serde-free JSON value tree, encoder, and parser (the build
 //!   is offline, so no external JSON crate).
+//! * [`flight`] — a bounded, deterministic flight recorder of structured
+//!   fault-forensics events with cause-chain ids.
+//! * [`timeseries`] — epoch-resolved sequences of metric-snapshot deltas
+//!   for time-series telemetry.
 //!
 //! # Examples
 //!
@@ -43,18 +47,22 @@
 pub mod check;
 pub mod counter;
 pub mod estimate;
+pub mod flight;
 pub mod histogram;
 pub mod json;
 pub mod metrics;
 pub mod registry;
 pub mod rng;
 pub mod table;
+pub mod timeseries;
 
 pub use counter::{Counter, CounterSet};
 pub use estimate::{mean_ci95, Estimate};
+pub use flight::{FlightEvent, FlightRecorder};
 pub use histogram::Histogram;
 pub use json::Json;
 pub use metrics::{smt_efficiency, ThreadRun};
 pub use registry::{HistogramSummary, MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use rng::Xoshiro256;
 pub use table::Table;
+pub use timeseries::TimeSeries;

@@ -1,0 +1,131 @@
+//! Epoch-resolved metric time series.
+//!
+//! A [`TimeSeries`] is a sequence of [`MetricsSnapshot`] *deltas*, one per
+//! fixed-width epoch of `every` cycles. Devices sample their metrics
+//! registry at epoch boundaries and push the delta against the previous
+//! boundary, turning end-of-run totals (issue-slot attribution, queue
+//! occupancy, slack) into time-resolved telemetry. Collection is entirely
+//! deterministic — epochs are keyed to the simulated cycle, not wall
+//! clock — so a time series is bitwise identical at any `--jobs` count.
+
+use crate::json::Json;
+use crate::registry::MetricsSnapshot;
+
+/// A sequence of per-epoch metric deltas sampled every `every` cycles.
+///
+/// # Examples
+///
+/// ```
+/// use rmt_stats::timeseries::TimeSeries;
+/// use rmt_stats::MetricsRegistry;
+///
+/// let mut ts = TimeSeries::new(1000);
+/// let mut reg = MetricsRegistry::new();
+/// reg.counter("core0/cycles", 1000);
+/// ts.push(reg.snapshot());
+/// assert_eq!(ts.len(), 1);
+/// assert_eq!(ts.every(), 1000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TimeSeries {
+    every: u64,
+    epochs: Vec<MetricsSnapshot>,
+}
+
+impl TimeSeries {
+    /// An empty series with epoch width `every` (0 means "not sampling").
+    pub fn new(every: u64) -> TimeSeries {
+        TimeSeries {
+            every,
+            epochs: Vec::new(),
+        }
+    }
+
+    /// Epoch width in cycles (0 when sampling was disabled).
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+
+    /// Appends one epoch delta.
+    pub fn push(&mut self, epoch: MetricsSnapshot) {
+        self.epochs.push(epoch);
+    }
+
+    /// Number of recorded epochs.
+    pub fn len(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// True when no epochs have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.epochs.is_empty()
+    }
+
+    /// The recorded epochs, oldest first.
+    pub fn epochs(&self) -> &[MetricsSnapshot] {
+        &self.epochs
+    }
+
+    /// Renders as `{"every": N, "epochs": [<snapshot>, ...]}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj().with("every", Json::U64(self.every)).with(
+            "epochs",
+            Json::Arr(self.epochs.iter().map(|e| e.to_json()).collect()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn accumulates_epochs_in_order() {
+        let mut ts = TimeSeries::new(500);
+        for i in 0..3u64 {
+            let mut reg = MetricsRegistry::new();
+            reg.counter("x", i);
+            ts.push(reg.snapshot());
+        }
+        assert_eq!(ts.len(), 3);
+        let xs: Vec<u64> = ts
+            .epochs()
+            .iter()
+            .map(|e| e.counter("x").unwrap())
+            .collect();
+        assert_eq!(xs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn json_shape_and_round_trip() {
+        let mut ts = TimeSeries::new(250);
+        let mut reg = MetricsRegistry::new();
+        reg.counter("core0/cycles", 250);
+        reg.gauge("rate", 0.5);
+        ts.push(reg.snapshot());
+        let j = ts.to_json();
+        assert_eq!(j.get("every").unwrap().as_u64(), Some(250));
+        let epochs = j.get("epochs").unwrap().as_array().unwrap();
+        assert_eq!(epochs.len(), 1);
+        assert_eq!(epochs[0].get("core0/cycles").unwrap().as_u64(), Some(250));
+        let text = j.encode();
+        assert_eq!(crate::json::parse(&text).unwrap(), j);
+    }
+
+    #[test]
+    fn empty_series_is_sane() {
+        let ts = TimeSeries::new(0);
+        assert!(ts.is_empty());
+        assert_eq!(ts.every(), 0);
+        assert_eq!(
+            ts.to_json()
+                .get("epochs")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
+            0
+        );
+    }
+}

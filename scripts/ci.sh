@@ -4,13 +4,31 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== lint: rustfmt =="
+tmpdir="$(mktemp -d -t rmt_ci.XXXXXX)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+# Per-section wall-clock: `section NAME` closes the previous section with
+# its elapsed time, so a CI time regression is attributable to a stage
+# instead of hiding in the total.
+_section=""
+_section_start=$SECONDS
+section() {
+    local now=$SECONDS
+    if [ -n "$_section" ]; then
+        echo "  [section '${_section}' took $((now - _section_start))s]"
+    fi
+    _section="$1"
+    _section_start=$now
+    echo "== $1 =="
+}
+
+section "lint: rustfmt"
 cargo fmt --check
 
-echo "== lint: clippy =="
+section "lint: clippy"
 cargo clippy --all-targets -- -D warnings
 
-echo "== lint: file size (src/*.rs <= 700 lines) =="
+section "lint: file size (src/*.rs <= 700 lines)"
 # Monoliths like the old 1257-line figures.rs must not silently regrow.
 # Allowlisted files are the two that legitimately exceed the gate today;
 # shrink them before extending this list.
@@ -34,16 +52,16 @@ while IFS= read -r f; do
 done < <(find crates src -name '*.rs' -path '*/src/*' 2>/dev/null | sort)
 [ "$oversize" -eq 0 ]
 
-echo "== tier-1: build =="
+section "tier-1: build"
 cargo build --release
 
-echo "== tier-1: tests =="
+section "tier-1: tests"
 cargo test -q
 
-echo "== smoke: parallel figure run (quick scale, 2 workers) =="
+section "smoke: parallel figure run (quick scale, 2 workers)"
 cargo run --release -p rmt-bench --bin fig6_srt_single -- --scale quick --jobs 2
 
-echo "== smoke: sampled figure run (quick scale, 2 workers) =="
+section "smoke: sampled figure run (quick scale, 2 workers)"
 # The sampled path exercises checkpointing, functional fast-forward and
 # warm replay end to end; a blow-up in any of them shows first as runtime.
 sample_start=$SECONDS
@@ -56,37 +74,54 @@ if [ "$sample_elapsed" -gt 120 ]; then
     exit 1
 fi
 
-echo "== smoke: machine-readable results (--json round trip) =="
-tmp_json="$(mktemp -t rmt_ci_fig6.XXXXXX.json)"
-tmp_fig6="$(mktemp -t rmt_ci_fig6_golden.XXXXXX.json)"
-tmp_agg="$(mktemp -t rmt_ci_agg_golden.XXXXXX.json)"
-trap 'rm -f "$tmp_json" "$tmp_fig6" "$tmp_agg"' EXIT
+section "smoke: machine-readable results (--json round trip)"
 cargo run --release -p rmt-bench --bin fig6_srt_single -- \
-    --scale quick --jobs 2 --benches m88ksim,ijpeg --json "$tmp_json" > /dev/null
-cargo run --release -p rmt-bench --bin check_json -- "$tmp_json"
+    --scale quick --jobs 2 --benches m88ksim,ijpeg --json "$tmpdir/fig6.json" > /dev/null
+cargo run --release -p rmt-bench --bin check_json -- "$tmpdir/fig6.json"
 
-echo "== golden: committed results must regenerate bitwise (sans host) =="
+section "golden: committed results must regenerate bitwise (sans host)"
 cargo run --release -p rmt-bench --bin fig6_srt_single -- \
-    --scale standard --json "$tmp_fig6" > /dev/null
+    --scale standard --json "$tmpdir/fig6_golden.json" > /dev/null
 cargo run --release -p rmt-bench --bin check_json -- \
-    --compare results/fig6_srt_single.json "$tmp_fig6"
+    --compare results/fig6_srt_single.json "$tmpdir/fig6_golden.json"
 cargo run --release -p rmt-bench --bin aggregate -- \
-    --scale standard --json "$tmp_agg" > /dev/null
+    --scale standard --json "$tmpdir/agg_golden.json" > /dev/null
 cargo run --release -p rmt-bench --bin check_json -- \
-    --compare BENCH_PR2.json "$tmp_agg"
+    --compare BENCH_PR2.json "$tmpdir/agg_golden.json"
 
-echo "== golden: fault-coverage table must regenerate bitwise (sans timing) =="
-tmp_fc="$(mktemp -t rmt_ci_fault_coverage.XXXXXX.txt)"
-trap 'rm -f "$tmp_json" "$tmp_fig6" "$tmp_agg" "$tmp_fc"' EXIT
+section "golden: epoch time-series telemetry must regenerate bitwise"
+# `--epoch` sampling is keyed to the simulated cycle, so the per-epoch
+# deltas are part of the determinism contract like everything else.
+cargo run --release -p rmt-bench --bin fig6_srt_single -- \
+    --quick --benches m88ksim,ijpeg --epoch 4096 \
+    --json "$tmpdir/fig6_epoch.json" > /dev/null
+cargo run --release -p rmt-bench --bin check_json -- \
+    --compare results/fig6_epoch.json "$tmpdir/fig6_epoch.json"
+
+section "golden: fault forensics must regenerate bitwise (sans host)"
+cargo run --release -p rmt-bench --bin fault_forensics -- \
+    --standard --json "$tmpdir/forensics.json" > /dev/null
+cargo run --release -p rmt-bench --bin check_json -- \
+    --compare results/fault_forensics.json "$tmpdir/forensics.json"
+
+section "golden: fault-coverage table must regenerate bitwise (sans timing)"
 cargo run --release -p rmt-bench --bin fault_coverage -- --standard \
-    | grep -v '^  \[' > "$tmp_fc"
-if ! diff -u results/fault_coverage.txt "$tmp_fc"; then
+    | grep -v '^  \[' > "$tmpdir/fault_coverage.txt"
+if ! diff -u results/fault_coverage.txt "$tmpdir/fault_coverage.txt"; then
     echo "error: results/fault_coverage.txt is stale; regenerate with:" >&2
     echo "  cargo run --release -p rmt-bench --bin fault_coverage -- --standard | grep -v '^  \[' > results/fault_coverage.txt" >&2
     exit 1
 fi
 
-echo "== verify: differential fuzz smoke (fixed seed block, ~60s budget) =="
+section "smoke: HTML report renders the committed artifacts"
+cargo run --release -p rmt-bench --bin report -- --out "$tmpdir/report.html" \
+    results/fig6_srt_single.json results/fig6_epoch.json \
+    results/fault_forensics.json
+[ -s "$tmpdir/report.html" ] || { echo "error: report is empty" >&2; exit 1; }
+grep -q '</html>' "$tmpdir/report.html"
+grep -q '<svg' "$tmpdir/report.html"
+
+section "verify: differential fuzz smoke (fixed seed block, ~60s budget)"
 # A fixed, deterministic seed block through the co-simulation oracle on
 # the two arrangements with the richest commit plumbing. Any divergence
 # exits nonzero and prints a minimized reproducer to save under
@@ -96,4 +131,4 @@ cargo run --release -p rmt-bench --bin fuzz -- \
 cargo run --release -p rmt-bench --bin fuzz -- \
     --seeds 0..16 --arrangement all --commits 1000 --budget-secs 15
 
-echo "== ci.sh: all checks passed =="
+section "ci.sh: all checks passed"
