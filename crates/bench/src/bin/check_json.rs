@@ -6,10 +6,12 @@
 //! ```
 //!
 //! Checks each document against the schema in [`rmt_bench::figure_json`]
-//! and re-asserts the issue-slot conservation invariant inside every
-//! embedded metric snapshot (each core's attributed slots must total
-//! exactly `8 × cycles`). Exits nonzero on the first invalid file —
-//! `scripts/ci.sh` uses this as the `--json` smoke check.
+//! — including the required `config` section, which must strictly
+//! round-trip through [`rmt_core::MachineSpec`] (all six sections, no
+//! unknown keys) — and re-asserts the issue-slot conservation invariant
+//! inside every embedded metric snapshot (each core's attributed slots
+//! must total exactly `8 × cycles`). Exits nonzero on the first invalid
+//! file — `scripts/ci.sh` uses this as the `--json` smoke check.
 //!
 //! With `--compare`, additionally requires the candidate to reproduce the
 //! committed golden bitwise, key by key, ignoring only `host` (wall time
@@ -115,6 +117,7 @@ fn check_file(path: &str) -> Result<(), String> {
         "paper",
         "scale",
         "benches",
+        "config",
         "table",
         "summary",
         "metrics",
@@ -123,6 +126,12 @@ fn check_file(path: &str) -> Result<(), String> {
     ] {
         doc.get(key).ok_or_else(|| format!("missing `{key}`"))?;
     }
+    // The resolved machine spec must strictly round-trip through the
+    // config codec: every section present, no unknown keys, every value
+    // well-typed. This is the gate that keeps committed results
+    // self-describing.
+    rmt_core::MachineSpec::from_json(doc.get("config").expect("checked"))
+        .map_err(|e| format!("invalid `config`: {e}"))?;
     let table = doc.get("table").expect("checked");
     let cols = table
         .get("columns")

@@ -1,0 +1,114 @@
+//! Declarative sensitivity sweeps: runs the study described by a sweep
+//! file through the deterministic runner and reports SMT efficiency per
+//! `(axis value, benchmark)` cell.
+//!
+//! ```text
+//! sweep FILE [--quick|--standard|--full] [--jobs N] [--json PATH]
+//!            [--seed N] [--set key.path=value]... [--print-config]
+//! ```
+//!
+//! `FILE` is a JSON document naming a base machine spec (a device-kind
+//! name or a full six-section spec), the benchmarks to run, and one or
+//! more axes of dotted key paths with value lists (see
+//! [`rmt_sim::figures::SweepConfig::from_json`] for the schema and
+//! `sweeps/` for committed examples). Benchmarks come from the sweep
+//! file — the `--benches` flag does not apply here. `--set` overrides are
+//! replayed onto every cell *after* its axis value, so the command line
+//! still has the last word. `--print-config` prints the sweep's resolved
+//! base spec.
+//!
+//! With `--json`, the output document follows the standard figure schema
+//! (`config` carries the sweep's base spec) plus a `"sweep"` array with
+//! one row per `(axis, value)`: the per-benchmark efficiencies, their
+//! mean, and the fully resolved spec that cell ran — every row is
+//! self-describing.
+
+use rmt_bench::{figure_json, print_figure, write_json, FigureArgs, HostStats};
+use rmt_sim::figures::{sensitivity_sweep, SweepConfig, SweepRow};
+use rmt_stats::Json;
+use std::time::Instant;
+
+/// Cycle budget per cell: generous, because sweep axes deliberately visit
+/// starved configurations (tiny queues) that run at low IPC.
+const MAX_CYCLE_FACTOR: u64 = 150;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}
+
+fn rows_json(rows: &[SweepRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|row| {
+                let mut effs = Json::obj();
+                for (b, e) in &row.effs {
+                    effs.set(b.name(), Json::F64(*e));
+                }
+                Json::obj()
+                    .with("path", Json::Str(row.path.clone()))
+                    .with("value", row.value.clone())
+                    .with("effs", effs)
+                    .with("mean_eff", Json::F64(row.mean_eff))
+                    .with("config", row.spec.to_json())
+            })
+            .collect(),
+    )
+}
+
+fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map_or(true, |a| a.starts_with("--")) {
+        fail("usage: sweep FILE [--quick|--standard|--full] [--jobs N] [--json PATH] ...");
+    }
+    let path = argv.remove(0);
+    let args = FigureArgs::from_iter(argv);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+    let doc = rmt_stats::json::parse(&text)
+        .unwrap_or_else(|e| fail(&format!("{path}: invalid JSON: {e}")));
+    let cfg =
+        SweepConfig::from_json(&doc).unwrap_or_else(|e| fail(&format!("{path}: bad sweep: {e}")));
+    if args.print_config {
+        println!("{}", cfg.base.to_json().encode_pretty());
+        return;
+    }
+
+    let title = format!("Sensitivity sweep: {}", cfg.name);
+    let paper = "Sensitivity-study methodology (one knob at a time, e.g. \u{a7}4.2/\u{a7}4.4)";
+    let ctx = args.ctx();
+    let start = Instant::now();
+    let (r, rows) = sensitivity_sweep(&ctx, args.scale, &cfg, MAX_CYCLE_FACTOR);
+    let elapsed = start.elapsed();
+    print_figure(&title, paper, &r);
+    println!();
+    println!(
+        "  [{} simulation jobs on {} worker(s) in {:.2}s]",
+        ctx.runner.jobs_executed(),
+        ctx.runner.jobs(),
+        elapsed.as_secs_f64()
+    );
+    if let Some(out) = &args.json {
+        let host = HostStats {
+            wall_seconds: elapsed.as_secs_f64(),
+            sim_cycles: ctx.runner.sim_cycles(),
+            jobs: ctx.runner.jobs(),
+            jobs_executed: ctx.runner.jobs_executed(),
+        };
+        let mut doc = figure_json(&title, paper, &args, &r, &host);
+        // The standard schema describes the run from FigureArgs; a sweep's
+        // benchmarks and machine come from the sweep file instead.
+        doc.set(
+            "benches",
+            Json::Arr(
+                cfg.benches
+                    .iter()
+                    .map(|b| Json::Str(b.name().to_string()))
+                    .collect(),
+            ),
+        );
+        doc.set("config", cfg.base.to_json());
+        doc.set("sweep", rows_json(&rows));
+        write_json(out, &doc);
+        println!("  [json written to {out}]");
+    }
+}

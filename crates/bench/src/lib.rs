@@ -9,6 +9,12 @@
 //! --seed N                          workload seed (default: 1)
 //! --jobs N                          worker threads (default: all cores)
 //! --json PATH                       also write the result as JSON
+//! --config PATH                     start from a machine-spec JSON file
+//!                                   instead of the paper's base machine
+//! --set key.path=value              override one machine-spec leaf
+//!                                   (repeatable; e.g. core.sq_entries=16)
+//! --print-config                    print the resolved machine spec as
+//!                                   JSON and exit
 //! --sample                          sampled run (binaries that support it)
 //! --epoch N                         sample metrics every N cycles into
 //!                                   per-epoch deltas (figure binaries
@@ -28,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use rmt_core::MachineSpec;
 use rmt_sample::SamplePlan;
 use rmt_sim::figures::FigureResult;
 use rmt_sim::{FigureCtx, Runner, SimScale};
@@ -61,12 +68,30 @@ pub struct FigureArgs {
     /// Print periodic jobs-done/ETA lines to stderr (`--progress`).
     /// Observation only: the result payload stays bitwise identical.
     pub progress: bool,
+    /// The resolved machine spec: `--config PATH`'s document (default:
+    /// the paper's base machine) with every `--set`/`--sample-*` edit
+    /// applied in CLI order. Embedded under `"config"` in JSON reports.
+    pub spec: MachineSpec,
+    /// Key-path overrides extracted from [`FigureArgs::spec`] (its diff
+    /// against the default spec of its own kind), replayed onto every
+    /// experiment via [`FigureCtx::apply`]. Empty unless the command line
+    /// changed the machine.
+    pub overrides: Vec<(String, Json)>,
+    /// `--print-config`: print the resolved spec as JSON and exit
+    /// (handled by [`FigureArgs::parse`]).
+    pub print_config: bool,
 }
 
 impl FigureArgs {
-    /// Parses `std::env::args`; exits with a usage message on error.
+    /// Parses `std::env::args`; exits with a usage message on error, or
+    /// after printing the resolved spec when `--print-config` was given.
     pub fn parse() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        let args = Self::from_iter(std::env::args().skip(1));
+        if args.print_config {
+            println!("{}", args.spec.to_json().encode_pretty());
+            std::process::exit(0);
+        }
+        args
     }
 
     /// Parses from an explicit argument list.
@@ -76,9 +101,10 @@ impl FigureArgs {
         let mut jobs = Runner::available().jobs();
         let mut json = None;
         let mut sample = false;
-        let mut plan = SamplePlan::default();
         let mut epoch = None;
         let mut progress = false;
+        let mut spec = MachineSpec::default();
+        let mut print_config = false;
         let mut it = args.into_iter();
         let set_scale = |scale: &mut SimScale, name: &str| {
             let seed = scale.seed;
@@ -138,28 +164,51 @@ impl FigureArgs {
                     )
                 }
                 "--progress" => progress = true,
+                "--config" => {
+                    let path = it.next().unwrap_or_else(|| usage("--config needs a path"));
+                    let text = std::fs::read_to_string(&path)
+                        .unwrap_or_else(|e| usage(&format!("cannot read {path}: {e}")));
+                    let doc = rmt_stats::json::parse(&text)
+                        .unwrap_or_else(|e| usage(&format!("{path}: {e}")));
+                    spec = MachineSpec::from_json(&doc)
+                        .unwrap_or_else(|e| usage(&format!("{path}: {e}")));
+                }
+                "--set" => {
+                    let kv = it
+                        .next()
+                        .unwrap_or_else(|| usage("--set needs key.path=value"));
+                    let (k, v) = kv
+                        .split_once('=')
+                        .unwrap_or_else(|| usage("--set needs key.path=value"));
+                    spec.set_str(k.trim(), v.trim())
+                        .unwrap_or_else(|e| usage(&e.to_string()));
+                }
+                "--print-config" => print_config = true,
+                // The --sample-* flags are spelled-out shorthands for
+                // --set sample.*: they edit the same spec at their CLI
+                // position, so either spelling composes last-wins.
                 "--sample-windows" => {
-                    plan.windows = it
+                    spec.sample.windows = it
                         .next()
                         .and_then(|s| s.parse().ok())
                         .filter(|&n| n >= 1)
                         .unwrap_or_else(|| usage("--sample-windows needs a positive number"))
                 }
                 "--sample-warmup" => {
-                    plan.warmup = it
+                    spec.sample.warmup = it
                         .next()
                         .and_then(|s| s.parse().ok())
                         .unwrap_or_else(|| usage("--sample-warmup needs a number"))
                 }
                 "--sample-measure" => {
-                    plan.measure = it
+                    spec.sample.measure = it
                         .next()
                         .and_then(|s| s.parse().ok())
                         .filter(|&n| n >= 1)
                         .unwrap_or_else(|| usage("--sample-measure needs a positive number"))
                 }
                 "--sample-warm" => {
-                    plan.warm_window = it
+                    spec.sample.warm_window = it
                         .next()
                         .and_then(|s| s.parse().ok())
                         .unwrap_or_else(|| usage("--sample-warm needs a number"))
@@ -168,6 +217,8 @@ impl FigureArgs {
                 other => usage(&format!("unknown argument `{other}`")),
             }
         }
+        let plan = SamplePlan::from_spec(&spec.sample);
+        let overrides = spec.diff(&MachineSpec::for_kind(spec.scheme.kind));
         FigureArgs {
             scale,
             benches,
@@ -177,13 +228,16 @@ impl FigureArgs {
             plan,
             epoch,
             progress,
+            spec,
+            overrides,
+            print_config,
         }
     }
 
     /// A figure context sized to the parsed `--jobs`, with `--epoch`
     /// sampling and `--progress` reporting applied.
     pub fn ctx(&self) -> FigureCtx {
-        let mut ctx = FigureCtx::new(self.jobs);
+        let mut ctx = FigureCtx::new(self.jobs).with_overrides(self.overrides.clone());
         if let Some(every) = self.epoch {
             ctx = ctx.with_epoch(every);
         }
@@ -198,7 +252,8 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: <figure-binary> [--quick|--standard|--full|--scale S] [--seed N] \
-         [--benches a,b,c] [--jobs N] [--json PATH] [--sample] \
+         [--benches a,b,c] [--jobs N] [--json PATH] \
+         [--config PATH] [--set key.path=value]... [--print-config] [--sample] \
          [--sample-windows N] [--sample-warmup N] [--sample-measure N] [--sample-warm N] \
          [--epoch N] [--progress]"
     );
@@ -249,12 +304,16 @@ pub struct HostStats {
 ///   "timeseries": {"mix/variant": {"every": u64,
 ///                                  "epochs": [{metric: value, ...}, ...]},
 ///                  ...},
+///   "config": {"core": {...}, "hierarchy": {...}, "predictor": {...},
+///              "env": {...}, "scheme": {...}, "sample": {...}},
 ///   "host": {"wall_seconds": f64, "sim_cycles": u64,
 ///            "sim_cycles_per_sec": f64, "jobs": u64, "jobs_executed": u64}
 /// }
 /// ```
 ///
 /// `timeseries` is empty unless the run enabled `--epoch N` sampling.
+/// `config` is the resolved [`MachineSpec`] the run was configured with
+/// (the strict codec validates it on every `check_json` pass).
 pub fn figure_json(
     title: &str,
     paper_reference: &str,
@@ -325,6 +384,7 @@ pub fn figure_json(
         .with("summary", summary)
         .with("metrics", metrics)
         .with("timeseries", timeseries)
+        .with("config", args.spec.to_json())
         .with("host", host_json)
 }
 
@@ -431,6 +491,38 @@ mod tests {
     }
 
     #[test]
+    fn set_overrides_edit_the_spec_and_surface_as_overrides() {
+        let a = parse(&[
+            "--set",
+            "core.sq_entries=16",
+            "--set",
+            "env.lvq_entries=128",
+        ]);
+        assert_eq!(a.spec.core.sq_entries, 16);
+        assert_eq!(a.spec.env.lvq_entries, 128);
+        assert_eq!(
+            a.overrides,
+            vec![
+                ("core.sq_entries".to_string(), Json::U64(16)),
+                ("env.lvq_entries".to_string(), Json::U64(128)),
+            ]
+        );
+        // No machine flags -> no overrides -> bitwise-neutral figures.
+        assert!(parse(&[]).overrides.is_empty());
+    }
+
+    #[test]
+    fn sample_flags_and_sample_set_edit_the_same_spec() {
+        let a = parse(&["--sample-windows", "4", "--set", "sample.measure=1500"]);
+        assert_eq!(a.spec.sample.windows, 4);
+        assert_eq!(a.plan.windows, 4);
+        assert_eq!(a.plan.measure, 1_500);
+        // Last edit wins regardless of spelling.
+        let b = parse(&["--set", "sample.windows=6", "--sample-windows", "3"]);
+        assert_eq!(b.plan.windows, 3);
+    }
+
+    #[test]
     fn parses_json_path() {
         let a = parse(&["--json", "results/out.json"]);
         assert_eq!(a.json.as_deref(), Some("results/out.json"));
@@ -458,10 +550,13 @@ mod tests {
             "summary",
             "metrics",
             "timeseries",
+            "config",
             "host",
         ] {
             assert!(parsed.get(key).is_some(), "missing key `{key}`");
         }
+        // The embedded config is a valid machine spec.
+        MachineSpec::from_json(parsed.get("config").unwrap()).expect("config must validate");
         assert!(
             parsed
                 .get("timeseries")

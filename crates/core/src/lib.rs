@@ -57,6 +57,7 @@ pub mod psr;
 pub mod recovery;
 pub mod rmt_env;
 pub mod schemes;
+pub mod spec;
 
 pub use comparator::StoreComparator;
 pub use crt::{CrtDevice, PairPlacement};
@@ -68,3 +69,4 @@ pub use machine::{Machine, RedundancyScheme, Substrate, WarmEvent};
 pub use recovery::{RecoverableSrt, RecoveringScheme};
 pub use rmt_env::RmtEnv;
 pub use schemes::{IndependentScheme, LockstepScheme, RmtScheme, Topology};
+pub use spec::{DeviceKind, MachineSpec, SampleModeSpec, SampleSpec, SchemeSpec, SpecError};

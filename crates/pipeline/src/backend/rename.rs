@@ -1,0 +1,197 @@
+//! PBOX: rename/dispatch from the register map buffer into the issue
+//! queue, bounded by the ROB/IQ/physical-register/LSQ capacity rules and
+//! the preferential-space-redundancy half choice.
+
+use crate::config::ThreadId;
+use crate::core::{Core, DynInst, InstState, IqEntry};
+use crate::regs::RegFile;
+use crate::trace::TraceKind;
+
+impl Core {
+    pub(crate) fn rename(&mut self, now: u64) {
+        let n = self.threads.len();
+        let Some(tid) = (0..n)
+            .map(|off| (self.map_rr + off) % n)
+            .find(|&tid| {
+                let t = &self.threads[tid];
+                t.active
+                    && !t.halted
+                    && matches!(t.rmb.front(), Some((c, consumed)) if c.ready_at <= now && *consumed < c.len)
+            })
+        else {
+            return;
+        };
+        self.map_rr = (tid + 1) % n;
+        self.rename_thread(now, tid);
+    }
+
+    /// IQ capacity available to `tid` under the per-thread reservation rule
+    /// (§4.3): a thread may not squeeze other threads below their reserved
+    /// slots.
+    fn iq_admission(&self, tid: ThreadId) -> bool {
+        let total_live = self.iq.iter().filter(|e| !e.dead).count();
+        if total_live >= self.cfg.iq_size {
+            return false;
+        }
+        let mut counts = vec![0usize; self.threads.len()];
+        for e in self.iq.iter().filter(|e| !e.dead) {
+            counts[e.tid] += 1;
+        }
+        let reserved_for_others: usize = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| *i != tid && t.active && !t.halted)
+            .map(|(i, _)| self.cfg.iq_reserve_per_thread.saturating_sub(counts[i]))
+            .sum();
+        total_live < self.cfg.iq_size - reserved_for_others.min(self.cfg.iq_size - 1)
+            || counts[tid] < self.cfg.iq_reserve_per_thread
+    }
+
+    fn rename_thread(&mut self, now: u64, tid: ThreadId) {
+        let program = self.threads[tid]
+            .program
+            .as_ref()
+            .expect("active thread has a program")
+            .clone();
+        let role = self.threads[tid].role;
+        let trailing = role.is_trailing();
+        let mut mapped = 0usize;
+        loop {
+            if mapped >= self.cfg.chunk_size {
+                break;
+            }
+            let (chunk, consumed) = match self.threads[tid].rmb.front() {
+                Some((c, k)) if *k < c.len => (c.clone(), *k),
+                _ => break,
+            };
+            let pc = chunk.start_pc + 4 * consumed as u64;
+            let Some(&inst) = program.fetch(pc) else {
+                // Wrong-path chunk ran past the program; drop the remainder.
+                self.threads[tid].rmb.pop_front();
+                break;
+            };
+            // ---- resource checks ----
+            if self.threads[tid].rob.len() >= self.cfg.rob_per_thread {
+                self.stats.inc("stall_rob_full");
+                break;
+            }
+            if !self.iq_admission(tid) {
+                self.stats.inc("stall_iq_full");
+                break;
+            }
+            if inst.writes_reg() && self.regfile.free_count() == 0 {
+                self.stats.inc("stall_no_phys_regs");
+                break;
+            }
+            if inst.op.is_load() && !trailing && !self.threads[tid].lq.has_space() {
+                self.stats.inc("stall_lq_full");
+                break;
+            }
+            if inst.op.is_store() && !self.threads[tid].sq.has_space() {
+                self.stats.inc("stall_sq_full");
+                break;
+            }
+            // ---- queue-half selection ----
+            let pos_half = (consumed & 1) as u8;
+            let mut half = if trailing {
+                match chunk.half_hints {
+                    Some(hints) if self.cfg.preferential_space_redundancy => {
+                        1 - (hints[consumed.min(7)] & 1)
+                    }
+                    _ => pos_half,
+                }
+            } else {
+                pos_half
+            };
+            let half_cap = self.cfg.iq_size / 2;
+            let half_live =
+                |c: &Core, h: u8| c.iq.iter().filter(|e| !e.dead && e.half == h).count();
+            if half_live(self, half) >= half_cap {
+                let other = 1 - half;
+                if half_live(self, other) >= half_cap {
+                    self.stats.inc("stall_iq_half_full");
+                    break;
+                }
+                if trailing && self.cfg.preferential_space_redundancy {
+                    self.stats.inc("psr_fallback_same_half");
+                }
+                half = other;
+            }
+            // ---- allocate ----
+            let t = &mut self.threads[tid];
+            let seq = t.next_seq;
+            t.next_seq += 1;
+            let uid = self.uid_counter;
+            self.uid_counter += 1;
+            let (s1, s2) = inst.sources();
+            let prs1 = s1.map_or(RegFile::ZERO, |r| t.rename_map.get(r));
+            let prs2 = s2.map_or(RegFile::ZERO, |r| t.rename_map.get(r));
+            let (prd, old_prd) = if inst.writes_reg() {
+                let p = self.regfile.alloc().expect("checked free list");
+                let old = t.rename_map.set(inst.rd, p);
+                (Some(p), old)
+            } else {
+                (None, RegFile::ZERO)
+            };
+            let tag = if inst.op.is_load() {
+                let tag = t.next_load_tag;
+                t.next_load_tag += 1;
+                if !trailing {
+                    t.lq.alloc(seq, pc);
+                }
+                tag
+            } else if inst.op.is_store() {
+                let tag = t.next_store_tag;
+                t.next_store_tag += 1;
+                t.sq.alloc(seq, tag, pc, now);
+                tag
+            } else {
+                0
+            };
+            let pred_next = if consumed == chunk.len - 1 {
+                chunk.pred_next
+            } else {
+                pc + 4
+            };
+            t.rob.push_back(DynInst {
+                seq,
+                uid,
+                pc,
+                inst,
+                pred_next,
+                actual_next: pc + 4,
+                prd,
+                old_prd,
+                prs1,
+                prs2,
+                half,
+                fu_id: 0,
+                state: InstState::InQ,
+                done_at: u64::MAX,
+                mem_addr: 0,
+                mem_bytes: 0,
+                mem_value: 0,
+                tag,
+            });
+            self.iq.push(IqEntry {
+                tid,
+                seq,
+                uid,
+                half,
+                min_issue: now + self.cfg.pbox_latency + self.cfg.qbox_latency,
+                dead: false,
+            });
+            // consume from the chunk
+            if let Some((c, k)) = self.threads[tid].rmb.front_mut() {
+                *k += 1;
+                if *k >= c.len {
+                    self.threads[tid].rmb.pop_front();
+                }
+            }
+            mapped += 1;
+            self.stats.inc("renamed");
+            self.trace(now, tid, pc, TraceKind::Rename);
+        }
+    }
+}

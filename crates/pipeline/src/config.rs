@@ -1,5 +1,7 @@
 //! Core configuration (the paper's Table 1 and Figure 2).
 
+use rmt_predict::BranchPredictorConfig;
+
 /// Index of a hardware thread context within one core (0..4).
 pub type ThreadId = usize;
 
@@ -130,6 +132,9 @@ pub struct CoreConfig {
     /// threads fetch through the shared line predictor like any other
     /// thread, misspeculate, and verify their own branches.
     pub trailing_uses_lpq: bool,
+    /// Geometry of the core's tournament branch predictor (21264-style,
+    /// Table 1). Surfaced as the `predictor` section of a machine spec.
+    pub predictor: BranchPredictorConfig,
     /// Deliberately planted architectural bug (compiled in only under the
     /// `chaos` feature, default off): cached `Lb` loads read a full 8-byte
     /// word, skipping the byte mask. Exists solely to validate that the
@@ -176,6 +181,7 @@ impl CoreConfig {
             uncached_below: 0x1_0000,
             trailing_fetch_priority: true,
             trailing_uses_lpq: true,
+            predictor: BranchPredictorConfig::default(),
             #[cfg(feature = "chaos")]
             chaos_lb_unmasked: false,
         }

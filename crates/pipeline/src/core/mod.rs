@@ -1,18 +1,29 @@
 //! The core: structures, per-cycle orchestration, statistics and fault
 //! hooks. Stage logic lives in [`crate::frontend`] (IBOX) and
 //! [`crate::backend`] (PBOX/QBOX/retire).
+//!
+//! Orchestration (construction, [`Core::tick`], watchdog) lives here;
+//! the observation and injection surfaces are split out:
+//!
+//! * `metrics` — statistics accessors, metric export, event tracing.
+//! * `state` — checkpoint/restore and quiesce (sampled simulation).
+//! * `faults` — fault-injection hooks used by `rmt-faults`.
+
+mod faults;
+mod metrics;
+mod state;
 
 use crate::chunk::{ChunkAggregator, FetchChunk};
 use crate::config::{CoreConfig, ThreadId, ThreadRole};
 use crate::env::CoreEnv;
 use crate::lsq::{LoadQueue, StoreQueue};
 use crate::regs::{PhysReg, RegFile, RenameMap};
-use crate::trace::{TraceKind, Tracer};
+use crate::trace::Tracer;
 use rmt_isa::inst::Inst;
 use rmt_isa::program::Program;
 use rmt_mem::MemoryHierarchy;
 use rmt_predict::{BranchPredictor, LinePredictor, ReturnAddressStack, StoreSets};
-use rmt_stats::{CounterSet, Histogram, MetricsRegistry};
+use rmt_stats::{CounterSet, Histogram};
 use std::collections::VecDeque;
 use std::rc::Rc;
 
@@ -339,7 +350,7 @@ impl Core {
         Core {
             regfile: RegFile::new(cfg.phys_regs),
             line_pred: LinePredictor::new(cfg.line_predictor_entries),
-            branch_pred: BranchPredictor::default(),
+            branch_pred: BranchPredictor::new(cfg.predictor),
             store_sets: StoreSets::new(cfg.store_sets_entries),
             iq: Vec::with_capacity(cfg.iq_size),
             events: Vec::new(),
@@ -424,249 +435,6 @@ impl Core {
         }
     }
 
-    /// The core's id within its device.
-    pub fn core_id(&self) -> usize {
-        self.core_id
-    }
-
-    /// The configuration.
-    pub fn config(&self) -> &CoreConfig {
-        &self.cfg
-    }
-
-    /// Number of active threads.
-    pub fn active_threads(&self) -> usize {
-        self.threads.iter().filter(|t| t.active).count()
-    }
-
-    /// The role of thread `tid`.
-    pub fn thread_role(&self, tid: ThreadId) -> ThreadRole {
-        self.threads[tid].role
-    }
-
-    /// Whether every active thread has halted.
-    pub fn all_halted(&self) -> bool {
-        self.threads.iter().filter(|t| t.active).all(|t| t.halted)
-    }
-
-    /// Summary statistics of thread `tid`.
-    pub fn thread_stats(&self, tid: ThreadId) -> ThreadStats {
-        let t = &self.threads[tid];
-        ThreadStats {
-            committed: t.committed,
-            squashes: t.squashes,
-            loads: t.loads_committed,
-            stores: t.stores_committed,
-        }
-    }
-
-    /// Core-wide event counters.
-    pub fn stats(&self) -> &CounterSet {
-        &self.stats
-    }
-
-    /// Issue-slot accounting totals (see [`IssueSlots`]).
-    pub fn issue_slots(&self) -> IssueSlots {
-        self.slots
-    }
-
-    /// Cycles this core has been ticked.
-    pub fn cycles(&self) -> u64 {
-        self.slots.cycles
-    }
-
-    /// Exports the core's counters, issue-slot accounting, occupancy
-    /// distributions, and per-thread statistics into `reg` under
-    /// `prefix` (e.g. `core0/slots/issued`, `core0/thread1/committed`).
-    pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
-        reg.counter(&format!("{prefix}/cycles"), self.slots.cycles);
-        let s = self.slots;
-        for (name, v) in [
-            ("issued", s.issued),
-            ("window_empty", s.window_empty),
-            ("data_wait", s.data_wait),
-            ("structural_fu", s.structural_fu),
-            ("structural_iq_half", s.structural_iq_half),
-            ("squash_recovery", s.squash_recovery),
-            ("sphere_wait", s.sphere_wait),
-        ] {
-            reg.counter(&format!("{prefix}/slots/{name}"), v);
-        }
-        for (name, v) in self.stats.iter() {
-            reg.counter(&format!("{prefix}/events/{name}"), v);
-        }
-        // Only present when tracing is on, so untraced runs (and their
-        // goldens) keep an unchanged metric-name schema.
-        if let Some(t) = &self.tracer {
-            reg.counter(&format!("{prefix}/trace/dropped"), t.dropped());
-        }
-        reg.histogram(&format!("{prefix}/occupancy/iq_half0"), &self.occ_iq[0]);
-        reg.histogram(&format!("{prefix}/occupancy/iq_half1"), &self.occ_iq[1]);
-        reg.histogram(&format!("{prefix}/occupancy/lq"), &self.occ_lq);
-        reg.histogram(&format!("{prefix}/occupancy/sq"), &self.occ_sq);
-        reg.histogram(&format!("{prefix}/occupancy/rmb"), &self.occ_rmb);
-        for (tid, t) in self.threads.iter().enumerate().filter(|(_, t)| t.active) {
-            let p = format!("{prefix}/thread{tid}");
-            reg.counter(&format!("{p}/committed"), t.committed);
-            reg.counter(&format!("{p}/squashes"), t.squashes);
-            reg.counter(&format!("{p}/loads"), t.loads_committed);
-            reg.counter(&format!("{p}/stores"), t.stores_committed);
-            reg.counter(&format!("{p}/lead_retire_nacks"), t.lead_retire_nacks);
-            reg.histogram(&format!("{p}/sq_lifetime"), &t.sq_lifetime);
-        }
-    }
-
-    /// The line predictor (misfetch-rate statistics).
-    pub fn line_predictor(&self) -> &LinePredictor {
-        &self.line_pred
-    }
-
-    /// The branch predictor (misprediction-rate statistics).
-    pub fn branch_predictor(&self) -> &BranchPredictor {
-        &self.branch_pred
-    }
-
-    /// Functionally warms the direction predictor with a resolved branch
-    /// outcome (sampled-simulation warmup; no counters move).
-    pub fn warm_direction(&mut self, pc: u64, taken: bool) {
-        self.branch_pred.warm_direction(pc, taken);
-    }
-
-    /// Functionally warms the jump-target table (sampled-simulation
-    /// warmup; no counters move).
-    pub fn warm_jump_target(&mut self, pc: u64, target: u64) {
-        self.branch_pred.warm_jump_target(pc, target);
-    }
-
-    /// The store-lifetime histogram of thread `tid` (§7.1's store-queue
-    /// occupancy analysis).
-    pub fn store_lifetime(&self, tid: ThreadId) -> &Histogram {
-        &self.threads[tid].sq_lifetime
-    }
-
-    /// Store-queue occupancy of thread `tid` right now.
-    pub fn sq_occupancy(&self, tid: ThreadId) -> usize {
-        self.threads[tid].sq.len()
-    }
-
-    /// Times leading-thread retirement was NACKed by a full LVQ/LPQ.
-    pub fn lead_retire_nacks(&self, tid: ThreadId) -> u64 {
-        self.threads[tid].lead_retire_nacks
-    }
-
-    /// Suspends or resumes instruction fetch for `tid` (used by device-
-    /// level checkpointing to quiesce a thread).
-    pub fn set_fetch_paused(&mut self, tid: ThreadId, paused: bool) {
-        self.threads[tid].fetch_paused = paused;
-    }
-
-    /// Whether `tid` is fully quiesced: nothing in flight, nothing buffered,
-    /// and its store queue drained.
-    pub fn is_quiesced(&self, tid: ThreadId) -> bool {
-        let t = &self.threads[tid];
-        t.rob.is_empty() && t.rmb.is_empty() && t.sq.is_empty()
-    }
-
-    /// Snapshot of `tid`'s committed architectural state:
-    /// `(registers, next_pc)`. Exact regardless of in-flight work — it is
-    /// maintained at retirement.
-    pub fn snapshot_arch(&self, tid: ThreadId) -> ([u64; rmt_isa::inst::NUM_ARCH_REGS], u64) {
-        let t = &self.threads[tid];
-        (*t.committed_regs, t.committed_pc)
-    }
-
-    /// Restores `tid` to the given architectural state: squashes all
-    /// in-flight work, rewrites the committed registers, redirects fetch to
-    /// `pc`, and resets the redundant-pair tag counters (the device resets
-    /// the pair's queues to match).
-    pub fn restore_thread(
-        &mut self,
-        tid: ThreadId,
-        regs: &[u64; rmt_isa::inst::NUM_ARCH_REGS],
-        pc: u64,
-        now: u64,
-    ) {
-        // Drop every in-flight instruction (rename-map rollback included).
-        let from = self.threads[tid].rob_base;
-        self.squash(tid, from, pc, now);
-        // Retired-but-unreleased stores (and any load-queue residue) belong
-        // to the discarded epoch: the checkpoint was taken with the queues
-        // drained, so the replay regenerates them.
-        self.threads[tid].sq.squash_from(0);
-        self.threads[tid].lq.squash_from(0);
-        self.sq_strike[tid] = None;
-        // Write the checkpointed values into the committed mapping,
-        // allocating physical registers for architecturals still mapped to
-        // the zero register.
-        for (i, &val) in regs.iter().enumerate().skip(1) {
-            let arch = rmt_isa::Reg::new(i as u8);
-            let mut p = self.threads[tid].rename_map.get(arch);
-            if p == RegFile::ZERO {
-                if val == 0 {
-                    continue; // zero value, zero mapping: already correct
-                }
-                p = self
-                    .regfile
-                    .alloc()
-                    .expect("free physical registers after a full squash");
-                self.threads[tid].rename_map.set(arch, p);
-            }
-            self.regfile.write(p, val, now);
-        }
-        let t = &mut self.threads[tid];
-        *t.committed_regs = *regs;
-        t.committed_pc = pc;
-        t.fetch_pc = pc;
-        t.fetch_stalled_until = now + 1;
-        t.fetch_halted = false;
-        t.halted = false;
-        t.next_load_tag = 0;
-        t.next_store_tag = 0;
-        self.stats.inc("thread_restores");
-    }
-
-    /// Enables pipeline event tracing with a ring of `capacity` events
-    /// (see [`crate::trace`]).
-    pub fn enable_tracing(&mut self, capacity: usize) {
-        self.tracer = Some(Tracer::new(capacity));
-    }
-
-    /// The tracer, if tracing is enabled.
-    pub fn tracer(&self) -> Option<&Tracer> {
-        self.tracer.as_ref()
-    }
-
-    /// Mutable access to the tracer (e.g. [`Tracer::clear`] between
-    /// measurement windows).
-    pub fn tracer_mut(&mut self) -> Option<&mut Tracer> {
-        self.tracer.as_mut()
-    }
-
-    /// Records a trace event when tracing is enabled (internal hook).
-    pub(crate) fn trace(&mut self, cycle: u64, tid: ThreadId, pc: u64, kind: TraceKind) {
-        if let Some(t) = &mut self.tracer {
-            t.record(cycle, tid, pc, kind);
-        }
-    }
-
-    /// Faults detected by in-core RMT mechanisms since the last drain.
-    pub fn drain_detected_faults(&mut self) -> Vec<DetectedFault> {
-        std::mem::take(&mut self.detected_faults)
-    }
-
-    /// Reads the architectural value of register `r` in thread `tid`.
-    ///
-    /// Exact only when the thread has no in-flight instructions (e.g. after
-    /// it halted); otherwise it reflects the latest speculative mapping.
-    pub fn arch_reg(&self, tid: ThreadId, r: rmt_isa::Reg) -> u64 {
-        self.regfile.value(self.threads[tid].rename_map.get(r))
-    }
-
-    /// In-flight instruction count of thread `tid` (0 = quiesced).
-    pub fn in_flight(&self, tid: ThreadId) -> usize {
-        self.threads[tid].rob.len()
-    }
-
     /// Advances the core by one cycle. `now` must increase by exactly one
     /// per call.
     pub fn tick(&mut self, now: u64, hier: &mut MemoryHierarchy, env: &mut dyn CoreEnv) {
@@ -729,115 +497,6 @@ impl Core {
                 self.last_retire_cycle,
                 self.threads.iter().map(|t| t.sq.len()).collect::<Vec<_>>()
             );
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Fault-injection hooks (used by rmt-faults)
-    // ------------------------------------------------------------------
-
-    /// Number of physical registers (for fault-site selection).
-    pub fn phys_reg_count(&self) -> usize {
-        self.cfg.phys_regs
-    }
-
-    /// Physical registers currently holding live state (architecturally
-    /// mapped or in flight) — the meaningful fault sites for a particle
-    /// strike on the register file.
-    pub fn live_phys_regs(&self) -> Vec<PhysReg> {
-        let mut live: Vec<PhysReg> = Vec::new();
-        for t in self.threads.iter().filter(|t| t.active) {
-            for r in 0..rmt_isa::inst::NUM_ARCH_REGS {
-                let p = t.rename_map.get(rmt_isa::Reg::new(r as u8));
-                if p != RegFile::ZERO {
-                    live.push(p);
-                }
-            }
-            for d in &t.rob {
-                if let Some(p) = d.prd {
-                    live.push(p);
-                }
-            }
-        }
-        live.sort_unstable();
-        live.dedup();
-        live
-    }
-
-    /// XORs `mask` into physical register `r` (transient fault).
-    pub fn corrupt_phys_reg(&mut self, r: PhysReg, mask: u64) {
-        self.regfile.corrupt(r, mask);
-    }
-
-    /// XORs `mask` into the data of the `idx`-th store-queue entry of
-    /// thread `tid`; returns whether an entry was present.
-    pub fn corrupt_sq_entry(&mut self, tid: ThreadId, idx: usize, mask: u64) -> bool {
-        let t = &mut self.threads[tid];
-        let seq = t.sq.iter().nth(idx).map(|e| e.seq);
-        match seq {
-            Some(s) => t.sq.corrupt(s, mask),
-            None => false,
-        }
-    }
-
-    /// Snapshot of thread `tid`'s store queue as `(addr, value, retired)`
-    /// tuples (debugging and fault-site inspection).
-    pub fn sq_snapshot(&self, tid: ThreadId) -> Vec<(u64, u64, bool)> {
-        self.threads[tid]
-            .sq
-            .iter()
-            .map(|e| (e.addr, e.value, e.retired))
-            .collect()
-    }
-
-    /// Indices of store-queue entries of `tid` whose data is present (and,
-    /// optionally, not yet verified) — the meaningful strike sites for a
-    /// store-queue fault.
-    pub fn sq_filled_entries(&self, tid: ThreadId, unverified_only: bool) -> Vec<usize> {
-        self.threads[tid]
-            .sq
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.addr_known && (!unverified_only || !e.verified))
-            .map(|(i, _)| i)
-            .collect()
-    }
-
-    /// Arms a strike on thread `tid`'s store queue: the next store to
-    /// retire has `mask` XORed into its data the moment it passes the
-    /// commit point — past squash-and-refill (which would shed the fault)
-    /// but before output comparison / release.
-    pub fn arm_sq_strike(&mut self, tid: ThreadId, mask: u64) {
-        self.sq_strike[tid] = Some(mask);
-    }
-
-    /// Indices of *retired* store-queue entries of `tid`: stores past the
-    /// commit point that can no longer be squashed (and so cannot shed an
-    /// injected fault by re-execution), but have not yet left the sphere.
-    pub fn sq_retired_entries(&self, tid: ThreadId) -> Vec<usize> {
-        self.threads[tid]
-            .sq
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.addr_known && e.retired)
-            .map(|(i, _)| i)
-            .collect()
-    }
-
-    /// Configures a permanent stuck-at fault on functional unit `fu`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `fu` is out of range.
-    pub fn set_fu_stuck(&mut self, fu: usize, bit: u8, value: bool) {
-        assert!(fu < self.cfg.total_fus(), "functional unit out of range");
-        self.fault_state.fu_stuck[fu] = Some((bit, value));
-    }
-
-    /// Removes all configured permanent faults.
-    pub fn clear_fu_faults(&mut self) {
-        for f in &mut self.fault_state.fu_stuck {
-            *f = None;
         }
     }
 }

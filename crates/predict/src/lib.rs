@@ -19,6 +19,6 @@ pub mod branch;
 pub mod line;
 pub mod storesets;
 
-pub use branch::{BranchPredictor, ReturnAddressStack};
+pub use branch::{BranchPredictor, BranchPredictorConfig, ReturnAddressStack};
 pub use line::LinePredictor;
 pub use storesets::StoreSets;

@@ -11,6 +11,7 @@
 //! runs identical to sequential ones.
 
 use crate::experiment::{DeviceKind, Experiment};
+use rmt_stats::Json;
 use rmt_workloads::Benchmark;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -39,6 +40,28 @@ impl BaselineCache {
     ///
     /// Panics if the baseline simulation itself fails (it never should).
     pub fn ipc(&self, bench: Benchmark, seed: u64, warmup: u64, measure: u64) -> f64 {
+        self.ipc_with(bench, seed, warmup, measure, &[])
+    }
+
+    /// [`BaselineCache::ipc`] with machine-spec key-path overrides applied
+    /// to the baseline experiment (the `scheme.kind` path is skipped — the
+    /// denominator is always the base processor). The cache key does not
+    /// include the overrides: one cache belongs to one
+    /// [`FigureCtx`](crate::figures::FigureCtx), whose override set is
+    /// fixed for its lifetime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an override names an unknown key path or the baseline
+    /// simulation fails.
+    pub fn ipc_with(
+        &self,
+        bench: Benchmark,
+        seed: u64,
+        warmup: u64,
+        measure: u64,
+        overrides: &[(String, Json)],
+    ) -> f64 {
         let cell = {
             let mut map = self.cells.lock().expect("baseline cache poisoned");
             map.entry((bench, seed, warmup, measure))
@@ -49,14 +72,18 @@ impl BaselineCache {
         // *different* keys compute in parallel; a concurrent miss on the
         // *same* key blocks on this cell until the first computation lands.
         *cell.get_or_init(|| {
-            Experiment::new(DeviceKind::Base)
+            let mut e = Experiment::new(DeviceKind::Base)
                 .benchmark(bench)
                 .seed(seed)
                 .warmup(warmup)
-                .measure(measure)
-                .run()
-                .expect("baseline run must succeed")
-                .ipc(0)
+                .measure(measure);
+            for (path, v) in overrides {
+                if path == "scheme.kind" {
+                    continue;
+                }
+                e = e.set(path, v.clone());
+            }
+            e.run().expect("baseline run must succeed").ipc(0)
         })
     }
 

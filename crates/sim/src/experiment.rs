@@ -6,142 +6,63 @@ use rmt_core::device::{BaseDevice, Device, LogicalThread, SrtDevice, SrtOptions}
 use rmt_core::lockstep::{LockstepDevice, LockstepOptions};
 use rmt_core::machine::Machine;
 use rmt_core::schemes::Topology;
+use rmt_core::spec::MachineSpec;
 use rmt_mem::HierarchyConfig;
 use rmt_pipeline::CoreConfig;
-use rmt_stats::MetricsRegistry;
+use rmt_stats::{Json, MetricsRegistry};
 use rmt_workloads::{Benchmark, Workload};
-use std::fmt;
 
 pub use crate::outcome::{RunResult, SimError, ThreadOutcome, VerifiedRun, VerifyError};
-
-/// The machine configurations the paper evaluates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum DeviceKind {
-    /// The unmodified base processor (one hardware thread per program).
-    Base,
-    /// The base processor running *two* copies of each program with no
-    /// input replication or output comparison ("Base2" in Figure 6).
-    Base2,
-    /// SRT with preferential space redundancy (the paper's default after
-    /// §7.1.1).
-    Srt,
-    /// SRT with per-thread store queues (§4.2).
-    SrtPtsq,
-    /// SRT without store comparison ("SRT + nosc" in Figure 6).
-    SrtNosc,
-    /// SRT without preferential space redundancy (§7.1.1's baseline).
-    SrtNoPsr,
-    /// Lockstepped dual core with an ideal zero-cycle checker.
-    Lock0,
-    /// Lockstepped dual core with an 8-cycle checker.
-    Lock8,
-    /// Chip-level redundant threading (the paper's contribution, §5).
-    Crt,
-    /// CRT's cross-coupling generalised to a four-core ring: program `i`
-    /// leads on core `i % 4` and trails on core `(i + 1) % 4`, so every
-    /// core mixes one program's leading thread with a *different*
-    /// program's trailing thread — an arrangement the pre-fabric device
-    /// layer could not express.
-    CrtRing4,
-}
-
-impl DeviceKind {
-    /// Every kind, in display order.
-    pub const ALL: &'static [DeviceKind] = &[
-        DeviceKind::Base,
-        DeviceKind::Base2,
-        DeviceKind::Srt,
-        DeviceKind::SrtPtsq,
-        DeviceKind::SrtNosc,
-        DeviceKind::SrtNoPsr,
-        DeviceKind::Lock0,
-        DeviceKind::Lock8,
-        DeviceKind::Crt,
-        DeviceKind::CrtRing4,
-    ];
-
-    /// Display name matching the paper's figures.
-    pub fn name(self) -> &'static str {
-        match self {
-            DeviceKind::Base => "Base",
-            DeviceKind::Base2 => "Base2",
-            DeviceKind::Srt => "SRT",
-            DeviceKind::SrtPtsq => "SRT+ptsq",
-            DeviceKind::SrtNosc => "SRT+nosc",
-            DeviceKind::SrtNoPsr => "SRT-noPSR",
-            DeviceKind::Lock0 => "Lock0",
-            DeviceKind::Lock8 => "Lock8",
-            DeviceKind::Crt => "CRT",
-            DeviceKind::CrtRing4 => "CRT-ring4",
-        }
-    }
-}
-
-impl fmt::Display for DeviceKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
-    }
-}
+pub use rmt_core::spec::DeviceKind;
 
 /// Builder for one simulation run.
+///
+/// The machine itself is one [`MachineSpec`]: the `tweak_*` closures and
+/// the [`Experiment::set`] key-path overrides are two facades over the
+/// same spec, applied immediately and composing in call order. The
+/// resolved spec is embedded in the [`RunResult`] as its `config`.
 ///
 /// See the crate-level example.
 #[derive(Debug, Clone)]
 pub struct Experiment {
-    pub(crate) kind: DeviceKind,
+    spec: MachineSpec,
     pub(crate) benchmarks: Vec<Benchmark>,
     pub(crate) seed: u64,
     pub(crate) warmup: u64,
     pub(crate) measure: u64,
-    /// The one device configuration: every kind reads the pieces it needs
-    /// (`core`, `hierarchy`, and — for redundant kinds — `env`).
-    opts: SrtOptions,
-    checker_latency: u64,
-    desync_window: u64,
     pub(crate) max_cycle_factor: u64,
     epoch: u64,
 }
 
 impl Experiment {
-    /// Starts an experiment on the given machine kind.
+    /// Starts an experiment on the given machine kind, with
+    /// [`MachineSpec::for_kind`]'s historical per-kind defaults.
     pub fn new(kind: DeviceKind) -> Self {
-        let mut opts = SrtOptions::default();
-        match kind {
-            DeviceKind::Srt | DeviceKind::SrtNosc => {
-                opts.core.preferential_space_redundancy = true;
-            }
-            DeviceKind::SrtPtsq => {
-                opts.core.preferential_space_redundancy = true;
-                opts.core.per_thread_store_queues = true;
-            }
-            DeviceKind::Crt | DeviceKind::CrtRing4 => {
-                opts.core.preferential_space_redundancy = true;
-                opts.env.cross_core_delay = 4;
-                // §4.2: the cross-core verification latency makes the shared
-                // store-queue partitioning the binding constraint; CRT uses
-                // the paper's per-thread store queues.
-                opts.core.per_thread_store_queues = true;
-            }
-            _ => {}
-        }
-        if kind == DeviceKind::SrtNosc {
-            opts.env.store_comparison = false;
-        }
+        Experiment::from_spec(MachineSpec::for_kind(kind))
+    }
+
+    /// Starts an experiment on an explicit machine spec (config files,
+    /// sweep cells).
+    pub fn from_spec(spec: MachineSpec) -> Self {
         Experiment {
-            kind,
+            spec,
             benchmarks: Vec::new(),
             seed: 1,
             warmup: 20_000,
             measure: 100_000,
-            opts,
-            checker_latency: match kind {
-                DeviceKind::Lock8 => 8,
-                _ => 0,
-            },
-            desync_window: 2_000,
             max_cycle_factor: 60,
             epoch: 0,
         }
+    }
+
+    /// The machine kind this experiment builds.
+    pub fn kind(&self) -> DeviceKind {
+        self.spec.scheme.kind
+    }
+
+    /// The experiment's machine spec.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
     }
 
     /// Adds one benchmark (one logical thread).
@@ -182,15 +103,20 @@ impl Experiment {
     /// compose: a later tweak sees (and may overwrite) an earlier one's
     /// values.
     pub fn tweak_core(mut self, f: impl FnOnce(&mut CoreConfig)) -> Self {
-        f(&mut self.opts.core);
+        f(&mut self.spec.core);
         self
     }
 
     /// Applies a closure to the full SRT/CRT options (store-queue sweeps,
     /// forwarding-delay sweeps, fetch-policy ablations). Composes like
-    /// [`Experiment::tweak_core`].
+    /// [`Experiment::tweak_core`] — and with [`Experiment::set`] overrides,
+    /// in call order, since both edit the same spec.
     pub fn tweak_srt(mut self, f: impl FnOnce(&mut SrtOptions)) -> Self {
-        f(&mut self.opts);
+        let mut opts = self.srt_options();
+        f(&mut opts);
+        self.spec.core = opts.core;
+        self.spec.hierarchy = opts.hierarchy;
+        self.spec.env = opts.env;
         self
     }
 
@@ -198,14 +124,39 @@ impl Experiment {
     /// device this experiment builds (prefetch/latency sweeps). Composes
     /// like [`Experiment::tweak_core`].
     pub fn tweak_hierarchy(mut self, f: impl FnOnce(&mut HierarchyConfig)) -> Self {
-        f(&mut self.opts.hierarchy);
+        f(&mut self.spec.hierarchy);
+        self
+    }
+
+    /// Overrides one spec leaf by dotted key path
+    /// (`.set("core.sq_entries", Json::U64(16))`) — the data-driven twin
+    /// of [`Experiment::tweak_core`], applied immediately so it composes
+    /// with closure tweaks in call order.
+    ///
+    /// # Panics
+    ///
+    /// On an unknown key path or ill-typed value. CLI layers validate
+    /// overrides against the base spec before fanning them across a
+    /// figure's experiments, so a failure here is a programming error.
+    pub fn set(mut self, path: &str, value: Json) -> Self {
+        if let Err(e) = self.spec.set(path, value) {
+            panic!("experiment override failed: {e}");
+        }
         self
     }
 
     /// The experiment's current device configuration (inspection and
-    /// tweak-composition tests).
-    pub fn options(&self) -> &SrtOptions {
-        &self.opts
+    /// tweak-composition tests), assembled from the spec.
+    pub fn options(&self) -> SrtOptions {
+        self.srt_options()
+    }
+
+    fn srt_options(&self) -> SrtOptions {
+        SrtOptions {
+            core: self.spec.core.clone(),
+            hierarchy: self.spec.hierarchy,
+            env: self.spec.env,
+        }
     }
 
     /// Raises the cycle-budget multiplier (slow configurations).
@@ -259,10 +210,10 @@ impl Experiment {
         if threads.is_empty() {
             return Err(SimError::NoBenchmarks);
         }
-        Ok(match self.kind {
+        Ok(match self.kind() {
             DeviceKind::Base => Box::new(BaseDevice::new(
-                self.opts.core.clone(),
-                self.opts.hierarchy,
+                self.spec.core.clone(),
+                self.spec.hierarchy,
                 threads,
             )),
             DeviceKind::Base2 => {
@@ -273,28 +224,28 @@ impl Experiment {
                     .flat_map(|t| [t.clone(), t.clone()])
                     .collect();
                 Box::new(BaseDevice::new(
-                    self.opts.core.clone(),
-                    self.opts.hierarchy,
+                    self.spec.core.clone(),
+                    self.spec.hierarchy,
                     doubled,
                 ))
             }
             DeviceKind::Srt | DeviceKind::SrtPtsq | DeviceKind::SrtNosc | DeviceKind::SrtNoPsr => {
-                Box::new(SrtDevice::new(self.opts.clone(), threads))
+                Box::new(SrtDevice::new(self.srt_options(), threads))
             }
             DeviceKind::Lock0 | DeviceKind::Lock8 => Box::new(LockstepDevice::new(
                 LockstepOptions {
-                    core: self.opts.core.clone(),
-                    hierarchy: self.opts.hierarchy,
-                    checker_latency: self.checker_latency,
-                    desync_window: self.desync_window,
+                    core: self.spec.core.clone(),
+                    hierarchy: self.spec.hierarchy,
+                    checker_latency: self.spec.scheme.checker_latency,
+                    desync_window: self.spec.scheme.desync_window,
                 },
                 threads,
             )),
-            DeviceKind::Crt => Box::new(CrtDevice::new(self.opts.clone(), threads)),
+            DeviceKind::Crt => Box::new(CrtDevice::new(self.srt_options(), threads)),
             DeviceKind::CrtRing4 => Box::new(Machine::redundant(
-                self.opts.clone(),
+                self.srt_options(),
                 threads,
-                Topology::Ring(4),
+                Topology::Ring(self.spec.scheme.ring),
             )),
         })
     }
@@ -331,7 +282,7 @@ impl Experiment {
         // one lane per *hardware* logical thread, so on Base2 both
         // copies are independently cross-checked.
         let mut threads = self.logical_threads();
-        if self.kind == DeviceKind::Base2 {
+        if self.kind() == DeviceKind::Base2 {
             threads = threads
                 .iter()
                 .flat_map(|t| [t.clone(), t.clone()])
@@ -356,7 +307,7 @@ impl Experiment {
         if let Some(o) = oracle.as_deref_mut() {
             o.attach(device.as_mut());
         }
-        let logical_idx: Vec<usize> = match self.kind {
+        let logical_idx: Vec<usize> = match self.kind() {
             DeviceKind::Base2 => (0..self.benchmarks.len()).map(|i| 2 * i).collect(),
             _ => (0..self.benchmarks.len()).collect(),
         };
@@ -423,12 +374,13 @@ impl Experiment {
         let checked = oracle.map_or(0, |o| o.checked());
         Ok((
             RunResult {
-                kind: self.kind,
+                kind: self.kind(),
                 cycles: total_cycles,
                 per_thread,
                 faults_detected: faults,
                 metrics: reg.snapshot(),
                 timeseries: device.take_timeseries(),
+                config: self.spec.to_json(),
             },
             checked,
         ))
@@ -554,6 +506,71 @@ mod tests {
         );
         assert!(e.options().hierarchy.l1d_next_line_prefetch);
         assert_eq!(e.options().env.lvq_entries, 99);
+
+        // Key-path overrides are a facade over the same spec, so they
+        // interleave with closure tweaks in call order too: each one sees
+        // (and may overwrite) everything applied before it.
+        let e = Experiment::new(DeviceKind::Srt)
+            .tweak_core(|c| c.sq_entries = 16)
+            .set("core.sq_entries", Json::U64(8))
+            .tweak_core(|c| c.sq_entries *= 4)
+            .set("env.lvq_entries", Json::U64(99))
+            .tweak_srt(|o| o.env.lvq_entries *= 2);
+        assert_eq!(
+            e.options().core.sq_entries,
+            32,
+            "a closure tweak must see the override applied before it"
+        );
+        assert_eq!(
+            e.options().env.lvq_entries,
+            198,
+            "overrides and closures must compose in call order"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "experiment override failed")]
+    fn bad_override_panics_with_the_key_path() {
+        let _ = Experiment::new(DeviceKind::Srt).set("core.no_such_knob", Json::U64(1));
+    }
+
+    #[test]
+    fn set_override_matches_tweak_core() {
+        // The dotted key-path system is a facade over the same spec the
+        // closure API edits, so steering a knob either way must produce
+        // the *same run*: identical cycle count, identical metrics
+        // document, identical embedded config. This is the CI equivalence
+        // gate for the config-as-data refactor.
+        let run = |e: Experiment| {
+            let r = e
+                .benchmark(Benchmark::M88ksim)
+                .seed(3)
+                .warmup(1_000)
+                .measure(4_000)
+                .run()
+                .unwrap();
+            (r.cycles, r.metrics.to_json().encode(), r.config.encode())
+        };
+        let via_set = run(Experiment::new(DeviceKind::Srt).set("core.sq_entries", Json::U64(16)));
+        let via_tweak = run(Experiment::new(DeviceKind::Srt).tweak_core(|c| c.sq_entries = 16));
+        assert_eq!(
+            via_set, via_tweak,
+            "--set and tweak_core must be bitwise equivalent"
+        );
+    }
+
+    #[test]
+    fn run_results_embed_the_resolved_spec() {
+        let r = Experiment::new(DeviceKind::Srt)
+            .benchmark(Benchmark::M88ksim)
+            .warmup(500)
+            .measure(1_000)
+            .tweak_core(|c| c.sq_entries = 32)
+            .run()
+            .unwrap();
+        let spec = rmt_core::MachineSpec::from_json(&r.config).expect("config must validate");
+        assert_eq!(spec.kind(), DeviceKind::Srt);
+        assert_eq!(spec.core.sq_entries, 32);
     }
 
     #[test]

@@ -109,19 +109,22 @@ pub fn abl_slack(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> Fig
         if i % 2 == 0 {
             run_eff(ctx, DeviceKind::Srt, &[b], scale).0
         } else {
-            let r = Experiment::new(DeviceKind::Srt)
-                .benchmark(b)
-                .seed(scale.seed)
-                .warmup(scale.warmup)
-                .measure(scale.measure)
-                .tweak_srt(|o| o.core.trailing_fetch_priority = false)
-                .max_cycle_factor(120)
+            let r = ctx
+                .apply(
+                    Experiment::new(DeviceKind::Srt)
+                        .benchmark(b)
+                        .seed(scale.seed)
+                        .warmup(scale.warmup)
+                        .measure(scale.measure)
+                        .tweak_srt(|o| o.core.trailing_fetch_priority = false)
+                        .max_cycle_factor(120),
+                )
                 .run()
                 .expect("icount run");
             r.ipc(0)
                 / ctx
                     .baselines
-                    .ipc(b, scale.seed, scale.warmup, scale.measure)
+                    .ipc_with(b, scale.seed, scale.warmup, scale.measure, &ctx.overrides)
         }
     });
     let mut t = Table::with_columns(&["benchmark", "trailing priority", "ICOUNT only"]);
@@ -188,13 +191,16 @@ pub fn abl_prefetch(ctx: &FigureCtx, scale: SimScale, benches: &[Benchmark]) -> 
     // Two jobs per benchmark: prefetch off (even) and on (odd).
     let ipcs = ctx.runner.run(benches.len() * 2, |i| {
         let pf = i % 2 == 1;
-        let r = Experiment::new(DeviceKind::Base)
-            .benchmark(benches[i / 2])
-            .seed(scale.seed)
-            .warmup(scale.warmup)
-            .measure(scale.measure)
-            .tweak_hierarchy(move |h| h.l1d_next_line_prefetch = pf)
-            .max_cycle_factor(150)
+        let r = ctx
+            .apply(
+                Experiment::new(DeviceKind::Base)
+                    .benchmark(benches[i / 2])
+                    .seed(scale.seed)
+                    .warmup(scale.warmup)
+                    .measure(scale.measure)
+                    .tweak_hierarchy(move |h| h.l1d_next_line_prefetch = pf)
+                    .max_cycle_factor(150),
+            )
             .run()
             .expect("prefetch run");
         ctx.runner.add_sim_cycles(r.cycles);

@@ -68,6 +68,8 @@ fn eff_cell(
     if let Some(tweak) = &variant.tweak {
         e = e.tweak_srt(|o| tweak(o));
     }
+    // CLI overrides land after the variant's own tweak: the CLI wins.
+    e = ctx.apply(e);
     if let Some(every) = ctx.epoch {
         e = e.epoch(every);
     }
@@ -82,7 +84,7 @@ fn eff_cell(
             (
                 r.ipc(i),
                 ctx.baselines
-                    .ipc(b, scale.seed, scale.warmup, scale.measure),
+                    .ipc_with(b, scale.seed, scale.warmup, scale.measure, &ctx.overrides),
             )
         })
         .collect();

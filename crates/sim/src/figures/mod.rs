@@ -39,6 +39,7 @@ mod faults;
 mod grid;
 mod machine;
 mod sampling;
+mod sensitivity;
 mod srt;
 mod suite;
 mod workloads;
@@ -52,13 +53,15 @@ pub use machine::{fig2_pipeline, table1};
 pub use sampling::{
     fig6_full_grid, fig6_sampled_grid, fig6_srt_single_sampled, sampling_validation, SampledGrid,
 };
+pub use sensitivity::{sensitivity_sweep, SweepAxis, SweepConfig, SweepRow};
 pub use srt::{fig6_srt_single, fig7_psr, fig8_srt_multi, fig9_storeq};
 pub use suite::suite_summary;
 pub use workloads::{slack_profile, workload_chars};
 
 use crate::baseline::BaselineCache;
+use crate::experiment::Experiment;
 use crate::runner::Runner;
-use rmt_stats::{MetricsSnapshot, Table, TimeSeries};
+use rmt_stats::{Json, MetricsSnapshot, Table, TimeSeries};
 use std::collections::BTreeMap;
 
 /// How much simulation to spend per data point.
@@ -118,6 +121,12 @@ pub struct FigureCtx {
     /// per-epoch deltas at this cycle interval (the `--epoch` flag), and
     /// the figure's [`FigureResult::timeseries`] carries them.
     pub epoch: Option<u64>,
+    /// Machine-spec key-path overrides (the `--set`/`--config` flags),
+    /// replayed onto **every** experiment a figure driver submits —
+    /// including the Base denominators — after the driver's own variant
+    /// tweaks, so the CLI always has the last word. The `scheme.kind`
+    /// path is skipped: the figure's columns own the device kind.
+    pub overrides: Vec<(String, Json)>,
 }
 
 impl FigureCtx {
@@ -127,6 +136,7 @@ impl FigureCtx {
             runner: Runner::new(jobs),
             baselines: BaselineCache::new(),
             epoch: None,
+            overrides: Vec::new(),
         }
     }
 
@@ -148,6 +158,25 @@ impl FigureCtx {
     pub fn with_epoch(mut self, every: u64) -> Self {
         self.epoch = Some(every);
         self
+    }
+
+    /// Installs machine-spec overrides to replay onto every experiment.
+    pub fn with_overrides(mut self, overrides: Vec<(String, Json)>) -> Self {
+        self.overrides = overrides;
+        self
+    }
+
+    /// Replays this context's overrides onto one experiment (after any
+    /// driver tweaks — the CLI has the last word). Every site that builds
+    /// an [`Experiment`] for a figure funnels through here.
+    pub fn apply(&self, mut e: Experiment) -> Experiment {
+        for (path, v) in &self.overrides {
+            if path == "scheme.kind" {
+                continue;
+            }
+            e = e.set(path, v.clone());
+        }
+        e
     }
 }
 

@@ -41,12 +41,14 @@ pub struct SampledGrid {
     pub fastforward_instructions: u64,
 }
 
-fn exp(kind: DeviceKind, bench: Benchmark, scale: SimScale) -> Experiment {
-    Experiment::new(kind)
-        .benchmark(bench)
-        .seed(scale.seed)
-        .warmup(scale.warmup)
-        .measure(scale.measure)
+fn exp(ctx: &FigureCtx, kind: DeviceKind, bench: Benchmark, scale: SimScale) -> Experiment {
+    ctx.apply(
+        Experiment::new(kind)
+            .benchmark(bench)
+            .seed(scale.seed)
+            .warmup(scale.warmup)
+            .measure(scale.measure),
+    )
 }
 
 /// Runs the sampled efficiency grid for Figure 6's kinds: one checkpoint
@@ -62,7 +64,7 @@ pub fn fig6_sampled_grid(
     let kinds = FIG6_KINDS;
     let cols = kinds.len() + 1; // column 0: the sampled Base denominator
     let ladders = ctx.runner.run(benches.len(), |b| {
-        exp(DeviceKind::Base, benches[b], scale)
+        exp(ctx, DeviceKind::Base, benches[b], scale)
             .sample_checkpoints(plan)
             .unwrap_or_else(|e| panic!("checkpointing {} failed: {e}", benches[b]))
     });
@@ -72,7 +74,7 @@ pub fn fig6_sampled_grid(
             c => kinds[c - 1],
         };
         let bench = benches[i / cols];
-        let r = exp(kind, bench, scale)
+        let r = exp(ctx, kind, bench, scale)
             .run_sampled_with(plan, &ladders[i / cols])
             .unwrap_or_else(|e| panic!("sampled {kind} on {bench} failed: {e}"));
         ctx.runner.add_sim_cycles(r.cycles);

@@ -2,7 +2,7 @@
 //! types of [`Experiment`](crate::experiment::Experiment) runs.
 
 use crate::experiment::DeviceKind;
-use rmt_stats::{MetricsSnapshot, TimeSeries};
+use rmt_stats::{Json, MetricsSnapshot, TimeSeries};
 use rmt_workloads::Benchmark;
 use std::fmt;
 
@@ -106,6 +106,10 @@ pub struct RunResult {
     /// (empty unless the builder enabled sampling). Cycle-aligned, so it
     /// is bitwise identical at any `--jobs` level.
     pub timeseries: TimeSeries,
+    /// The resolved [`MachineSpec`](rmt_core::spec::MachineSpec) this run
+    /// was built from, as its six-section JSON document — every result
+    /// carries the full machine description needed to reproduce it.
+    pub config: Json,
 }
 
 impl RunResult {

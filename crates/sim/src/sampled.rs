@@ -200,7 +200,11 @@ impl Experiment {
         let ff_insts = ladder.fastforward_instructions;
         let programs: Vec<Rc<_>> = ladder.programs.iter().map(|p| Rc::new(p.clone())).collect();
         let n = self.benchmarks.len();
-        let copies = if self.kind == DeviceKind::Base2 { 2 } else { 1 };
+        let copies = if self.kind() == DeviceKind::Base2 {
+            2
+        } else {
+            1
+        };
         // One machine serves every window (SMARTS-style): between windows
         // only the architectural state moves to the next checkpoint, so
         // caches and predictors accumulate warmth across the whole run
@@ -305,7 +309,7 @@ impl Experiment {
         let checked = oracle.map_or(0, |o| o.checked());
         Ok((
             SampledResult {
-                kind: self.kind,
+                kind: self.kind(),
                 ipc: window_ipc.iter().map(|w| mean_ci95(w)).collect(),
                 window_ipc,
                 cycles,

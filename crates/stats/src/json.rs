@@ -68,6 +68,16 @@ impl Json {
         }
     }
 
+    /// Mutable field lookup on objects; `None` for other variants or
+    /// missing keys. Used by dotted key-path overrides to edit a leaf in
+    /// place.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Json> {
+        match self {
+            Json::Obj(fields) => fields.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
     /// The object's fields, if this is an object.
     pub fn members(&self) -> Option<&[(String, Json)]> {
         match self {
