@@ -4,16 +4,20 @@
 //! report [--out PATH] [FILE...]
 //! ```
 //!
-//! With no files, every `results/*.json` is read; documents that are not
-//! figure documents (no `table` section) are skipped with a note. The
-//! output is a single hand-rolled HTML file — inline CSS and inline SVG
-//! charts, no external assets, scripts or network fetches — so it can be
-//! attached to a CI run or opened from a checkout as-is.
+//! With no files, every `results/*.json` is read; documents that are
+//! neither figure documents (no `table` section) nor served results are
+//! skipped with a note. The output is a single hand-rolled HTML file —
+//! inline CSS and inline SVG charts, no external assets, scripts or
+//! network fetches — so it can be attached to a CI run or opened from a
+//! checkout as-is.
 //!
-//! Per document: the summary values, the paper-style table, one SVG line
-//! chart per epoch time series (issue-slot throughput per epoch), and,
-//! for forensic documents, the per-injection causal records with their
-//! flight-recorder event chains.
+//! Per figure document: the summary values, the paper-style table, one
+//! SVG line chart per epoch time series (issue-slot throughput per
+//! epoch), and, for forensic documents, the per-injection causal records
+//! with their flight-recorder event chains. `rmt-serve` payloads render
+//! too: a bare run/sweep result fetched with `rmtc` (or a cache-hit
+//! envelope embedding one) becomes a section with its per-thread or
+//! per-axis table, so served results drop straight into the dashboard.
 
 use rmt_stats::json::parse;
 use rmt_stats::Json;
@@ -291,6 +295,116 @@ fn render_doc(anchor: &str, file: &str, doc: &Json) -> String {
     s
 }
 
+/// The run/sweep result inside a served payload: a bare result document
+/// (what `/v1/results/<digest>` returns) is itself the result; a
+/// `rmt-serve/v1` envelope embeds one only on a cache hit.
+fn service_result(doc: &Json) -> Option<&Json> {
+    let result = match doc.get("schema").and_then(Json::as_str) {
+        Some("rmt-serve/v1") => doc.get("result")?,
+        Some(_) => return None,
+        None => doc,
+    };
+    matches!(
+        result.get("type").and_then(Json::as_str),
+        Some("run" | "sweep")
+    )
+    .then_some(result)
+}
+
+/// One dashboard section per served result document.
+fn render_service(anchor: &str, file: &str, result: &Json) -> (String, String) {
+    let is_run = result.get("type").and_then(Json::as_str) == Some("run");
+    let title = if is_run {
+        format!(
+            "served run: {}",
+            result.get("kind").and_then(Json::as_str).unwrap_or("?")
+        )
+    } else {
+        format!(
+            "served sweep: {}",
+            result.get("name").and_then(Json::as_str).unwrap_or("?")
+        )
+    };
+    let mut s = format!(
+        "<section id=\"{anchor}\"><h2>{}</h2>\n\
+         <p class=\"meta\">rmt-serve result document \
+         <span class=\"file\">({})</span></p>\n",
+        esc(&title),
+        esc(file)
+    );
+    if is_run {
+        s += &format!(
+            "<table class=\"kv\"><tbody>\n\
+             <tr><td>cycles</td><td>{}</td></tr>\n\
+             <tr><td>faults_detected</td><td>{}</td></tr>\n\
+             </tbody></table>\n",
+            result.get("cycles").and_then(Json::as_u64).unwrap_or(0),
+            result
+                .get("faults_detected")
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+        );
+        s += "<table><thead><tr><th>thread</th><th>benchmark</th>\
+              <th>committed</th><th>cycles</th><th>ipc</th></tr></thead><tbody>\n";
+        for (i, t) in result
+            .get("per_thread")
+            .and_then(Json::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .enumerate()
+        {
+            s += &format!(
+                "<tr><td>{i}</td><td>{}</td><td>{}</td><td>{}</td><td>{:.3}</td></tr>\n",
+                esc(t.get("benchmark").and_then(Json::as_str).unwrap_or("?")),
+                t.get("committed").and_then(Json::as_u64).unwrap_or(0),
+                t.get("cycles").and_then(Json::as_u64).unwrap_or(0),
+                t.get("ipc").and_then(Json::as_f64).unwrap_or(0.0)
+            );
+        }
+        s += "</tbody></table>\n";
+        if let Some(ts) = result.get("timeseries") {
+            let every = ts.get("every").and_then(Json::as_u64).unwrap_or(0);
+            if every > 0 {
+                let lines = series_lines(ts);
+                if !lines.is_empty() {
+                    s += &svg_chart(
+                        "issue slots per epoch",
+                        &format!("epoch ({every} cycles each)"),
+                        &lines,
+                    );
+                }
+            }
+        }
+    } else {
+        if let Some(summary) = result.get("summary").and_then(Json::members) {
+            if !summary.is_empty() {
+                s += "<table class=\"kv\"><tbody>\n";
+                for (k, v) in summary {
+                    s += &format!(
+                        "<tr><td>{}</td><td>{}</td></tr>\n",
+                        esc(k),
+                        esc(&v.as_f64().map_or_else(String::new, |f| format!("{f:.4}")))
+                    );
+                }
+                s += "</tbody></table>\n";
+            }
+        }
+        s += "<table><thead><tr><th>axis</th><th>value</th><th>mean efficiency</th>\
+              </tr></thead><tbody>\n";
+        for row in result.get("sweep").and_then(Json::as_array).unwrap_or(&[]) {
+            s += &format!(
+                "<tr><td>{}</td><td>{}</td><td>{:.4}</td></tr>\n",
+                esc(row.get("path").and_then(Json::as_str).unwrap_or("?")),
+                esc(&row.get("value").map(Json::encode).unwrap_or_default()),
+                row.get("mean_eff").and_then(Json::as_f64).unwrap_or(0.0)
+            );
+        }
+        s += "</tbody></table>\n";
+    }
+    s += "</section>\n";
+    (title, s)
+}
+
 const STYLE: &str = "\
 body{font:14px/1.5 system-ui,sans-serif;margin:2em auto;max-width:72em;\
 padding:0 1em;color:#1a1a1a;background:#fdfdfc}\
@@ -369,18 +483,24 @@ fn main() {
                 continue;
             }
         };
-        if doc.get("table").is_none() {
-            eprintln!("warning: skipping {file}: not a figure document");
+        let anchor = format!("doc{i}");
+        let title;
+        if doc.get("table").is_some() {
+            title = doc
+                .get("title")
+                .and_then(Json::as_str)
+                .unwrap_or(file)
+                .to_string();
+            sections += &render_doc(&anchor, file, &doc);
+        } else if let Some(result) = service_result(&doc) {
+            let (t, s) = render_service(&anchor, file, result);
+            title = t;
+            sections += &s;
+        } else {
+            eprintln!("warning: skipping {file}: not a figure or served-result document");
             continue;
         }
-        let anchor = format!("doc{i}");
-        let title = doc
-            .get("title")
-            .and_then(Json::as_str)
-            .unwrap_or(file)
-            .to_string();
         nav += &format!("<li><a href=\"#{anchor}\">{}</a></li>\n", esc(&title));
-        sections += &render_doc(&anchor, file, &doc);
         rendered += 1;
     }
     if rendered == 0 {

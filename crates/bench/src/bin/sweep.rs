@@ -38,27 +38,12 @@ fn fail(msg: &str) -> ! {
 }
 
 fn rows_json(rows: &[SweepRow]) -> Json {
-    Json::Arr(
-        rows.iter()
-            .map(|row| {
-                let mut effs = Json::obj();
-                for (b, e) in &row.effs {
-                    effs.set(b.name(), Json::F64(*e));
-                }
-                Json::obj()
-                    .with("path", Json::Str(row.path.clone()))
-                    .with("value", row.value.clone())
-                    .with("effs", effs)
-                    .with("mean_eff", Json::F64(row.mean_eff))
-                    .with("config", row.spec.to_json())
-            })
-            .collect(),
-    )
+    Json::Arr(rows.iter().map(SweepRow::to_json).collect())
 }
 
 fn main() {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
-    if argv.first().map_or(true, |a| a.starts_with("--")) {
+    if argv.first().is_none_or(|a| a.starts_with("--")) {
         fail("usage: sweep FILE [--quick|--standard|--full] [--jobs N] [--json PATH] ...");
     }
     let path = argv.remove(0);

@@ -95,6 +95,9 @@ impl FigureArgs {
     }
 
     /// Parses from an explicit argument list.
+    // Not `FromIterator`: parsing exits the process on bad flags, which
+    // the trait's contract doesn't allow.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
         let mut scale = SimScale::standard();
         let mut benches: Vec<Benchmark> = ALL_BENCHMARKS.to_vec();

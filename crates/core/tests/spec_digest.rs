@@ -1,0 +1,138 @@
+//! Digest properties over real machine-spec documents: every one of the
+//! ten [`DeviceKind`] default specs must hash to a distinct, stable
+//! content address that ignores key order and notices any value change —
+//! the contract the `rmt-serve` result cache keys on.
+
+use rmt_core::{DeviceKind, MachineSpec};
+use rmt_stats::check::run_cases;
+use rmt_stats::digest::{digest, is_digest};
+use rmt_stats::rng::Xoshiro256;
+use rmt_stats::Json;
+use std::collections::BTreeSet;
+
+const KINDS: [DeviceKind; 10] = [
+    DeviceKind::Base,
+    DeviceKind::Base2,
+    DeviceKind::Srt,
+    DeviceKind::SrtPtsq,
+    DeviceKind::SrtNosc,
+    DeviceKind::SrtNoPsr,
+    DeviceKind::Lock0,
+    DeviceKind::Lock8,
+    DeviceKind::Crt,
+    DeviceKind::CrtRing4,
+];
+
+/// Recursively shuffles the field order of every object in the tree.
+fn shuffle_keys(rng: &mut Xoshiro256, v: &Json) -> Json {
+    match v {
+        Json::Obj(fields) => {
+            let mut fields: Vec<(String, Json)> = fields
+                .iter()
+                .map(|(k, val)| (k.clone(), shuffle_keys(rng, val)))
+                .collect();
+            for i in (1..fields.len()).rev() {
+                let j = rng.below(i as u64 + 1) as usize;
+                fields.swap(i, j);
+            }
+            Json::Obj(fields)
+        }
+        Json::Arr(items) => Json::Arr(items.iter().map(|x| shuffle_keys(rng, x)).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Every dotted leaf path of a spec document, in document order.
+fn leaf_paths(doc: &Json, prefix: &str, out: &mut Vec<String>) {
+    match doc {
+        Json::Obj(fields) => {
+            for (k, v) in fields {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                leaf_paths(v, &path, out);
+            }
+        }
+        _ => out.push(prefix.to_string()),
+    }
+}
+
+/// A guaranteed-different replacement for a spec leaf value.
+fn perturb(v: &Json) -> Json {
+    match v {
+        Json::Bool(b) => Json::Bool(!b),
+        Json::U64(u) => Json::U64(u.wrapping_add(1)),
+        Json::I64(i) => Json::I64(i.wrapping_add(1)),
+        Json::F64(f) => Json::F64(f + 1.0),
+        Json::Str(s) => Json::Str(format!("{s}x")),
+        other => panic!("unexpected spec leaf {other:?}"),
+    }
+}
+
+#[test]
+fn all_kind_specs_digest_distinctly_and_stably() {
+    let mut seen = BTreeSet::new();
+    for kind in KINDS {
+        let doc = MachineSpec::for_kind(kind).to_json();
+        let d = digest(&doc);
+        assert!(is_digest(&d), "{kind:?}: {d}");
+        assert_eq!(d, digest(&doc), "digest must be pure for {kind:?}");
+        assert!(
+            seen.insert(d.clone()),
+            "{kind:?} digest {d} collides with another kind"
+        );
+        // The codec round trip must not move the content address.
+        let reparsed = rmt_stats::json::parse(&doc.encode()).unwrap();
+        assert_eq!(digest(&reparsed), d, "{kind:?} round trip moved digest");
+    }
+    assert_eq!(seen.len(), KINDS.len());
+}
+
+#[test]
+fn spec_digest_ignores_key_order_for_every_kind() {
+    run_cases("spec digest reorder", 64, 0x5d16, |rng| {
+        let kind = *rng.pick(&KINDS);
+        let doc = MachineSpec::for_kind(kind).to_json();
+        let shuffled = shuffle_keys(rng, &doc);
+        assert_eq!(
+            digest(&doc),
+            digest(&shuffled),
+            "{kind:?}: digest must not depend on section/key order"
+        );
+    });
+}
+
+#[test]
+fn spec_digest_notices_every_leaf_value_change() {
+    // Exhaustive, not sampled: for each of the 10 kinds, mutating any
+    // single leaf of the document must move the digest.
+    for kind in KINDS {
+        let doc = MachineSpec::for_kind(kind).to_json();
+        let base = digest(&doc);
+        let mut paths = Vec::new();
+        leaf_paths(&doc, "", &mut paths);
+        assert!(!paths.is_empty());
+        for path in paths {
+            let mut changed = doc.clone();
+            let leaf = walk_mut(&mut changed, &path);
+            *leaf = perturb(leaf);
+            assert_ne!(
+                digest(&changed),
+                base,
+                "{kind:?}: change at `{path}` did not move the digest"
+            );
+        }
+    }
+}
+
+/// Mutable access to the leaf at a dotted path (test-local helper;
+/// panics on a missing segment, which would be a test bug).
+fn walk_mut<'a>(doc: &'a mut Json, path: &str) -> &'a mut Json {
+    let mut cur = doc;
+    for seg in path.split('.') {
+        cur = cur.get_mut(seg).unwrap_or_else(|| panic!("path {path}"));
+    }
+    cur
+}

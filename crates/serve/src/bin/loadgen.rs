@@ -1,0 +1,314 @@
+//! `loadgen` — closed-loop multi-client load driver for `rmt-serve`.
+//!
+//! ```text
+//! loadgen [--server HOST:PORT] [--clients N] [--requests N]
+//!         [--kind NAME] [--warmup N] [--measure N]
+//!         [--cache-dir DIR] [--workers N] [--json PATH]
+//! ```
+//!
+//! Without `--server` it hosts a server in-process on an ephemeral port
+//! with a freshly wiped cache directory, so the two phases are
+//! deterministic in what they count:
+//!
+//! 1. **miss phase** — every client submits its share of globally unique
+//!    run requests (benchmark and seed derived from the request index)
+//!    and waits for each to complete: end-to-end simulate-path latency.
+//! 2. **hit phase** — every client resubmits the same documents; each is
+//!    answered from the content-addressed cache: cache-path latency.
+//!
+//! The emitted document (`--json`, committed as `BENCH_PR9.json`) keeps
+//! the deterministic counts (request totals, hit/miss split, hit ratio)
+//! at the top level and every host-dependent number (throughput,
+//! p50/p95 latency) under `"host"`, the key `check_json --compare`
+//! ignores.
+
+use rmt_serve::client::Client;
+use rmt_serve::{Server, ServerConfig};
+use rmt_stats::json::parse;
+use rmt_stats::Json;
+use rmt_workloads::profile::ALL_BENCHMARKS;
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}
+
+struct Opts {
+    server: Option<String>,
+    clients: usize,
+    requests: usize,
+    kind: String,
+    warmup: u64,
+    measure: u64,
+    cache_dir: PathBuf,
+    workers: usize,
+    json: Option<String>,
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts {
+        server: None,
+        clients: 4,
+        requests: 4,
+        kind: "SRT".to_string(),
+        warmup: 2_000,
+        measure: 10_000,
+        cache_dir: PathBuf::from("target/rmt-loadgen-cache"),
+        workers: 2,
+        json: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        let count = |name: &str, raw: String| -> usize {
+            match raw.parse() {
+                Ok(n) if n >= 1 => n,
+                _ => fail(&format!("{name} needs a positive number")),
+            }
+        };
+        match flag.as_str() {
+            "--server" => o.server = Some(value("--server")),
+            "--clients" => o.clients = count("--clients", value("--clients")),
+            "--requests" => o.requests = count("--requests", value("--requests")),
+            "--kind" => o.kind = value("--kind"),
+            "--warmup" => {
+                o.warmup = value("--warmup")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--warmup needs a number"))
+            }
+            "--measure" => o.measure = count("--measure", value("--measure")) as u64,
+            "--cache-dir" => o.cache_dir = PathBuf::from(value("--cache-dir")),
+            "--workers" => o.workers = count("--workers", value("--workers")),
+            "--json" => o.json = Some(value("--json")),
+            other => fail(&format!("unknown flag `{other}`")),
+        }
+    }
+    o
+}
+
+/// The globally unique request document for request index `i`: the
+/// benchmark cycles through the suite and the seed bumps on each lap, so
+/// any `(clients, requests)` size yields distinct digests.
+fn request_doc(opts: &Opts, i: usize) -> String {
+    let bench = ALL_BENCHMARKS[i % ALL_BENCHMARKS.len()];
+    let seed = 1 + (i / ALL_BENCHMARKS.len()) as u64;
+    Json::obj()
+        .with("type", Json::Str("run".into()))
+        .with("spec", Json::Str(opts.kind.clone()))
+        .with("benches", Json::Arr(vec![Json::Str(bench.name().into())]))
+        .with(
+            "scale",
+            Json::obj()
+                .with("warmup", Json::U64(opts.warmup))
+                .with("measure", Json::U64(opts.measure))
+                .with("seed", Json::U64(seed)),
+        )
+        .encode()
+}
+
+/// Submits one document and drives it to completion. Returns
+/// `(latency_ms, was_cache_hit)`.
+fn drive(client: &mut Client, doc: &str) -> (f64, bool) {
+    let start = Instant::now();
+    let resp = client
+        .post("/v1/run", doc.as_bytes())
+        .unwrap_or_else(|e| fail(&format!("submit: {e}")));
+    if resp.status / 100 != 2 {
+        fail(&format!(
+            "submit rejected ({}): {}",
+            resp.status,
+            resp.text().trim()
+        ));
+    }
+    let envelope = parse(&resp.text()).unwrap_or_else(|e| fail(&format!("bad envelope: {e}")));
+    let hit = envelope.get("cache_hit").and_then(Json::as_bool) == Some(true);
+    if !hit {
+        let job = envelope
+            .get("job")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| fail("miss envelope lacks a job id"))
+            .to_string();
+        let digest = envelope
+            .get("digest")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| fail("envelope lacks a digest"))
+            .to_string();
+        loop {
+            std::thread::sleep(Duration::from_millis(25));
+            let status = client
+                .get(&format!("/v1/jobs/{job}"))
+                .unwrap_or_else(|e| fail(&format!("poll: {e}")));
+            let doc = parse(&status.text()).unwrap_or_else(|e| fail(&format!("bad status: {e}")));
+            match doc.get("status").and_then(Json::as_str) {
+                Some("done") => break,
+                Some("failed") => fail(&format!(
+                    "job {job} failed: {}",
+                    doc.get("error").and_then(Json::as_str).unwrap_or("unknown")
+                )),
+                _ => {}
+            }
+        }
+        let result = client
+            .get(&format!("/v1/results/{digest}"))
+            .unwrap_or_else(|e| fail(&format!("fetch: {e}")));
+        if result.status != 200 {
+            fail(&format!("result fetch returned {}", result.status));
+        }
+    }
+    (start.elapsed().as_secs_f64() * 1e3, hit)
+}
+
+/// One phase: every client drives its request share; returns each
+/// client's `(latency_ms, hit)` samples plus the phase wall time.
+fn run_phase(opts: &Opts, addr: &str, label: &str) -> (Vec<(f64, bool)>, f64) {
+    let barrier = Arc::new(Barrier::new(opts.clients));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..opts.clients)
+        .map(|c| {
+            let addr = addr.to_string();
+            let docs: Vec<String> = (0..opts.requests)
+                .map(|k| request_doc(opts, c * opts.requests + k))
+                .collect();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::new(&addr);
+                barrier.wait();
+                docs.iter()
+                    .map(|d| drive(&mut client, d))
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let mut samples = Vec::new();
+    for h in handles {
+        samples.extend(h.join().unwrap_or_else(|_| fail("client thread panicked")));
+    }
+    let wall = start.elapsed().as_secs_f64();
+    eprintln!("  {label} phase: {} requests in {wall:.2}s", samples.len());
+    (samples, wall)
+}
+
+/// Exact percentile over the sorted sample set (nearest-rank).
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted_ms.len() as f64).ceil() as usize;
+    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
+}
+
+fn phase_host_json(samples: &[(f64, bool)], wall: f64) -> Json {
+    let mut ms: Vec<f64> = samples.iter().map(|(l, _)| *l).collect();
+    ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let mean = ms.iter().sum::<f64>() / ms.len().max(1) as f64;
+    Json::obj()
+        .with(
+            "throughput_rps",
+            Json::F64(samples.len() as f64 / wall.max(1e-9)),
+        )
+        .with("mean_ms", Json::F64(mean))
+        .with("p50_ms", Json::F64(percentile(&ms, 50.0)))
+        .with("p95_ms", Json::F64(percentile(&ms, 95.0)))
+        .with("wall_seconds", Json::F64(wall))
+}
+
+fn main() {
+    let opts = parse_opts();
+    let mut hosted: Option<rmt_serve::ServerHandle> = None;
+    let addr = match &opts.server {
+        Some(a) => a.clone(),
+        None => {
+            // Fresh cache directory: the miss phase must actually miss.
+            std::fs::remove_dir_all(&opts.cache_dir).ok();
+            let handle = Server::start(ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                cache_dir: opts.cache_dir.clone(),
+                workers: opts.workers,
+                inner_jobs: 1,
+                ..ServerConfig::default()
+            })
+            .unwrap_or_else(|e| fail(&format!("cannot self-host: {e}")));
+            let a = handle.addr().to_string();
+            eprintln!("loadgen self-hosting on {a}");
+            hosted = Some(handle);
+            a
+        }
+    };
+
+    let total = opts.clients * opts.requests;
+    eprintln!(
+        "loadgen: {} clients x {} requests ({} unique documents, kind {})",
+        opts.clients, opts.requests, total, opts.kind
+    );
+    let (miss_samples, miss_wall) = run_phase(&opts, &addr, "miss");
+    let (hit_samples, hit_wall) = run_phase(&opts, &addr, "hit");
+    if let Some(handle) = hosted {
+        Client::new(&addr)
+            .post("/v1/shutdown", b"")
+            .unwrap_or_else(|e| fail(&format!("shutdown: {e}")));
+        handle.wait();
+    }
+
+    let count_hits = |s: &[(f64, bool)]| s.iter().filter(|(_, h)| *h).count();
+    let (miss_hits, hit_hits) = (count_hits(&miss_samples), count_hits(&hit_samples));
+    let hit_ratio = (miss_hits + hit_hits) as f64 / (2 * total) as f64;
+    let doc = Json::obj()
+        .with("schema", Json::Str("rmt-serve/loadgen/v1".into()))
+        .with(
+            "title",
+            Json::Str("rmt-serve closed-loop load generation".into()),
+        )
+        .with("kind", Json::Str(opts.kind.clone()))
+        .with(
+            "scale",
+            Json::obj()
+                .with("warmup", Json::U64(opts.warmup))
+                .with("measure", Json::U64(opts.measure)),
+        )
+        .with("clients", Json::U64(opts.clients as u64))
+        .with("requests_per_client", Json::U64(opts.requests as u64))
+        .with("unique_requests", Json::U64(total as u64))
+        .with(
+            "miss",
+            Json::obj()
+                .with("requests", Json::U64(total as u64))
+                .with("cache_hits", Json::U64(miss_hits as u64)),
+        )
+        .with(
+            "hit",
+            Json::obj()
+                .with("requests", Json::U64(total as u64))
+                .with("cache_hits", Json::U64(hit_hits as u64)),
+        )
+        .with("cache_hit_ratio", Json::F64(hit_ratio))
+        .with(
+            "host",
+            Json::obj()
+                .with("wall_seconds", Json::F64(miss_wall + hit_wall))
+                .with("miss", phase_host_json(&miss_samples, miss_wall))
+                .with("hit", phase_host_json(&hit_samples, hit_wall)),
+        );
+    let text = {
+        let mut t = doc.encode_pretty();
+        t.push('\n');
+        t
+    };
+    match &opts.json {
+        Some(path) => {
+            std::fs::write(path, &text).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+            eprintln!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+    if miss_hits != 0 || hit_hits != total {
+        fail(&format!(
+            "cache contract violated: miss phase hit {miss_hits}/{total}, hit phase hit {hit_hits}/{total}"
+        ));
+    }
+}

@@ -1,0 +1,232 @@
+//! `rmtc` — client for the `rmt-serve` daemon.
+//!
+//! ```text
+//! rmtc [--server HOST:PORT] submit FILE [--wait] [--poll-ms N]
+//!          [--out ENVELOPE] [--result-out RESULT]
+//!          [--expect-hit | --expect-miss]
+//! rmtc [--server HOST:PORT] status JOB-ID
+//! rmtc [--server HOST:PORT] result DIGEST [--out PATH]
+//! rmtc [--server HOST:PORT] metrics
+//! rmtc [--server HOST:PORT] health
+//! rmtc [--server HOST:PORT] shutdown
+//! ```
+//!
+//! The server address comes from `--server` or the `RMT_SERVE_ADDR`
+//! environment variable. `submit` posts the request file to `/v1/run` or
+//! `/v1/sweep` (chosen by the document's `"type"`); `--result-out`
+//! implies `--wait` and fetches the result document from
+//! `/v1/results/<digest>` — raw cached bytes, so two fetches of one
+//! digest are bitwise identical. `--expect-hit`/`--expect-miss` turn the
+//! envelope's `cache_hit` flag into an exit code for scripting
+//! (`scripts/ci.sh` asserts the cache contract with these).
+
+use rmt_serve::client::{Client, Response};
+use rmt_stats::json::parse;
+use rmt_stats::Json;
+use std::time::Duration;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}
+
+/// Expectation/job failures — distinct from usage errors for scripts.
+fn refuse(msg: &str) -> ! {
+    eprintln!("rmtc: {msg}");
+    std::process::exit(1)
+}
+
+fn body_json(resp: &Response) -> Json {
+    parse(&resp.text()).unwrap_or_else(|e| fail(&format!("server sent invalid JSON: {e}")))
+}
+
+fn expect_2xx(resp: &Response, what: &str) {
+    if resp.status / 100 != 2 {
+        refuse(&format!(
+            "{what} failed ({}): {}",
+            resp.status,
+            resp.text().trim()
+        ));
+    }
+}
+
+fn write_out(path: &str, bytes: &[u8]) {
+    std::fs::write(path, bytes).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+}
+
+struct SubmitOpts {
+    file: String,
+    wait: bool,
+    poll_ms: u64,
+    out: Option<String>,
+    result_out: Option<String>,
+    expect: Option<bool>,
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut server = std::env::var("RMT_SERVE_ADDR").unwrap_or_default();
+    if args.first().map(String::as_str) == Some("--server") {
+        args.remove(0);
+        if args.is_empty() {
+            fail("--server needs a value");
+        }
+        server = args.remove(0);
+    }
+    if server.is_empty() {
+        fail("no server address: pass --server HOST:PORT or set RMT_SERVE_ADDR");
+    }
+    if args.is_empty() {
+        fail("usage: rmtc [--server HOST:PORT] submit|status|result|metrics|health|shutdown ...");
+    }
+    let mut client = Client::new(&server);
+    let cmd = args.remove(0);
+    match cmd.as_str() {
+        "submit" => submit(&mut client, parse_submit(args)),
+        "status" => {
+            let id = args
+                .first()
+                .unwrap_or_else(|| fail("status needs a job id"));
+            let resp = get(&mut client, &format!("/v1/jobs/{id}"));
+            expect_2xx(&resp, "status");
+            print!("{}", resp.text());
+        }
+        "result" => {
+            let digest = args
+                .first()
+                .unwrap_or_else(|| fail("result needs a digest"));
+            let resp = get(&mut client, &format!("/v1/results/{digest}"));
+            expect_2xx(&resp, "result");
+            match args.get(1).zip(args.get(2)) {
+                Some((flag, path)) if flag == "--out" => write_out(path, &resp.body),
+                _ => print!("{}", resp.text()),
+            }
+        }
+        "metrics" => print!("{}", get(&mut client, "/metrics").text()),
+        "health" => print!("{}", get(&mut client, "/healthz").text()),
+        "shutdown" => {
+            let resp = post(&mut client, "/v1/shutdown", b"");
+            expect_2xx(&resp, "shutdown");
+            print!("{}", resp.text());
+        }
+        other => fail(&format!("unknown command `{other}`")),
+    }
+}
+
+fn get(client: &mut Client, path: &str) -> Response {
+    client
+        .get(path)
+        .unwrap_or_else(|e| fail(&format!("GET {path}: {e}")))
+}
+
+fn post(client: &mut Client, path: &str, body: &[u8]) -> Response {
+    client
+        .post(path, body)
+        .unwrap_or_else(|e| fail(&format!("POST {path}: {e}")))
+}
+
+fn parse_submit(mut args: Vec<String>) -> SubmitOpts {
+    if args.first().is_none_or(|a| a.starts_with("--")) {
+        fail("usage: rmtc submit FILE [--wait] [--poll-ms N] [--out PATH] [--result-out PATH] [--expect-hit|--expect-miss]");
+    }
+    let mut opts = SubmitOpts {
+        file: args.remove(0),
+        wait: false,
+        poll_ms: 200,
+        out: None,
+        result_out: None,
+        expect: None,
+    };
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--wait" => opts.wait = true,
+            "--poll-ms" => {
+                opts.poll_ms = value("--poll-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--poll-ms needs a number"))
+            }
+            "--out" => opts.out = Some(value("--out")),
+            "--result-out" => opts.result_out = Some(value("--result-out")),
+            "--expect-hit" => opts.expect = Some(true),
+            "--expect-miss" => opts.expect = Some(false),
+            other => fail(&format!("unknown submit flag `{other}`")),
+        }
+    }
+    if opts.result_out.is_some() {
+        opts.wait = true;
+    }
+    opts
+}
+
+fn submit(client: &mut Client, opts: SubmitOpts) {
+    let text = std::fs::read_to_string(&opts.file)
+        .unwrap_or_else(|e| fail(&format!("{}: {e}", opts.file)));
+    let doc = parse(&text).unwrap_or_else(|e| fail(&format!("{}: invalid JSON: {e}", opts.file)));
+    let endpoint = match doc.get("type").and_then(Json::as_str) {
+        Some("sweep") => "/v1/sweep",
+        _ => "/v1/run",
+    };
+    let resp = post(client, endpoint, text.as_bytes());
+    expect_2xx(&resp, "submit");
+    if let Some(path) = &opts.out {
+        write_out(path, &resp.body);
+    }
+    let envelope = body_json(&resp);
+    let digest = envelope
+        .get("digest")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| fail("envelope lacks a digest"))
+        .to_string();
+    let hit = envelope.get("cache_hit").and_then(Json::as_bool) == Some(true);
+    match opts.expect {
+        Some(true) if !hit => refuse("expected a cache hit but the request missed"),
+        Some(false) if hit => refuse("expected a cache miss but the request hit"),
+        _ => {}
+    }
+    eprintln!(
+        "submitted {} -> digest {digest} ({})",
+        opts.file,
+        if hit { "cache hit" } else { "queued" }
+    );
+
+    if !hit && opts.wait {
+        let job = envelope
+            .get("job")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| fail("miss envelope lacks a job id"))
+            .to_string();
+        loop {
+            std::thread::sleep(Duration::from_millis(opts.poll_ms));
+            let status_doc = body_json(&get(client, &format!("/v1/jobs/{job}")));
+            match status_doc.get("status").and_then(Json::as_str) {
+                Some("done") => break,
+                Some("failed") => {
+                    let why = status_doc
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unknown");
+                    refuse(&format!("job {job} failed: {why}"));
+                }
+                Some(state) => {
+                    let pm = status_doc
+                        .get("progress_permille")
+                        .and_then(Json::as_u64)
+                        .unwrap_or(0);
+                    eprintln!("  {job}: {state} ({}.{}%)", pm / 10, pm % 10);
+                }
+                None => fail("status document lacks a `status`"),
+            }
+        }
+    }
+    if let Some(path) = &opts.result_out {
+        let resp = get(client, &format!("/v1/results/{digest}"));
+        expect_2xx(&resp, "result fetch");
+        write_out(path, &resp.body);
+        eprintln!("result {digest} -> {path}");
+    }
+}

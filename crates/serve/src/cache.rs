@@ -1,0 +1,241 @@
+//! Two-tier content-addressed result cache.
+//!
+//! Results are keyed by the request digest ([`rmt_sim::ServiceRequest`]'s
+//! canonical-JSON content address). The simulator is deterministic, so one
+//! digest maps to exactly one result document forever — there is no
+//! invalidation, only capacity eviction.
+//!
+//! * **Memory tier** — the encoded document text under an LRU stamp, capped
+//!   at a document count; eviction drops the least-recently-touched entry.
+//! * **Disk tier** — `dir/<d[0..2]>/<digest>.json`, written atomically
+//!   (temp file + rename) and never evicted; a memory miss that hits disk
+//!   promotes the document back into memory.
+//!
+//! [`ResultCache::get`] returns the stored *text* so a served result is
+//! bitwise identical on every hit — the byte contract `scripts/ci.sh`
+//! asserts with `cmp`.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Hit/miss/eviction counts, snapshotted for `/metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the memory tier.
+    pub mem_hits: u64,
+    /// Lookups answered from the disk tier (after a memory miss).
+    pub disk_hits: u64,
+    /// Lookups neither tier could answer.
+    pub misses: u64,
+    /// Memory-tier entries dropped to stay under the capacity cap.
+    pub evictions: u64,
+}
+
+#[derive(Debug, Default)]
+struct MemTier {
+    /// digest -> (document text, last-touch stamp).
+    entries: HashMap<String, (String, u64)>,
+    /// Monotonic touch clock for LRU ordering.
+    clock: u64,
+}
+
+/// The cache. All methods take `&self`; the memory tier is behind a mutex
+/// and the counters are atomics, so worker threads and connection threads
+/// share one instance.
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+    mem_cap: usize,
+    mem: Mutex<MemTier>,
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the disk tier under `dir`, with at most
+    /// `mem_cap` documents held in memory (`0` disables the memory tier).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `create_dir_all` failure.
+    pub fn new(dir: &Path, mem_cap: usize) -> std::io::Result<ResultCache> {
+        fs::create_dir_all(dir)?;
+        Ok(ResultCache {
+            dir: dir.to_path_buf(),
+            mem_cap,
+            mem: Mutex::new(MemTier::default()),
+            mem_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        })
+    }
+
+    /// `dir/<first two hex chars>/<digest>.json` — a two-level fan-out so
+    /// a long-lived cache does not pile thousands of files in one
+    /// directory.
+    fn path_for(&self, digest: &str) -> PathBuf {
+        let shard = digest.get(..2).unwrap_or("xx");
+        self.dir.join(shard).join(format!("{digest}.json"))
+    }
+
+    /// Looks `digest` up, memory first, then disk (promoting a disk hit
+    /// back into memory). Returns the stored document text verbatim.
+    pub fn get(&self, digest: &str) -> Option<String> {
+        {
+            let mut mem = self.mem.lock().expect("cache mutex poisoned");
+            mem.clock += 1;
+            let stamp = mem.clock;
+            if let Some((text, touched)) = mem.entries.get_mut(digest) {
+                *touched = stamp;
+                self.mem_hits.fetch_add(1, Ordering::Relaxed);
+                return Some(text.clone());
+            }
+        }
+        match fs::read_to_string(self.path_for(digest)) {
+            Ok(text) => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.insert_mem(digest, &text);
+                Some(text)
+            }
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores `text` under `digest` in both tiers. The disk write is
+    /// atomic (unique temp file, then rename), so a concurrent reader
+    /// sees either nothing or the whole document — and because the
+    /// simulator is deterministic, two racing writers write identical
+    /// bytes and either rename winning is correct.
+    ///
+    /// # Errors
+    ///
+    /// Propagates disk I/O failures (the memory tier is still updated, so
+    /// a full disk degrades the cache instead of losing the result).
+    pub fn put(&self, digest: &str, text: &str) -> std::io::Result<()> {
+        self.insert_mem(digest, text);
+        let path = self.path_for(digest);
+        let dir = path.parent().expect("shard path has a parent");
+        fs::create_dir_all(dir)?;
+        let tmp = dir.join(format!(".{digest}.{}.tmp", std::process::id()));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)
+    }
+
+    fn insert_mem(&self, digest: &str, text: &str) {
+        if self.mem_cap == 0 {
+            return;
+        }
+        let mut mem = self.mem.lock().expect("cache mutex poisoned");
+        mem.clock += 1;
+        let stamp = mem.clock;
+        mem.entries
+            .insert(digest.to_string(), (text.to_string(), stamp));
+        while mem.entries.len() > self.mem_cap {
+            let oldest = mem
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, touched))| *touched)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty over-cap tier");
+            mem.entries.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            mem_hits: self.mem_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of documents currently in the memory tier.
+    pub fn mem_len(&self) -> usize {
+        self.mem.lock().expect("cache mutex poisoned").entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    static TEST_DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let n = TEST_DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("rmt-cache-test-{}-{tag}-{n}", std::process::id()))
+    }
+
+    #[test]
+    fn put_then_get_returns_identical_text() {
+        let dir = temp_dir("roundtrip");
+        let cache = ResultCache::new(&dir, 4).unwrap();
+        assert_eq!(cache.get("00ff"), None);
+        cache.put("00ff", "{\n  \"x\": 1\n}").unwrap();
+        assert_eq!(cache.get("00ff").as_deref(), Some("{\n  \"x\": 1\n}"));
+        let s = cache.stats();
+        assert_eq!((s.misses, s.mem_hits), (1, 1));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_tier_survives_a_fresh_cache_and_promotes() {
+        let dir = temp_dir("disk");
+        ResultCache::new(&dir, 4)
+            .unwrap()
+            .put("ab12", "doc")
+            .unwrap();
+        let fresh = ResultCache::new(&dir, 4).unwrap();
+        assert_eq!(fresh.get("ab12").as_deref(), Some("doc"));
+        assert_eq!(fresh.stats().disk_hits, 1);
+        // Promoted: the second lookup is a memory hit.
+        assert_eq!(fresh.get("ab12").as_deref(), Some("doc"));
+        assert_eq!(fresh.stats().mem_hits, 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn memory_tier_evicts_least_recently_used() {
+        let dir = temp_dir("lru");
+        let cache = ResultCache::new(&dir, 2).unwrap();
+        cache.put("aa00", "a").unwrap();
+        cache.put("bb00", "b").unwrap();
+        cache.get("aa00"); // refresh aa00 so bb00 is the LRU entry
+        cache.put("cc00", "c").unwrap();
+        assert_eq!(cache.mem_len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // The evicted document still answers from disk.
+        assert_eq!(cache.get("bb00").as_deref(), Some("b"));
+        assert_eq!(cache.stats().disk_hits, 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_memory_tier() {
+        let dir = temp_dir("nomem");
+        let cache = ResultCache::new(&dir, 0).unwrap();
+        cache.put("dd00", "d").unwrap();
+        assert_eq!(cache.mem_len(), 0);
+        assert_eq!(cache.get("dd00").as_deref(), Some("d"));
+        assert_eq!(cache.stats().disk_hits, 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,146 @@
+//! A minimal blocking HTTP/1.1 client over `TcpStream`, shared by the
+//! `rmtc` CLI, the `loadgen` driver, and the end-to-end tests. One
+//! [`Client`] holds one keep-alive connection and reconnects
+//! transparently if the server closed it.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A keep-alive HTTP connection to one server address.
+#[derive(Debug)]
+pub struct Client {
+    addr: String,
+    conn: Option<TcpStream>,
+}
+
+/// One response: status code and body bytes.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The HTTP status code.
+    pub status: u16,
+    /// The response body, verbatim.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// The body as UTF-8 text (replacement characters on bad bytes —
+    /// the server only ever sends JSON).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+impl Client {
+    /// A client for `addr` (`host:port`). Connection is lazy.
+    pub fn new(addr: &str) -> Client {
+        Client {
+            addr: addr.to_string(),
+            conn: None,
+        }
+    }
+
+    /// `GET path`.
+    ///
+    /// # Errors
+    ///
+    /// Connection or protocol failures.
+    pub fn get(&mut self, path: &str) -> std::io::Result<Response> {
+        self.request("GET", path, b"")
+    }
+
+    /// `POST path` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// Connection or protocol failures.
+    pub fn post(&mut self, path: &str, body: &[u8]) -> std::io::Result<Response> {
+        self.request("POST", path, body)
+    }
+
+    /// Issues one request, reconnecting once if the kept-alive
+    /// connection turned out to be dead.
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> std::io::Result<Response> {
+        match self.try_once(method, path, body) {
+            Ok(r) => Ok(r),
+            Err(_) => {
+                self.conn = None;
+                self.try_once(method, path, body)
+            }
+        }
+    }
+
+    fn try_once(&mut self, method: &str, path: &str, body: &[u8]) -> std::io::Result<Response> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+            self.conn = Some(stream);
+        }
+        let stream = self.conn.as_mut().expect("just connected");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\n\r\n",
+            self.addr,
+            body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body)?;
+        let response = read_response(stream);
+        if response.is_err() {
+            self.conn = None;
+        }
+        response
+    }
+}
+
+fn protocol_err(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+/// Reads one `Content-Length`-framed response off the stream.
+fn read_response(stream: &mut TcpStream) -> std::io::Result<Response> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 8192];
+    let head_end = loop {
+        if let Some(i) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break i;
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(protocol_err("connection closed mid-response"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| protocol_err("non-UTF-8 response head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| protocol_err("empty response"))?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| protocol_err("bad status line"))?;
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| protocol_err("bad content-length"))?;
+            }
+        }
+    }
+    let body_start = head_end + 4;
+    let body_end = body_start + content_length;
+    while buf.len() < body_end {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(protocol_err("connection closed mid-body"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    Ok(Response {
+        status,
+        body: buf[body_start..body_end].to_vec(),
+    })
+}

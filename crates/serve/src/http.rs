@@ -1,0 +1,354 @@
+//! A hand-rolled HTTP/1.1 message layer (the build is offline — no
+//! framework crates), sized to what the daemon needs: request parsing
+//! with `Content-Length` bodies, pipelining, keep-alive, and response
+//! serialization.
+//!
+//! The parser is **incremental**: [`try_parse`] looks at whatever bytes
+//! have arrived so far and either produces a complete request plus the
+//! number of bytes it consumed (pipelined requests parse one at a time
+//! from the same buffer), asks for more bytes, or rejects the stream with
+//! an [`HttpError`] that maps to a 4xx/5xx status. Malformed input is a
+//! *value*, never a panic — the property-fuzz suite drives arbitrary
+//! bytes through here under `catch_unwind`.
+
+use std::fmt;
+
+/// Hard limit on the request head (request line + headers + CRLFCRLF).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Hard limit on the number of header fields.
+pub const MAX_HEADERS: usize = 64;
+/// Hard limit on a request body (a full machine-spec sweep document is
+/// a few KiB; 4 MiB leaves two orders of magnitude of headroom).
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// Rejection reasons, each with a definite HTTP status: the connection
+/// handler turns these into error responses, so bad input yields 4xx/5xx,
+/// never a panic and never a hang.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The request line is not `METHOD SP TARGET SP HTTP/1.x`.
+    BadRequestLine,
+    /// Only HTTP/1.0 and HTTP/1.1 are spoken here.
+    BadVersion,
+    /// A header line is malformed (no colon, empty or non-token name,
+    /// or the head is not valid UTF-8).
+    BadHeader,
+    /// More than [`MAX_HEADERS`] header fields.
+    TooManyHeaders,
+    /// The head exceeds [`MAX_HEAD_BYTES`] without terminating.
+    HeadTooLarge,
+    /// `Content-Length` is unparseable or self-contradictory.
+    BadContentLength,
+    /// The declared body exceeds [`MAX_BODY_BYTES`].
+    BodyTooLarge,
+    /// A `Transfer-Encoding` was requested (chunked bodies unsupported).
+    UnsupportedTransferEncoding,
+}
+
+impl HttpError {
+    /// The HTTP status this rejection answers with.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::HeadTooLarge | HttpError::TooManyHeaders => 431,
+            HttpError::BodyTooLarge => 413,
+            HttpError::UnsupportedTransferEncoding => 501,
+            HttpError::BadVersion => 505,
+            _ => 400,
+        }
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            HttpError::BadRequestLine => "malformed request line",
+            HttpError::BadVersion => "unsupported HTTP version",
+            HttpError::BadHeader => "malformed header",
+            HttpError::TooManyHeaders => "too many headers",
+            HttpError::HeadTooLarge => "request head too large",
+            HttpError::BadContentLength => "bad Content-Length",
+            HttpError::BodyTooLarge => "request body too large",
+            HttpError::UnsupportedTransferEncoding => "Transfer-Encoding unsupported",
+        };
+        f.write_str(msg)
+    }
+}
+
+/// One parsed request. Header names are lowercased; the body is raw bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// The path component of the target (query string stripped).
+    pub path: String,
+    /// `(lowercased-name, trimmed-value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The `Content-Length` body (empty without one).
+    pub body: Vec<u8>,
+    /// Whether the connection must close after this exchange
+    /// (`Connection: close`, or HTTP/1.0 without `keep-alive`).
+    pub close: bool,
+}
+
+impl Request {
+    /// First value of header `name` (ASCII case-insensitive lookup).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A legal header-field-name byte (RFC 7230 tchar).
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
+}
+
+/// Attempts to parse one complete request from the front of `buf`.
+///
+/// Returns:
+/// * `Ok(Some((request, consumed)))` — a full request; the caller drains
+///   `consumed` bytes and may call again for the next pipelined request;
+/// * `Ok(None)` — the bytes so far are a valid prefix; read more;
+/// * `Err(e)` — the stream is unsalvageable; answer `e.status()` and close.
+///
+/// Never panics, for any byte sequence.
+pub fn try_parse(buf: &[u8]) -> Result<Option<(Request, usize)>, HttpError> {
+    // Locate the end of the head.
+    let head_window = &buf[..buf.len().min(MAX_HEAD_BYTES)];
+    let head_end = match find_subslice(head_window, b"\r\n\r\n") {
+        Some(i) => i,
+        None if buf.len() >= MAX_HEAD_BYTES => return Err(HttpError::HeadTooLarge),
+        None => return Ok(None),
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| HttpError::BadHeader)?;
+    let body_start = head_end + 4;
+
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or(HttpError::BadRequestLine)?;
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(HttpError::BadRequestLine),
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::BadRequestLine);
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::BadRequestLine);
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        v if v.starts_with("HTTP/") => return Err(HttpError::BadVersion),
+        _ => return Err(HttpError::BadRequestLine),
+    };
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    for line in lines {
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::TooManyHeaders);
+        }
+        let (name, value) = line.split_once(':').ok_or(HttpError::BadHeader)?;
+        if name.is_empty() || !name.bytes().all(is_token_byte) {
+            return Err(HttpError::BadHeader);
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err(HttpError::UnsupportedTransferEncoding);
+    }
+    let mut content_length = 0u64;
+    let mut saw_length = false;
+    for (k, v) in &headers {
+        if k != "content-length" {
+            continue;
+        }
+        let n: u64 = v.parse().map_err(|_| HttpError::BadContentLength)?;
+        if saw_length && n != content_length {
+            return Err(HttpError::BadContentLength);
+        }
+        content_length = n;
+        saw_length = true;
+    }
+    if content_length > MAX_BODY_BYTES as u64 {
+        return Err(HttpError::BodyTooLarge);
+    }
+    let content_length = content_length as usize;
+    let Some(body_end) = body_start.checked_add(content_length) else {
+        return Err(HttpError::BadContentLength);
+    };
+    if buf.len() < body_end {
+        return Ok(None); // truncated body: wait for the rest
+    }
+
+    let connection = headers
+        .iter()
+        .find(|(k, _)| k == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase());
+    let close = match connection.as_deref() {
+        Some("close") => true,
+        Some("keep-alive") => false,
+        _ => !http11,
+    };
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    Ok(Some((
+        Request {
+            method: method.to_string(),
+            path,
+            headers,
+            body: buf[body_start..body_end].to_vec(),
+            close,
+        },
+        body_end,
+    )))
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// The standard reason phrase for the statuses this server emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes a response with a `Content-Length` body.
+pub fn response(status: u16, content_type: &str, body: &[u8], close: bool) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
+        status,
+        status_text(status),
+        content_type,
+        body.len()
+    )
+    .into_bytes();
+    if close {
+        out.extend_from_slice(b"connection: close\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(bytes: &[u8]) -> (Request, usize) {
+        try_parse(bytes).unwrap().expect("complete request")
+    }
+
+    #[test]
+    fn parses_a_get() {
+        let (r, used) = parse_one(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert_eq!(r.header("host"), Some("x"));
+        assert!(r.body.is_empty());
+        assert!(!r.close);
+        assert_eq!(used, 34);
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_strips_query() {
+        let (r, _) = parse_one(b"POST /v1/run?x=1 HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcd");
+        assert_eq!(r.path, "/v1/run");
+        assert_eq!(r.body, b"abcd");
+    }
+
+    #[test]
+    fn incomplete_head_and_body_ask_for_more() {
+        assert_eq!(try_parse(b"GET / HT"), Ok(None));
+        assert_eq!(
+            try_parse(b"POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc"),
+            Ok(None)
+        );
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_sequence() {
+        let stream = b"GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\ncontent-length: 2\r\n\r\nhi";
+        let (first, used) = parse_one(stream);
+        assert_eq!(first.path, "/a");
+        let (second, used2) = parse_one(&stream[used..]);
+        assert_eq!(second.path, "/b");
+        assert_eq!(second.body, b"hi");
+        assert_eq!(used + used2, stream.len());
+    }
+
+    #[test]
+    fn connection_semantics() {
+        let (r, _) = parse_one(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(r.close);
+        let (r, _) = parse_one(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(r.close, "HTTP/1.0 defaults to close");
+        let (r, _) = parse_one(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(!r.close);
+    }
+
+    #[test]
+    fn rejections_carry_4xx_statuses() {
+        let cases: &[(&[u8], u16)] = &[
+            (b"NONSENSE\r\n\r\n", 400),
+            (b"get / HTTP/1.1\r\n\r\n", 400),
+            (b"GET x HTTP/1.1\r\n\r\n", 400),
+            (b"GET / HTTP/2.0\r\n\r\n", 505),
+            (b"GET / HTTP/1.1\r\nbad header line\r\n\r\n", 400),
+            (b"POST / HTTP/1.1\r\ncontent-length: ten\r\n\r\n", 400),
+            (
+                b"POST / HTTP/1.1\r\ncontent-length: 1\r\ncontent-length: 2\r\n\r\n",
+                400,
+            ),
+            (
+                b"POST / HTTP/1.1\r\ncontent-length: 99999999999\r\n\r\n",
+                413,
+            ),
+            (
+                b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+                501,
+            ),
+        ];
+        for (bytes, status) in cases {
+            let err = try_parse(bytes).expect_err("must reject");
+            assert_eq!(err.status(), *status, "{bytes:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn oversized_head_is_rejected_once_the_limit_passes() {
+        let mut big = b"GET / HTTP/1.1\r\n".to_vec();
+        while big.len() < MAX_HEAD_BYTES {
+            big.extend_from_slice(b"x-filler: yes\r\n");
+        }
+        assert_eq!(try_parse(&big), Err(HttpError::HeadTooLarge));
+    }
+
+    #[test]
+    fn response_bytes_are_well_formed() {
+        let bytes = response(200, "application/json", b"{}", false);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+        let closed = String::from_utf8(response(404, "text/plain", b"no", true)).unwrap();
+        assert!(closed.contains("connection: close\r\n"));
+    }
+}

@@ -1,0 +1,277 @@
+//! Bounded job queue with in-flight deduplication and graceful drain.
+//!
+//! Connection threads [`JobTable::submit`] validated requests; worker
+//! threads block in [`JobTable::next_job`] until work arrives. Two
+//! concurrent submissions of the same digest share one job (the second
+//! submitter gets the first job's id), so a thundering herd of identical
+//! requests costs one simulation. [`JobTable::drain`] stops intake and
+//! releases each worker with `None` once the queue empties — the
+//! daemon's graceful-shutdown path.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+
+/// Lifecycle of one submitted job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is simulating it.
+    Running,
+    /// Finished; the result is in the cache under the job's digest.
+    Done,
+    /// The simulation failed (message retained for the status endpoint).
+    Failed(String),
+}
+
+impl JobStatus {
+    /// The status string the `/v1/jobs/<id>` document reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed(_) => "failed",
+        }
+    }
+}
+
+/// One job's bookkeeping, cloned out for status responses.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// `j-000001`-style id, assigned at submission.
+    pub id: String,
+    /// The request's content digest (the cache key of its result).
+    pub digest: String,
+    /// The canonical request document the worker will execute, carried
+    /// with the job so queueing and payload hand-off are one atomic step.
+    pub payload: String,
+    /// Where the job is in its lifecycle.
+    pub status: JobStatus,
+    /// Completion estimate in thousandths, updated by the worker's
+    /// progress sink.
+    pub progress_permille: u64,
+}
+
+/// What [`JobTable::submit`] decided.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Submit {
+    /// A new job was queued.
+    New(String),
+    /// An identical request is already queued or running; ride along.
+    InFlight(String),
+    /// The queue is at capacity — answer 503 and let the client retry.
+    QueueFull,
+    /// The daemon is draining — no new work.
+    Draining,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    jobs: HashMap<String, JobRecord>,
+    queue: VecDeque<String>,
+    /// digest -> job id for queued/running jobs (in-flight dedup).
+    by_digest: HashMap<String, String>,
+    next_id: u64,
+    draining: bool,
+}
+
+/// The shared queue: one instance, reference-counted across connection
+/// and worker threads.
+#[derive(Debug)]
+pub struct JobTable {
+    inner: Mutex<Inner>,
+    work_ready: Condvar,
+    queue_cap: usize,
+}
+
+impl JobTable {
+    /// A table whose queue holds at most `queue_cap` waiting jobs.
+    pub fn new(queue_cap: usize) -> JobTable {
+        JobTable {
+            inner: Mutex::new(Inner::default()),
+            work_ready: Condvar::new(),
+            queue_cap: queue_cap.max(1),
+        }
+    }
+
+    /// Queues a job for `digest` carrying the canonical request document
+    /// `payload`, deduplicating against identical in-flight work.
+    pub fn submit(&self, digest: &str, payload: &str) -> Submit {
+        let mut inner = self.inner.lock().expect("job mutex poisoned");
+        if inner.draining {
+            return Submit::Draining;
+        }
+        if let Some(id) = inner.by_digest.get(digest) {
+            return Submit::InFlight(id.clone());
+        }
+        if inner.queue.len() >= self.queue_cap {
+            return Submit::QueueFull;
+        }
+        inner.next_id += 1;
+        let id = format!("j-{:06}", inner.next_id);
+        inner.jobs.insert(
+            id.clone(),
+            JobRecord {
+                id: id.clone(),
+                digest: digest.to_string(),
+                payload: payload.to_string(),
+                status: JobStatus::Queued,
+                progress_permille: 0,
+            },
+        );
+        inner.by_digest.insert(digest.to_string(), id.clone());
+        inner.queue.push_back(id.clone());
+        self.work_ready.notify_one();
+        Submit::New(id)
+    }
+
+    /// Blocks until a job is available, marks it `Running`, and returns
+    /// it. Returns `None` once the table is draining and the queue is
+    /// empty — the worker's signal to exit.
+    pub fn next_job(&self) -> Option<JobRecord> {
+        let mut inner = self.inner.lock().expect("job mutex poisoned");
+        loop {
+            if let Some(id) = inner.queue.pop_front() {
+                let rec = inner.jobs.get_mut(&id).expect("queued job exists");
+                rec.status = JobStatus::Running;
+                return Some(rec.clone());
+            }
+            if inner.draining {
+                return None;
+            }
+            inner = self.work_ready.wait(inner).expect("job mutex poisoned");
+        }
+    }
+
+    /// Updates a running job's completion estimate (thousandths).
+    pub fn set_progress(&self, id: &str, permille: u64) {
+        let mut inner = self.inner.lock().expect("job mutex poisoned");
+        if let Some(rec) = inner.jobs.get_mut(id) {
+            rec.progress_permille = permille.min(1000);
+        }
+    }
+
+    /// Marks a job `Done` (its result is now in the cache).
+    pub fn complete(&self, id: &str) {
+        self.finish(id, JobStatus::Done);
+    }
+
+    /// Marks a job `Failed` with the simulation's error message.
+    pub fn fail(&self, id: &str, error: String) {
+        self.finish(id, JobStatus::Failed(error));
+    }
+
+    fn finish(&self, id: &str, status: JobStatus) {
+        let mut inner = self.inner.lock().expect("job mutex poisoned");
+        if let Some(rec) = inner.jobs.get_mut(id) {
+            rec.progress_permille = if status == JobStatus::Done {
+                1000
+            } else {
+                rec.progress_permille
+            };
+            rec.status = status;
+            let digest = rec.digest.clone();
+            inner.by_digest.remove(&digest);
+        }
+    }
+
+    /// A snapshot of one job's record.
+    pub fn status(&self, id: &str) -> Option<JobRecord> {
+        self.inner
+            .lock()
+            .expect("job mutex poisoned")
+            .jobs
+            .get(id)
+            .cloned()
+    }
+
+    /// Jobs waiting for a worker right now.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.lock().expect("job mutex poisoned").queue.len()
+    }
+
+    /// Whether [`JobTable::drain`] has been called.
+    pub fn draining(&self) -> bool {
+        self.inner.lock().expect("job mutex poisoned").draining
+    }
+
+    /// Stops intake and wakes every worker so each exits once the queue
+    /// is empty.
+    pub fn drain(&self) {
+        let mut inner = self.inner.lock().expect("job mutex poisoned");
+        inner.draining = true;
+        self.work_ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn submit_dedup_and_lifecycle() {
+        let table = JobTable::new(8);
+        let Submit::New(id) = table.submit("d1", "{}") else {
+            panic!("first submit must queue");
+        };
+        assert_eq!(table.submit("d1", "{}"), Submit::InFlight(id.clone()));
+        assert_eq!(table.queue_depth(), 1);
+
+        let job = table.next_job().unwrap();
+        assert_eq!(job.id, id);
+        assert_eq!(table.status(&id).unwrap().status, JobStatus::Running);
+        // Still in flight while running: dedup continues to apply.
+        assert_eq!(table.submit("d1", "{}"), Submit::InFlight(id.clone()));
+
+        table.set_progress(&id, 400);
+        assert_eq!(table.status(&id).unwrap().progress_permille, 400);
+        table.complete(&id);
+        let done = table.status(&id).unwrap();
+        assert_eq!(done.status, JobStatus::Done);
+        assert_eq!(done.progress_permille, 1000);
+        // Completed jobs no longer dedup — a resubmit is the cache's
+        // problem, and here it queues fresh.
+        assert!(matches!(table.submit("d1", "{}"), Submit::New(_)));
+    }
+
+    #[test]
+    fn queue_capacity_and_drain() {
+        let table = JobTable::new(2);
+        assert!(matches!(table.submit("a", "{}"), Submit::New(_)));
+        assert!(matches!(table.submit("b", "{}"), Submit::New(_)));
+        assert_eq!(table.submit("c", "{}"), Submit::QueueFull);
+
+        table.drain();
+        assert_eq!(table.submit("d", "{}"), Submit::Draining);
+        // Queued work still drains before workers are released.
+        assert!(table.next_job().is_some());
+        assert!(table.next_job().is_some());
+        assert!(table.next_job().is_none());
+    }
+
+    #[test]
+    fn failed_jobs_keep_their_error() {
+        let table = JobTable::new(2);
+        let Submit::New(id) = table.submit("x", "{}") else {
+            panic!("queue");
+        };
+        table.next_job().unwrap();
+        table.fail(&id, "budget exceeded".into());
+        let rec = table.status(&id).unwrap();
+        assert_eq!(rec.status, JobStatus::Failed("budget exceeded".into()));
+        assert_eq!(rec.status.name(), "failed");
+    }
+
+    #[test]
+    fn drain_releases_blocked_workers() {
+        let table = Arc::new(JobTable::new(2));
+        let t2 = Arc::clone(&table);
+        let worker = std::thread::spawn(move || t2.next_job());
+        // Give the worker a moment to block, then drain.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        table.drain();
+        assert!(worker.join().unwrap().is_none());
+    }
+}

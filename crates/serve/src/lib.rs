@@ -1,0 +1,35 @@
+//! Simulation-as-a-service: a long-running daemon that accepts resolved
+//! machine-spec run and sweep documents over HTTP, executes them on a
+//! bounded job queue, and memoizes every result in a two-tier
+//! content-addressed cache.
+//!
+//! The simulator is deterministic — identical canonical requests produce
+//! bitwise-identical result documents at any parallelism level — so a
+//! result is cached forever under its request's digest
+//! ([`rmt_sim::ServiceRequest::digest`]): the first submission simulates,
+//! every repeat is answered from the cache without touching a core model.
+//!
+//! * [`http`] — hand-rolled, panic-free HTTP/1.1 parsing (the build is
+//!   fully offline; no framework crates).
+//! * [`cache`] — in-memory LRU over an atomic-rename disk tier.
+//! * [`jobs`] — bounded queue with in-flight dedup and graceful drain.
+//! * [`server`] — endpoints, worker pool, `/metrics` snapshot.
+//! * [`client`] — the minimal blocking client behind `rmtc` and `loadgen`.
+//!
+//! Binaries: `rmt-serve` (the daemon), `rmtc` (submit/poll/fetch), and
+//! `loadgen` (closed-loop throughput/latency driver emitting
+//! `BENCH_PR9.json`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod jobs;
+pub mod server;
+
+pub use cache::ResultCache;
+pub use client::Client;
+pub use jobs::JobTable;
+pub use server::{Server, ServerConfig, ServerHandle};

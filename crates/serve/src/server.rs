@@ -1,0 +1,508 @@
+//! The daemon: accept loop, connection handling, request routing, the
+//! worker pool that drains the job queue, and the `/metrics` snapshot.
+//!
+//! [`Server::start`] binds a `TcpListener` (port `0` picks an ephemeral
+//! port — `scripts/ci.sh` uses this), spawns one accept thread plus the
+//! configured worker threads, and returns a [`ServerHandle`] the caller
+//! can wait on or stop. Every endpoint answers JSON; submission
+//! endpoints check the content-addressed cache first and only queue a
+//! job on a miss, so a repeated request is answered bitwise-identically
+//! without re-simulation.
+//!
+//! Shutdown is cooperative: `POST /v1/shutdown` (or
+//! [`ServerHandle::stop`]) drains the job queue — intake answers 503,
+//! queued work finishes, workers exit, then the accept loop stops. The
+//! build forbids `unsafe` and ships no signal-handling crate, so Ctrl-C
+//! is an abrupt exit; the disk cache's atomic writes keep it consistent
+//! anyway.
+
+use crate::cache::ResultCache;
+use crate::http::{self, Request};
+use crate::jobs::{JobStatus, JobTable, Submit};
+use rmt_sim::service::ServiceRequest;
+use rmt_sim::ProgressSink;
+use rmt_stats::json::parse;
+use rmt_stats::{Histogram, Json, MetricsRegistry};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The envelope schema tag every JSON response carries.
+pub const SCHEMA: &str = "rmt-serve/v1";
+
+/// Endpoint labels for the per-endpoint request counters and latency
+/// histograms (stable metric names — `serve/requests/<label>`).
+const ENDPOINTS: &[&str] = &[
+    "run", "sweep", "jobs", "results", "metrics", "healthz", "shutdown", "other",
+];
+
+/// Everything `rmt-serve` needs to start.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` requests an ephemeral port.
+    pub addr: String,
+    /// Disk tier of the result cache.
+    pub cache_dir: PathBuf,
+    /// Worker threads draining the job queue.
+    pub workers: usize,
+    /// Maximum queued (not yet running) jobs before 503.
+    pub queue_cap: usize,
+    /// Documents held in the in-memory cache tier.
+    pub mem_cache: usize,
+    /// `--jobs` level each worker hands the simulator (sweep fan-out).
+    pub inner_jobs: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            cache_dir: PathBuf::from("target/rmt-cache"),
+            workers: 2,
+            queue_cap: 64,
+            mem_cache: 128,
+            inner_jobs: 1,
+        }
+    }
+}
+
+/// Per-endpoint request count and latency distribution.
+#[derive(Debug)]
+struct EndpointStats {
+    requests: AtomicU64,
+    /// Milliseconds, 1 ms buckets (overflow clamps to the last bucket).
+    latency_ms: Mutex<Histogram>,
+}
+
+/// State shared by the accept loop, connection threads, and workers.
+#[derive(Debug)]
+struct Shared {
+    cfg: ServerConfig,
+    cache: ResultCache,
+    jobs: JobTable,
+    endpoints: Vec<EndpointStats>,
+    jobs_completed: AtomicU64,
+    jobs_failed: AtomicU64,
+    /// Stops the accept loop (set after the workers have drained).
+    shutdown: AtomicBool,
+}
+
+fn err_body(msg: &str) -> Json {
+    Json::obj().with("error", Json::Str(msg.to_string()))
+}
+
+/// `(status, body)` of one routed request.
+type Reply = (u16, Vec<u8>);
+
+fn json_reply(status: u16, doc: &Json) -> Reply {
+    let mut text = doc.encode_pretty();
+    text.push('\n');
+    (status, text.into_bytes())
+}
+
+impl Shared {
+    fn endpoint_index(method: &str, path: &str) -> usize {
+        let label = match (method, path) {
+            ("POST", "/v1/run") => "run",
+            ("POST", "/v1/sweep") => "sweep",
+            ("POST", "/v1/shutdown") => "shutdown",
+            ("GET", "/metrics") => "metrics",
+            ("GET", "/healthz") => "healthz",
+            ("GET", p) if p.starts_with("/v1/jobs/") => "jobs",
+            ("GET", p) if p.starts_with("/v1/results/") => "results",
+            _ => "other",
+        };
+        ENDPOINTS
+            .iter()
+            .position(|e| *e == label)
+            .expect("known label")
+    }
+
+    fn route(&self, req: &Request) -> Reply {
+        let start = Instant::now();
+        let idx = Shared::endpoint_index(&req.method, &req.path);
+        let reply = self.dispatch(req, start);
+        let stats = &self.endpoints[idx];
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        stats
+            .latency_ms
+            .lock()
+            .expect("latency mutex poisoned")
+            .record(start.elapsed().as_millis() as u64);
+        reply
+    }
+
+    fn dispatch(&self, req: &Request, start: Instant) -> Reply {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => {
+                let status = if self.jobs.draining() {
+                    "draining"
+                } else {
+                    "ok"
+                };
+                json_reply(
+                    200,
+                    &Json::obj()
+                        .with("schema", Json::Str(SCHEMA.into()))
+                        .with("status", Json::Str(status.into())),
+                )
+            }
+            ("GET", "/metrics") => json_reply(200, &self.metrics_json()),
+            ("POST", "/v1/run") => self.submit(&req.body, "run", start),
+            ("POST", "/v1/sweep") => self.submit(&req.body, "sweep", start),
+            ("POST", "/v1/shutdown") => {
+                self.jobs.drain();
+                json_reply(
+                    200,
+                    &Json::obj()
+                        .with("schema", Json::Str(SCHEMA.into()))
+                        .with("status", Json::Str("draining".into())),
+                )
+            }
+            ("GET", p) if p.starts_with("/v1/jobs/") => self.job_status(&p["/v1/jobs/".len()..]),
+            ("GET", p) if p.starts_with("/v1/results/") => self.result(&p["/v1/results/".len()..]),
+            (
+                "GET" | "POST",
+                "/healthz" | "/metrics" | "/v1/run" | "/v1/sweep" | "/v1/shutdown",
+            ) => json_reply(405, &err_body("method not allowed")),
+            _ => json_reply(404, &err_body("no such endpoint")),
+        }
+    }
+
+    /// `POST /v1/run` and `/v1/sweep`: parse, canonicalize, answer from
+    /// the cache on a digest hit, otherwise queue a job.
+    fn submit(&self, body: &[u8], expected_type: &str, start: Instant) -> Reply {
+        let Ok(text) = std::str::from_utf8(body) else {
+            return json_reply(400, &err_body("request body is not UTF-8"));
+        };
+        let mut doc = match parse(text) {
+            Ok(d) => d,
+            Err(e) => return json_reply(400, &err_body(&format!("bad JSON: {e}"))),
+        };
+        match doc.get("type").and_then(Json::as_str) {
+            Some(t) if t != expected_type => {
+                return json_reply(
+                    400,
+                    &err_body(&format!(
+                        "request type `{t}` does not match endpoint `/v1/{expected_type}`"
+                    )),
+                );
+            }
+            Some(_) => {}
+            None => {
+                // A bare document submitted to a typed endpoint gets the
+                // endpoint's type (convenience); a non-object falls
+                // through to the validator's error.
+                if doc.members().is_some() && doc.get("type").is_none() {
+                    doc.set("type", Json::Str(expected_type.to_string()));
+                }
+            }
+        }
+        let request = match ServiceRequest::from_json(&doc) {
+            Ok(r) => r,
+            Err(e) => return json_reply(422, &err_body(&e)),
+        };
+        let digest = request.digest();
+        let envelope = Json::obj()
+            .with("schema", Json::Str(SCHEMA.into()))
+            .with("digest", Json::Str(digest.clone()));
+
+        if let Some(cached) = self.cache.get(&digest) {
+            let result = parse(&cached).expect("cached documents are valid JSON");
+            let envelope = envelope
+                .with("job", Json::Null)
+                .with("cache_hit", Json::Bool(true))
+                .with("status", Json::Str("done".into()))
+                .with("request", request.canonical_json())
+                .with("result", result)
+                .with(
+                    "host",
+                    Json::obj().with("wall_seconds", Json::F64(start.elapsed().as_secs_f64())),
+                );
+            return json_reply(200, &envelope);
+        }
+
+        let canonical = request.canonical_json();
+        let (job_id, status) = match self.jobs.submit(&digest, &canonical.encode()) {
+            Submit::New(id) => (id, "queued".to_string()),
+            Submit::InFlight(id) => {
+                let status = self
+                    .jobs
+                    .status(&id)
+                    .map(|r| r.status.name().to_string())
+                    .unwrap_or_else(|| "queued".to_string());
+                (id, status)
+            }
+            Submit::QueueFull => {
+                return json_reply(503, &err_body("job queue is full; retry later"));
+            }
+            Submit::Draining => {
+                return json_reply(503, &err_body("server is draining; no new work"));
+            }
+        };
+        let envelope = envelope
+            .with("job", Json::Str(job_id))
+            .with("cache_hit", Json::Bool(false))
+            .with("status", Json::Str(status))
+            .with("request", canonical);
+        json_reply(202, &envelope)
+    }
+
+    fn job_status(&self, id: &str) -> Reply {
+        let Some(rec) = self.jobs.status(id) else {
+            return json_reply(404, &err_body("no such job"));
+        };
+        let mut doc = Json::obj()
+            .with("schema", Json::Str(SCHEMA.into()))
+            .with("job", Json::Str(rec.id.clone()))
+            .with("digest", Json::Str(rec.digest.clone()))
+            .with("status", Json::Str(rec.status.name().to_string()))
+            .with("progress_permille", Json::U64(rec.progress_permille));
+        if let JobStatus::Failed(e) = &rec.status {
+            doc.set("error", Json::Str(e.clone()));
+        }
+        json_reply(200, &doc)
+    }
+
+    /// `GET /v1/results/<digest>`: the cached document bytes, verbatim —
+    /// the endpoint the bitwise-identical contract rides on.
+    fn result(&self, digest: &str) -> Reply {
+        if !rmt_stats::digest::is_digest(digest) {
+            return json_reply(400, &err_body("malformed digest"));
+        }
+        match self.cache.get(digest) {
+            Some(text) => (200, text.into_bytes()),
+            None => json_reply(404, &err_body("no result under that digest")),
+        }
+    }
+
+    fn metrics_json(&self) -> Json {
+        let mut reg = MetricsRegistry::new();
+        let cs = self.cache.stats();
+        reg.counter("serve/cache/mem_hits", cs.mem_hits);
+        reg.counter("serve/cache/disk_hits", cs.disk_hits);
+        reg.counter("serve/cache/hits", cs.mem_hits + cs.disk_hits);
+        reg.counter("serve/cache/misses", cs.misses);
+        reg.counter("serve/cache/evictions", cs.evictions);
+        reg.counter(
+            "serve/jobs/completed",
+            self.jobs_completed.load(Ordering::Relaxed),
+        );
+        reg.counter(
+            "serve/jobs/failed",
+            self.jobs_failed.load(Ordering::Relaxed),
+        );
+        reg.gauge("serve/queue/depth", self.jobs.queue_depth() as f64);
+        for (i, name) in ENDPOINTS.iter().enumerate() {
+            let stats = &self.endpoints[i];
+            reg.counter(
+                &format!("serve/requests/{name}"),
+                stats.requests.load(Ordering::Relaxed),
+            );
+            reg.histogram(
+                &format!("serve/latency_ms/{name}"),
+                &stats.latency_ms.lock().expect("latency mutex poisoned"),
+            );
+        }
+        reg.snapshot().to_json()
+    }
+}
+
+/// Reads requests off one connection (keep-alive, pipelined) until the
+/// peer closes, errors, idles out, or sends something unsalvageable.
+fn handle_connection(shared: Arc<Shared>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 8192];
+    loop {
+        loop {
+            match http::try_parse(&buf) {
+                Ok(Some((req, used))) => {
+                    buf.drain(..used);
+                    let close = req.close;
+                    let (status, body) = shared.route(&req);
+                    let bytes = http::response(status, "application/json", &body, close);
+                    if stream.write_all(&bytes).is_err() || close {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    let body = err_body(&e.to_string()).encode_pretty();
+                    let _ = stream.write_all(&http::response(
+                        e.status(),
+                        "application/json",
+                        body.as_bytes(),
+                        true,
+                    ));
+                    return;
+                }
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+}
+
+/// One worker: pull jobs until the table drains, execute each with a
+/// progress sink wired to the job record, cache the result document.
+fn worker_loop(shared: Arc<Shared>) {
+    while let Some(job) = shared.jobs.next_job() {
+        // The payload is the canonical document the submit path validated;
+        // reparsing cannot fail short of an internal bug, which gets
+        // reported as a failed job rather than a dead worker.
+        let request = parse(&job.payload)
+            .map_err(|e| e.to_string())
+            .and_then(|doc| ServiceRequest::from_json(&doc));
+        let request = match request {
+            Ok(r) => r,
+            Err(e) => {
+                shared
+                    .jobs
+                    .fail(&job.id, format!("internal: canonical request invalid: {e}"));
+                shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+        };
+        let sink_shared = Arc::clone(&shared);
+        let sink_id = job.id.clone();
+        let sink = ProgressSink::new(move |done, total| {
+            let permille = done.saturating_mul(1000).checked_div(total).unwrap_or(0);
+            sink_shared.jobs.set_progress(&sink_id, permille);
+        });
+        let inner_jobs = shared.cfg.inner_jobs;
+        let outcome = catch_unwind(AssertUnwindSafe(|| request.execute(inner_jobs, Some(sink))));
+        match outcome {
+            Ok(Ok(doc)) => {
+                let mut text = doc.encode_pretty();
+                text.push('\n');
+                if let Err(e) = shared.cache.put(&job.digest, &text) {
+                    shared
+                        .jobs
+                        .fail(&job.id, format!("cache write failed: {e}"));
+                    shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    shared.jobs.complete(&job.id);
+                    shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Ok(Err(e)) => {
+                shared.jobs.fail(&job.id, e);
+                shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                shared.jobs.fail(&job.id, "simulation panicked".into());
+                shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Namespace for [`Server::start`].
+#[derive(Debug)]
+pub struct Server;
+
+/// A running server: its bound address plus the thread handles needed to
+/// wait for (or force) shutdown.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the accept loop and worker pool, and returns the
+    /// handle. With port `0` the bound (ephemeral) port is in
+    /// [`ServerHandle::addr`].
+    ///
+    /// # Errors
+    ///
+    /// Bind or cache-directory failures.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let cache = ResultCache::new(&cfg.cache_dir, cfg.mem_cache)?;
+        let jobs = JobTable::new(cfg.queue_cap);
+        let endpoints = ENDPOINTS
+            .iter()
+            .map(|name| EndpointStats {
+                requests: AtomicU64::new(0),
+                latency_ms: Mutex::new(Histogram::new(format!("serve/latency_ms/{name}"), 1, 256)),
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            cfg,
+            cache,
+            jobs,
+            endpoints,
+            jobs_completed: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|_| {
+                let s = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(s))
+            })
+            .collect();
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || {
+            accept_loop(accept_shared, listener);
+        });
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept,
+            workers,
+        })
+    }
+}
+
+fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let s = Arc::clone(&shared);
+                std::thread::spawn(move || handle_connection(s, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the server shuts down gracefully — i.e. until a
+    /// `POST /v1/shutdown` drains the queue and the workers exit.
+    pub fn wait(self) {
+        for w in self.workers {
+            let _ = w.join();
+        }
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        let _ = self.accept.join();
+    }
+
+    /// Initiates a drain (as `POST /v1/shutdown` would) and waits.
+    pub fn stop(self) {
+        self.shared.jobs.drain();
+        self.wait();
+    }
+}

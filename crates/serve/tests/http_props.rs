@@ -1,0 +1,142 @@
+//! Property-fuzz suite for the hand-rolled HTTP parser: arbitrary bytes,
+//! mutated valid requests, truncations, and pipelined streams all go
+//! through `try_parse` under `catch_unwind` — the parser must classify
+//! every input as a request, a need-more-bytes, or a 4xx/5xx error, and
+//! must never panic (a panic would let one malformed client kill a
+//! connection thread).
+
+use rmt_serve::http::{try_parse, HttpError, Request};
+use rmt_stats::check::{gen_vec, run_cases};
+use rmt_stats::Xoshiro256;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// `try_parse` under `catch_unwind`; panics the test if the parser did.
+#[allow(clippy::type_complexity)]
+fn parse_no_panic(bytes: &[u8]) -> Result<Option<(Request, usize)>, HttpError> {
+    catch_unwind(AssertUnwindSafe(|| try_parse(bytes)))
+        .unwrap_or_else(|_| panic!("parser panicked on {} bytes: {bytes:?}", bytes.len()))
+}
+
+/// A syntactically valid request generated from the rng: method, path,
+/// a few headers, and (for POSTs) a sized body.
+fn gen_valid_request(rng: &mut Xoshiro256) -> Vec<u8> {
+    let method = *rng.pick(&["GET", "POST", "PUT"]);
+    let path = format!("/p{}", rng.below(1000));
+    let version = *rng.pick(&["HTTP/1.1", "HTTP/1.0"]);
+    let mut req = format!("{method} {path} {version}\r\n");
+    let headers = rng.below(4);
+    for i in 0..headers {
+        req.push_str(&format!("x-h{i}: v{}\r\n", rng.below(100)));
+    }
+    if rng.chance(0.3) {
+        req.push_str(if rng.chance(0.5) {
+            "connection: close\r\n"
+        } else {
+            "connection: keep-alive\r\n"
+        });
+    }
+    let body = if method == "GET" {
+        Vec::new()
+    } else {
+        gen_vec(rng, 0, 64, |r| r.below(256) as u8)
+    };
+    req.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
+    let mut bytes = req.into_bytes();
+    bytes.extend_from_slice(&body);
+    bytes
+}
+
+#[test]
+fn arbitrary_bytes_never_panic_the_parser() {
+    run_cases("http/arbitrary-bytes", 400, 0x9e1f_0001, |rng| {
+        let bytes = gen_vec(rng, 0, 512, |r| r.below(256) as u8);
+        // Any outcome is fine; panicking is not.
+        let _ = parse_no_panic(&bytes);
+    });
+}
+
+#[test]
+fn ascii_noise_never_panics_the_parser() {
+    // Printable ASCII with CR/LF sprinkled in reaches deeper parse paths
+    // (plausible request lines, header-ish fragments) than raw bytes.
+    run_cases("http/ascii-noise", 400, 0x9e1f_0002, |rng| {
+        let bytes = gen_vec(rng, 0, 512, |r| {
+            if r.chance(0.2) {
+                *r.pick(b"\r\n: ")
+            } else {
+                r.range(0x20, 0x7f) as u8
+            }
+        });
+        let _ = parse_no_panic(&bytes);
+    });
+}
+
+#[test]
+fn generated_valid_requests_parse_completely() {
+    run_cases("http/valid-roundtrip", 200, 0x9e1f_0003, |rng| {
+        let bytes = gen_valid_request(rng);
+        let (req, used) = parse_no_panic(&bytes)
+            .expect("valid request must parse")
+            .expect("complete request must be recognized");
+        assert_eq!(used, bytes.len());
+        assert!(req.path.starts_with('/'));
+    });
+}
+
+#[test]
+fn every_strict_prefix_of_a_valid_request_asks_for_more() {
+    run_cases("http/prefix-is-incomplete", 100, 0x9e1f_0004, |rng| {
+        let bytes = gen_valid_request(rng);
+        let cut = rng.below(bytes.len() as u64) as usize;
+        assert_eq!(
+            parse_no_panic(&bytes[..cut]),
+            Ok(None),
+            "a strict prefix is incomplete, not an error (cut at {cut})"
+        );
+    });
+}
+
+#[test]
+fn single_byte_mutations_never_panic_and_never_hang_classification() {
+    run_cases("http/mutated-request", 300, 0x9e1f_0005, |rng| {
+        let mut bytes = gen_valid_request(rng);
+        let idx = rng.below(bytes.len() as u64) as usize;
+        let flip = rng.range(1, 255) as u8;
+        bytes[idx] ^= flip;
+        // The mutated stream must still be classified without panicking;
+        // any of the three outcomes is legitimate (the mutation may land
+        // in the body or a header value and leave the request valid).
+        let _ = parse_no_panic(&bytes);
+    });
+}
+
+#[test]
+fn pipelined_streams_parse_request_by_request() {
+    run_cases("http/pipelined", 100, 0x9e1f_0006, |rng| {
+        let reqs: Vec<Vec<u8>> = gen_vec(rng, 1, 5, gen_valid_request);
+        let stream: Vec<u8> = reqs.concat();
+        let mut offset = 0;
+        for (i, original) in reqs.iter().enumerate() {
+            let (_, used) = parse_no_panic(&stream[offset..])
+                .unwrap_or_else(|e| panic!("request {i} rejected: {e}"))
+                .unwrap_or_else(|| panic!("request {i} incomplete"));
+            assert_eq!(used, original.len(), "request {i} consumed wrong length");
+            offset += used;
+        }
+        assert_eq!(offset, stream.len(), "stream fully consumed");
+    });
+}
+
+#[test]
+fn error_statuses_are_always_4xx_or_5xx() {
+    run_cases("http/error-statuses", 300, 0x9e1f_0007, |rng| {
+        let bytes = gen_vec(rng, 0, 256, |r| r.below(256) as u8);
+        if let Err(e) = parse_no_panic(&bytes) {
+            let status = e.status();
+            assert!(
+                (400..600).contains(&status),
+                "{e} maps to non-error status {status}"
+            );
+        }
+    });
+}

@@ -146,6 +146,29 @@ pub struct SweepRow {
     pub spec: MachineSpec,
 }
 
+impl SweepRow {
+    /// The row's JSON form — the element schema of the `"sweep"` array in
+    /// sweep result documents (the `sweep` binary and the serving layer
+    /// emit the same shape):
+    ///
+    /// ```json
+    /// {"path": "core.sq_entries", "value": 16,
+    ///  "effs": {"gcc": 0.91}, "mean_eff": 0.91, "config": {...}}
+    /// ```
+    pub fn to_json(&self) -> Json {
+        let mut effs = Json::obj();
+        for (b, e) in &self.effs {
+            effs.set(b.name(), Json::F64(*e));
+        }
+        Json::obj()
+            .with("path", Json::Str(self.path.clone()))
+            .with("value", self.value.clone())
+            .with("effs", effs)
+            .with("mean_eff", Json::F64(self.mean_eff))
+            .with("config", self.spec.to_json())
+    }
+}
+
 /// Runs the sweep: every `(axis, value, benchmark)` cell is one job on
 /// the context's runner (bench-innermost, axis-major — a fixed order, so
 /// results are bitwise identical at any `--jobs` level). Efficiency is

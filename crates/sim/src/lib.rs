@@ -15,6 +15,9 @@
 //! * [`sampled`] — SMARTS-style sampled runs: functional fast-forward,
 //!   checkpointed window re-entry, and per-window IPC estimators with
 //!   confidence intervals.
+//! * [`service`] — job-granular service entry points: a validated
+//!   run/sweep request with a canonical content digest and a synchronous
+//!   `execute`, the unit of work the `rmt-serve` daemon queues and caches.
 //!
 //! # Examples
 //!
@@ -42,9 +45,11 @@ pub mod guard;
 pub mod outcome;
 pub mod runner;
 pub mod sampled;
+pub mod service;
 
 pub use baseline::BaselineCache;
 pub use experiment::{DeviceKind, Experiment, RunResult, SimError, VerifiedRun, VerifyError};
 pub use figures::{FigureCtx, FigureResult, SimScale};
-pub use runner::Runner;
+pub use runner::{ProgressSink, Runner};
 pub use sampled::{CheckpointLadder, SampledResult};
+pub use service::ServiceRequest;

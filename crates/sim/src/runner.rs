@@ -37,9 +37,38 @@ use rmt_faults::{CampaignConfig, CampaignReport, FaultForensics, FaultKind};
 use rmt_pipeline::CoreConfig;
 use rmt_workloads::Workload;
 use std::collections::VecDeque;
+use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// A progress observer: a shareable `(done, total)` callback.
+///
+/// Pure observation by contract — a sink must not influence the work it
+/// watches (the serving layer feeds these into job-status gauges, and the
+/// determinism tests run with and without one installed). Cloning shares
+/// the underlying callback.
+#[derive(Clone)]
+pub struct ProgressSink(Arc<dyn Fn(u64, u64) + Send + Sync>);
+
+impl ProgressSink {
+    /// Wraps a callback. `done` counts completed units out of `total`;
+    /// callers may be invoked from any worker thread, concurrently.
+    pub fn new(f: impl Fn(u64, u64) + Send + Sync + 'static) -> Self {
+        ProgressSink(Arc::new(f))
+    }
+
+    /// Reports `done` completed units out of `total`.
+    pub fn report(&self, done: u64, total: u64) {
+        (self.0)(done, total);
+    }
+}
+
+impl fmt::Debug for ProgressSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ProgressSink(..)")
+    }
+}
 
 /// A deterministic parallel job pool.
 ///
@@ -56,6 +85,10 @@ pub struct Runner {
     /// Print jobs-completed/ETA lines to stderr (the `--progress` flag).
     /// Stderr only — the deterministic payload never sees it.
     progress: AtomicBool,
+    /// Machine-consumable twin of `progress`: called with
+    /// `(jobs done, jobs total)` after every job of a `run` call (the
+    /// serving layer's live job-progress gauge).
+    hook: Option<ProgressSink>,
 }
 
 impl Runner {
@@ -67,7 +100,16 @@ impl Runner {
             sim_cycles: AtomicU64::new(0),
             busy_nanos: AtomicU64::new(0),
             progress: AtomicBool::new(false),
+            hook: None,
         }
+    }
+
+    /// Installs (or clears) a [`ProgressSink`] to call with
+    /// `(jobs done, jobs total)` after every completed job. Like the
+    /// stderr `--progress` lines, the sink is pure observation: job
+    /// results are bit-for-bit the same with or without one.
+    pub fn set_hook(&mut self, hook: Option<ProgressSink>) {
+        self.hook = hook;
     }
 
     /// Enables (or disables) periodic progress lines on stderr. Progress
@@ -152,17 +194,21 @@ impl Runner {
         let started = Instant::now();
         let done = AtomicUsize::new(0);
         let report = self.progress.load(Ordering::Relaxed) && n > 0;
+        let notify = report || self.hook.is_some();
         let timed = |i: usize| {
             let t0 = Instant::now();
             let out = job(i);
             self.busy_nanos
                 .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            if report {
+            if notify {
+                let c = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if let Some(hook) = &self.hook {
+                    hook.report(c as u64, n as u64);
+                }
                 // Roughly ten lines per run (always the final one), on
                 // stderr only: the deterministic payload is untouched.
-                let c = done.fetch_add(1, Ordering::Relaxed) + 1;
                 let step = (n / 10).max(1);
-                if c.is_multiple_of(step) || c == n {
+                if report && (c.is_multiple_of(step) || c == n) {
                     let elapsed = started.elapsed().as_secs_f64();
                     let eta = elapsed / c as f64 * (n - c) as f64;
                     eprintln!("[runner] {c}/{n} jobs done, {elapsed:.1}s elapsed, ~{eta:.1}s left");
@@ -370,6 +416,25 @@ mod tests {
         r.run(4, |i| (0..10_000u64).fold(i as u64, u64::wrapping_add));
         assert!(r.busy_seconds() > 0.0, "jobs must accrue busy time");
         assert!(r.sim_rate() > 0.0);
+    }
+
+    #[test]
+    fn hook_sees_every_completion_and_never_perturbs() {
+        let counted = Arc::new(AtomicUsize::new(0));
+        let max_total = Arc::new(AtomicUsize::new(0));
+        let mut r = Runner::new(3);
+        let (c, m) = (Arc::clone(&counted), Arc::clone(&max_total));
+        r.set_hook(Some(ProgressSink::new(move |done, total| {
+            c.fetch_add(1, Ordering::Relaxed);
+            m.fetch_max(total as usize, Ordering::Relaxed);
+            assert!(done >= 1 && done <= total);
+        })));
+        let hooked = r.run(17, |i| i * 2);
+        assert_eq!(counted.load(Ordering::Relaxed), 17);
+        assert_eq!(max_total.load(Ordering::Relaxed), 17);
+        // Identical results with the hook removed.
+        r.set_hook(None);
+        assert_eq!(hooked, r.run(17, |i| i * 2));
     }
 
     #[test]

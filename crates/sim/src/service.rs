@@ -1,0 +1,536 @@
+//! Job-granular service entry points: a parsed, validated request that a
+//! daemon can digest, queue, and execute.
+//!
+//! A [`ServiceRequest`] is either a single machine run or a declarative
+//! sensitivity sweep, expressed as a JSON document. Parsing resolves every
+//! shorthand (a device-kind name becomes the kind's full six-section spec,
+//! a scale name becomes explicit warmup/measure/seed numbers), so the
+//! [`ServiceRequest::canonical_json`] form is fully self-describing and
+//! two spellings of the same machine produce the same
+//! [`ServiceRequest::digest`] — the content address the `rmt-serve` result
+//! cache keys on. The simulator is deterministic, so one digest maps to
+//! exactly one result document, bitwise, forever.
+//!
+//! [`ServiceRequest::execute`] runs the request synchronously and returns
+//! the result document. A [`ProgressSink`] can be attached for live job
+//! progress (instructions committed for runs, cells completed for
+//! sweeps); observation only — the result is bit-for-bit identical with
+//! or without one.
+//!
+//! # Examples
+//!
+//! ```
+//! use rmt_sim::service::ServiceRequest;
+//!
+//! let doc = rmt_stats::json::parse(
+//!     r#"{"type": "run", "spec": "SRT", "benches": ["m88ksim"],
+//!         "scale": {"warmup": 500, "measure": 2000}}"#,
+//! )
+//! .unwrap();
+//! let req = ServiceRequest::from_json(&doc).unwrap();
+//! let result = req.execute(1, None).unwrap();
+//! assert_eq!(result.get("kind").unwrap().as_str(), Some("SRT"));
+//! ```
+
+use crate::experiment::Experiment;
+use crate::figures::{sensitivity_sweep, FigureCtx, SimScale, SweepConfig};
+use crate::runner::ProgressSink;
+use rmt_core::spec::{DeviceKind, MachineSpec};
+use rmt_stats::Json;
+use rmt_workloads::profile::ALL_BENCHMARKS;
+use rmt_workloads::Benchmark;
+
+/// Default cycle-budget multiplier for service runs — the same default an
+/// [`Experiment`] carries, so a served run is bitwise identical to the
+/// figure binaries' cells.
+pub const RUN_MAX_CYCLE_FACTOR: u64 = 60;
+
+/// Default cycle-budget multiplier for service sweeps — the `sweep`
+/// binary's generous budget, because axes deliberately visit starved
+/// configurations.
+pub const SWEEP_MAX_CYCLE_FACTOR: u64 = 150;
+
+/// One single-machine run: a resolved spec, benchmarks, and scale.
+#[derive(Debug, Clone)]
+pub struct RunRequest {
+    /// The fully resolved machine.
+    pub spec: MachineSpec,
+    /// The logical threads to run.
+    pub benches: Vec<Benchmark>,
+    /// Warmup/measure/seed.
+    pub scale: SimScale,
+    /// Epoch width for time-series sampling (0 = off).
+    pub epoch: u64,
+    /// Cycle-budget multiplier.
+    pub max_cycle_factor: u64,
+}
+
+/// One declarative sensitivity sweep (the `sweep` binary's file schema).
+#[derive(Debug, Clone)]
+pub struct SweepRequest {
+    /// The validated sweep: base spec, benchmarks, axes.
+    pub cfg: SweepConfig,
+    /// Warmup/measure/seed per cell.
+    pub scale: SimScale,
+    /// Cycle-budget multiplier per cell.
+    pub max_cycle_factor: u64,
+}
+
+/// A parsed, validated service request.
+#[derive(Debug, Clone)]
+pub enum ServiceRequest {
+    /// `{"type": "run", ...}` — one machine, one result document.
+    Run(RunRequest),
+    /// `{"type": "sweep", ...}` — a sensitivity sweep document.
+    Sweep(SweepRequest),
+}
+
+fn parse_benches(doc: &Json) -> Result<Vec<Benchmark>, String> {
+    let list = doc
+        .get("benches")
+        .and_then(Json::as_array)
+        .ok_or("request needs a `benches` array")?;
+    if list.is_empty() {
+        return Err("`benches` must not be empty".into());
+    }
+    list.iter()
+        .map(|v| {
+            let n = v.as_str().ok_or("`benches` entries must be strings")?;
+            ALL_BENCHMARKS
+                .iter()
+                .copied()
+                .find(|b| b.name() == n)
+                .ok_or_else(|| format!("unknown benchmark `{n}` in `benches`"))
+        })
+        .collect()
+}
+
+/// `"scale"`: a name (`"quick"`/`"standard"`/`"full"`), an explicit
+/// `{"warmup", "measure", "seed"?}` object (seed defaults to 1), or
+/// absent (quick — the serving default keeps accidental unbounded
+/// submissions cheap).
+fn parse_scale(doc: &Json) -> Result<SimScale, String> {
+    match doc.get("scale") {
+        None => Ok(SimScale::quick()),
+        Some(Json::Str(name)) => match name.as_str() {
+            "quick" => Ok(SimScale::quick()),
+            "standard" => Ok(SimScale::standard()),
+            "full" => Ok(SimScale::full()),
+            other => Err(format!("unknown scale name `{other}`")),
+        },
+        Some(obj) => {
+            let members = obj.members().ok_or("`scale` must be a name or object")?;
+            for (k, _) in members {
+                if !matches!(k.as_str(), "warmup" | "measure" | "seed") {
+                    return Err(format!("unknown key `scale.{k}`"));
+                }
+            }
+            let field = |k: &str| obj.get(k).and_then(Json::as_u64);
+            Ok(SimScale {
+                warmup: field("warmup").ok_or("`scale.warmup` must be a u64")?,
+                measure: field("measure")
+                    .filter(|&n| n >= 1)
+                    .ok_or("`scale.measure` must be a u64 >= 1")?,
+                seed: match obj.get("seed") {
+                    None => 1,
+                    Some(_) => field("seed").ok_or("`scale.seed` must be a u64")?,
+                },
+            })
+        }
+    }
+}
+
+fn parse_u64_or(doc: &Json, key: &str, default: u64) -> Result<u64, String> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(v) => v.as_u64().ok_or_else(|| format!("`{key}` must be a u64")),
+    }
+}
+
+/// `"spec"`/`"base"`-style machine field: a kind name or a full document.
+fn parse_spec(v: &Json) -> Result<MachineSpec, String> {
+    match v {
+        Json::Str(kind_name) => {
+            let kind = DeviceKind::from_name(kind_name)
+                .ok_or_else(|| format!("unknown device kind `{kind_name}` in `spec`"))?;
+            Ok(MachineSpec::for_kind(kind))
+        }
+        spec_doc => MachineSpec::from_json(spec_doc).map_err(|e| e.to_string()),
+    }
+}
+
+fn reject_unknown_keys(doc: &Json, allowed: &[&str]) -> Result<(), String> {
+    for (k, _) in doc.members().ok_or("request must be a JSON object")? {
+        if !allowed.contains(&k.as_str()) {
+            return Err(format!("unknown request key `{k}`"));
+        }
+    }
+    Ok(())
+}
+
+fn scale_json(scale: SimScale) -> Json {
+    Json::obj()
+        .with("warmup", Json::U64(scale.warmup))
+        .with("measure", Json::U64(scale.measure))
+        .with("seed", Json::U64(scale.seed))
+}
+
+impl ServiceRequest {
+    /// Parses and validates a request document:
+    ///
+    /// ```json
+    /// {"type": "run",
+    ///  "spec": "SRT",                  // kind name or full spec document
+    ///  "benches": ["m88ksim", "gcc"],
+    ///  "scale": "quick",               // name or {warmup, measure, seed}
+    ///  "epoch": 0,                     // optional time-series sampling
+    ///  "max_cycle_factor": 60}         // optional cycle budget
+    /// ```
+    ///
+    /// ```json
+    /// {"type": "sweep",
+    ///  "sweep": {"name": ..., "base": ..., "benches": ..., "axes": ...},
+    ///  "scale": "quick",
+    ///  "max_cycle_factor": 150}
+    /// ```
+    ///
+    /// Unknown keys are rejected (a typo must not silently drop a knob and
+    /// collide with a different request's digest).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending key.
+    pub fn from_json(doc: &Json) -> Result<ServiceRequest, String> {
+        match doc.get("type").and_then(Json::as_str) {
+            Some("run") => {
+                reject_unknown_keys(
+                    doc,
+                    &[
+                        "type",
+                        "spec",
+                        "benches",
+                        "scale",
+                        "epoch",
+                        "max_cycle_factor",
+                    ],
+                )?;
+                let spec = parse_spec(doc.get("spec").ok_or("run request needs a `spec`")?)?;
+                Ok(ServiceRequest::Run(RunRequest {
+                    spec,
+                    benches: parse_benches(doc)?,
+                    scale: parse_scale(doc)?,
+                    epoch: parse_u64_or(doc, "epoch", 0)?,
+                    max_cycle_factor: parse_u64_or(doc, "max_cycle_factor", RUN_MAX_CYCLE_FACTOR)?,
+                }))
+            }
+            Some("sweep") => {
+                reject_unknown_keys(doc, &["type", "sweep", "scale", "max_cycle_factor"])?;
+                let cfg = SweepConfig::from_json(
+                    doc.get("sweep").ok_or("sweep request needs a `sweep`")?,
+                )?;
+                Ok(ServiceRequest::Sweep(SweepRequest {
+                    cfg,
+                    scale: parse_scale(doc)?,
+                    max_cycle_factor: parse_u64_or(
+                        doc,
+                        "max_cycle_factor",
+                        SWEEP_MAX_CYCLE_FACTOR,
+                    )?,
+                }))
+            }
+            Some(other) => Err(format!("unknown request `type` `{other}`")),
+            None => Err("request needs a string `type` (`run` or `sweep`)".into()),
+        }
+    }
+
+    /// The fully resolved request document: every shorthand expanded, every
+    /// default made explicit. Two requests denote the same work if and only
+    /// if their canonical documents digest identically.
+    pub fn canonical_json(&self) -> Json {
+        match self {
+            ServiceRequest::Run(r) => Json::obj()
+                .with("type", Json::Str("run".into()))
+                .with("spec", r.spec.to_json())
+                .with(
+                    "benches",
+                    Json::Arr(
+                        r.benches
+                            .iter()
+                            .map(|b| Json::Str(b.name().to_string()))
+                            .collect(),
+                    ),
+                )
+                .with("scale", scale_json(r.scale))
+                .with("epoch", Json::U64(r.epoch))
+                .with("max_cycle_factor", Json::U64(r.max_cycle_factor)),
+            ServiceRequest::Sweep(s) => {
+                let axes = Json::Arr(
+                    s.cfg
+                        .axes
+                        .iter()
+                        .map(|a| {
+                            Json::obj()
+                                .with("path", Json::Str(a.path.clone()))
+                                .with("values", Json::Arr(a.values.clone()))
+                        })
+                        .collect(),
+                );
+                let sweep = Json::obj()
+                    .with("name", Json::Str(s.cfg.name.clone()))
+                    .with("base", s.cfg.base.to_json())
+                    .with(
+                        "benches",
+                        Json::Arr(
+                            s.cfg
+                                .benches
+                                .iter()
+                                .map(|b| Json::Str(b.name().to_string()))
+                                .collect(),
+                        ),
+                    )
+                    .with("axes", axes);
+                Json::obj()
+                    .with("type", Json::Str("sweep".into()))
+                    .with("sweep", sweep)
+                    .with("scale", scale_json(s.scale))
+                    .with("max_cycle_factor", Json::U64(s.max_cycle_factor))
+            }
+        }
+    }
+
+    /// The request's content address:
+    /// [`rmt_stats::digest::digest`] over [`ServiceRequest::canonical_json`].
+    pub fn digest(&self) -> String {
+        rmt_stats::digest::digest(&self.canonical_json())
+    }
+
+    /// Executes the request and returns its result document. `jobs` bounds
+    /// the worker threads a sweep fans its cells across (a single run is
+    /// one simulation regardless). The optional [`ProgressSink`] receives
+    /// `(instructions committed, warmup + measure)` for runs and
+    /// `(cells done, cells total)` for sweeps.
+    ///
+    /// Deterministic: the document is bitwise identical for any `jobs`
+    /// value, with or without a sink — the property that makes the result
+    /// cacheable under [`ServiceRequest::digest`].
+    ///
+    /// # Errors
+    ///
+    /// A message describing the simulation failure (cycle-budget timeout).
+    pub fn execute(&self, jobs: usize, progress: Option<ProgressSink>) -> Result<Json, String> {
+        match self {
+            ServiceRequest::Run(r) => {
+                let mut e = Experiment::from_spec(r.spec.clone())
+                    .benchmarks(&r.benches)
+                    .seed(r.scale.seed)
+                    .warmup(r.scale.warmup)
+                    .measure(r.scale.measure)
+                    .max_cycle_factor(r.max_cycle_factor);
+                if r.epoch > 0 {
+                    e = e.epoch(r.epoch);
+                }
+                if let Some(sink) = progress {
+                    e = e.with_progress(sink);
+                }
+                let out = e.run().map_err(|e| e.to_string())?;
+                let per_thread = Json::Arr(
+                    out.per_thread
+                        .iter()
+                        .map(|t| {
+                            Json::obj()
+                                .with("benchmark", Json::Str(t.benchmark.name().to_string()))
+                                .with("committed", Json::U64(t.committed))
+                                .with("cycles", Json::U64(t.cycles))
+                                .with("ipc", Json::F64(t.ipc()))
+                        })
+                        .collect(),
+                );
+                Ok(Json::obj()
+                    .with("type", Json::Str("run".into()))
+                    .with("kind", Json::Str(out.kind.name().to_string()))
+                    .with("cycles", Json::U64(out.cycles))
+                    .with("per_thread", per_thread)
+                    .with("faults_detected", Json::U64(out.faults_detected as u64))
+                    .with("metrics", out.metrics.to_json())
+                    .with("timeseries", out.timeseries.to_json())
+                    .with("config", out.config))
+            }
+            ServiceRequest::Sweep(s) => {
+                let mut ctx = FigureCtx::new(jobs);
+                ctx.runner.set_hook(progress);
+                let (r, rows) = sensitivity_sweep(&ctx, s.scale, &s.cfg, s.max_cycle_factor);
+                let mut summary = Json::obj();
+                for (k, v) in &r.summary {
+                    summary.set(k, Json::F64(*v));
+                }
+                Ok(Json::obj()
+                    .with("type", Json::Str("sweep".into()))
+                    .with("name", Json::Str(s.cfg.name.clone()))
+                    .with("summary", summary)
+                    .with(
+                        "sweep",
+                        Json::Arr(rows.iter().map(|row| row.to_json()).collect()),
+                    )
+                    .with("config", s.cfg.base.to_json()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmt_stats::json::parse;
+
+    fn run_doc() -> Json {
+        parse(
+            r#"{"type": "run", "spec": "SRT", "benches": ["m88ksim"],
+                "scale": {"warmup": 500, "measure": 2000, "seed": 3}}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parses_and_resolves_a_run_request() {
+        let req = ServiceRequest::from_json(&run_doc()).unwrap();
+        let ServiceRequest::Run(r) = &req else {
+            panic!("expected a run request");
+        };
+        assert_eq!(r.spec.kind(), DeviceKind::Srt);
+        assert_eq!(r.benches, vec![Benchmark::M88ksim]);
+        assert_eq!(r.scale.seed, 3);
+        assert_eq!(r.epoch, 0);
+        assert_eq!(r.max_cycle_factor, RUN_MAX_CYCLE_FACTOR);
+        // The canonical form is fully explicit and reparses to the same
+        // request (same digest).
+        let canon = req.canonical_json();
+        assert_eq!(canon.get("epoch").unwrap().as_u64(), Some(0));
+        let again = ServiceRequest::from_json(&canon).unwrap();
+        assert_eq!(again.digest(), req.digest());
+    }
+
+    #[test]
+    fn kind_name_and_full_spec_share_a_digest() {
+        let by_name = ServiceRequest::from_json(&run_doc()).unwrap();
+        let mut doc = run_doc();
+        doc.set("spec", MachineSpec::for_kind(DeviceKind::Srt).to_json());
+        let by_spec = ServiceRequest::from_json(&doc).unwrap();
+        assert_eq!(by_name.digest(), by_spec.digest());
+        // Any machine difference splits the digest.
+        let mut spec = MachineSpec::for_kind(DeviceKind::Srt);
+        spec.set("core.sq_entries", Json::U64(16)).unwrap();
+        doc.set("spec", spec.to_json());
+        let tweaked = ServiceRequest::from_json(&doc).unwrap();
+        assert_ne!(by_name.digest(), tweaked.digest());
+    }
+
+    #[test]
+    fn scale_names_resolve_to_explicit_numbers() {
+        let mut doc = run_doc();
+        doc.set("scale", Json::Str("quick".into()));
+        let named = ServiceRequest::from_json(&doc).unwrap();
+        doc.set(
+            "scale",
+            parse(r#"{"warmup": 2000, "measure": 10000, "seed": 1}"#).unwrap(),
+        );
+        let explicit = ServiceRequest::from_json(&doc).unwrap();
+        assert_eq!(named.digest(), explicit.digest());
+        // Absent scale is the quick default.
+        let bare = parse(r#"{"type": "run", "spec": "SRT", "benches": ["m88ksim"]}"#).unwrap();
+        assert_eq!(
+            ServiceRequest::from_json(&bare).unwrap().digest(),
+            named.digest()
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests_by_name() {
+        let reject = |json: &str, needle: &str| {
+            let err = ServiceRequest::from_json(&parse(json).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "`{err}` does not name `{needle}`");
+        };
+        reject(r#"{"spec": "SRT"}"#, "type");
+        reject(r#"{"type": "walk"}"#, "walk");
+        reject(r#"{"type": "run", "benches": ["m88ksim"]}"#, "spec");
+        reject(
+            r#"{"type": "run", "spec": "NotAKind", "benches": ["gcc"]}"#,
+            "NotAKind",
+        );
+        reject(
+            r#"{"type": "run", "spec": "SRT", "benches": []}"#,
+            "benches",
+        );
+        reject(
+            r#"{"type": "run", "spec": "SRT", "benches": ["quake"]}"#,
+            "quake",
+        );
+        reject(
+            r#"{"type": "run", "spec": "SRT", "benches": ["gcc"], "scale": "warp"}"#,
+            "warp",
+        );
+        reject(
+            r#"{"type": "run", "spec": "SRT", "benches": ["gcc"], "scale": {"warmup": 1}}"#,
+            "scale.measure",
+        );
+        reject(
+            r#"{"type": "run", "spec": "SRT", "benches": ["gcc"], "speed": 9}"#,
+            "speed",
+        );
+        reject(r#"{"type": "sweep"}"#, "sweep");
+    }
+
+    #[test]
+    fn executes_a_run_bitwise_identical_to_the_direct_experiment() {
+        let req = ServiceRequest::from_json(&run_doc()).unwrap();
+        let served = req.execute(1, None).unwrap();
+        let direct = Experiment::new(DeviceKind::Srt)
+            .benchmark(Benchmark::M88ksim)
+            .seed(3)
+            .warmup(500)
+            .measure(2_000)
+            .run()
+            .unwrap();
+        assert_eq!(served.get("cycles").unwrap().as_u64(), Some(direct.cycles));
+        assert_eq!(
+            served.get("metrics").unwrap().encode(),
+            direct.metrics.to_json().encode(),
+            "served metrics must be bitwise identical to the direct run"
+        );
+        assert_eq!(
+            served.get("config").unwrap().encode(),
+            direct.config.encode()
+        );
+        // And deterministic across repeated executions and job counts.
+        assert_eq!(served.encode(), req.execute(4, None).unwrap().encode());
+    }
+
+    #[test]
+    fn executes_a_sweep_with_cell_progress() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let doc = parse(
+            r#"{"type": "sweep",
+                "sweep": {"name": "tiny", "base": "SRT", "benches": ["m88ksim"],
+                          "axes": [{"path": "core.sq_entries", "values": [16, 64]}]},
+                "scale": {"warmup": 500, "measure": 2000}}"#,
+        )
+        .unwrap();
+        let req = ServiceRequest::from_json(&doc).unwrap();
+        let cells = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&cells);
+        let sink = ProgressSink::new(move |done, total| {
+            assert!(done <= total);
+            c.store(done, Ordering::Relaxed);
+        });
+        let out = req.execute(2, Some(sink)).unwrap();
+        assert!(cells.load(Ordering::Relaxed) >= 1, "sweep progress");
+        assert_eq!(out.get("sweep").unwrap().as_array().unwrap().len(), 2);
+        assert!(out
+            .get("summary")
+            .unwrap()
+            .get("core.sq_entries=16")
+            .is_some());
+        // Sweep results are `jobs`-invariant like everything else.
+        assert_eq!(out.encode(), req.execute(1, None).unwrap().encode());
+    }
+}

@@ -22,6 +22,9 @@
 //!   machine-readable `results/*.json` outputs.
 //! * [`json`] — serde-free JSON value tree, encoder, and parser (the build
 //!   is offline, so no external JSON crate).
+//! * [`digest`] — canonical-JSON form and a 128-bit content digest, the
+//!   cache key of the `rmt-serve` result store (identical resolved specs
+//!   hash identically regardless of key order).
 //! * [`flight`] — a bounded, deterministic flight recorder of structured
 //!   fault-forensics events with cause-chain ids.
 //! * [`timeseries`] — epoch-resolved sequences of metric-snapshot deltas
@@ -46,6 +49,7 @@
 
 pub mod check;
 pub mod counter;
+pub mod digest;
 pub mod estimate;
 pub mod flight;
 pub mod histogram;
@@ -57,6 +61,7 @@ pub mod table;
 pub mod timeseries;
 
 pub use counter::{Counter, CounterSet};
+pub use digest::{canonical, canonical_encode, digest};
 pub use estimate::{mean_ci95, Estimate};
 pub use flight::{FlightEvent, FlightRecorder};
 pub use histogram::Histogram;

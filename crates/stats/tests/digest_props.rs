@@ -1,0 +1,143 @@
+//! Property tests for the content digest: the cache key of the serving
+//! layer must be invariant under object-key reordering (two spellings of
+//! one document share a cache slot) and sensitive to any value change (two
+//! different documents never do). Driven by the in-repo
+//! [`rmt_stats::check`] harness.
+
+use rmt_stats::check::{gen_vec, run_cases, DEFAULT_CASES};
+use rmt_stats::digest::{canonical_encode, digest, digest_bytes, is_digest};
+use rmt_stats::json::{parse, Json};
+use rmt_stats::rng::Xoshiro256;
+
+/// A random JSON tree whose object keys are globally unique (`k<counter>`
+/// plus a random suffix), so shuffling key order is always a pure
+/// reordering and never a duplicate-key merge.
+fn gen_tree(rng: &mut Xoshiro256, fuel: &mut u32, key_id: &mut u32) -> Json {
+    *fuel = fuel.saturating_sub(1);
+    let leaf_only = *fuel == 0;
+    match rng.below(if leaf_only { 5 } else { 7 }) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.chance(0.5)),
+        2 => Json::U64(rng.next_u64()),
+        3 => Json::F64((rng.next_f64() * 1e6 - 5e5).trunc() + 0.5),
+        4 => Json::Str(
+            gen_vec(rng, 0, 8, |r| *r.pick(&['a', 'Z', '"', '\\', '中', ' ']))
+                .into_iter()
+                .collect(),
+        ),
+        5 => Json::Arr(gen_vec(rng, 0, 4, |r| gen_tree(r, fuel, key_id))),
+        _ => Json::Obj(
+            gen_vec(rng, 1, 4, |r| {
+                *key_id += 1;
+                let key = format!("k{}{}", *key_id, r.below(10));
+                (key, gen_tree(r, fuel, key_id))
+            })
+            .into_iter()
+            .collect(),
+        ),
+    }
+}
+
+/// Recursively shuffles the field order of every object in the tree.
+fn shuffle_keys(rng: &mut Xoshiro256, v: &Json) -> Json {
+    match v {
+        Json::Obj(fields) => {
+            let mut fields: Vec<(String, Json)> = fields
+                .iter()
+                .map(|(k, val)| (k.clone(), shuffle_keys(rng, val)))
+                .collect();
+            // Fisher–Yates with the harness RNG.
+            for i in (1..fields.len()).rev() {
+                let j = rng.below(i as u64 + 1) as usize;
+                fields.swap(i, j);
+            }
+            Json::Obj(fields)
+        }
+        Json::Arr(items) => Json::Arr(items.iter().map(|x| shuffle_keys(rng, x)).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Mutates one pseudo-randomly chosen node so the tree is guaranteed to
+/// denote a different document (every arm changes the encoded value).
+fn mutate_one(rng: &mut Xoshiro256, v: &mut Json) {
+    match v {
+        Json::Obj(fields) if !fields.is_empty() => {
+            let i = rng.below(fields.len() as u64) as usize;
+            mutate_one(rng, &mut fields[i].1);
+        }
+        Json::Arr(items) if !items.is_empty() => {
+            let i = rng.below(items.len() as u64) as usize;
+            mutate_one(rng, &mut items[i]);
+        }
+        Json::Null => *v = Json::Bool(false),
+        Json::Bool(b) => *b = !*b,
+        Json::U64(u) => *u = u.wrapping_add(1),
+        Json::I64(i) => *i = i.wrapping_add(1),
+        Json::F64(f) => *f = f.trunc() + if *f == f.trunc() + 0.5 { 0.25 } else { 0.5 },
+        Json::Str(s) => s.push('x'),
+        // Empty containers: replace the container itself.
+        _ => *v = Json::U64(1),
+    }
+}
+
+#[test]
+fn digest_is_invariant_under_key_reordering() {
+    run_cases("digest reorder invariance", DEFAULT_CASES, 0xd16e, |rng| {
+        let tree = gen_tree(rng, &mut 40, &mut 0);
+        let shuffled = shuffle_keys(rng, &tree);
+        assert_eq!(
+            canonical_encode(&tree),
+            canonical_encode(&shuffled),
+            "canonical form must not depend on key order"
+        );
+        assert_eq!(digest(&tree), digest(&shuffled));
+    });
+}
+
+#[test]
+fn digest_is_sensitive_to_any_value_change() {
+    run_cases("digest value sensitivity", DEFAULT_CASES, 0xd16f, |rng| {
+        let tree = gen_tree(rng, &mut 40, &mut 0);
+        let mut mutated = tree.clone();
+        mutate_one(rng, &mut mutated);
+        assert_ne!(
+            canonical_encode(&tree),
+            canonical_encode(&mutated),
+            "mutation must change the document"
+        );
+        assert_ne!(digest(&tree), digest(&mutated));
+    });
+}
+
+#[test]
+fn digest_survives_codec_round_trips() {
+    run_cases("digest codec round trip", DEFAULT_CASES, 0xd170, |rng| {
+        let tree = gen_tree(rng, &mut 40, &mut 0);
+        let d = digest(&tree);
+        assert!(is_digest(&d), "{d}");
+        let compact = parse(&tree.encode()).expect("own encoding must parse");
+        let pretty = parse(&tree.encode_pretty()).expect("own pretty encoding must parse");
+        assert_eq!(digest(&compact), d, "compact round trip changed the digest");
+        assert_eq!(digest(&pretty), d, "pretty round trip changed the digest");
+    });
+}
+
+#[test]
+fn byte_hash_separates_close_inputs() {
+    run_cases("digest bytes avalanche", DEFAULT_CASES, 0xd171, |rng| {
+        let bytes: Vec<u8> = gen_vec(rng, 1, 64, |r| r.next_u64() as u8);
+        let base = digest_bytes(&bytes);
+        // Single-bit flip anywhere must move the hash.
+        let i = rng.below(bytes.len() as u64) as usize;
+        let mut flipped = bytes.clone();
+        flipped[i] ^= 1 << rng.below(8);
+        assert_ne!(base, digest_bytes(&flipped));
+        // Truncation by one byte must move the hash.
+        assert_ne!(base, digest_bytes(&bytes[..bytes.len() - 1]));
+        // Zero-extension must move the hash (padding vs. data).
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert_ne!(base, digest_bytes(&extended));
+    });
+}

@@ -5,7 +5,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 tmpdir="$(mktemp -d -t rmt_ci.XXXXXX)"
-trap 'rm -rf "$tmpdir"' EXIT
+serve_pid=""
+trap '[ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null; rm -rf "$tmpdir"' EXIT
 
 # Per-section wall-clock: `section NAME` closes the previous section with
 # its elapsed time, so a CI time regression is attributable to a stage
@@ -73,6 +74,37 @@ cargo run --release -p rmt-bench --bin sweep -- sweeps/slack_sq.json \
     --scale quick --jobs 2 --json "$tmpdir/sweep.json" > /dev/null
 cargo run --release -p rmt-bench --bin check_json -- "$tmpdir/sweep.json"
 
+section "tests: rmt-serve parser fuzz + daemon end-to-end suites"
+# The serving crates live below the root package, so the tier-1
+# `cargo test -q` above does not reach them; run them explicitly.
+cargo test --release -q -p rmt-serve
+
+section "smoke: rmt-serve round trip (miss simulates, repeat hits cache)"
+# An ephemeral-port daemon driven through real sockets: the first
+# submission simulates, the resubmission must be answered from the
+# cache, and both payloads must be bitwise identical — to each other and
+# to the figure binary's cell for the same machine.
+cargo build --release -p rmt-serve
+./target/release/rmt-serve --addr 127.0.0.1:0 \
+    --cache-dir "$tmpdir/serve-cache" --addr-file "$tmpdir/serve-addr" &
+serve_pid=$!
+for _ in $(seq 1 100); do [ -s "$tmpdir/serve-addr" ] && break; sleep 0.1; done
+serve_addr="$(cat "$tmpdir/serve-addr")"
+./target/release/rmtc --server "$serve_addr" submit requests/fig6_cell.json \
+    --wait --result-out "$tmpdir/served1.json" --expect-miss
+./target/release/rmtc --server "$serve_addr" submit requests/fig6_cell.json \
+    --out "$tmpdir/hit_env.json" --result-out "$tmpdir/served2.json" --expect-hit
+cmp "$tmpdir/served1.json" "$tmpdir/served2.json"
+cargo run --release -p rmt-bench --bin fig6_srt_single -- \
+    --quick --benches m88ksim --json "$tmpdir/fig6_cell.json" > /dev/null
+cargo run --release -p rmt-bench --bin check_json -- \
+    --serve-cell "$tmpdir/fig6_cell.json" m88ksim/SRT "$tmpdir/served1.json"
+cargo run --release -p rmt-bench --bin check_json -- \
+    --compare results/serve_roundtrip.json "$tmpdir/hit_env.json"
+./target/release/rmtc --server "$serve_addr" shutdown > /dev/null
+wait "$serve_pid"
+serve_pid=""
+
 section "smoke: --set override is bitwise equivalent to a code tweak"
 # The dotted key-path override system must steer the machine exactly like
 # the closure-tweak API it fronts (same run, same digests). The test
@@ -85,7 +117,8 @@ section "schema: every committed figure document carries a valid config"
 cargo run --release -p rmt-bench --bin check_json -- \
     results/fig6_srt_single.json results/fig6_epoch.json \
     results/fault_forensics.json results/sampling_validation.json \
-    results/sensitivity_slack_sq.json BENCH_PR2.json BENCH_PR8.json
+    results/sensitivity_slack_sq.json results/serve_roundtrip.json \
+    BENCH_PR2.json BENCH_PR8.json BENCH_PR9.json
 
 section "golden: committed results must regenerate bitwise (sans host)"
 cargo run --release -p rmt-bench --bin fig6_srt_single -- \
