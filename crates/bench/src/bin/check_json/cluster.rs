@@ -1,0 +1,243 @@
+//! Validators for `rmt-cluster` documents: run envelopes (merged result
+//! plus dispatch provenance) and `clustergen` scaling reports.
+
+use crate::service::check_service_result;
+use rmt_sim::service::ClusterPlan;
+use rmt_sim::ServiceRequest;
+use rmt_stats::Json;
+
+/// An `rmt-cluster/v1` envelope: a merged document plus its dispatch
+/// provenance. The validator independently re-expands the echoed request
+/// into its cell plan, so a forged or stale envelope cannot pass — the
+/// top-level digest, every per-cell digest, the cell ordering, and the
+/// unit/cell/worker accounting in the `cluster` metrics section must all
+/// recompute from the request alone.
+pub(crate) fn check_cluster_envelope(doc: &Json) -> Result<(), String> {
+    let digest = doc
+        .get("digest")
+        .and_then(Json::as_str)
+        .ok_or("envelope lacks a string `digest`")?;
+    let request = doc.get("request").ok_or("envelope lacks a `request`")?;
+    let parsed = ServiceRequest::from_json(request)
+        .map_err(|e| format!("`request` is not a valid service request: {e}"))?;
+    if parsed.digest() != digest {
+        return Err(format!(
+            "`digest` does not recompute from `request`: envelope says {digest}, \
+             the canonical request digests to {}",
+            parsed.digest()
+        ));
+    }
+    let workers = doc
+        .get("workers")
+        .and_then(Json::as_u64)
+        .ok_or("`workers` is not a u64")?;
+    let cells = doc
+        .get("cells")
+        .and_then(Json::as_array)
+        .ok_or("`cells` is not an array")?;
+    let plan = ClusterPlan::expand(&parsed);
+    let units = plan.distinct_digests();
+    if workers == 0 {
+        // The `--local` reference envelope: nothing was dispatched.
+        if !cells.is_empty() {
+            return Err("a local envelope (`workers: 0`) must carry no cells".into());
+        }
+    } else if cells.len() != units.len() {
+        return Err(format!(
+            "`cells` has {} entries, but the request expands to {} distinct \
+             units ({} plan cells before deduplication)",
+            cells.len(),
+            units.len(),
+            plan.cells.len()
+        ));
+    }
+    for (i, (cell, want)) in cells.iter().zip(&units).enumerate() {
+        let cd = cell
+            .get("digest")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("`cells[{i}].digest` is not a string"))?;
+        let creq = cell
+            .get("request")
+            .ok_or_else(|| format!("`cells[{i}]` lacks a `request`"))?;
+        let cparsed = ServiceRequest::from_json(creq)
+            .map_err(|e| format!("`cells[{i}].request` is not a valid service request: {e}"))?;
+        if cparsed.digest() != cd {
+            return Err(format!(
+                "`cells[{i}].digest` does not recompute from its echoed request: \
+                 cell says {cd}, the request digests to {}",
+                cparsed.digest()
+            ));
+        }
+        if cd != *want {
+            return Err(format!(
+                "`cells[{i}].digest` is {cd}, but plan expansion of the request \
+                 puts unit {want} at that position"
+            ));
+        }
+        cell.get("worker")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("`cells[{i}].worker` is not a string"))?;
+        let attempts = cell
+            .get("attempts")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("`cells[{i}].attempts` is not a u64"))?;
+        if attempts == 0 {
+            return Err(format!("`cells[{i}].attempts` must be >= 1"));
+        }
+        cell.get("cache_hit")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| format!("`cells[{i}].cache_hit` is not a boolean"))?;
+    }
+    check_service_result(
+        doc.get("result")
+            .ok_or("envelope lacks its merged `result`")?,
+    )?;
+    if workers > 0 {
+        let m = doc
+            .get("cluster")
+            .and_then(|c| c.get("metrics"))
+            .ok_or("a distributed envelope carries `cluster.metrics`")?;
+        let counter = |name: &str| {
+            m.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("`cluster.metrics` lacks counter `{name}`"))
+        };
+        let checks = [
+            ("cluster/cells", plan.cells.len() as u64),
+            ("cluster/units", units.len() as u64),
+            ("cluster/workers", workers),
+        ];
+        for (name, want) in checks {
+            let got = counter(name)?;
+            if got != want {
+                return Err(format!(
+                    "`cluster.metrics.{name}` is {got}, want {want} (recomputed \
+                     from plan expansion of the echoed request)"
+                ));
+            }
+        }
+        // First-wins acceptance: every distinct unit lands on exactly one
+        // worker, so per-worker `completed` counters must sum to the units.
+        let mut completed = 0u64;
+        for w in 0..workers {
+            completed += counter(&format!("cluster/worker{w}/completed"))?;
+            counter(&format!("cluster/worker{w}/dispatched"))?;
+            counter(&format!("cluster/worker{w}/retried"))?;
+            counter(&format!("cluster/worker{w}/stolen"))?;
+        }
+        if completed != units.len() as u64 {
+            return Err(format!(
+                "per-worker `completed` counters sum to {completed}, want {} \
+                 (one accepted result per distinct unit)",
+                units.len()
+            ));
+        }
+        let addrs = doc
+            .get("cluster")
+            .and_then(|c| c.get("worker_addrs"))
+            .and_then(Json::as_array)
+            .ok_or("`cluster.worker_addrs` is not an array")?;
+        if addrs.len() as u64 != workers {
+            return Err(format!(
+                "`cluster.worker_addrs` lists {} addresses for {workers} workers",
+                addrs.len()
+            ));
+        }
+    }
+    doc.get("host")
+        .and_then(|h| h.get("wall_seconds"))
+        .and_then(Json::as_f64)
+        .ok_or("`host.wall_seconds` is not a number")?;
+    Ok(())
+}
+
+/// A `clustergen` scaling report: the fleet-invariant facts (cell count,
+/// fleet sizes, the result digest every phase must have agreed on) at the
+/// top level, and a miss/hit phase pair per fleet size under `host`.
+pub(crate) fn check_clustergen(doc: &Json) -> Result<(), String> {
+    for (key, kind) in [
+        ("title", "string"),
+        ("sweep", "string"),
+        ("scale", "string"),
+    ] {
+        doc.get(key)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("`{key}` is not a {kind}"))?;
+    }
+    let cells = doc
+        .get("cells")
+        .and_then(Json::as_u64)
+        .ok_or("`cells` is not a u64")?;
+    if cells == 0 {
+        return Err("`cells` must be >= 1".into());
+    }
+    let fleets: Vec<u64> = doc
+        .get("fleets")
+        .and_then(Json::as_array)
+        .ok_or("`fleets` is not an array")?
+        .iter()
+        .map(|f| f.as_u64().ok_or("`fleets` entries must be u64"))
+        .collect::<Result<_, _>>()?;
+    if fleets.first() != Some(&1) || fleets.len() != 2 || fleets[1] < 2 {
+        return Err(format!(
+            "`fleets` must be [1, N >= 2] (single-process reference vs a real \
+             fleet), got {fleets:?}"
+        ));
+    }
+    let result_digest = doc
+        .get("result_digest")
+        .and_then(Json::as_str)
+        .ok_or("`result_digest` is not a string")?;
+    if !rmt_stats::digest::is_digest(result_digest) {
+        return Err(format!(
+            "`result_digest` is not a well-formed digest: `{result_digest}`"
+        ));
+    }
+    let host = doc.get("host").ok_or("missing `host`")?;
+    host.get("wall_seconds")
+        .and_then(Json::as_f64)
+        .ok_or("`host.wall_seconds` is not a number")?;
+    for key in ["miss_speedup", "hit_speedup"] {
+        let v = host
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("`host.{key}` is not a number"))?;
+        if !(v.is_finite() && v > 0.0) {
+            return Err(format!("`host.{key}` must be a positive ratio, got {v}"));
+        }
+    }
+    let phases = host
+        .get("phases")
+        .and_then(Json::as_array)
+        .ok_or("`host.phases` is not an array")?;
+    // Every fleet size runs exactly a miss phase and a hit phase.
+    for &fleet in &fleets {
+        for want in ["miss", "hit"] {
+            let found = phases.iter().filter(|p| {
+                p.get("workers").and_then(Json::as_u64) == Some(fleet)
+                    && p.get("phase").and_then(Json::as_str) == Some(want)
+            });
+            if found.count() != 1 {
+                return Err(format!(
+                    "`host.phases` must contain exactly one {want} phase at \
+                     {fleet} worker(s)"
+                ));
+            }
+        }
+    }
+    if phases.len() != 2 * fleets.len() {
+        return Err(format!(
+            "`host.phases` has {} entries, want {} (a miss/hit pair per fleet)",
+            phases.len(),
+            2 * fleets.len()
+        ));
+    }
+    for (i, p) in phases.iter().enumerate() {
+        for key in ["wall_seconds", "cells_per_sec"] {
+            p.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("`host.phases[{i}].{key}` is not a number"))?;
+        }
+    }
+    Ok(())
+}

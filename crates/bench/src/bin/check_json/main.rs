@@ -20,11 +20,21 @@
 //!   hits) a valid embedded run or sweep result document;
 //! * `rmt-serve/loadgen/v1` — a `loadgen` report: phase counts must be
 //!   internally consistent (unique-request phase all misses, repeat
-//!   phase all hits, ratio exactly half), latencies confined to `host`.
+//!   phase all hits, ratio exactly half), latencies confined to `host`;
+//! * `rmt-cluster/v1` — an `rmt-cluster` envelope: the top-level digest
+//!   and **every per-cell digest** must recompute from the echoed
+//!   canonical requests, the cell sequence must be exactly the plan
+//!   expansion of the request, the merged `result` must be a valid
+//!   run/sweep document, and a distributed run must carry a coherent
+//!   `cluster` metrics section (cell/unit/worker counts that add up);
+//! * `rmt-cluster/clustergen/v1` — a `clustergen` scaling report:
+//!   deterministic facts (cell count, fleet sizes, the fleet-invariant
+//!   result digest) at the top level, timings confined to `host`.
 //!
 //! With `--compare`, additionally requires the candidate to reproduce the
-//! committed golden bitwise, key by key, ignoring only `host` (wall time
-//! and worker count legitimately vary between machines). Every drifting
+//! committed golden bitwise, key by key, ignoring only `host` and
+//! `cluster` (wall time, worker count and dispatch provenance
+//! legitimately vary between machines and fleets). Every drifting
 //! key is reported — recursing into objects so the exact leaf (e.g.
 //! `summary.SRT_mean_efficiency`) is named — and the run exits with a
 //! drift count instead of stopping at the first mismatch. This is the CI
@@ -36,9 +46,17 @@
 //! assertion that the daemon's answer for a machine is the same
 //! simulation the figure binaries ran.
 
-use rmt_sim::ServiceRequest;
+mod cluster;
+mod service;
+
+use cluster::{check_cluster_envelope, check_clustergen};
 use rmt_stats::json::parse;
 use rmt_stats::Json;
+use service::{check_envelope, check_loadgen, check_service_result};
+
+/// Keys `--compare` skips: both legitimately vary between hosts and
+/// fleets while the rest of the document must reproduce bitwise.
+const COMPARE_IGNORED: [&str; 2] = ["host", "cluster"];
 
 /// The idle-or-issued slot counters exported per core under `slots/`.
 const SLOT_COUNTERS: [&str; 7] = [
@@ -138,6 +156,8 @@ fn check_file(path: &str) -> Result<(), String> {
         },
         Some("rmt-serve/v1") => check_envelope(&doc),
         Some("rmt-serve/loadgen/v1") => check_loadgen(&doc),
+        Some("rmt-cluster/v1") => check_cluster_envelope(&doc),
+        Some("rmt-cluster/clustergen/v1") => check_clustergen(&doc),
         Some(other) => Err(format!("unknown document schema `{other}`")),
     }
 }
@@ -216,233 +236,6 @@ fn check_figure(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
-/// An `rmt-serve` response envelope: digest integrity (the digest must
-/// recompute from the echoed canonical request), coherent lifecycle
-/// fields, and — for cache hits — a valid embedded result document.
-fn check_envelope(doc: &Json) -> Result<(), String> {
-    let digest = doc
-        .get("digest")
-        .and_then(Json::as_str)
-        .ok_or("envelope lacks a string `digest`")?;
-    if !rmt_stats::digest::is_digest(digest) {
-        return Err(format!("`digest` is not a well-formed digest: `{digest}`"));
-    }
-    let request = doc.get("request").ok_or("envelope lacks a `request`")?;
-    let parsed = ServiceRequest::from_json(request)
-        .map_err(|e| format!("`request` is not a valid service request: {e}"))?;
-    if parsed.digest() != digest {
-        return Err(format!(
-            "`digest` does not recompute from `request`: envelope says {digest}, \
-             the canonical request digests to {}",
-            parsed.digest()
-        ));
-    }
-    let status = doc
-        .get("status")
-        .and_then(Json::as_str)
-        .ok_or("envelope lacks a string `status`")?;
-    if !matches!(status, "queued" | "running" | "done" | "failed") {
-        return Err(format!("unknown envelope `status` `{status}`"));
-    }
-    let hit = doc
-        .get("cache_hit")
-        .and_then(Json::as_bool)
-        .ok_or("envelope lacks a boolean `cache_hit`")?;
-    match (hit, doc.get("job")) {
-        (true, Some(Json::Null)) => {}
-        (true, _) => return Err("a cache-hit envelope must carry `job: null`".into()),
-        (false, Some(Json::Str(_))) => {}
-        (false, _) => return Err("a cache-miss envelope must carry a string `job`".into()),
-    }
-    if hit {
-        if status != "done" {
-            return Err(format!("a cache hit is `done`, not `{status}`"));
-        }
-        let result = doc
-            .get("result")
-            .ok_or("a cache-hit envelope embeds its `result`")?;
-        check_service_result(result)?;
-        doc.get("host")
-            .and_then(|h| h.get("wall_seconds"))
-            .and_then(Json::as_f64)
-            .ok_or("`host.wall_seconds` is not a number")?;
-    }
-    Ok(())
-}
-
-/// A service result document (`/v1/results/<digest>` or the `result`
-/// embedded in a hit envelope): a run or a sweep, by its `type`.
-fn check_service_result(result: &Json) -> Result<(), String> {
-    match result.get("type").and_then(Json::as_str) {
-        Some("run") => check_run_result(result),
-        Some("sweep") => check_sweep_result(result),
-        other => Err(format!(
-            "result `type` must be `run` or `sweep`, got {other:?}"
-        )),
-    }
-}
-
-fn check_run_result(result: &Json) -> Result<(), String> {
-    result
-        .get("kind")
-        .and_then(Json::as_str)
-        .and_then(rmt_core::DeviceKind::from_name)
-        .ok_or("run result `kind` is not a device kind")?;
-    result
-        .get("cycles")
-        .and_then(Json::as_u64)
-        .ok_or("run result `cycles` is not a u64")?;
-    let threads = result
-        .get("per_thread")
-        .and_then(Json::as_array)
-        .ok_or("run result `per_thread` is not an array")?;
-    if threads.is_empty() {
-        return Err("run result `per_thread` is empty".into());
-    }
-    for (i, t) in threads.iter().enumerate() {
-        for key in ["committed", "cycles"] {
-            t.get(key)
-                .and_then(Json::as_u64)
-                .ok_or_else(|| format!("`per_thread[{i}].{key}` is not a u64"))?;
-        }
-        t.get("benchmark")
-            .and_then(Json::as_str)
-            .ok_or_else(|| format!("`per_thread[{i}].benchmark` is not a string"))?;
-        t.get("ipc")
-            .and_then(Json::as_f64)
-            .ok_or_else(|| format!("`per_thread[{i}].ipc` is not a number"))?;
-    }
-    result
-        .get("faults_detected")
-        .and_then(Json::as_u64)
-        .ok_or("run result `faults_detected` is not a u64")?;
-    check_snapshot(
-        "result",
-        result.get("metrics").ok_or("run result lacks `metrics`")?,
-    )?;
-    rmt_core::MachineSpec::from_json(result.get("config").ok_or("run result lacks `config`")?)
-        .map_err(|e| format!("invalid run result `config`: {e}"))?;
-    // Time series are present but empty unless the request sampled
-    // (`epoch > 0`); a populated one must satisfy the figure invariants.
-    let series = result
-        .get("timeseries")
-        .ok_or("run result lacks `timeseries`")?;
-    if series.get("every").and_then(Json::as_u64).unwrap_or(0) > 0 {
-        check_timeseries("result", series)?;
-    }
-    Ok(())
-}
-
-fn check_sweep_result(result: &Json) -> Result<(), String> {
-    result
-        .get("name")
-        .and_then(Json::as_str)
-        .ok_or("sweep result `name` is not a string")?;
-    for (k, v) in result
-        .get("summary")
-        .and_then(Json::members)
-        .ok_or("sweep result `summary` is not an object")?
-    {
-        v.as_f64()
-            .ok_or_else(|| format!("sweep result `summary.{k}` is not a number"))?;
-    }
-    let rows = result
-        .get("sweep")
-        .and_then(Json::as_array)
-        .ok_or("sweep result `sweep` is not an array")?;
-    for (i, row) in rows.iter().enumerate() {
-        row.get("path")
-            .and_then(Json::as_str)
-            .ok_or_else(|| format!("`sweep[{i}].path` is not a string"))?;
-        row.get("value")
-            .ok_or_else(|| format!("`sweep[{i}]` lacks a `value`"))?;
-        row.get("mean_eff")
-            .and_then(Json::as_f64)
-            .ok_or_else(|| format!("`sweep[{i}].mean_eff` is not a number"))?;
-        for (b, eff) in row
-            .get("effs")
-            .and_then(Json::members)
-            .ok_or_else(|| format!("`sweep[{i}].effs` is not an object"))?
-        {
-            eff.as_f64()
-                .ok_or_else(|| format!("`sweep[{i}].effs.{b}` is not a number"))?;
-        }
-        rmt_core::MachineSpec::from_json(
-            row.get("config")
-                .ok_or_else(|| format!("`sweep[{i}]` lacks a `config`"))?,
-        )
-        .map_err(|e| format!("invalid `sweep[{i}].config`: {e}"))?;
-    }
-    rmt_core::MachineSpec::from_json(result.get("config").ok_or("sweep result lacks `config`")?)
-        .map_err(|e| format!("invalid sweep result `config`: {e}"))?;
-    Ok(())
-}
-
-/// A `loadgen` report: the deterministic counts must be internally
-/// consistent — every unique request misses, every repeat hits, and the
-/// hit ratio is exactly one half. Latency/throughput live under `host`.
-fn check_loadgen(doc: &Json) -> Result<(), String> {
-    let field = |key: &str| {
-        doc.get(key)
-            .and_then(Json::as_u64)
-            .ok_or_else(|| format!("`{key}` is not a u64"))
-    };
-    let clients = field("clients")?;
-    let per_client = field("requests_per_client")?;
-    let unique = field("unique_requests")?;
-    if clients * per_client != unique {
-        return Err(format!(
-            "`unique_requests` is {unique}, but {clients} clients x {per_client} \
-             requests = {}",
-            clients * per_client
-        ));
-    }
-    for (phase, want_hits) in [("miss", 0), ("hit", unique)] {
-        let p = doc.get(phase).ok_or_else(|| format!("missing `{phase}`"))?;
-        let requests = p
-            .get("requests")
-            .and_then(Json::as_u64)
-            .ok_or_else(|| format!("`{phase}.requests` is not a u64"))?;
-        let hits = p
-            .get("cache_hits")
-            .and_then(Json::as_u64)
-            .ok_or_else(|| format!("`{phase}.cache_hits` is not a u64"))?;
-        if requests != unique {
-            return Err(format!(
-                "`{phase}.requests` is {requests}, want {unique} (one per unique document)"
-            ));
-        }
-        if hits != want_hits {
-            return Err(format!(
-                "`{phase}.cache_hits` is {hits}, want {want_hits} — the cache \
-                 contract (first submission simulates, repeats hit) is broken"
-            ));
-        }
-    }
-    let ratio = doc
-        .get("cache_hit_ratio")
-        .and_then(Json::as_f64)
-        .ok_or("`cache_hit_ratio` is not a number")?;
-    if ratio != 0.5 {
-        return Err(format!("`cache_hit_ratio` is {ratio}, want exactly 0.5"));
-    }
-    let host = doc.get("host").ok_or("missing `host`")?;
-    host.get("wall_seconds")
-        .and_then(Json::as_f64)
-        .ok_or("`host.wall_seconds` is not a number")?;
-    for phase in ["miss", "hit"] {
-        let p = host
-            .get(phase)
-            .ok_or_else(|| format!("missing `host.{phase}`"))?;
-        for key in ["throughput_rps", "mean_ms", "p50_ms", "p95_ms"] {
-            p.get(key)
-                .and_then(Json::as_f64)
-                .ok_or_else(|| format!("`host.{phase}.{key}` is not a number"))?;
-        }
-    }
-    Ok(())
-}
-
 fn load(path: &str) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     parse(&text).map_err(|e| format!("invalid JSON: {e}"))
@@ -475,9 +268,9 @@ fn diff_value(path: &str, expected: &Json, got: &Json, drifts: &mut Vec<String>)
     }
 }
 
-/// Key-by-key bitwise comparison of two figure documents, ignoring
-/// `host`. Returns **every** drifting key (recursing into objects), so a
-/// single run shows the full extent of a drift.
+/// Key-by-key bitwise comparison of two documents, ignoring the
+/// [`COMPARE_IGNORED`] keys. Returns **every** drifting key (recursing
+/// into objects), so a single run shows the full extent of a drift.
 fn compare_files(golden_path: &str, candidate_path: &str) -> Result<Vec<String>, String> {
     let golden = load(golden_path)?;
     let candidate = load(candidate_path)?;
@@ -487,7 +280,7 @@ fn compare_files(golden_path: &str, candidate_path: &str) -> Result<Vec<String>,
         .ok_or("candidate document is not an object")?;
     let mut drifts = Vec::new();
     for (key, expected) in gm {
-        if key == "host" {
+        if COMPARE_IGNORED.contains(&key.as_str()) {
             continue;
         }
         match candidate.get(key) {
@@ -496,7 +289,7 @@ fn compare_files(golden_path: &str, candidate_path: &str) -> Result<Vec<String>,
         }
     }
     for (key, _) in cm {
-        if key != "host" && golden.get(key).is_none() {
+        if !COMPARE_IGNORED.contains(&key.as_str()) && golden.get(key).is_none() {
             drifts.push(format!("`{key}` absent from the golden {golden_path}"));
         }
     }

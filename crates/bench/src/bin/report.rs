@@ -18,6 +18,9 @@
 //! too: a bare run/sweep result fetched with `rmtc` (or a cache-hit
 //! envelope embedding one) becomes a section with its per-thread or
 //! per-axis table, so served results drop straight into the dashboard.
+//! An `rmt-cluster/v1` envelope gets a dispatch-provenance section — a
+//! per-worker table (cells won, cache hits, retries, steals, evictions)
+//! plus duplicate/peak-inflight totals — followed by its merged result.
 
 use rmt_stats::json::parse;
 use rmt_stats::Json;
@@ -405,6 +408,138 @@ fn render_service(anchor: &str, file: &str, result: &Json) -> (String, String) {
     (title, s)
 }
 
+/// Dispatch-provenance section for an `rmt-cluster/v1` envelope: who won
+/// each cell and the retry/steal story, then the merged result document
+/// itself (rendered exactly like any other served result — it *is* one).
+fn render_cluster(anchor: &str, file: &str, doc: &Json) -> (String, String) {
+    let workers = doc.get("workers").and_then(Json::as_u64).unwrap_or(0);
+    let cells = doc.get("cells").and_then(Json::as_array).unwrap_or(&[]);
+    let metrics = doc.get("cluster").and_then(|c| c.get("metrics"));
+    let counter = |name: &str| {
+        metrics
+            .and_then(|m| m.get(name))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    let title = format!("cluster run: {workers} worker(s), {} cells", cells.len());
+    let mut s = format!(
+        "<section id=\"{anchor}\"><h2>{}</h2>\n\
+         <p class=\"meta\">rmt-cluster envelope \
+         <span class=\"file\">({})</span></p>\n",
+        esc(&title),
+        esc(file)
+    );
+    s += &format!(
+        "<table class=\"kv\"><tbody>\n\
+         <tr><td>request digest</td><td>{}</td></tr>\n\
+         <tr><td>distinct units</td><td>{}</td></tr>\n\
+         <tr><td>duplicate results</td><td>{}</td></tr>\n\
+         <tr><td>peak in-flight</td><td>{}</td></tr>\n\
+         </tbody></table>\n",
+        esc(doc.get("digest").and_then(Json::as_str).unwrap_or("?")),
+        counter("cluster/units"),
+        counter("cluster/duplicate_results"),
+        counter("cluster/peak_inflight"),
+    );
+    if workers > 0 {
+        let addrs = doc
+            .get("cluster")
+            .and_then(|c| c.get("worker_addrs"))
+            .and_then(Json::as_array)
+            .unwrap_or(&[]);
+        s += "<h3>Per-worker dispatch</h3>\n\
+              <table><thead><tr><th>worker</th><th>address</th>\
+              <th>cells won</th><th>cache hits</th><th>dispatched</th>\
+              <th>retried</th><th>stolen</th><th>evictions</th>\
+              </tr></thead><tbody>\n";
+        for w in 0..workers as usize {
+            let addr = addrs
+                .get(w)
+                .and_then(|a| a.as_str())
+                .unwrap_or("?")
+                .to_string();
+            // Cells won (and how many were worker cache hits) come from
+            // the provenance list, keyed by the winning worker's address.
+            let won = cells
+                .iter()
+                .filter(|c| c.get("worker").and_then(Json::as_str) == Some(addr.as_str()));
+            let hits = won
+                .clone()
+                .filter(|c| c.get("cache_hit").and_then(Json::as_bool) == Some(true))
+                .count();
+            let p = format!("cluster/worker{w}");
+            s += &format!(
+                "<tr><td>{w}</td><td>{}</td><td>{}</td><td>{hits}</td>\
+                 <td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+                esc(&addr),
+                won.count(),
+                counter(&format!("{p}/dispatched")),
+                counter(&format!("{p}/retried")),
+                counter(&format!("{p}/stolen")),
+                counter(&format!("{p}/evictions")),
+            );
+        }
+        s += "</tbody></table>\n";
+    }
+    s += "</section>\n";
+    if let Some(result) = doc.get("result") {
+        let (_, rs) = render_service(&format!("{anchor}-result"), file, result);
+        s += &rs;
+    }
+    (title, s)
+}
+
+/// A `clustergen` scaling report: the miss/hit wall times per fleet size
+/// and the headline speedups.
+fn render_clustergen(anchor: &str, file: &str, doc: &Json) -> (String, String) {
+    let title = doc
+        .get("title")
+        .and_then(Json::as_str)
+        .unwrap_or("cluster scaling")
+        .to_string();
+    let host = doc.get("host");
+    let ratio = |k: &str| {
+        host.and_then(|h| h.get(k))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    let mut s = format!(
+        "<section id=\"{anchor}\"><h2>{}</h2>\n\
+         <p class=\"meta\">{} cells per phase, result digest {} \
+         <span class=\"file\">({})</span></p>\n\
+         <table class=\"kv\"><tbody>\n\
+         <tr><td>miss-phase speedup</td><td>{:.2}x</td></tr>\n\
+         <tr><td>hit-phase speedup</td><td>{:.2}x</td></tr>\n\
+         </tbody></table>\n",
+        esc(&title),
+        doc.get("cells").and_then(Json::as_u64).unwrap_or(0),
+        esc(doc
+            .get("result_digest")
+            .and_then(Json::as_str)
+            .unwrap_or("?")),
+        esc(file),
+        ratio("miss_speedup"),
+        ratio("hit_speedup"),
+    );
+    s += "<table><thead><tr><th>workers</th><th>phase</th>\
+          <th>wall (s)</th><th>cells/s</th></tr></thead><tbody>\n";
+    for p in host
+        .and_then(|h| h.get("phases"))
+        .and_then(Json::as_array)
+        .unwrap_or(&[])
+    {
+        s += &format!(
+            "<tr><td>{}</td><td>{}</td><td>{:.2}</td><td>{:.2}</td></tr>\n",
+            p.get("workers").and_then(Json::as_u64).unwrap_or(0),
+            esc(p.get("phase").and_then(Json::as_str).unwrap_or("?")),
+            p.get("wall_seconds").and_then(Json::as_f64).unwrap_or(0.0),
+            p.get("cells_per_sec").and_then(Json::as_f64).unwrap_or(0.0),
+        );
+    }
+    s += "</tbody></table>\n</section>\n";
+    (title, s)
+}
+
 const STYLE: &str = "\
 body{font:14px/1.5 system-ui,sans-serif;margin:2em auto;max-width:72em;\
 padding:0 1em;color:#1a1a1a;background:#fdfdfc}\
@@ -485,6 +620,7 @@ fn main() {
         };
         let anchor = format!("doc{i}");
         let title;
+        let schema = doc.get("schema").and_then(Json::as_str);
         if doc.get("table").is_some() {
             title = doc
                 .get("title")
@@ -492,6 +628,14 @@ fn main() {
                 .unwrap_or(file)
                 .to_string();
             sections += &render_doc(&anchor, file, &doc);
+        } else if schema == Some("rmt-cluster/v1") {
+            let (t, s) = render_cluster(&anchor, file, &doc);
+            title = t;
+            sections += &s;
+        } else if schema == Some("rmt-cluster/clustergen/v1") {
+            let (t, s) = render_clustergen(&anchor, file, &doc);
+            title = t;
+            sections += &s;
         } else if let Some(result) = service_result(&doc) {
             let (t, s) = render_service(&anchor, file, result);
             title = t;

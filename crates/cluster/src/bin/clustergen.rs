@@ -1,0 +1,241 @@
+//! `clustergen` — 1-vs-N-worker scaling benchmark for `rmt-cluster`.
+//!
+//! ```text
+//! clustergen [--sweep FILE] [--quick|--standard|--full] [--fleet N]
+//!            [--inflight N] [--json PATH] [--cache-dir DIR]
+//! ```
+//!
+//! Hosts fleets of in-process `rmt-serve` workers (one server thread
+//! each, distinct cache directories, real HTTP dispatch) and runs the
+//! sweep through `run_cluster` twice per fleet size:
+//!
+//! 1. **miss phase** — fresh caches; every cell simulates somewhere.
+//!    This is the phase distribution accelerates.
+//! 2. **hit phase** — the same request again; every cell is answered
+//!    from the workers' content-addressed caches.
+//!
+//! The emitted document (`--json`, committed as `BENCH_PR10.json`) keeps
+//! deterministic facts (cell counts, fleet sizes, the per-phase result
+//! digests — which must agree across fleet sizes, re-proving the merge
+//! contract) at the top level, and every host-dependent number
+//! (wall times, cells/sec, speedups) under `"host"`, the key
+//! `check_json --compare` ignores.
+
+use rmt_cluster::{run_cluster, ClusterOptions};
+use rmt_serve::client::Client;
+use rmt_serve::{Server, ServerConfig, ServerHandle};
+use rmt_sim::service::ServiceRequest;
+use rmt_stats::json::parse;
+use rmt_stats::Json;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}
+
+struct Opts {
+    sweep: String,
+    scale: &'static str,
+    fleet: usize,
+    inflight: usize,
+    json: Option<String>,
+    cache_dir: PathBuf,
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts {
+        sweep: "sweeps/slack_sq.json".to_string(),
+        scale: "quick",
+        fleet: 3,
+        inflight: 2,
+        json: None,
+        cache_dir: PathBuf::from("target/rmt-clustergen"),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--sweep" => o.sweep = value("--sweep"),
+            "--quick" => o.scale = "quick",
+            "--standard" => o.scale = "standard",
+            "--full" => o.scale = "full",
+            "--fleet" => {
+                o.fleet = value("--fleet")
+                    .parse()
+                    .ok()
+                    .filter(|n| *n >= 2)
+                    .unwrap_or_else(|| fail("--fleet needs a number >= 2"))
+            }
+            "--inflight" => {
+                o.inflight = value("--inflight")
+                    .parse()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .unwrap_or_else(|| fail("--inflight needs a positive number"))
+            }
+            "--json" => o.json = Some(value("--json")),
+            "--cache-dir" => o.cache_dir = PathBuf::from(value("--cache-dir")),
+            other => fail(&format!("unknown flag `{other}`")),
+        }
+    }
+    o
+}
+
+fn load_request(opts: &Opts) -> ServiceRequest {
+    let text = std::fs::read_to_string(&opts.sweep)
+        .unwrap_or_else(|e| fail(&format!("{}: {e}", opts.sweep)));
+    let doc = parse(&text).unwrap_or_else(|e| fail(&format!("{}: invalid JSON: {e}", opts.sweep)));
+    let doc = if doc.get("type").is_some() {
+        doc
+    } else {
+        Json::obj()
+            .with("type", Json::Str("sweep".into()))
+            .with("sweep", doc)
+            .with("scale", Json::Str(opts.scale.into()))
+    };
+    ServiceRequest::from_json(&doc).unwrap_or_else(|e| fail(&format!("{}: {e}", opts.sweep)))
+}
+
+/// Starts `n` in-process workers with fresh caches; returns handles and
+/// dispatch addresses.
+fn start_fleet(opts: &Opts, n: usize) -> (Vec<ServerHandle>, Vec<String>) {
+    let mut handles = Vec::new();
+    let mut addrs = Vec::new();
+    for i in 0..n {
+        let dir = opts.cache_dir.join(format!("fleet{n}-w{i}"));
+        std::fs::remove_dir_all(&dir).ok();
+        let handle = Server::start(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            cache_dir: dir,
+            workers: 1,
+            queue_cap: 256,
+            mem_cache: 256,
+            inner_jobs: 1,
+        })
+        .unwrap_or_else(|e| fail(&format!("cannot start worker {i}: {e}")));
+        addrs.push(handle.addr().to_string());
+        handles.push(handle);
+    }
+    (handles, addrs)
+}
+
+fn stop_fleet(handles: Vec<ServerHandle>, addrs: &[String]) {
+    for addr in addrs {
+        let mut c = Client::with_timeouts(addr, Duration::from_secs(2), Duration::from_secs(10));
+        let _ = c.post("/v1/shutdown", b"");
+    }
+    for h in handles {
+        h.wait();
+    }
+}
+
+struct Phase {
+    workers: usize,
+    phase: &'static str,
+    cells: usize,
+    wall: f64,
+    digest: String,
+}
+
+fn phase_json(p: &Phase) -> Json {
+    Json::obj()
+        .with("workers", Json::U64(p.workers as u64))
+        .with("phase", Json::Str(p.phase.into()))
+        .with("wall_seconds", Json::F64(p.wall))
+        .with(
+            "cells_per_sec",
+            Json::F64(p.cells as f64 / p.wall.max(1e-9)),
+        )
+}
+
+fn main() {
+    let opts = parse_opts();
+    let request = load_request(&opts);
+    let cluster_opts = ClusterOptions {
+        inflight_per_worker: opts.inflight,
+        ..ClusterOptions::default()
+    };
+    let mut phases: Vec<Phase> = Vec::new();
+    let started = Instant::now();
+    for &n in &[1usize, opts.fleet] {
+        let (handles, addrs) = start_fleet(&opts, n);
+        for phase in ["miss", "hit"] {
+            let t = Instant::now();
+            let outcome = run_cluster(&request, &addrs, &cluster_opts)
+                .unwrap_or_else(|e| fail(&format!("{n}-worker {phase} phase: {e}")));
+            let wall = t.elapsed().as_secs_f64();
+            let digest = rmt_stats::digest::digest(&outcome.merged);
+            eprintln!(
+                "  {n} worker(s), {phase} phase: {} cells in {wall:.2}s (result {digest})",
+                outcome.cells.len()
+            );
+            phases.push(Phase {
+                workers: n,
+                phase,
+                cells: outcome.cells.len(),
+                wall,
+                digest,
+            });
+        }
+        stop_fleet(handles, &addrs);
+    }
+
+    // Merge determinism across fleet sizes: every phase must produce the
+    // same result digest.
+    let digests: Vec<&str> = phases.iter().map(|p| p.digest.as_str()).collect();
+    if digests.iter().any(|d| *d != digests[0]) {
+        fail(&format!(
+            "merged results diverged across fleet sizes: {digests:?}"
+        ));
+    }
+    let wall_of = |workers: usize, phase: &str| {
+        phases
+            .iter()
+            .find(|p| p.workers == workers && p.phase == phase)
+            .map(|p| p.wall)
+            .expect("phase ran")
+    };
+    let miss_speedup = wall_of(1, "miss") / wall_of(opts.fleet, "miss").max(1e-9);
+    let hit_speedup = wall_of(1, "hit") / wall_of(opts.fleet, "hit").max(1e-9);
+    eprintln!(
+        "  miss-phase speedup at {} workers: {miss_speedup:.2}x (hit: {hit_speedup:.2}x)",
+        opts.fleet
+    );
+
+    let doc = Json::obj()
+        .with("schema", Json::Str("rmt-cluster/clustergen/v1".into()))
+        .with(
+            "title",
+            Json::Str("rmt-cluster 1-vs-N worker scaling".into()),
+        )
+        .with("sweep", Json::Str(opts.sweep.clone()))
+        .with("scale", Json::Str(opts.scale.into()))
+        .with("cells", Json::U64(phases[0].cells as u64))
+        .with(
+            "fleets",
+            Json::Arr(vec![Json::U64(1), Json::U64(opts.fleet as u64)]),
+        )
+        .with("result_digest", Json::Str(digests[0].to_string()))
+        .with(
+            "host",
+            Json::obj()
+                .with("wall_seconds", Json::F64(started.elapsed().as_secs_f64()))
+                .with("phases", Json::Arr(phases.iter().map(phase_json).collect()))
+                .with("miss_speedup", Json::F64(miss_speedup))
+                .with("hit_speedup", Json::F64(hit_speedup)),
+        );
+    let mut text = doc.encode_pretty();
+    text.push('\n');
+    match &opts.json {
+        Some(path) => {
+            std::fs::write(path, &text).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+            eprintln!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+}

@@ -1,0 +1,92 @@
+//! The cluster metrics section riding on the merged document.
+//!
+//! Everything is exported through the shared [`MetricsRegistry`] under
+//! stable `/`-separated names, so the section has the same shape as the
+//! simulator's own `metrics` blocks and `rmt-serve`'s `/metrics`
+//! snapshot: counters as integers, gauges as floats, histograms as
+//! count/mean/min/max/percentile summaries. Per-worker names are keyed
+//! by fleet index (`cluster/worker0/...`) with the address carried
+//! alongside as a plain field, because addresses (ephemeral ports) vary
+//! run to run while the schema must not.
+
+use crate::pool::Worker;
+use rmt_stats::{Json, MetricsRegistry};
+use std::sync::atomic::Ordering;
+
+/// Cluster-wide dispatch totals the coordinator accumulates outside any
+/// single worker.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ClusterTotals {
+    /// Distinct work units (deduplicated cells).
+    pub units: u64,
+    /// Plan cells before deduplication.
+    pub cells: u64,
+    /// Digest-verified results that lost the first-wins race.
+    pub duplicate_results: u64,
+    /// Highest number of cells simultaneously in flight.
+    pub peak_inflight: u64,
+    /// Wall-clock seconds from first dispatch to merge.
+    pub wall_seconds: f64,
+}
+
+/// Renders the `"cluster"` section: totals plus one counter/histogram
+/// family per worker.
+pub fn cluster_section(workers: &[Worker], totals: &ClusterTotals) -> Json {
+    let mut reg = MetricsRegistry::new();
+    reg.counter("cluster/units", totals.units);
+    reg.counter("cluster/cells", totals.cells);
+    reg.counter("cluster/duplicate_results", totals.duplicate_results);
+    reg.counter("cluster/peak_inflight", totals.peak_inflight);
+    reg.gauge("cluster/wall_seconds", totals.wall_seconds);
+    reg.counter("cluster/workers", workers.len() as u64);
+    for w in workers {
+        let p = format!("cluster/worker{}", w.index);
+        let c = |v: &std::sync::atomic::AtomicU64| v.load(Ordering::Relaxed);
+        reg.counter(&format!("{p}/dispatched"), c(&w.stats.dispatched));
+        reg.counter(&format!("{p}/completed"), c(&w.stats.completed));
+        reg.counter(&format!("{p}/duplicates"), c(&w.stats.duplicates));
+        reg.counter(&format!("{p}/retried"), c(&w.stats.retried));
+        reg.counter(&format!("{p}/stolen"), c(&w.stats.stolen));
+        reg.counter(&format!("{p}/timeouts"), c(&w.stats.timeouts));
+        reg.counter(&format!("{p}/evictions"), c(&w.stats.evictions));
+        reg.counter(&format!("{p}/readmissions"), c(&w.stats.readmissions));
+        reg.histogram(
+            &format!("{p}/latency_ms"),
+            &w.stats.latency_ms.lock().expect("latency mutex poisoned"),
+        );
+    }
+    let addrs = workers
+        .iter()
+        .map(|w| Json::Str(w.addr.clone()))
+        .collect::<Vec<_>>();
+    Json::obj()
+        .with("metrics", reg.snapshot().to_json())
+        .with("worker_addrs", Json::Arr(addrs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section_has_stable_per_worker_names() {
+        let workers = vec![Worker::new(0, "a:1"), Worker::new(1, "b:2")];
+        workers[1].stats.retried.fetch_add(3, Ordering::Relaxed);
+        let totals = ClusterTotals {
+            units: 5,
+            cells: 6,
+            ..ClusterTotals::default()
+        };
+        let doc = cluster_section(&workers, &totals);
+        let m = doc.get("metrics").unwrap();
+        assert_eq!(m.get("cluster/units").unwrap().as_u64(), Some(5));
+        assert_eq!(m.get("cluster/worker1/retried").unwrap().as_u64(), Some(3));
+        assert!(m
+            .get("cluster/worker0/latency_ms")
+            .unwrap()
+            .get("count")
+            .is_some());
+        let addrs = doc.get("worker_addrs").unwrap().as_array().unwrap();
+        assert_eq!(addrs.len(), 2);
+    }
+}

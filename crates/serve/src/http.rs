@@ -232,6 +232,19 @@ pub fn status_text(status: u16) -> &'static str {
 
 /// Serializes a response with a `Content-Length` body.
 pub fn response(status: u16, content_type: &str, body: &[u8], close: bool) -> Vec<u8> {
+    response_with(status, content_type, &[], body, close)
+}
+
+/// [`response`], plus extra header fields (`name` must be a valid
+/// lowercase token; `value` must not contain CR/LF — callers here only
+/// ever pass fixed names and formatted numbers).
+pub fn response_with(
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, String)],
+    body: &[u8],
+    close: bool,
+) -> Vec<u8> {
     let mut out = format!(
         "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
         status,
@@ -240,6 +253,9 @@ pub fn response(status: u16, content_type: &str, body: &[u8], close: bool) -> Ve
         body.len()
     )
     .into_bytes();
+    for (name, value) in extra {
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
     if close {
         out.extend_from_slice(b"connection: close\r\n");
     }

@@ -186,6 +186,32 @@ impl JobTable {
             .cloned()
     }
 
+    /// A bounded snapshot of the live (queued or running) jobs: running
+    /// jobs first (id order), then queued ones in queue order, at most
+    /// `limit` records. Also returns the total live count, so a caller
+    /// can tell when the listing was truncated.
+    pub fn list(&self, limit: usize) -> (Vec<JobRecord>, usize) {
+        let inner = self.inner.lock().expect("job mutex poisoned");
+        let mut running: Vec<&JobRecord> = inner
+            .jobs
+            .values()
+            .filter(|r| r.status == JobStatus::Running)
+            .collect();
+        running.sort_by(|a, b| a.id.cmp(&b.id));
+        let total = running.len() + inner.queue.len();
+        let queued = inner
+            .queue
+            .iter()
+            .map(|id| inner.jobs.get(id).expect("queued job exists"));
+        let records = running
+            .into_iter()
+            .chain(queued)
+            .take(limit)
+            .cloned()
+            .collect();
+        (records, total)
+    }
+
     /// Jobs waiting for a worker right now.
     pub fn queue_depth(&self) -> usize {
         self.inner.lock().expect("job mutex poisoned").queue.len()

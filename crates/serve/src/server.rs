@@ -96,13 +96,34 @@ fn err_body(msg: &str) -> Json {
     Json::obj().with("error", Json::Str(msg.to_string()))
 }
 
-/// `(status, body)` of one routed request.
-type Reply = (u16, Vec<u8>);
+/// Most job records one `GET /v1/jobs` listing returns (the document
+/// also reports the total live count, so truncation is visible).
+const JOB_LIST_LIMIT: usize = 64;
+
+/// One routed request's response.
+struct Reply {
+    status: u16,
+    body: Vec<u8>,
+    /// `Retry-After` hint in seconds — attached to 202 queued responses
+    /// so pollers can pace themselves by observed queue depth.
+    retry_after: Option<f64>,
+}
 
 fn json_reply(status: u16, doc: &Json) -> Reply {
     let mut text = doc.encode_pretty();
     text.push('\n');
-    (status, text.into_bytes())
+    Reply {
+        status,
+        body: text.into_bytes(),
+        retry_after: None,
+    }
+}
+
+/// How long a poller should wait before asking about a queued job:
+/// a floor for the accept/queue round trip plus a per-queued-job term,
+/// capped — deep queues should poll lazily, not never.
+fn retry_after_secs(queue_depth: usize) -> f64 {
+    (0.2 + 0.1 * queue_depth as f64).min(10.0)
 }
 
 impl Shared {
@@ -113,6 +134,7 @@ impl Shared {
             ("POST", "/v1/shutdown") => "shutdown",
             ("GET", "/metrics") => "metrics",
             ("GET", "/healthz") => "healthz",
+            ("GET", "/v1/jobs") => "jobs",
             ("GET", p) if p.starts_with("/v1/jobs/") => "jobs",
             ("GET", p) if p.starts_with("/v1/results/") => "results",
             _ => "other",
@@ -164,6 +186,7 @@ impl Shared {
                         .with("status", Json::Str("draining".into())),
                 )
             }
+            ("GET", "/v1/jobs") => self.job_list(),
             ("GET", p) if p.starts_with("/v1/jobs/") => self.job_status(&p["/v1/jobs/".len()..]),
             ("GET", p) if p.starts_with("/v1/results/") => self.result(&p["/v1/results/".len()..]),
             (
@@ -245,12 +268,41 @@ impl Shared {
                 return json_reply(503, &err_body("server is draining; no new work"));
             }
         };
+        let retry_after = retry_after_secs(self.jobs.queue_depth());
         let envelope = envelope
             .with("job", Json::Str(job_id))
             .with("cache_hit", Json::Bool(false))
             .with("status", Json::Str(status))
+            .with("retry_after_ms", Json::U64((retry_after * 1000.0) as u64))
             .with("request", canonical);
-        json_reply(202, &envelope)
+        let mut reply = json_reply(202, &envelope);
+        reply.retry_after = Some(retry_after);
+        reply
+    }
+
+    /// `GET /v1/jobs`: a bounded listing of live (queued/running) jobs,
+    /// so a coordinator can observe worker load without guessing.
+    fn job_list(&self) -> Reply {
+        let (records, total) = self.jobs.list(JOB_LIST_LIMIT);
+        let jobs = records
+            .iter()
+            .map(|rec| {
+                Json::obj()
+                    .with("job", Json::Str(rec.id.clone()))
+                    .with("digest", Json::Str(rec.digest.clone()))
+                    .with("status", Json::Str(rec.status.name().to_string()))
+                    .with("progress_permille", Json::U64(rec.progress_permille))
+            })
+            .collect();
+        json_reply(
+            200,
+            &Json::obj()
+                .with("schema", Json::Str(SCHEMA.into()))
+                .with("jobs", Json::Arr(jobs))
+                .with("live", Json::U64(total as u64))
+                .with("queue_depth", Json::U64(self.jobs.queue_depth() as u64))
+                .with("draining", Json::Bool(self.jobs.draining())),
+        )
     }
 
     fn job_status(&self, id: &str) -> Reply {
@@ -276,7 +328,11 @@ impl Shared {
             return json_reply(400, &err_body("malformed digest"));
         }
         match self.cache.get(digest) {
-            Some(text) => (200, text.into_bytes()),
+            Some(text) => Reply {
+                status: 200,
+                body: text.into_bytes(),
+                retry_after: None,
+            },
             None => json_reply(404, &err_body("no result under that digest")),
         }
     }
@@ -325,8 +381,19 @@ fn handle_connection(shared: Arc<Shared>, mut stream: TcpStream) {
                 Ok(Some((req, used))) => {
                     buf.drain(..used);
                     let close = req.close;
-                    let (status, body) = shared.route(&req);
-                    let bytes = http::response(status, "application/json", &body, close);
+                    let reply = shared.route(&req);
+                    let extra: Vec<(&str, String)> = reply
+                        .retry_after
+                        .iter()
+                        .map(|s| ("retry-after", format!("{s:.3}")))
+                        .collect();
+                    let bytes = http::response_with(
+                        reply.status,
+                        "application/json",
+                        &extra,
+                        &reply.body,
+                        close,
+                    );
                     if stream.write_all(&bytes).is_err() || close {
                         return;
                     }

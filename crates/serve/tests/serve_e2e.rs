@@ -91,6 +91,29 @@ fn submit_poll_fetch_and_cached_resubmit_are_bitwise_identical() {
         .unwrap()
         .to_string();
     let job = envelope.get("job").unwrap().as_str().unwrap().to_string();
+    // A queued response hints how long to wait before polling, both as a
+    // Retry-After header and in the envelope.
+    assert!(resp.retry_after_ms.is_some(), "202 must carry Retry-After");
+    assert!(envelope.get("retry_after_ms").unwrap().as_u64().unwrap() >= 200);
+    // The job is observable in the bounded listing while live (unless
+    // the worker already finished it — then it must report done).
+    let listing = parse(&client.get("/v1/jobs").expect("list jobs").text()).unwrap();
+    assert_eq!(
+        listing.get("schema").unwrap().as_str(),
+        Some("rmt-serve/v1")
+    );
+    let listed = listing.get("jobs").unwrap().as_array().unwrap();
+    let in_listing = listed
+        .iter()
+        .any(|j| j.get("job").and_then(Json::as_str) == Some(job.as_str()));
+    if !in_listing {
+        let status = parse(&client.get(&format!("/v1/jobs/{job}")).unwrap().text()).unwrap();
+        assert_eq!(
+            status.get("status").unwrap().as_str(),
+            Some("done"),
+            "a live job must appear in /v1/jobs: {listing:?}"
+        );
+    }
     // The envelope echoes the fully resolved request.
     let canonical = envelope.get("request").expect("request echoed");
     assert_eq!(

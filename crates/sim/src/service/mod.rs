@@ -32,6 +32,10 @@
 //! assert_eq!(result.get("kind").unwrap().as_str(), Some("SRT"));
 //! ```
 
+pub mod plan;
+
+pub use plan::{CellRole, ClusterCell, ClusterPlan};
+
 use crate::experiment::Experiment;
 use crate::figures::{sensitivity_sweep, FigureCtx, SimScale, SweepConfig};
 use crate::runner::ProgressSink;

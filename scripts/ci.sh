@@ -105,6 +105,46 @@ cargo run --release -p rmt-bench --bin check_json -- \
 wait "$serve_pid"
 serve_pid=""
 
+section "tests: rmt-cluster merge property + chaos end-to-end suites"
+# Like the serving crates, rmt-cluster sits below the root package and
+# needs an explicit test invocation.
+cargo test --release -q -p rmt-cluster
+
+section "smoke: rmt-cluster 2-worker sweep is bitwise identical to one process"
+# The distributed-determinism contract, end to end over real processes:
+# the same declarative sweep through a self-spawned 2-worker fleet must
+# produce the byte-for-byte document of a single-process run (`cmp`),
+# the full envelope must validate (every cell digest recomputes from its
+# echoed request), and `check_json --compare` must agree — it ignores
+# only `host` and `cluster`, the legitimately machine-varying sections.
+cargo build --release -p rmt-cluster
+./target/release/rmt-cluster sweeps/slack_sq.json --local --quick \
+    --result-out "$tmpdir/cluster_local.json" > /dev/null
+if ! ./target/release/rmt-cluster sweeps/slack_sq.json --spawn 2 --quick \
+    --spawn-dir "$tmpdir/fleet2" --out "$tmpdir/cluster_env.json" \
+    --result-out "$tmpdir/cluster2.json" > /dev/null; then
+    echo "error: 2-worker cluster run failed; worker log tails:" >&2
+    tail -n 20 "$tmpdir"/fleet2/*.log >&2 || true
+    exit 1
+fi
+cmp "$tmpdir/cluster_local.json" "$tmpdir/cluster2.json"
+cargo run --release -p rmt-bench --bin check_json -- "$tmpdir/cluster_env.json"
+cargo run --release -p rmt-bench --bin check_json -- \
+    --compare "$tmpdir/cluster_local.json" "$tmpdir/cluster2.json"
+
+section "smoke: chaos — 3-worker fleet loses one mid-sweep, still bitwise"
+# One worker is SIGKILLed (deterministic victim, default --chaos-seed)
+# once a quarter of the cells are done; retry/steal must finish the grid
+# on the survivors and the merged bytes must not change.
+if ! ./target/release/rmt-cluster sweeps/slack_sq.json --spawn 3 \
+    --chaos-kill 1 --quick --spawn-dir "$tmpdir/fleet3" \
+    --result-out "$tmpdir/cluster3.json" > /dev/null; then
+    echo "error: chaos cluster run failed; worker log tails:" >&2
+    tail -n 20 "$tmpdir"/fleet3/*.log >&2 || true
+    exit 1
+fi
+cmp "$tmpdir/cluster_local.json" "$tmpdir/cluster3.json"
+
 section "smoke: --set override is bitwise equivalent to a code tweak"
 # The dotted key-path override system must steer the machine exactly like
 # the closure-tweak API it fronts (same run, same digests). The test
@@ -118,7 +158,7 @@ cargo run --release -p rmt-bench --bin check_json -- \
     results/fig6_srt_single.json results/fig6_epoch.json \
     results/fault_forensics.json results/sampling_validation.json \
     results/sensitivity_slack_sq.json results/serve_roundtrip.json \
-    BENCH_PR2.json BENCH_PR8.json BENCH_PR9.json
+    BENCH_PR2.json BENCH_PR8.json BENCH_PR9.json BENCH_PR10.json
 
 section "golden: committed results must regenerate bitwise (sans host)"
 cargo run --release -p rmt-bench --bin fig6_srt_single -- \
@@ -157,10 +197,11 @@ fi
 section "smoke: HTML report renders the committed artifacts"
 cargo run --release -p rmt-bench --bin report -- --out "$tmpdir/report.html" \
     results/fig6_srt_single.json results/fig6_epoch.json \
-    results/fault_forensics.json
+    results/fault_forensics.json "$tmpdir/cluster_env.json" BENCH_PR10.json
 [ -s "$tmpdir/report.html" ] || { echo "error: report is empty" >&2; exit 1; }
 grep -q '</html>' "$tmpdir/report.html"
 grep -q '<svg' "$tmpdir/report.html"
+grep -q 'Per-worker dispatch' "$tmpdir/report.html"
 
 section "verify: differential fuzz smoke (fixed seed block, ~60s budget)"
 # A fixed, deterministic seed block through the co-simulation oracle on
